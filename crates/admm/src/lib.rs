@@ -1,0 +1,26 @@
+//! ADMM-based structured training (paper Sec. III-B, Figs. 5 & 6).
+//!
+//! The block-circulant constraint is combinatorial, so E-RNN trains with
+//! the alternating direction method of multipliers. Per weight matrix `W`
+//! the algorithm keeps an auxiliary `Z` (the structured copy) and a scaled
+//! dual `U`, iterating:
+//!
+//! 1. **Subproblem 1** — minimize `f(W) + (ρ/2)·‖W − Z + U‖²_F` by ordinary
+//!    SGD; the quadratic term enters as an extra gradient `ρ(W − Z + U)`.
+//! 2. **Subproblem 2** — `Z ← Π(W + U)`, the Euclidean projection onto the
+//!    constraint set. For block-circulant structure the optimal projection
+//!    is the diagonal averaging of Eqn. 6 (implemented in `ernn-linalg`);
+//!    quantization is supported as an alternative constraint set, which the
+//!    paper notes ADMM handles in the same framework.
+//! 3. **Dual update** — `U ← U + W − Z`.
+//!
+//! On convergence `W ≈ Z` and [`AdmmTrainer::finalize`] snaps the weights
+//! exactly onto the constraint set (the "retrain to obtain the block
+//! circulant model" box of Fig. 6), after which the compression in
+//! `ernn-model` is lossless.
+
+mod constraint;
+mod trainer;
+
+pub use constraint::{CirculantConstraint, Constraint, QuantizeConstraint};
+pub use trainer::{AdmmConfig, AdmmIterStats, AdmmReport, AdmmTrainer};

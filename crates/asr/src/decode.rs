@@ -1,0 +1,186 @@
+//! Greedy decoding and phone-error-rate scoring.
+//!
+//! PER — the metric of the paper's Tables I and II — is the Levenshtein
+//! distance between the decoded phone sequence and the reference, divided
+//! by the reference length. Decoding is framewise argmax followed by
+//! run-collapsing and silence removal (the standard "best path" decode for
+//! framewise acoustic models).
+
+use crate::dataset::Utterance;
+use crate::phones::PhoneSet;
+use ernn_linalg::ops::argmax;
+use ernn_model::RnnNetwork;
+
+/// Collapses framewise logits into a phone sequence: temporal smoothing
+/// (3-frame moving average over logits), argmax per frame, merge
+/// consecutive repeats, drop silence, and ignore runs shorter than
+/// `min_run` frames (de-noising, 2 is a good default at a 10 ms hop).
+pub fn decode_frames(logits: &[Vec<f32>], silence_id: usize, min_run: usize) -> Vec<usize> {
+    let smoothed = smooth_logits(logits);
+    let logits = &smoothed;
+    let mut out = Vec::new();
+    let mut current: Option<(usize, usize)> = None; // (phone, run length)
+    let flush = |cur: Option<(usize, usize)>, out: &mut Vec<usize>| {
+        if let Some((p, run)) = cur {
+            if p != silence_id && run >= min_run {
+                out.push(p);
+            }
+        }
+    };
+    for frame in logits {
+        let p = argmax(frame);
+        match current {
+            Some((cp, run)) if cp == p => current = Some((cp, run + 1)),
+            other => {
+                flush(other, &mut out);
+                current = Some((p, 1));
+            }
+        }
+    }
+    flush(current, &mut out);
+    // Merge adjacent duplicates that can appear after dropping short runs.
+    out.dedup();
+    out
+}
+
+/// Three-frame moving average over logits — suppresses single-frame
+/// glitches at phone boundaries before the argmax.
+fn smooth_logits(logits: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let n = logits.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(1);
+            let hi = (t + 1).min(n - 1);
+            let span = (hi - lo + 1) as f32;
+            let dim = logits[t].len();
+            (0..dim)
+                .map(|d| (lo..=hi).map(|u| logits[u][d]).sum::<f32>() / span)
+                .collect()
+        })
+        .collect()
+}
+
+/// Levenshtein edit distance between two sequences.
+pub fn edit_distance(a: &[usize], b: &[usize]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            curr[j] = sub.min(prev[j] + 1).min(curr[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Corpus-level phone error rate: total edit distance over total reference
+/// length (the standard pooled PER).
+///
+/// # Panics
+///
+/// Panics if `refs` and `hyps` have different lengths.
+pub fn phone_error_rate(refs: &[Vec<usize>], hyps: &[Vec<usize>]) -> f64 {
+    assert_eq!(refs.len(), hyps.len(), "need one hypothesis per reference");
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for (r, h) in refs.iter().zip(hyps.iter()) {
+        errors += edit_distance(r, h);
+        total += r.len();
+    }
+    errors as f64 / total.max(1) as f64
+}
+
+/// Decodes a network over a set of utterances and returns the PER (%).
+///
+/// Works for any weight representation (dense training checkpoints and
+/// block-circulant compressed models alike).
+pub fn evaluate_per<M: ernn_linalg::MatVec>(net: &RnnNetwork<M>, utterances: &[Utterance]) -> f64 {
+    let refs: Vec<Vec<usize>> = utterances.iter().map(|u| u.phone_seq.clone()).collect();
+    let hyps: Vec<Vec<usize>> = utterances
+        .iter()
+        .map(|u| {
+            let logits = net.forward_logits(&u.features);
+            decode_frames(&logits, PhoneSet::SILENCE, 2)
+        })
+        .collect();
+    phone_error_rate(&refs, &hyps) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(id: usize, n: usize, conf: f32) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        v[id] = conf;
+        v
+    }
+
+    #[test]
+    fn decode_collapses_runs_and_drops_silence() {
+        let frames: Vec<Vec<f32>> = [0, 0, 1, 1, 1, 0, 2, 2, 3, 3, 0, 0]
+            .iter()
+            .map(|&p| one_hot(p, 4, 5.0))
+            .collect();
+        assert_eq!(decode_frames(&frames, 0, 2), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn decode_filters_short_glitches() {
+        let frames: Vec<Vec<f32>> = [1, 1, 1, 2, 1, 1, 1]
+            .iter()
+            .map(|&p| one_hot(p, 3, 5.0))
+            .collect();
+        // The single-frame /2/ glitch is dropped and the 1-runs merge.
+        assert_eq!(decode_frames(&frames, 0, 2), vec![1]);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&[], &[]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1); // deletion
+        assert_eq!(edit_distance(&[1, 2], &[1, 4, 2]), 1); // insertion
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1); // substitution
+        assert_eq!(edit_distance(&[], &[5, 6]), 2);
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric() {
+        let a = [1usize, 2, 3, 4, 2];
+        let b = [2usize, 3, 1];
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn per_pools_over_corpus() {
+        let refs = vec![vec![1, 2, 3, 4], vec![5, 6]];
+        let hyps = vec![vec![1, 2, 3, 4], vec![5, 7]]; // 1 error / 6 phones
+        let per = phone_error_rate(&refs, &hyps);
+        assert!((per - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_decode_gives_zero_per() {
+        let refs = vec![vec![1, 2], vec![3]];
+        assert_eq!(phone_error_rate(&refs, &refs.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one hypothesis per reference")]
+    fn per_rejects_length_mismatch() {
+        let _ = phone_error_rate(&[vec![1]], &[]);
+    }
+}

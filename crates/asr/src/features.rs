@@ -1,0 +1,328 @@
+//! Acoustic front end: waveform → log-mel filterbank frames.
+//!
+//! The standard ASR pipeline (and the same operations a Kaldi/ESE front end
+//! performs): pre-emphasis, 25 ms Hamming-windowed frames at a 10 ms hop,
+//! FFT power spectrum (using `ernn-fft`'s real FFT), triangular mel
+//! filterbank, log compression, and per-utterance cepstral mean/variance
+//! normalization.
+
+use crate::synth::SAMPLE_RATE;
+use ernn_fft::RealFft;
+
+/// Front-end configuration and precomputed state (FFT plan, mel filters,
+/// window).
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    frame_len: usize,
+    hop: usize,
+    n_fft: usize,
+    n_mels: usize,
+    deltas: bool,
+    window: Vec<f32>,
+    /// Triangular filters: per mel bin, list of `(fft_bin, weight)`.
+    filters: Vec<Vec<(usize, f32)>>,
+    rfft: RealFft,
+}
+
+impl FrontEnd {
+    /// The standard configuration: 25 ms frames, 10 ms hop, 512-point FFT,
+    /// 26 mel bins — a typical filterbank front end at 16 kHz.
+    pub fn standard() -> Self {
+        FrontEnd::new(400, 160, 512, 26)
+    }
+
+    /// Creates a front end with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_fft` is not a power of two or smaller than `frame_len`.
+    pub fn new(frame_len: usize, hop: usize, n_fft: usize, n_mels: usize) -> Self {
+        assert!(
+            ernn_fft::is_power_of_two(n_fft),
+            "FFT size must be a power of two"
+        );
+        assert!(n_fft >= frame_len, "FFT size must cover the frame");
+        assert!(hop > 0, "hop must be positive");
+        let window: Vec<f32> = (0..frame_len)
+            .map(|n| {
+                0.54 - 0.46 * (2.0 * std::f32::consts::PI * n as f32 / (frame_len - 1) as f32).cos()
+            })
+            .collect();
+        let filters = mel_filterbank(n_fft, n_mels, SAMPLE_RATE);
+        FrontEnd {
+            frame_len,
+            hop,
+            n_fft,
+            n_mels,
+            deltas: false,
+            window,
+            filters,
+            rfft: RealFft::new(n_fft),
+        }
+    }
+
+    /// Appends first-order delta (temporal derivative) coefficients to each
+    /// frame, doubling the feature dimension — sharpens phone boundaries
+    /// for framewise classifiers.
+    pub fn with_deltas(mut self, on: bool) -> Self {
+        self.deltas = on;
+        self
+    }
+
+    /// Feature dimension per frame.
+    pub fn feature_dim(&self) -> usize {
+        if self.deltas {
+            2 * self.n_mels
+        } else {
+            self.n_mels
+        }
+    }
+
+    /// Frame hop in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Extracts log-mel features with per-utterance mean/variance
+    /// normalization. Returns one `n_mels`-dim vector per frame.
+    pub fn extract(&self, waveform: &[f32]) -> Vec<Vec<f32>> {
+        if waveform.len() < self.frame_len {
+            return Vec::new();
+        }
+        // Pre-emphasis y[n] = x[n] − 0.97·x[n−1].
+        let mut pre = Vec::with_capacity(waveform.len());
+        pre.push(waveform[0]);
+        for n in 1..waveform.len() {
+            pre.push(waveform[n] - 0.97 * waveform[n - 1]);
+        }
+
+        let n_frames = (pre.len() - self.frame_len) / self.hop + 1;
+        let mut feats = Vec::with_capacity(n_frames);
+        let mut buf = vec![0.0f32; self.n_fft];
+        for f in 0..n_frames {
+            let start = f * self.hop;
+            buf.iter_mut().for_each(|v| *v = 0.0);
+            for (i, w) in self.window.iter().enumerate() {
+                buf[i] = pre[start + i] * w;
+            }
+            let spec = self.rfft.forward(&buf);
+            let power: Vec<f32> = spec.iter().map(|c| c.norm_sqr()).collect();
+            let mut mel = Vec::with_capacity(self.n_mels);
+            for filt in &self.filters {
+                let e: f32 = filt.iter().map(|&(b, w)| power[b] * w).sum();
+                mel.push((e.max(1e-10)).ln());
+            }
+            feats.push(mel);
+        }
+        if self.deltas {
+            append_deltas(&mut feats);
+        }
+        cmvn(&mut feats);
+        feats
+    }
+
+    /// Maps a per-sample alignment to per-frame labels (label of the frame
+    /// center), matching the frames produced by [`Self::extract`].
+    pub fn frame_labels(&self, sample_labels: &[usize]) -> Vec<usize> {
+        if sample_labels.len() < self.frame_len {
+            return Vec::new();
+        }
+        let n_frames = (sample_labels.len() - self.frame_len) / self.hop + 1;
+        (0..n_frames)
+            .map(|f| sample_labels[f * self.hop + self.frame_len / 2])
+            .collect()
+    }
+}
+
+/// Appends two-frame central-difference deltas to each frame.
+fn append_deltas(feats: &mut [Vec<f32>]) {
+    let n = feats.len();
+    if n == 0 {
+        return;
+    }
+    let dim = feats[0].len();
+    let static_feats: Vec<Vec<f32>> = feats.to_vec();
+    for (t, f) in feats.iter_mut().enumerate() {
+        let prev = &static_feats[t.saturating_sub(1)];
+        let next = &static_feats[(t + 1).min(n - 1)];
+        for d in 0..dim {
+            f.push(0.5 * (next[d] - prev[d]));
+        }
+    }
+}
+
+/// Per-utterance mean/variance normalization, per coefficient.
+fn cmvn(feats: &mut [Vec<f32>]) {
+    if feats.is_empty() {
+        return;
+    }
+    let dim = feats[0].len();
+    let n = feats.len() as f32;
+    for d in 0..dim {
+        let mean: f32 = feats.iter().map(|f| f[d]).sum::<f32>() / n;
+        let var: f32 = feats
+            .iter()
+            .map(|f| (f[d] - mean) * (f[d] - mean))
+            .sum::<f32>()
+            / n;
+        let std = var.sqrt().max(1e-5);
+        for f in feats.iter_mut() {
+            f[d] = (f[d] - mean) / std;
+        }
+    }
+}
+
+/// HTK mel scale.
+fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// Triangular mel filterbank over the half spectrum of an `n_fft` FFT.
+fn mel_filterbank(n_fft: usize, n_mels: usize, sample_rate: f32) -> Vec<Vec<(usize, f32)>> {
+    let n_bins = n_fft / 2 + 1;
+    let f_max = sample_rate / 2.0;
+    let mel_max = hz_to_mel(f_max);
+    let mel_points: Vec<f32> = (0..n_mels + 2)
+        .map(|i| mel_max * i as f32 / (n_mels + 1) as f32)
+        .collect();
+    let bin_of = |mel: f32| -> f32 { mel_to_hz(mel) / f_max * (n_bins - 1) as f32 };
+    let mut filters = Vec::with_capacity(n_mels);
+    for m in 0..n_mels {
+        let left = bin_of(mel_points[m]);
+        let center = bin_of(mel_points[m + 1]);
+        let right = bin_of(mel_points[m + 2]);
+        let mut taps = Vec::new();
+        let lo = left.floor() as usize;
+        let hi = (right.ceil() as usize).min(n_bins - 1);
+        for b in lo..=hi {
+            let bf = b as f32;
+            let w = if bf < center {
+                (bf - left) / (center - left).max(1e-6)
+            } else {
+                (right - bf) / (right - center).max(1e-6)
+            };
+            if w > 0.0 {
+                taps.push((b, w));
+            }
+        }
+        filters.push(taps);
+    }
+    filters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phones::PhoneSet;
+    use crate::synth::{render_phone, Speaker};
+    use rand::SeedableRng;
+
+    #[test]
+    fn frame_count_matches_formula() {
+        let fe = FrontEnd::standard();
+        let wave = vec![0.01f32; 16_000]; // 1 second
+        let feats = fe.extract(&wave);
+        assert_eq!(feats.len(), (16_000 - 400) / 160 + 1);
+        assert_eq!(feats[0].len(), 26);
+    }
+
+    #[test]
+    fn short_waveform_yields_no_frames() {
+        let fe = FrontEnd::standard();
+        assert!(fe.extract(&vec![0.0; 100]).is_empty());
+    }
+
+    #[test]
+    fn cmvn_zero_mean_unit_variance() {
+        let fe = FrontEnd::standard();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        use rand::Rng;
+        let wave: Vec<f32> = (0..8000).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let feats = fe.extract(&wave);
+        let n = feats.len() as f32;
+        for d in 0..26 {
+            let mean: f32 = feats.iter().map(|f| f[d]).sum::<f32>() / n;
+            let var: f32 = feats.iter().map(|f| f[d] * f[d]).sum::<f32>() / n;
+            assert!(mean.abs() < 1e-3, "dim {d} mean {mean}");
+            assert!((var - 1.0).abs() < 0.05, "dim {d} var {var}");
+        }
+    }
+
+    #[test]
+    fn different_phones_yield_different_features() {
+        let ps = PhoneSet::standard();
+        let speaker = Speaker {
+            pitch_hz: 120.0,
+            vtl_scale: 1.0,
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let fe = FrontEnd::standard();
+        let a = render_phone(ps.get(ps.id_of("iy").unwrap()), &speaker, 4800, &mut rng);
+        let b = render_phone(ps.get(ps.id_of("s").unwrap()), &speaker, 4800, &mut rng);
+        // Compare mean (un-normalized shape differences survive CMVN here
+        // because we compare across utterances, not within).
+        let fa = fe.extract(&a);
+        let fb = fe.extract(&b);
+        let mean = |fs: &[Vec<f32>]| -> Vec<f32> {
+            let mut m = vec![0.0; 26];
+            for f in fs {
+                for (a, b) in m.iter_mut().zip(f) {
+                    *a += b;
+                }
+            }
+            m.iter().map(|v| v / fs.len() as f32).collect()
+        };
+        let (ma, mb) = (mean(&fa), mean(&fb));
+        let dist: f32 = ma.iter().zip(&mb).map(|(x, y)| (x - y) * (x - y)).sum();
+        // CMVN makes per-utterance means ~0; compare frame-level variance
+        // patterns instead if distance degenerates.
+        assert!(dist.is_finite());
+        // Frame trajectories should differ substantially somewhere.
+        let any_diff = fa
+            .iter()
+            .zip(fb.iter())
+            .any(|(x, y)| x.iter().zip(y).any(|(a, b)| (a - b).abs() > 0.5));
+        assert!(any_diff, "iy and s produced indistinguishable features");
+    }
+
+    #[test]
+    fn frame_labels_align_with_extract() {
+        let fe = FrontEnd::standard();
+        let labels = vec![vec![0usize; 3000], vec![1usize; 3000], vec![2usize; 3000]].concat();
+        let fl = fe.frame_labels(&labels);
+        let wave = vec![0.01f32; 9000];
+        assert_eq!(fl.len(), fe.extract(&wave).len());
+        assert_eq!(fl[0], 0);
+        assert_eq!(*fl.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn filterbank_covers_all_bins_without_gaps() {
+        let filters = mel_filterbank(512, 26, 16_000.0);
+        assert_eq!(filters.len(), 26);
+        for (m, f) in filters.iter().enumerate() {
+            assert!(!f.is_empty(), "filter {m} is empty");
+            for &(b, w) in f {
+                assert!(b <= 256);
+                assert!(w > 0.0 && w <= 1.0 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn mel_scale_roundtrip() {
+        for hz in [100.0f32, 440.0, 1000.0, 4000.0, 8000.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() < 0.5, "{hz} -> {back}");
+        }
+    }
+}

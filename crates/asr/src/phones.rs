@@ -1,0 +1,321 @@
+//! Phone inventory with articulatory synthesis parameters.
+//!
+//! A compact, TIMIT-like folded phone set: each phone carries the acoustic
+//! recipe its synthesizer needs (formant frequencies for voiced sounds,
+//! noise bands for fricatives, burst behaviour for stops). Twenty phones
+//! plus silence keeps the classifier head small while preserving the
+//! confusability structure (e.g. /i/ vs /ɪ/ formants overlap under speaker
+//! variation) that makes compression-induced accuracy loss measurable.
+
+/// Articulatory class determining how a phone is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhoneClass {
+    /// Voiced vowel: impulse-train excitation through formant resonators
+    /// `(F1, F2, F3)` in Hz.
+    Vowel {
+        /// First formant (Hz).
+        f1: f32,
+        /// Second formant (Hz).
+        f2: f32,
+        /// Third formant (Hz).
+        f3: f32,
+    },
+    /// Fricative: noise through a band-pass resonator; voiced fricatives
+    /// (e.g. /z/) add a pitch-harmonic murmur.
+    Fricative {
+        /// Band center (Hz).
+        center: f32,
+        /// Bandwidth (Hz).
+        bandwidth: f32,
+        /// Whether a voicing murmur is mixed in.
+        voiced: bool,
+    },
+    /// Stop consonant: closure silence followed by a noise burst.
+    Stop {
+        /// Burst center frequency (Hz).
+        burst_center: f32,
+    },
+    /// Nasal: voiced excitation with a low murmur resonance plus a
+    /// distinguishing second resonance (the oral-cavity zero location
+    /// differs per place of articulation).
+    Nasal {
+        /// Murmur resonance (Hz).
+        murmur: f32,
+        /// Second resonance (Hz).
+        second: f32,
+    },
+    /// Background silence.
+    Silence,
+}
+
+/// A phone: symbol plus synthesis recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phone {
+    /// TIMIT-style symbol.
+    pub symbol: &'static str,
+    /// Articulatory class.
+    pub class: PhoneClass,
+}
+
+/// The full phone inventory. Index 0 is always silence.
+#[derive(Debug, Clone)]
+pub struct PhoneSet {
+    phones: Vec<Phone>,
+}
+
+impl PhoneSet {
+    /// The default 21-phone inventory (silence + 8 vowels + 5 fricatives +
+    /// 4 stops + 3 nasals), with formant values from the classic
+    /// Peterson–Barney measurements.
+    pub fn standard() -> Self {
+        use PhoneClass::*;
+        let phones = vec![
+            Phone {
+                symbol: "sil",
+                class: Silence,
+            },
+            // Vowels (F1, F2, F3 in Hz).
+            Phone {
+                symbol: "iy",
+                class: Vowel {
+                    f1: 270.0,
+                    f2: 2290.0,
+                    f3: 3010.0,
+                },
+            },
+            Phone {
+                symbol: "ih",
+                class: Vowel {
+                    f1: 390.0,
+                    f2: 1990.0,
+                    f3: 2550.0,
+                },
+            },
+            Phone {
+                symbol: "eh",
+                class: Vowel {
+                    f1: 530.0,
+                    f2: 1840.0,
+                    f3: 2480.0,
+                },
+            },
+            Phone {
+                symbol: "ae",
+                class: Vowel {
+                    f1: 660.0,
+                    f2: 1720.0,
+                    f3: 2410.0,
+                },
+            },
+            Phone {
+                symbol: "aa",
+                class: Vowel {
+                    f1: 730.0,
+                    f2: 1090.0,
+                    f3: 2440.0,
+                },
+            },
+            Phone {
+                symbol: "ao",
+                class: Vowel {
+                    f1: 570.0,
+                    f2: 840.0,
+                    f3: 2410.0,
+                },
+            },
+            Phone {
+                symbol: "uh",
+                class: Vowel {
+                    f1: 440.0,
+                    f2: 1020.0,
+                    f3: 2240.0,
+                },
+            },
+            Phone {
+                symbol: "uw",
+                class: Vowel {
+                    f1: 300.0,
+                    f2: 870.0,
+                    f3: 2240.0,
+                },
+            },
+            // Fricatives (spread in center/bandwidth; /z/ voiced).
+            Phone {
+                symbol: "s",
+                class: Fricative {
+                    center: 6500.0,
+                    bandwidth: 1800.0,
+                    voiced: false,
+                },
+            },
+            Phone {
+                symbol: "sh",
+                class: Fricative {
+                    center: 3200.0,
+                    bandwidth: 1200.0,
+                    voiced: false,
+                },
+            },
+            Phone {
+                symbol: "f",
+                class: Fricative {
+                    center: 4200.0,
+                    bandwidth: 3500.0,
+                    voiced: false,
+                },
+            },
+            Phone {
+                symbol: "th",
+                class: Fricative {
+                    center: 5400.0,
+                    bandwidth: 2600.0,
+                    voiced: false,
+                },
+            },
+            Phone {
+                symbol: "z",
+                class: Fricative {
+                    center: 6200.0,
+                    bandwidth: 1800.0,
+                    voiced: true,
+                },
+            },
+            // Stops (burst centers spread by place of articulation).
+            Phone {
+                symbol: "p",
+                class: Stop {
+                    burst_center: 900.0,
+                },
+            },
+            Phone {
+                symbol: "t",
+                class: Stop {
+                    burst_center: 4600.0,
+                },
+            },
+            Phone {
+                symbol: "k",
+                class: Stop {
+                    burst_center: 2100.0,
+                },
+            },
+            Phone {
+                symbol: "d",
+                class: Stop {
+                    burst_center: 3300.0,
+                },
+            },
+            // Nasals (distinct second resonance per place).
+            Phone {
+                symbol: "m",
+                class: Nasal {
+                    murmur: 250.0,
+                    second: 900.0,
+                },
+            },
+            Phone {
+                symbol: "n",
+                class: Nasal {
+                    murmur: 300.0,
+                    second: 1600.0,
+                },
+            },
+            Phone {
+                symbol: "ng",
+                class: Nasal {
+                    murmur: 280.0,
+                    second: 2300.0,
+                },
+            },
+        ];
+        PhoneSet { phones }
+    }
+
+    /// Number of phones (including silence).
+    pub fn len(&self) -> usize {
+        self.phones.len()
+    }
+
+    /// Whether the inventory is empty (never true for
+    /// [`PhoneSet::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.phones.is_empty()
+    }
+
+    /// The phone with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: usize) -> &Phone {
+        &self.phones[id]
+    }
+
+    /// The silence phone id (always 0).
+    pub const SILENCE: usize = 0;
+
+    /// Looks up a phone id by symbol.
+    pub fn id_of(&self, symbol: &str) -> Option<usize> {
+        self.phones.iter().position(|p| p.symbol == symbol)
+    }
+
+    /// Ids of all non-silence phones.
+    pub fn speech_ids(&self) -> Vec<usize> {
+        (1..self.phones.len()).collect()
+    }
+
+    /// Iterates over `(id, phone)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Phone)> {
+        self.phones.iter().enumerate()
+    }
+}
+
+impl Default for PhoneSet {
+    fn default() -> Self {
+        PhoneSet::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_has_21_phones_with_silence_first() {
+        let ps = PhoneSet::standard();
+        assert_eq!(ps.len(), 21);
+        assert_eq!(ps.get(PhoneSet::SILENCE).class, PhoneClass::Silence);
+        assert_eq!(ps.get(0).symbol, "sil");
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let ps = PhoneSet::standard();
+        for (i, p) in ps.iter() {
+            assert_eq!(ps.id_of(p.symbol), Some(i), "duplicate symbol {}", p.symbol);
+        }
+    }
+
+    #[test]
+    fn speech_ids_exclude_silence() {
+        let ps = PhoneSet::standard();
+        let ids = ps.speech_ids();
+        assert_eq!(ids.len(), ps.len() - 1);
+        assert!(!ids.contains(&PhoneSet::SILENCE));
+    }
+
+    #[test]
+    fn vowel_formants_are_ordered() {
+        let ps = PhoneSet::standard();
+        for (_, p) in ps.iter() {
+            if let PhoneClass::Vowel { f1, f2, f3 } = p.class {
+                assert!(f1 < f2 && f2 < f3, "{}: formants must ascend", p.symbol);
+            }
+        }
+    }
+
+    #[test]
+    fn id_of_unknown_symbol_is_none() {
+        assert_eq!(PhoneSet::standard().id_of("xyz"), None);
+    }
+}

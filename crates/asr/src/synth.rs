@@ -1,0 +1,277 @@
+//! Source-filter speech synthesizer.
+//!
+//! Voiced phones are an impulse train at the speaker's pitch filtered
+//! through a cascade of two-pole resonators at the phone's formants (scaled
+//! by the speaker's vocal-tract length factor); fricatives are white noise
+//! through a band-pass resonator; stops are closure silence plus a burst.
+//! This is the textbook Klatt-style recipe, enough to give the mel
+//! filterbank features realistic phone confusability and real speaker
+//! variation.
+
+use crate::phones::{Phone, PhoneClass};
+use rand::Rng;
+
+/// Sample rate used throughout the corpus (TIMIT's 16 kHz).
+pub const SAMPLE_RATE: f32 = 16_000.0;
+
+/// Speaker characteristics: pitch and vocal-tract length scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speaker {
+    /// Fundamental frequency of voiced excitation (Hz).
+    pub pitch_hz: f32,
+    /// Multiplier on all resonance frequencies (< 1: longer vocal tract).
+    pub vtl_scale: f32,
+}
+
+impl Speaker {
+    /// Samples a random speaker: pitch 90–250 Hz, vocal-tract scale
+    /// 0.88–1.12 — spanning typical adult variation.
+    pub fn random(rng: &mut impl Rng) -> Self {
+        Speaker {
+            pitch_hz: rng.gen_range(90.0..250.0),
+            vtl_scale: rng.gen_range(0.88..1.12),
+        }
+    }
+}
+
+/// A two-pole resonator (digital formant filter).
+///
+/// `y[n] = x[n] + 2r·cos(θ)·y[n−1] − r²·y[n−2]` with `r` set from the
+/// bandwidth and `θ` from the center frequency.
+#[derive(Debug, Clone, Copy)]
+struct Resonator {
+    a1: f32,
+    a2: f32,
+    gain: f32,
+    y1: f32,
+    y2: f32,
+}
+
+impl Resonator {
+    fn new(center_hz: f32, bandwidth_hz: f32) -> Self {
+        let r = (-std::f32::consts::PI * bandwidth_hz / SAMPLE_RATE).exp();
+        let theta = 2.0 * std::f32::consts::PI * center_hz / SAMPLE_RATE;
+        let a1 = 2.0 * r * theta.cos();
+        let a2 = -r * r;
+        // Unity gain at the center frequency (approximately).
+        let gain = (1.0 - r) * (1.0 - r * r).max(1e-3).sqrt();
+        Resonator {
+            a1,
+            a2,
+            gain,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    #[inline]
+    fn process(&mut self, x: f32) -> f32 {
+        let y = self.gain * x + self.a1 * self.y1 + self.a2 * self.y2;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+}
+
+/// Renders one phone segment of `n_samples` at 16 kHz.
+pub fn render_phone(
+    phone: &Phone,
+    speaker: &Speaker,
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; n_samples];
+    match phone.class {
+        PhoneClass::Silence => {
+            // Low-level room noise.
+            for v in &mut out {
+                *v = rng.gen_range(-0.002..0.002);
+            }
+        }
+        PhoneClass::Vowel { f1, f2, f3 } => {
+            let mut r1 = Resonator::new(f1 * speaker.vtl_scale, 60.0);
+            let mut r2 = Resonator::new(f2 * speaker.vtl_scale, 90.0);
+            let mut r3 = Resonator::new(f3 * speaker.vtl_scale, 150.0);
+            let period = (SAMPLE_RATE / speaker.pitch_hz).max(2.0) as usize;
+            for (n, v) in out.iter_mut().enumerate() {
+                let excitation = if n % period == 0 { 1.0 } else { 0.0 };
+                let x = excitation + rng.gen_range(-0.01..0.01);
+                *v = r1.process(x) + 0.7 * r2.process(x) + 0.35 * r3.process(x);
+            }
+            normalize(&mut out, 0.3);
+        }
+        PhoneClass::Fricative {
+            center,
+            bandwidth,
+            voiced,
+        } => {
+            let mut r = Resonator::new(center * speaker.vtl_scale, bandwidth);
+            let mut murmur = Resonator::new(220.0 * speaker.vtl_scale, 80.0);
+            let period = (SAMPLE_RATE / speaker.pitch_hz).max(2.0) as usize;
+            for (n, v) in out.iter_mut().enumerate() {
+                let frication = r.process(rng.gen_range(-1.0f32..1.0));
+                *v = if voiced {
+                    // Voice bar underneath the frication noise.
+                    let excitation = if n % period == 0 { 1.0 } else { 0.0 };
+                    0.6 * frication + 1.2 * murmur.process(excitation)
+                } else {
+                    frication
+                };
+            }
+            normalize(&mut out, 0.15);
+        }
+        PhoneClass::Stop { burst_center } => {
+            // Closure (60%) then burst (40%).
+            let burst_start = n_samples * 3 / 5;
+            let mut r = Resonator::new(burst_center * speaker.vtl_scale, 1200.0);
+            for (n, v) in out.iter_mut().enumerate() {
+                if n < burst_start {
+                    *v = rng.gen_range(-0.002..0.002);
+                } else {
+                    let decay = 1.0 - (n - burst_start) as f32 / (n_samples - burst_start) as f32;
+                    *v = r.process(rng.gen_range(-1.0f32..1.0)) * decay;
+                }
+            }
+            normalize(&mut out, 0.2);
+        }
+        PhoneClass::Nasal { murmur, second } => {
+            let mut r1 = Resonator::new(murmur * speaker.vtl_scale, 80.0);
+            let mut r2 = Resonator::new(second * speaker.vtl_scale, 200.0);
+            let period = (SAMPLE_RATE / speaker.pitch_hz).max(2.0) as usize;
+            for (n, v) in out.iter_mut().enumerate() {
+                let excitation = if n % period == 0 { 1.0 } else { 0.0 };
+                *v = r1.process(excitation) + 0.5 * r2.process(excitation);
+            }
+            normalize(&mut out, 0.2);
+        }
+    }
+    out
+}
+
+fn normalize(samples: &mut [f32], target_peak: f32) {
+    let peak = samples.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if peak > 1e-9 {
+        let s = target_peak / peak;
+        for v in samples {
+            *v *= s;
+        }
+    }
+}
+
+/// Renders an utterance: a phone sequence with per-phone durations
+/// (in samples). Returns the waveform and the per-sample phone alignment.
+pub fn render_utterance(
+    phones: &[(Phone, usize)],
+    speaker: &Speaker,
+    rng: &mut impl Rng,
+) -> (Vec<f32>, Vec<usize>) {
+    let total: usize = phones.iter().map(|(_, d)| d).sum();
+    let mut wave = Vec::with_capacity(total);
+    let mut segment_starts = Vec::with_capacity(phones.len());
+    for (phone, dur) in phones {
+        segment_starts.push(wave.len());
+        wave.extend(render_phone(phone, speaker, *dur, rng));
+    }
+    // Per-sample alignment: index into `phones`.
+    let mut align = vec![0usize; wave.len()];
+    for (seg, &start) in segment_starts.iter().enumerate() {
+        let end = segment_starts.get(seg + 1).copied().unwrap_or(wave.len());
+        for a in &mut align[start..end] {
+            *a = seg;
+        }
+    }
+    (wave, align)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phones::PhoneSet;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn rendering_produces_bounded_samples() {
+        let ps = PhoneSet::standard();
+        let speaker = Speaker {
+            pitch_hz: 120.0,
+            vtl_scale: 1.0,
+        };
+        let mut r = rng();
+        for (_, phone) in ps.iter() {
+            let wave = render_phone(phone, &speaker, 800, &mut r);
+            assert_eq!(wave.len(), 800);
+            for &v in &wave {
+                assert!(v.is_finite() && v.abs() <= 1.0, "{}: {v}", phone.symbol);
+            }
+        }
+    }
+
+    #[test]
+    fn vowel_energy_exceeds_silence() {
+        let ps = PhoneSet::standard();
+        let speaker = Speaker {
+            pitch_hz: 110.0,
+            vtl_scale: 1.0,
+        };
+        let mut r = rng();
+        let vowel = render_phone(ps.get(ps.id_of("aa").unwrap()), &speaker, 1600, &mut r);
+        let sil = render_phone(ps.get(PhoneSet::SILENCE), &speaker, 1600, &mut r);
+        let e = |w: &[f32]| w.iter().map(|v| v * v).sum::<f32>();
+        assert!(e(&vowel) > 20.0 * e(&sil));
+    }
+
+    #[test]
+    fn different_vowels_have_different_spectra() {
+        // /iy/ (F2 = 2290 Hz) vs /aa/ (F2 = 1090 Hz): the 1.8–2.8 kHz band
+        // should carry relatively more energy for /iy/.
+        let ps = PhoneSet::standard();
+        let speaker = Speaker {
+            pitch_hz: 100.0,
+            vtl_scale: 1.0,
+        };
+        let mut r = rng();
+        // Dominant spectral peak in the F2 region (800–3000 Hz).
+        let f2_peak = |w: &[f32]| {
+            let rfft = ernn_fft::RealFft::new(4096);
+            let spec = rfft.forward(&w[..4096]);
+            let bin_hz = SAMPLE_RATE / 4096.0;
+            let (lo, hi) = ((800.0 / bin_hz) as usize, (3000.0 / bin_hz) as usize);
+            let best = (lo..hi)
+                .max_by(|&a, &b| spec[a].norm_sqr().partial_cmp(&spec[b].norm_sqr()).unwrap())
+                .unwrap();
+            best as f32 * bin_hz
+        };
+        let iy = render_phone(ps.get(ps.id_of("iy").unwrap()), &speaker, 4800, &mut r);
+        let aa = render_phone(ps.get(ps.id_of("aa").unwrap()), &speaker, 4800, &mut r);
+        let (p_iy, p_aa) = (f2_peak(&iy), f2_peak(&aa));
+        assert!((p_iy - 2290.0).abs() < 250.0, "iy F2 peak at {p_iy} Hz");
+        assert!((p_aa - 1090.0).abs() < 250.0, "aa F2 peak at {p_aa} Hz");
+    }
+
+    #[test]
+    fn utterance_alignment_covers_every_sample() {
+        let ps = PhoneSet::standard();
+        let speaker = Speaker::random(&mut rng());
+        let phones = vec![(*ps.get(0), 400), (*ps.get(3), 800), (*ps.get(9), 600)];
+        let (wave, align) = render_utterance(&phones, &speaker, &mut rng());
+        assert_eq!(wave.len(), 1800);
+        assert_eq!(align.len(), 1800);
+        assert_eq!(align[0], 0);
+        assert_eq!(align[500], 1);
+        assert_eq!(align[1400], 2);
+    }
+
+    #[test]
+    fn speaker_random_is_in_documented_ranges() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = Speaker::random(&mut r);
+            assert!((90.0..250.0).contains(&s.pitch_hz));
+            assert!((0.88..1.12).contains(&s.vtl_scale));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! C-LSTM-style direct circulant training.
+//!
+//! C-LSTM (Wang et al., FPGA'18) trains the block-circulant weights
+//! *directly*: the model is parameterized by the defining vectors and
+//! gradients are accumulated along the circulant diagonals. There are no
+//! auxiliary/dual variables, so the optimization must navigate the
+//! constrained manifold from the start. The E-RNN paper argues ADMM's
+//! relaxation reaches better minima ("ADMM-based training provides an
+//! effective means to deal with the structure requirement ... enhancing
+//! accuracy and training speed"), which is the accuracy delta of Table III
+//! (0.14% vs 0.32% at block 8).
+//!
+//! Implementation note: training in the circulant parameterization is
+//! mathematically identical to dense training with (a) weights that start
+//! on the circulant manifold and (b) gradients orthogonally projected onto
+//! it each step — the projection of a gradient onto the circulant subspace
+//! *is* the diagonal averaging. That is how [`train_circulant_direct`]
+//! proceeds, reusing the dense BPTT engine.
+
+use ernn_admm::{CirculantConstraint, Constraint};
+use ernn_linalg::Matrix;
+use ernn_model::trainer::{train_with_hook, EpochStats, Sequence, TrainOptions};
+use ernn_model::{BlockPolicy, NetworkGrads, Optimizer, RnnNetwork, WeightRole};
+
+/// Trains a network in the block-circulant parameterization, C-LSTM style:
+/// hard-project the initial weights, then keep every update on the
+/// manifold via gradient projection.
+///
+/// Returns the per-epoch statistics. The network's weight matrices are
+/// exactly block-circulant afterwards, so `ernn_model::compress_network`
+/// is lossless on the result.
+pub fn train_circulant_direct(
+    net: &mut RnnNetwork<Matrix>,
+    policy: BlockPolicy,
+    data: &[Sequence],
+    opts: TrainOptions,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut impl rand::Rng,
+) -> Vec<EpochStats> {
+    // Per-matrix constraints by role.
+    let roles: Vec<WeightRole> = net
+        .weight_matrices()
+        .iter()
+        .map(|(_, role, _)| *role)
+        .collect();
+    let constraints: Vec<CirculantConstraint> = roles
+        .iter()
+        .map(|r| CirculantConstraint::new(policy.for_role(*r).max(1)))
+        .collect();
+
+    // Hard projection onto the manifold (C-LSTM initializes the circulant
+    // parameters from the pretrained dense weights the same way).
+    for (w, c) in net.weight_matrices_mut().into_iter().zip(&constraints) {
+        *w = c.project(w);
+    }
+
+    let stats = train_with_hook(
+        net,
+        data,
+        opts,
+        optimizer,
+        rng,
+        |_net: &RnnNetwork<Matrix>, grads: &mut NetworkGrads| {
+            for (g, c) in grads.weight_matrices_mut().into_iter().zip(&constraints) {
+                if let Some(projected) = c.project_gradient(g) {
+                    *g = projected;
+                }
+            }
+        },
+    );
+
+    // Numerical drift from momentum state is negligible but snap anyway so
+    // downstream compression is exactly lossless.
+    for (w, c) in net.weight_matrices_mut().into_iter().zip(&constraints) {
+        *w = c.project(w);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_admm::{AdmmConfig, AdmmTrainer};
+    use ernn_model::{compress_network, CellType, NetworkBuilder, Sgd};
+    use rand::SeedableRng;
+
+    fn toy_data(n_seqs: usize, seq_len: usize, seed: u64) -> Vec<Sequence> {
+        use rand::Rng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n_seqs)
+            .map(|_| {
+                let mut running = 0.0f32;
+                let mut frames = Vec::new();
+                let mut labels = Vec::new();
+                for _ in 0..seq_len {
+                    let v: f32 = rng.gen_range(-1.0..1.0);
+                    running += v;
+                    frames.push(vec![v, rng.gen_range(-1.0..1.0)]);
+                    labels.push(usize::from(running > 0.0));
+                }
+                (frames, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn result_is_exactly_circulant() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut net = NetworkBuilder::new(CellType::Gru, 2, 2)
+            .layer_dims(&[8])
+            .build(&mut rng);
+        let data = toy_data(8, 8, 2);
+        let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+        train_circulant_direct(
+            &mut net,
+            BlockPolicy::uniform(4),
+            &data,
+            TrainOptions {
+                epochs: 3,
+                ..TrainOptions::default()
+            },
+            &mut opt,
+            &mut rng,
+        );
+        let c = CirculantConstraint::new(4);
+        for (_, _, w) in net.weight_matrices() {
+            let p = c.project(w);
+            for (a, b) in w.as_slice().iter().zip(p.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+        // Lossless compression follows.
+        let compressed = compress_network(&net, BlockPolicy::uniform(4));
+        let frames = vec![vec![0.1f32, -0.4]; 5];
+        for (a, b) in net
+            .forward_logits(&frames)
+            .iter()
+            .flatten()
+            .zip(compressed.forward_logits(&frames).iter().flatten())
+        {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn direct_training_learns_on_the_manifold() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut net = NetworkBuilder::new(CellType::Lstm, 2, 2)
+            .layer_dims(&[8])
+            .build(&mut rng);
+        let data = toy_data(20, 10, 4);
+        let mut opt = Sgd::new(0.1).momentum(0.9).clip_norm(5.0);
+        let stats = train_circulant_direct(
+            &mut net,
+            BlockPolicy::uniform(4),
+            &data,
+            TrainOptions {
+                epochs: 8,
+                lr_decay: 0.9,
+                ..TrainOptions::default()
+            },
+            &mut opt,
+            &mut rng,
+        );
+        assert!(
+            stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn admm_is_competitive_with_direct_training() {
+        // The paper's accuracy argument (Sec. VIII-B2). On a toy task the
+        // gap is small; assert ADMM is not worse beyond noise.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut pretrained = NetworkBuilder::new(CellType::Gru, 2, 2)
+            .layer_dims(&[12])
+            .build(&mut rng);
+        let train_data = toy_data(24, 12, 6);
+        let test_data = toy_data(12, 12, 7);
+        let mut opt = Sgd::new(0.1).momentum(0.9).clip_norm(5.0);
+        ernn_model::trainer::train(
+            &mut pretrained,
+            &train_data,
+            TrainOptions {
+                epochs: 6,
+                lr_decay: 0.9,
+                ..TrainOptions::default()
+            },
+            &mut opt,
+            &mut rng,
+        );
+
+        // C-LSTM-style.
+        let mut direct = pretrained.clone();
+        let mut opt_d = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+        train_circulant_direct(
+            &mut direct,
+            BlockPolicy::uniform(4),
+            &train_data,
+            TrainOptions {
+                epochs: 10,
+                lr_decay: 0.95,
+                ..TrainOptions::default()
+            },
+            &mut opt_d,
+            &mut rng,
+        );
+        let direct_acc = ernn_model::trainer::evaluate_set(&direct, &test_data).frame_accuracy;
+
+        // ADMM pipeline with the same total epoch budget.
+        let mut admm_net = pretrained.clone();
+        let cfg = AdmmConfig {
+            rho: 0.05,
+            rho_growth: 1.5,
+            iterations: 4,
+            epochs_per_iter: 2,
+            retrain_epochs: 2,
+            residual_tol: 1e-5,
+        };
+        let mut trainer = AdmmTrainer::new(&admm_net, BlockPolicy::uniform(4), cfg);
+        let mut opt_a = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+        trainer.run(&mut admm_net, &train_data, &mut opt_a, &mut rng);
+        trainer.finalize(&mut admm_net);
+        let mut opt_r = Sgd::new(0.05).momentum(0.9).clip_norm(5.0);
+        trainer.retrain_constrained(&mut admm_net, &train_data, 2, &mut opt_r, &mut rng);
+        let admm_acc = ernn_model::trainer::evaluate_set(&admm_net, &test_data).frame_accuracy;
+
+        // On a toy task both land close; the corpus-scale comparison
+        // (where ADMM's advantage shows, per the paper) lives in the
+        // table1/table2 bench harnesses.
+        assert!(
+            admm_acc >= direct_acc - 0.10,
+            "ADMM {admm_acc} vs direct {direct_acc}"
+        );
+    }
+}

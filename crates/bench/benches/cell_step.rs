@@ -1,0 +1,36 @@
+//! Criterion benches for one LSTM/GRU timestep, dense versus compressed —
+//! the software analogue of the per-frame latency rows of Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let frames = vec![vec![0.1f32; 64]; 8];
+
+    let mut group = c.benchmark_group("cell_step_256");
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(900));
+    for cell in [CellType::Lstm, CellType::Gru] {
+        let net = NetworkBuilder::new(cell, 64, 32)
+            .layer_dims(&[256])
+            .peephole(cell == CellType::Lstm)
+            .build(&mut rng);
+        group.bench_function(format!("{cell}_dense"), |b| {
+            b.iter(|| std::hint::black_box(net.forward_logits(&frames)))
+        });
+        for block in [8usize, 16] {
+            let compressed = compress_network(&net, BlockPolicy::uniform(block));
+            group.bench_function(format!("{cell}_circulant{block}"), |b| {
+                b.iter(|| std::hint::black_box(compressed.forward_logits(&frames)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

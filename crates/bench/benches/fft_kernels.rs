@@ -1,0 +1,47 @@
+//! Criterion benches for the FFT kernels underlying every E-RNN matvec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ernn_fft::{Complex32, FftPlan, RealFft};
+use std::time::Duration;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800));
+    for &n in &[8usize, 16, 64, 256, 512] {
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.31).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = input.clone();
+                plan.forward(&mut buf);
+                std::hint::black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("real_fft_vs_complex");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800));
+    let n = 512usize;
+    let signal: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+    let rfft = RealFft::new(n);
+    group.bench_function("real_packed_512", |b| {
+        b.iter(|| std::hint::black_box(rfft.forward(&signal)))
+    });
+    let plan = FftPlan::new(n);
+    group.bench_function("complex_zeroimag_512", |b| {
+        b.iter(|| std::hint::black_box(plan.forward_real(&signal)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_real_fft);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the Fig. 8 multiplication-cost model and its
+//! ablation variants (the bottom-up exploration of Sec. V).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ernn_fft::cost::{block_size_upper_bound, fig8_curve, CostModel, DEFAULT_MIN_GAIN};
+use std::time::Duration;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_mult_model");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_millis(600));
+
+    group.bench_function("curve_layer_1024", |b| {
+        b.iter(|| std::hint::black_box(fig8_curve(CostModel::paper(), 1024, 256)))
+    });
+    group.bench_function("upper_bound_layer_1024", |b| {
+        b.iter(|| {
+            std::hint::black_box(block_size_upper_bound(
+                CostModel::paper(),
+                1024,
+                DEFAULT_MIN_GAIN,
+            ))
+        })
+    });
+    // Ablations: each variant as a separate measurement for comparison.
+    for (name, model) in [
+        (
+            "no_decoupling",
+            CostModel {
+                fft_decoupling: false,
+                ..CostModel::paper()
+            },
+        ),
+        (
+            "no_symmetry",
+            CostModel {
+                real_symmetry: false,
+                ..CostModel::paper()
+            },
+        ),
+        ("unoptimized", CostModel::unoptimized()),
+    ] {
+        group.bench_function(format!("curve_512_{name}"), |b| {
+            b.iter(|| std::hint::black_box(fig8_curve(model, 512, 256)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for the weight-matrix kernels: dense, block-circulant
+//! (direct and FFT paths) and pruned-sparse — the computational heart of
+//! the ESE / C-LSTM / E-RNN comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ernn_baselines::CsrMatrix;
+use ernn_linalg::{BlockCirculantMatrix, Matrix};
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const N: usize = 512;
+
+fn bench_matvec_paths(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let dense = Matrix::xavier(N, N, &mut rng);
+    let x: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    let mut group = c.benchmark_group("matvec_512");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(900));
+
+    group.bench_function("dense", |b| {
+        b.iter(|| std::hint::black_box(dense.matvec(&x)))
+    });
+
+    // ESE-style sparse at 1/9 density (9x pruning).
+    let sparse_dense = Matrix::from_fn(N, N, |_, _| {
+        if rng.gen_bool(1.0 / 9.0) {
+            rng.gen_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    });
+    let csr = CsrMatrix::from_dense(&sparse_dense);
+    group.bench_function("sparse_csr_9x", |b| {
+        b.iter(|| std::hint::black_box(csr.matvec(&x)))
+    });
+
+    for &lb in &[4usize, 8, 16, 32, 64] {
+        let bc = BlockCirculantMatrix::project_dense(&dense, lb);
+        group.bench_with_input(BenchmarkId::new("circulant_fft", lb), &lb, |b, _| {
+            b.iter(|| std::hint::black_box(bc.matvec(&x)))
+        });
+    }
+    // The no-FFT ablation at the paper's block size.
+    let bc8 = BlockCirculantMatrix::project_dense(&dense, 8);
+    group.bench_function("circulant_direct_8", |b| {
+        b.iter(|| std::hint::black_box(bc8.matvec_direct(&x)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec_paths);
+criterion_main!(benches);

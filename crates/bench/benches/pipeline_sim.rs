@@ -1,0 +1,43 @@
+//! Criterion benches for the hardware-model machinery: the cycle-level
+//! CGPipe simulator and the HLS list scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ernn_fpga::sim::simulate_pipeline;
+use ernn_fpga::{Accelerator, HwCell, RnnSpec, XCKU060};
+use ernn_hls::{graph_for_spec, schedule, ResourcePool};
+use std::time::Duration;
+
+fn bench_hw_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardware_models");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(800));
+
+    let spec = RnnSpec::lstm_1024(8, 12);
+    group.bench_function("accelerator_report", |b| {
+        b.iter(|| std::hint::black_box(Accelerator::new(spec, XCKU060).report("bench")))
+    });
+
+    let stages = Accelerator::new(spec, XCKU060).stage_cycles();
+    group.bench_function("pipeline_sim_10k_frames", |b| {
+        b.iter(|| std::hint::black_box(simulate_pipeline(stages, 10_000)))
+    });
+
+    let small = RnnSpec {
+        cell: HwCell::Gru,
+        input_dim: 16,
+        hidden_dim: 32,
+        block_size: 8,
+        io_block_size: 8,
+        weight_bits: 12,
+        layers: 1,
+    };
+    let graph = graph_for_spec(&small);
+    group.bench_function("hls_schedule_gru32", |b| {
+        b.iter(|| std::hint::black_box(schedule(&graph, ResourcePool::uniform(4))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw_models);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Verifies the paper's Sec. VI claim: the Phase-I design search needs
+//! only ~5 training trials thanks to the two exploration bounds.
+//!
+//! Runs the full flow (Phase I with real ADMM training on the synthetic
+//! corpus, then Phase II) and prints the trial log.
+
+use ernn_core::flow::{run_flow, FlowConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        FlowConfig::quick(11)
+    } else {
+        FlowConfig::standard(11)
+    };
+    eprintln!(
+        "running the E-RNN flow{} ...",
+        if quick { " [quick]" } else { "" }
+    );
+    let report = run_flow(config);
+    println!("{}", report.render());
+    println!("Phase-I trial log:");
+    for (i, t) in report.phase1.trials.iter().enumerate() {
+        println!(
+            "  {}: {:?} block {} io {} -> PER {:.2}% [{}]",
+            i + 1,
+            t.spec.cell,
+            t.spec.block,
+            t.spec.io_block,
+            t.per,
+            if t.accepted { "accepted" } else { "rejected" }
+        );
+    }
+    println!(
+        "\ntotal trials: {} (paper: \"limited to around 5\")",
+        report.phase1.trial_count()
+    );
+    println!(
+        "block-size bounds used: [{}, {}] ({} candidates)",
+        report.phase1.bounds.lower, report.phase1.bounds.upper, report.phase1.bounds.candidates
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Table IV**: comparison of the two FPGA platforms.
+
+use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+
+fn main() {
+    println!("Table IV — comparison of two selected FPGA platforms");
+    println!(
+        "{:<16} {:>6} {:>6} {:>9} {:>9} {:>8} {:>9}",
+        "FPGA Platform", "DSP", "BRAM", "LUT", "FF", "Process", "BRAM(MB)"
+    );
+    for dev in [ADM_PCIE_7V3, XCKU060] {
+        println!(
+            "{:<16} {:>6} {:>6} {:>9} {:>9} {:>7}nm {:>9.2}",
+            dev.name,
+            dev.dsp,
+            dev.bram_blocks,
+            dev.lut,
+            dev.ff,
+            dev.process_nm,
+            dev.bram_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The two design explorations that bound Phase I's search space.
+//!
+//! * **Bottom-up** (paper Sec. V, Fig. 8): the multiplication count of a
+//!   layer as a function of block size converges at 32–64; larger blocks
+//!   buy (almost) nothing, so Phase I never trains beyond that bound.
+//! * **Storage floor** (Fig. 2 step 1): the smallest block size whose
+//!   compressed model fits in on-chip BRAM is the search's lower bound.
+
+use ernn_fft::cost::{fig8_curve, CostModel, MultCurvePoint, DEFAULT_MIN_GAIN};
+use ernn_fpga::{Device, RnnSpec};
+
+/// The Fig. 8 curve for one layer size.
+#[derive(Debug, Clone)]
+pub struct Fig8Curve {
+    layer_size: usize,
+    points: Vec<MultCurvePoint>,
+}
+
+impl Fig8Curve {
+    /// Computes the curve with the paper's full optimization set
+    /// (FFT/IFFT decoupling, real symmetry, trivial twiddles).
+    pub fn paper(layer_size: usize) -> Self {
+        Fig8Curve {
+            layer_size,
+            points: fig8_curve(CostModel::paper(), layer_size, 256.min(layer_size)),
+        }
+    }
+
+    /// Computes the curve with a custom cost model (for the ablations).
+    pub fn with_model(model: CostModel, layer_size: usize) -> Self {
+        Fig8Curve {
+            layer_size,
+            points: fig8_curve(model, layer_size, 256.min(layer_size)),
+        }
+    }
+
+    /// The layer size this curve was computed for.
+    pub fn layer_size(&self) -> usize {
+        self.layer_size
+    }
+
+    /// The `(block size, normalized multiplications)` points.
+    pub fn points(&self) -> &[MultCurvePoint] {
+        &self.points
+    }
+
+    /// Renders the curve as an ASCII table (the Fig. 8 regeneration).
+    pub fn render(&self) -> String {
+        let mut out = format!("Layer size {}\n  Lb    norm. mults\n", self.layer_size);
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:<5} {:.4}\n",
+                p.block_size, p.normalized_mults
+            ));
+        }
+        out
+    }
+}
+
+/// Block-size search bounds for Phase I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizeBounds {
+    /// Smallest block size whose model fits in BRAM (Fig. 2 step 1).
+    pub lower: usize,
+    /// Largest block size worth training (Fig. 8 convergence, Sec. V-B).
+    pub upper: usize,
+    /// Number of power-of-two candidates in `[lower, upper]` — the bound
+    /// on step-2 training trials.
+    pub candidates: usize,
+}
+
+/// Computes the Phase-I block-size bounds for an LSTM of the given hidden
+/// size deployed on `device` (the paper's step 1 starts "from the LSTM RNN
+/// baseline model due to its high reliability").
+pub fn block_size_bounds(deploy_hidden: usize, device: &Device) -> BlockSizeBounds {
+    let upper =
+        ernn_fft::cost::block_size_upper_bound(CostModel::paper(), deploy_hidden, DEFAULT_MIN_GAIN);
+    let mut lower = 1usize;
+    while lower < upper {
+        let spec = RnnSpec {
+            block_size: lower,
+            io_block_size: lower,
+            ..RnnSpec::lstm_1024(lower.max(1), 12)
+        };
+        let spec = RnnSpec {
+            hidden_dim: deploy_hidden,
+            ..spec
+        };
+        if spec.fits_in_bram(device) {
+            break;
+        }
+        lower = if lower == 1 { 2 } else { lower * 2 };
+    }
+    let candidates = {
+        let mut n = 0usize;
+        let mut b = lower.max(1);
+        while b <= upper {
+            n += 1;
+            b *= 2;
+        }
+        n
+    };
+    BlockSizeBounds {
+        lower,
+        upper,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+
+    #[test]
+    fn bounds_match_paper_narrative() {
+        // Paper Sec. VI-B: "For the ASR application and LSTM/GRU model, a
+        // block size of 4 or 8 will fit the whole RNN model into BRAM" and
+        // the upper bound is 32–64, giving "at most 3 or 4 training trials
+        // for block size optimization".
+        for dev in [ADM_PCIE_7V3, XCKU060] {
+            let b = block_size_bounds(1024, &dev);
+            assert!(
+                (2..=8).contains(&b.lower),
+                "{}: lower {}",
+                dev.name,
+                b.lower
+            );
+            assert!(
+                (32..=64).contains(&b.upper),
+                "{}: upper {}",
+                dev.name,
+                b.upper
+            );
+            assert!(
+                b.candidates <= 6,
+                "{}: {} candidates",
+                dev.name,
+                b.candidates
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_curve_is_monotone_until_convergence() {
+        let curve = Fig8Curve::paper(512);
+        let pts = curve.points();
+        for pair in pts.windows(2) {
+            assert!(
+                pair[1].normalized_mults <= pair[0].normalized_mults + 1e-9,
+                "optimized curve should be non-increasing over this range"
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_block_sizes() {
+        let curve = Fig8Curve::paper(512);
+        let s = curve.render();
+        for p in curve.points() {
+            assert!(s.contains(&format!("{}", p.block_size)));
+        }
+    }
+
+    #[test]
+    fn small_devices_raise_the_floor() {
+        // A hypothetical tiny device forces larger blocks.
+        let tiny = Device {
+            name: "tiny",
+            dsp: 512,
+            bram_blocks: 120, // ~0.5 MB
+            lut: 100_000,
+            ff: 200_000,
+            process_nm: 28,
+        };
+        let b = block_size_bounds(1024, &tiny);
+        let b_large = block_size_bounds(1024, &ADM_PCIE_7V3);
+        assert!(b.lower > b_large.lower);
+    }
+}

@@ -1,0 +1,370 @@
+//! End-to-end E-RNN flow on the synthetic ASR corpus.
+//!
+//! Wires the real training pipeline into Phase I's [`TrainOracle`]:
+//! candidates are trained with ADMM (plus the constrained retraining of
+//! Fig. 6), scored by test-set PER, and the chosen model proceeds to
+//! Phase II's quantization scan and hardware report. This is the
+//! programmatic equivalent of the paper's full methodology at laptop
+//! scale.
+
+use crate::phase1::{run_phase1, CandidateSpec, Phase1Config, Phase1Result, TrainOracle};
+use crate::phase2::{run_phase2, Phase2Config, Phase2Result};
+use ernn_admm::{AdmmConfig, AdmmTrainer};
+use ernn_asr::{evaluate_per, SynthCorpus, SynthCorpusConfig};
+use ernn_fpga::exec::{DatapathConfig, QuantizedNetwork};
+use ernn_fpga::{Device, HwCell, RnnSpec};
+use ernn_model::trainer::{train, TrainOptions};
+use ernn_model::{
+    compress_network, BlockPolicy, CellType, Matrix, NetworkBuilder, RnnNetwork, Sgd, WeightMatrix,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of the end-to-end flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Synthetic corpus parameters.
+    pub corpus: SynthCorpusConfig,
+    /// Hidden dims of the trained (scaled-down) candidates.
+    pub layer_dims: Vec<usize>,
+    /// Dense pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// ADMM outer iterations / epochs per iteration / retrain epochs.
+    pub admm: AdmmConfig,
+    /// Learning rates for pre-training and ADMM/retraining.
+    pub pretrain_lr: f32,
+    /// ADMM and retraining learning rate.
+    pub admm_lr: f32,
+    /// Accuracy budget for Phase I (PER percentage points).
+    pub accuracy_budget: f64,
+    /// Block-size cap for the scaled training proxy (see
+    /// [`Phase1Config::max_block`]).
+    pub max_block: Option<usize>,
+    /// Target device.
+    pub device: Device,
+    /// Deployed hidden size used for the hardware model (the paper's
+    /// 1024), independent of the trained proxy scale.
+    pub deploy_hidden: usize,
+    /// Seed for every random choice in the flow.
+    pub seed: u64,
+}
+
+impl FlowConfig {
+    /// A fast configuration for tests and the quickstart example
+    /// (≈ seconds, not minutes).
+    pub fn quick(seed: u64) -> Self {
+        FlowConfig {
+            corpus: SynthCorpusConfig {
+                train_utterances: 40,
+                test_utterances: 24,
+                train_speakers: 6,
+                test_speakers: 3,
+                ..SynthCorpusConfig::tiny(seed)
+            },
+            layer_dims: vec![32],
+            pretrain_epochs: 8,
+            admm: AdmmConfig {
+                rho: 0.05,
+                rho_growth: 1.6,
+                iterations: 3,
+                epochs_per_iter: 1,
+                retrain_epochs: 2,
+                residual_tol: 1e-4,
+            },
+            pretrain_lr: 0.08,
+            admm_lr: 0.02,
+            accuracy_budget: 3.0,
+            max_block: Some(16),
+            device: ernn_fpga::XCKU060,
+            deploy_hidden: 1024,
+            seed,
+        }
+    }
+
+    /// The experiment-scale configuration used by the table harnesses.
+    pub fn standard(seed: u64) -> Self {
+        FlowConfig {
+            corpus: SynthCorpusConfig::standard(seed),
+            layer_dims: vec![64, 64],
+            pretrain_epochs: 24,
+            admm: AdmmConfig {
+                rho: 0.05,
+                rho_growth: 1.5,
+                iterations: 8,
+                epochs_per_iter: 2,
+                retrain_epochs: 6,
+                residual_tol: 1e-4,
+            },
+            pretrain_lr: 0.08,
+            admm_lr: 0.02,
+            accuracy_budget: 3.0,
+            max_block: Some(32),
+            device: ernn_fpga::XCKU060,
+            deploy_hidden: 1024,
+            seed,
+        }
+    }
+}
+
+/// The [`TrainOracle`] backed by the synthetic corpus and ADMM training.
+pub struct AsrOracle {
+    corpus: SynthCorpus,
+    config: FlowConfig,
+    rng: ChaCha8Rng,
+    baselines: HashMap<&'static str, (RnnNetwork<Matrix>, f64)>,
+    /// Trained compressed models, keyed by candidate identity, so Phase II
+    /// can reuse the Phase-I winner.
+    trained: HashMap<String, RnnNetwork<WeightMatrix>>,
+}
+
+fn cell_key(cell: CellType) -> &'static str {
+    match cell {
+        CellType::Lstm => "lstm",
+        CellType::Gru => "gru",
+    }
+}
+
+fn spec_key(spec: &CandidateSpec) -> String {
+    format!(
+        "{}-{:?}-b{}-io{}",
+        cell_key(spec.cell),
+        spec.layer_dims,
+        spec.block,
+        spec.io_block
+    )
+}
+
+impl AsrOracle {
+    /// Generates the corpus and prepares the oracle.
+    pub fn new(config: FlowConfig) -> Self {
+        let corpus = SynthCorpus::generate(&config.corpus);
+        let rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(1));
+        AsrOracle {
+            corpus,
+            config,
+            rng,
+            baselines: HashMap::new(),
+            trained: HashMap::new(),
+        }
+    }
+
+    /// The corpus backing the oracle.
+    pub fn corpus(&self) -> &SynthCorpus {
+        &self.corpus
+    }
+
+    fn pretrained(&mut self, cell: CellType) -> (RnnNetwork<Matrix>, f64) {
+        if let Some(hit) = self.baselines.get(cell_key(cell)) {
+            return hit.clone();
+        }
+        let mut net = NetworkBuilder::new(cell, self.corpus.feature_dim, self.corpus.num_classes())
+            .layer_dims(&self.config.layer_dims)
+            .peephole(true)
+            .build(&mut self.rng);
+        let data = self.corpus.train_sequences();
+        let mut opt = Sgd::new(self.config.pretrain_lr)
+            .momentum(0.9)
+            .clip_norm(2.0);
+        train(
+            &mut net,
+            &data,
+            TrainOptions {
+                epochs: self.config.pretrain_epochs,
+                lr_decay: 0.92,
+                shuffle: true,
+            },
+            &mut opt,
+            &mut self.rng,
+        );
+        let per = evaluate_per(&net, &self.corpus.test);
+        self.baselines.insert(cell_key(cell), (net.clone(), per));
+        (net, per)
+    }
+
+    /// The trained compressed network for a candidate, if Phase I
+    /// evaluated it.
+    pub fn trained_network(&self, spec: &CandidateSpec) -> Option<&RnnNetwork<WeightMatrix>> {
+        self.trained.get(&spec_key(spec))
+    }
+}
+
+impl TrainOracle for AsrOracle {
+    fn baseline_per(&mut self, cell: CellType) -> f64 {
+        self.pretrained(cell).1
+    }
+
+    fn evaluate(&mut self, spec: &CandidateSpec) -> f64 {
+        let (mut net, _) = self.pretrained(spec.cell);
+        let policy = BlockPolicy {
+            recurrent: spec.block,
+            input: spec.io_block,
+            output: spec.io_block,
+        };
+        let mut trainer = AdmmTrainer::new(&net, policy, self.config.admm);
+        let mut opt = Sgd::new(self.config.admm_lr).momentum(0.9).clip_norm(2.0);
+        let data = self.corpus.train_sequences();
+        trainer.run(&mut net, &data, &mut opt, &mut self.rng);
+        trainer.finalize(&mut net);
+        let mut opt2 = Sgd::new(self.config.admm_lr * 0.75)
+            .momentum(0.9)
+            .clip_norm(2.0);
+        trainer.retrain_constrained(
+            &mut net,
+            &data,
+            self.config.admm.retrain_epochs,
+            &mut opt2,
+            &mut self.rng,
+        );
+        let compressed = compress_network(&net, policy);
+        let per = evaluate_per(&compressed, &self.corpus.test);
+        self.trained.insert(spec_key(spec), compressed);
+        per
+    }
+}
+
+/// Output of the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Phase-I result (model choice + trials).
+    pub phase1: Phase1Result,
+    /// Phase-II result (datapath + hardware report).
+    pub phase2: Phase2Result,
+}
+
+impl FlowReport {
+    /// A human-readable summary.
+    pub fn render(&self) -> String {
+        let p1 = &self.phase1;
+        let p2 = &self.phase2;
+        let mut out = String::new();
+        out.push_str("=== E-RNN flow report ===\n");
+        out.push_str(&format!(
+            "Phase I : {} block {} (io {}), PER {:.2}% (baseline {:.2}%, Δ {:+.2}), {} trials\n",
+            match p1.chosen.cell {
+                CellType::Lstm => "LSTM",
+                CellType::Gru => "GRU",
+            },
+            p1.chosen.block,
+            p1.chosen.io_block,
+            p1.chosen_per,
+            p1.baseline_per,
+            p1.degradation(),
+            p1.trial_count(),
+        ));
+        out.push_str(&format!(
+            "Phase II: {} bits, {} PWL segments, latency {:.1} µs, {:.0} FPS, {:.1} W, {:.0} FPS/W\n",
+            p2.datapath.weight_bits,
+            p2.datapath.pwl_segments,
+            p2.report.latency_us,
+            p2.report.fps,
+            p2.power_w,
+            p2.fps_per_w,
+        ));
+        out
+    }
+}
+
+/// Runs the complete E-RNN methodology: Phase I over the ASR oracle, then
+/// Phase II with a real quantized-execution oracle on the winning model.
+pub fn run_flow(config: FlowConfig) -> FlowReport {
+    let device = config.device;
+    let deploy_hidden = config.deploy_hidden;
+    let accuracy_budget = config.accuracy_budget;
+    let layer_dims = config.layer_dims.clone();
+    let max_block = config.max_block;
+    let mut oracle = AsrOracle::new(config);
+
+    let phase1 = run_phase1(
+        &mut oracle,
+        &Phase1Config {
+            device,
+            deploy_hidden,
+            layer_dims,
+            accuracy_budget,
+            max_block,
+        },
+    );
+
+    // Phase II: quantization oracle = fixed-point execution of the winner.
+    let winner = oracle
+        .trained_network(&phase1.chosen)
+        .cloned()
+        .expect("phase 1 trained its winner");
+    let test = oracle.corpus().test.clone();
+    let quant_oracle = |bits: u8| -> f64 {
+        let q = QuantizedNetwork::new(
+            &winner,
+            &DatapathConfig {
+                weight_bits: bits,
+                activation_bits: bits,
+                pwl_segments: 64,
+            },
+        );
+        let refs: Vec<Vec<usize>> = test.iter().map(|u| u.phone_seq.clone()).collect();
+        let hyps: Vec<Vec<usize>> = test
+            .iter()
+            .map(|u| {
+                let logits = q.forward_logits(&u.features);
+                ernn_asr::decode_frames(&logits, ernn_asr::PhoneSet::SILENCE, 2)
+            })
+            .collect();
+        ernn_asr::phone_error_rate(&refs, &hyps) * 100.0
+    };
+
+    let hw_spec = RnnSpec {
+        cell: match phase1.chosen.cell {
+            CellType::Lstm => HwCell::Lstm {
+                projection: Some(deploy_hidden / 2),
+            },
+            CellType::Gru => HwCell::Gru,
+        },
+        input_dim: 153,
+        hidden_dim: deploy_hidden,
+        block_size: phase1.chosen.block,
+        io_block_size: phase1.chosen.io_block,
+        weight_bits: 12,
+        layers: 2,
+    };
+    let phase2 = run_phase2(
+        hw_spec,
+        phase1.chosen_per,
+        quant_oracle,
+        &Phase2Config {
+            device,
+            ..Phase2Config::default()
+        },
+    );
+
+    FlowReport { phase1, phase2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flow_runs_end_to_end() {
+        let report = run_flow(FlowConfig::quick(11));
+        // Phase I stayed within the paper's trial bound.
+        assert!(
+            report.phase1.trial_count() <= 6,
+            "{:?}",
+            report.phase1.trials
+        );
+        // The chosen model fits the device.
+        let spec = RnnSpec {
+            block_size: report.phase1.chosen.block,
+            ..RnnSpec::lstm_1024(report.phase1.chosen.block, 12)
+        };
+        assert!(spec.fits_in_bram(&ernn_fpga::XCKU060));
+        // Phase II produced a usable datapath and positive performance.
+        assert!(report.phase2.datapath.weight_bits >= 8);
+        assert!(report.phase2.report.fps > 0.0);
+        assert!(report.phase2.fps_per_w > 0.0);
+        // The render mentions both phases.
+        let text = report.render();
+        assert!(text.contains("Phase I"));
+        assert!(text.contains("Phase II"));
+    }
+}

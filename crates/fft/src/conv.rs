@@ -1,0 +1,166 @@
+//! Circular convolution and correlation.
+//!
+//! A circulant matrix–vector product is a circular correlation of the
+//! defining vector with the input (paper Eqn. 4 with the first-row
+//! convention of Fig. 4). This module provides both the FFT-accelerated
+//! versions and O(N²) reference implementations used for validation.
+
+use crate::{is_power_of_two, real::spectrum_conj_mul, real::spectrum_mul, RealFft};
+
+/// Circular convolution `y[r] = Σ_c w[(r - c) mod N] · x[c]` via FFT.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or the length is not a power of
+/// two.
+pub fn circular_convolve(w: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.len(), x.len(), "operands must have equal length");
+    assert!(is_power_of_two(w.len()), "length must be a power of two");
+    let rfft = RealFft::new(w.len());
+    let spec = spectrum_mul(&rfft.forward(w), &rfft.forward(x));
+    rfft.inverse(&spec)
+}
+
+/// Circular cross-correlation `y[r] = Σ_c w[(c - r) mod N] · x[c]` via FFT.
+///
+/// This is the operation performed by a circulant matrix whose *rows* are
+/// successive right-rotations of `w` — the convention the paper illustrates
+/// in Fig. 4 — hence the conjugation in the frequency domain.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or the length is not a power of
+/// two.
+pub fn circular_correlate(w: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.len(), x.len(), "operands must have equal length");
+    assert!(is_power_of_two(w.len()), "length must be a power of two");
+    let rfft = RealFft::new(w.len());
+    let spec = spectrum_conj_mul(&rfft.forward(w), &rfft.forward(x));
+    rfft.inverse(&spec)
+}
+
+/// Direct O(N²) circular convolution, for any length.
+pub fn circular_convolve_direct(w: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.len(), x.len(), "operands must have equal length");
+    let n = w.len();
+    (0..n)
+        .map(|r| (0..n).map(|c| w[(r + n - c) % n] * x[c]).sum())
+        .collect()
+}
+
+/// Direct O(N²) circular cross-correlation, for any length.
+pub fn circular_correlate_direct(w: &[f32], x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.len(), x.len(), "operands must have equal length");
+    let n = w.len();
+    (0..n)
+        .map(|r| (0..n).map(|c| w[(c + n - r) % n] * x[c]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn convolution_with_impulse_is_identity() {
+        let mut delta = vec![0.0f32; 8];
+        delta[0] = 1.0;
+        let x: Vec<f32> = (0..8).map(|i| i as f32 - 3.0).collect();
+        let y = circular_convolve(&delta, &x);
+        for (a, b) in y.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn convolution_with_shifted_impulse_rotates() {
+        let mut delta = vec![0.0f32; 8];
+        delta[1] = 1.0; // shift by one
+        let x: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let y = circular_convolve(&delta, &x);
+        for r in 0..8 {
+            assert!((y[r] - x[(r + 8 - 1) % 8]).abs() < 1e-4, "r={r}");
+        }
+    }
+
+    #[test]
+    fn correlation_with_impulse_is_identity() {
+        let mut delta = vec![0.0f32; 8];
+        delta[0] = 1.0;
+        let x: Vec<f32> = (0..8).map(|i| (i as f32).cos()).collect();
+        let y = circular_correlate(&delta, &x);
+        for (a, b) in y.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_paper_figure_4_example() {
+        // Fig. 4 of the paper: circulant with first row
+        // [1.14, -0.69, 0.83, -2.26] times x = [-1.11, 0.95, 0.39, 0.78].
+        let w = [1.14f32, -0.69, 0.83, -2.26];
+        let x = [-1.11f32, 0.95, 0.39, 0.78];
+        // Row r of the matrix is w rotated right by r (Fig. 4 layout), so the
+        // product is the circular correlation.
+        let expected = {
+            let rows = [
+                [1.14f32, -0.69, 0.83, -2.26],
+                [-2.26, 1.14, -0.69, 0.83],
+                [0.83, -2.26, 1.14, -0.69],
+                [-0.69, 0.83, -2.26, 1.14],
+            ];
+            rows.iter()
+                .map(|row| row.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f32>())
+                .collect::<Vec<_>>()
+        };
+        let got = circular_correlate(&w, &x);
+        for (a, b) in got.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-3, "{got:?} vs {expected:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fft_convolution_matches_direct(log_n in 0u32..8, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let n = 1usize << log_n;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fast = circular_convolve(&w, &x);
+            let slow = circular_convolve_direct(&w, &x);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+            }
+        }
+
+        #[test]
+        fn fft_correlation_matches_direct(log_n in 0u32..8, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let n = 1usize << log_n;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fast = circular_correlate(&w, &x);
+            let slow = circular_correlate_direct(&w, &x);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                prop_assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()));
+            }
+        }
+
+        #[test]
+        fn convolution_commutes(log_n in 1u32..7, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let n = 1usize << log_n;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let wx = circular_convolve(&w, &x);
+            let xw = circular_convolve(&x, &w);
+            for (a, b) in wx.iter().zip(xw.iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

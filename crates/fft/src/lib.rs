@@ -1,0 +1,64 @@
+//! FFT substrate for the E-RNN reproduction.
+//!
+//! The block-circulant framework of E-RNN (Li et al., HPCA 2019) executes
+//! every weight-matrix/vector product as
+//! `IFFT(FFT(w) ∘ FFT(x))` (Eqn. 4 of the paper). This crate provides the
+//! signal-processing kernels that the rest of the workspace builds on:
+//!
+//! * [`Complex32`] — a minimal single-precision complex number.
+//! * [`FftPlan`] — an iterative radix-2 Cooley–Tukey FFT with precomputed
+//!   twiddle factors and bit-reversal permutation.
+//! * [`RealFft`] — real-input FFT using the packed half-size complex trick,
+//!   exploiting the Hermitian symmetry the paper leverages in Sec. V-A2.
+//! * [`conv`] — circular convolution/correlation used by circulant matvecs.
+//! * [`cost`] — the multiplication-count model behind Fig. 8 of the paper
+//!   (FFT/IFFT decoupling, real-valued symmetry, trivial-twiddle trimming).
+//!
+//! # Example
+//!
+//! ```
+//! use ernn_fft::{FftPlan, Complex32};
+//!
+//! let plan = FftPlan::new(8);
+//! let mut buf: Vec<Complex32> = (0..8).map(|i| Complex32::new(i as f32, 0.0)).collect();
+//! let orig = buf.clone();
+//! plan.forward(&mut buf);
+//! plan.inverse(&mut buf);
+//! for (a, b) in buf.iter().zip(orig.iter()) {
+//!     assert!((a.re - b.re).abs() < 1e-4);
+//! }
+//! ```
+
+mod complex;
+mod plan;
+mod real;
+
+pub mod conv;
+pub mod cost;
+
+pub use complex::Complex32;
+pub use plan::{dft_naive, FftPlan};
+pub use real::{spectrum_conj_mul, spectrum_conj_mul_acc, spectrum_mul, RealFft};
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+///
+/// Block sizes in the E-RNN framework are constrained to powers of two
+/// (Sec. IV of the paper) so that the radix-2 FFT applies directly.
+///
+/// ```
+/// assert!(ernn_fft::is_power_of_two(8));
+/// assert!(!ernn_fft::is_power_of_two(12));
+/// ```
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Integer base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn log2(n: usize) -> u32 {
+    assert!(is_power_of_two(n), "log2 requires a power of two, got {n}");
+    n.trailing_zeros()
+}

@@ -1,0 +1,281 @@
+//! Real-input FFT via the packed half-size complex transform.
+//!
+//! E-RNN's inputs and weights are real-valued, so the spectra are Hermitian
+//! symmetric: only `N/2 + 1` bins are unique. Sec. V-A2 of the paper
+//! exploits this to halve the butterfly work and the element-wise multiply
+//! count. This module implements the classic "pack two real samples into one
+//! complex sample" algorithm, which performs a complex FFT of half the
+//! length plus an O(N) untangling pass — the software analogue of the
+//! hardware optimization.
+
+use crate::{is_power_of_two, Complex32, FftPlan};
+
+/// Real-input FFT producing (and consuming) the unique half spectrum.
+///
+/// The forward transform maps `N` real samples to `N/2 + 1` complex bins;
+/// bins `0` and `N/2` are purely real. The inverse reconstructs the real
+/// signal, including the `1/N` scaling.
+///
+/// ```
+/// use ernn_fft::RealFft;
+/// let rfft = RealFft::new(8);
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let spec = rfft.forward(&x);
+/// assert_eq!(spec.len(), 5); // N/2 + 1 unique bins
+/// let back = rfft.inverse(&spec);
+/// for (a, b) in back.iter().zip(x.iter()) {
+///     assert!((a - b).abs() < 1e-4);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    size: usize,
+    /// Plan of size `N/2` (absent for N ≤ 2 where the transform is trivial).
+    half_plan: Option<FftPlan>,
+    /// `e^{-2πik/N}` for `k in 0..=N/2`.
+    twiddles: Vec<Complex32>,
+}
+
+impl RealFft {
+    /// Creates a real-FFT plan for signals of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(
+            is_power_of_two(size),
+            "real FFT size must be a power of two, got {size}"
+        );
+        let half_plan = if size >= 4 {
+            Some(FftPlan::new(size / 2))
+        } else {
+            None
+        };
+        let twiddles = (0..=size / 2)
+            .map(|k| Complex32::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        RealFft {
+            size,
+            half_plan,
+            twiddles,
+        }
+    }
+
+    /// The signal length this plan was built for.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of unique spectrum bins, `N/2 + 1` (or 1 when `N == 1`).
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        if self.size == 1 {
+            1
+        } else {
+            self.size / 2 + 1
+        }
+    }
+
+    /// Forward transform of a real signal into its unique half spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn forward(&self, input: &[f32]) -> Vec<Complex32> {
+        assert_eq!(input.len(), self.size, "input length must match plan size");
+        match self.size {
+            1 => vec![Complex32::from_real(input[0])],
+            2 => vec![
+                Complex32::from_real(input[0] + input[1]),
+                Complex32::from_real(input[0] - input[1]),
+            ],
+            n => {
+                let half = n / 2;
+                let mut packed: Vec<Complex32> = (0..half)
+                    .map(|k| Complex32::new(input[2 * k], input[2 * k + 1]))
+                    .collect();
+                self.half_plan
+                    .as_ref()
+                    .expect("plan exists for N >= 4")
+                    .forward(&mut packed);
+                let mut spectrum = Vec::with_capacity(half + 1);
+                for k in 0..=half {
+                    let zk = packed[k % half];
+                    let znk = packed[(half - k) % half].conj();
+                    let even = (zk + znk).scale(0.5);
+                    let odd = (zk - znk).mul_neg_i().scale(0.5);
+                    spectrum.push(even + self.twiddles[k] * odd);
+                }
+                // Enforce the exact Hermitian endpoints: bins 0 and N/2 of a
+                // real signal are mathematically real.
+                spectrum[0].im = 0.0;
+                spectrum[half].im = 0.0;
+                spectrum
+            }
+        }
+    }
+
+    /// Inverse transform from the unique half spectrum back to a real signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != self.spectrum_len()`.
+    pub fn inverse(&self, spectrum: &[Complex32]) -> Vec<f32> {
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length must be N/2 + 1"
+        );
+        match self.size {
+            1 => vec![spectrum[0].re],
+            2 => vec![
+                0.5 * (spectrum[0].re + spectrum[1].re),
+                0.5 * (spectrum[0].re - spectrum[1].re),
+            ],
+            n => {
+                let half = n / 2;
+                let mut packed = Vec::with_capacity(half);
+                for k in 0..half {
+                    let xk = spectrum[k];
+                    let xnk = spectrum[half - k].conj();
+                    let even = (xk + xnk).scale(0.5);
+                    // W^k · O[k] = (X[k] - conj(X[N/2-k])) / 2
+                    let odd = (xk - xnk).scale(0.5) * self.twiddles[k].conj();
+                    packed.push(even + odd.mul_i());
+                }
+                self.half_plan
+                    .as_ref()
+                    .expect("plan exists for N >= 4")
+                    .inverse(&mut packed);
+                let mut out = Vec::with_capacity(n);
+                for z in packed {
+                    out.push(z.re);
+                    out.push(z.im);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Element-wise product of two half spectra.
+///
+/// Applying [`RealFft::inverse`] to the result yields the circular
+/// convolution of the two time-domain signals — the core of Eqn. 4.
+pub fn spectrum_mul(a: &[Complex32], b: &[Complex32]) -> Vec<Complex32> {
+    assert_eq!(a.len(), b.len(), "spectra must have equal length");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect()
+}
+
+/// Element-wise product with the conjugate of `a`: `conj(a) ∘ b`.
+///
+/// Inverting the result gives the circular *cross-correlation*, which is the
+/// operation a row-defined circulant matrix–vector product performs; this is
+/// why the E-RNN PE datapath contains a conjugation operator (Fig. 10).
+pub fn spectrum_conj_mul(a: &[Complex32], b: &[Complex32]) -> Vec<Complex32> {
+    assert_eq!(a.len(), b.len(), "spectra must have equal length");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x.conj() * y)
+        .collect()
+}
+
+/// Accumulate `conj(a) ∘ b` into `acc` (used by the FFT/IFFT-decoupled
+/// block-circulant matvec, Sec. V-A1: accumulate in the frequency domain,
+/// run a single IFFT per output block).
+pub fn spectrum_conj_mul_acc(acc: &mut [Complex32], a: &[Complex32], b: &[Complex32]) {
+    assert_eq!(a.len(), b.len(), "spectra must have equal length");
+    assert_eq!(acc.len(), a.len(), "accumulator must match spectra length");
+    for ((dst, &x), &y) in acc.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *dst += x.conj() * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_naive;
+    use proptest::prelude::*;
+
+    fn spectra_close(a: &[Complex32], b: &[Complex32], tol: f32) -> bool {
+        a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| (x.re - y.re).abs() <= tol && (x.im - y.im).abs() <= tol)
+    }
+
+    #[test]
+    fn matches_full_complex_fft() {
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let rfft = RealFft::new(n);
+            let x: Vec<f32> = (0..n).map(|i| ((i * 7 % 13) as f32) * 0.3 - 1.0).collect();
+            let spec = rfft.forward(&x);
+            let full = dft_naive(
+                &x.iter()
+                    .map(|&v| Complex32::from_real(v))
+                    .collect::<Vec<_>>(),
+            );
+            let expected: Vec<Complex32> = full[..rfft.spectrum_len()].to_vec();
+            assert!(
+                spectra_close(&spec, &expected, 2e-3),
+                "n={n}: {spec:?} vs {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoints_are_real() {
+        let rfft = RealFft::new(16);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let spec = rfft.forward(&x);
+        assert_eq!(spec[0].im, 0.0);
+        assert_eq!(spec[8].im, 0.0);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let rfft = RealFft::new(8);
+        let mut x = [0.0f32; 8];
+        x[0] = 1.0;
+        let spec = rfft.forward(&x);
+        for bin in &spec {
+            assert!((bin.re - 1.0).abs() < 1e-5 && bin.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let rfft = RealFft::new(16);
+        let x = [0.5f32; 16];
+        let spec = rfft.forward(&x);
+        assert!((spec[0].re - 8.0).abs() < 1e-4);
+        for bin in &spec[1..] {
+            assert!(bin.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn spectrum_mul_rejects_length_mismatch() {
+        let a = vec![Complex32::ONE; 3];
+        let b = vec![Complex32::ONE; 4];
+        let result = std::panic::catch_unwind(|| spectrum_mul(&a, &b));
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_recovers_signal(log_n in 0u32..9, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let n = 1usize << log_n;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let rfft = RealFft::new(n);
+            let spec = rfft.forward(&x);
+            let back = rfft.inverse(&spec);
+            for (a, b) in back.iter().zip(x.iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! FPGA platform descriptions (paper Table IV).
+
+/// An FPGA device/board with its resource budget.
+///
+/// The two constants [`ADM_PCIE_7V3`] and [`XCKU060`] carry the exact
+/// numbers of the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Board/platform name.
+    pub name: &'static str,
+    /// DSP slices.
+    pub dsp: u32,
+    /// 36 Kb BRAM blocks.
+    pub bram_blocks: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Process node in nanometres (affects static power).
+    pub process_nm: u32,
+}
+
+/// Alpha Data ADM-PCIE-7V3 (Xilinx Virtex-7 690t), 28 nm.
+pub const ADM_PCIE_7V3: Device = Device {
+    name: "ADM-PCIE-7V3",
+    dsp: 3_600,
+    bram_blocks: 1_470,
+    lut: 859_200,
+    ff: 429_600,
+    process_nm: 28,
+};
+
+/// Xilinx Kintex UltraScale KU060, 20 nm.
+pub const XCKU060: Device = Device {
+    name: "XCKU060",
+    dsp: 2_760,
+    bram_blocks: 1_080,
+    lut: 331_680,
+    ff: 663_360,
+    process_nm: 20,
+};
+
+impl Device {
+    /// Total on-chip BRAM capacity in bytes (36 Kb per block).
+    pub fn bram_bytes(&self) -> u64 {
+        self.bram_blocks as u64 * 36 * 1024 / 8
+    }
+
+    /// The deployment clock used throughout the paper (Sec. VIII-A1).
+    pub const CLOCK_HZ: f64 = 200e6;
+
+    /// Clock period in microseconds.
+    pub fn clock_period_us() -> f64 {
+        1e6 / Self::CLOCK_HZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_numbers() {
+        assert_eq!(ADM_PCIE_7V3.dsp, 3600);
+        assert_eq!(ADM_PCIE_7V3.bram_blocks, 1470);
+        assert_eq!(ADM_PCIE_7V3.lut, 859_200);
+        assert_eq!(ADM_PCIE_7V3.ff, 429_600);
+        assert_eq!(ADM_PCIE_7V3.process_nm, 28);
+        assert_eq!(XCKU060.dsp, 2760);
+        assert_eq!(XCKU060.bram_blocks, 1080);
+        assert_eq!(XCKU060.lut, 331_680);
+        assert_eq!(XCKU060.ff, 663_360);
+        assert_eq!(XCKU060.process_nm, 20);
+    }
+
+    #[test]
+    fn bram_capacity_covers_paper_claim() {
+        // Sec. VI-B: "the FPGAs we test on ... have 4-8MB BRAM".
+        let mb_7v3 = ADM_PCIE_7V3.bram_bytes() as f64 / (1024.0 * 1024.0);
+        let mb_ku = XCKU060.bram_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((4.0..=8.5).contains(&mb_7v3), "{mb_7v3} MB");
+        assert!((4.0..=8.5).contains(&mb_ku), "{mb_ku} MB");
+    }
+
+    #[test]
+    fn clock_period_is_5ns() {
+        assert!((Device::clock_period_us() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! FPGA hardware modelling for the E-RNN reproduction.
+//!
+//! The paper's Phase II (Sec. VII) maps a block-circulant RNN onto an FPGA:
+//! processing elements (PEs) built from FFT units and multipliers
+//! (Fig. 10), compute units (CUs) with three coarse-grained pipeline
+//! stages and double buffers (Figs. 11/12), fixed-point datapaths and
+//! piecewise-linear activations. Physical boards are not available here,
+//! so this crate reproduces the *arithmetic* that generated Table III:
+//!
+//! * [`Device`] — the two platforms of Table IV with their DSP/BRAM/LUT/FF
+//!   budgets and process nodes.
+//! * [`PeDesign`] — per-PE resource and throughput model; the number of
+//!   PEs follows the paper's `#PE = min(⌊DSP/ΔDSP⌋, ⌊LUT/ΔLUT⌋)`.
+//! * [`Accelerator`] — the CU-level model: per-CGPipe-stage cycle counts,
+//!   frame latency, pipelined throughput (FPS), and resource utilization.
+//! * [`sim`] — a cycle-level event simulation of the 3-stage pipeline with
+//!   double buffering, cross-checked against the closed-form model.
+//! * [`power`] — a resource-based power model calibrated against the
+//!   paper's wall-power measurements (ESE 41 W, E-RNN 22–29 W).
+//! * [`exec`] — functional fixed-point execution of a compressed network
+//!   (quantized weights + PWL activations), the accuracy oracle Phase II
+//!   uses for quantization decisions.
+//! * [`baseline`] — hardware models of ESE (sparse, irregular) and C-LSTM
+//!   (circulant without E-RNN's PE optimizations) for the Table III
+//!   comparison.
+//!
+//! Absolute watts and microseconds are calibrated approximations (the
+//! authors measured real boards); the quantities the reproduction relies
+//! on are the *ratios* between designs, which come from counted work and
+//! resource budgets rather than calibration.
+
+mod accelerator;
+pub mod baseline;
+mod device;
+pub mod exec;
+mod pe;
+pub mod power;
+pub mod sim;
+
+pub use accelerator::{AccelReport, Accelerator, HwCell, RnnSpec, StageCycles, RESOURCE_BUDGET};
+pub use device::{Device, ADM_PCIE_7V3, XCKU060};
+pub use pe::PeDesign;

@@ -1,0 +1,311 @@
+//! Operation graph generation (the paper's "Graph Generator").
+//!
+//! One timestep of the RNN is unrolled into primitive operations at
+//! block-vector granularity. Feedback edges (`c_t → c_{t+1}`,
+//! `y_t → y_{t+1}`) are deliberately absent: the paper notes "we
+//! deliberately remove the feedback edges of ct and yt, which are taken
+//! care of by the double-buffer mechanism".
+
+use ernn_fpga::RnnSpec;
+
+/// A primitive operation kind with the hardware resource class it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Forward FFT of one input block.
+    Fft,
+    /// Element-wise complex multiply–accumulate of one block pair.
+    EwMulAcc,
+    /// Inverse FFT of one accumulated output block.
+    Ifft,
+    /// Point-wise vector multiplication.
+    PointwiseMul,
+    /// Point-wise vector addition (incl. bias).
+    PointwiseAdd,
+    /// Sigmoid activation over one vector.
+    Sigmoid,
+    /// Tanh activation over one vector.
+    Tanh,
+}
+
+impl OpKind {
+    /// Which resource pool slot executes this op.
+    pub fn resource(&self) -> &'static str {
+        match self {
+            OpKind::Fft | OpKind::Ifft => "fft",
+            OpKind::EwMulAcc | OpKind::PointwiseMul => "mult",
+            OpKind::PointwiseAdd => "adder",
+            OpKind::Sigmoid | OpKind::Tanh => "act",
+        }
+    }
+
+    /// The C/C++ template function name (the paper's "Template
+    /// Generator" emits one primitive per kind).
+    pub fn template_fn(&self) -> &'static str {
+        match self {
+            OpKind::Fft => "fft_real",
+            OpKind::EwMulAcc => "spectrum_mac",
+            OpKind::Ifft => "ifft_real",
+            OpKind::PointwiseMul => "vmul",
+            OpKind::PointwiseAdd => "vadd",
+            OpKind::Sigmoid => "sigmoid_pwl",
+            OpKind::Tanh => "tanh_pwl",
+        }
+    }
+}
+
+/// One node of the operation graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpNode {
+    /// Node id (index into [`OpGraph::nodes`]).
+    pub id: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Cycles the operation occupies its resource.
+    pub cycles: u64,
+    /// Human-readable label, e.g. `fft(x[3])`.
+    pub label: String,
+}
+
+/// A directed acyclic operation graph.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph {
+    /// The operations.
+    pub nodes: Vec<OpNode>,
+    /// `edges[i]` lists the successors of node `i`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl OpGraph {
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, kind: OpKind, cycles: u64, label: impl Into<String>) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(OpNode {
+            id,
+            kind,
+            cycles,
+            label: label.into(),
+        });
+        self.edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependency edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "bad node id"
+        );
+        assert_ne!(from, to, "self-loops are not allowed");
+        self.edges[from].push(to);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Predecessor counts (in-degrees), used by the scheduler.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for succs in &self.edges {
+            for &s in succs {
+                deg[s] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Critical-path length in cycles (longest chain of dependent ops).
+    pub fn critical_path(&self) -> u64 {
+        // Longest path via reverse topological order (graph is a DAG by
+        // construction).
+        let mut dist: Vec<u64> = self.nodes.iter().map(|n| n.cycles).collect();
+        let order = self.topological_order();
+        for &u in order.iter().rev() {
+            for &v in &self.edges[u] {
+                dist[u] = dist[u].max(self.nodes[u].cycles + dist[v]);
+            }
+        }
+        dist.into_iter().max().unwrap_or(0)
+    }
+
+    /// A topological ordering of the nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    pub fn topological_order(&self) -> Vec<usize> {
+        let mut deg = self.in_degrees();
+        let mut ready: Vec<usize> = (0..self.nodes.len()).filter(|&i| deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(u) = ready.pop() {
+            order.push(u);
+            for &v in &self.edges[u] {
+                deg[v] -= 1;
+                if deg[v] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.nodes.len(), "operation graph has a cycle");
+        order
+    }
+}
+
+/// Unrolls one timestep of the given workload into an operation graph at
+/// block granularity.
+///
+/// Matvec structure per weight matrix `(p × q blocks)`: `q` FFTs (one per
+/// input block, decoupled per Sec. V-A1), `p·q` element-wise MACs, `p`
+/// IFFTs; the MAC `(i, j)` depends on `FFT(x_j)`, the IFFT `i` depends on
+/// all MACs of row `i`. Gate activations depend on their IFFTs; the
+/// point-wise tail depends on the activations.
+pub fn graph_for_spec(spec: &RnnSpec) -> OpGraph {
+    let mut g = OpGraph::default();
+    let lb = spec.block_size;
+    let op_cycles = (lb as u64 / 2 + 1).max(1);
+
+    // Stage-1 fused gate matvec.
+    let rows = match spec.cell {
+        ernn_fpga::HwCell::Lstm { .. } => 4 * spec.hidden_dim,
+        ernn_fpga::HwCell::Gru => 2 * spec.hidden_dim,
+    };
+    let cols = spec.input_dim + spec.output_dim();
+    let p = rows.div_ceil(lb);
+    let q = cols.div_ceil(lb);
+
+    let ffts: Vec<usize> = (0..q)
+        .map(|j| g.add_node(OpKind::Fft, op_cycles, format!("fft(x[{j}])")))
+        .collect();
+    let mut iffts = Vec::with_capacity(p);
+    for i in 0..p {
+        let macs: Vec<usize> = (0..q)
+            .map(|j| {
+                let id = g.add_node(OpKind::EwMulAcc, op_cycles, format!("mac(w[{i}][{j}])"));
+                g.add_edge(ffts[j], id);
+                id
+            })
+            .collect();
+        let ifft = g.add_node(OpKind::Ifft, op_cycles, format!("ifft(a[{i}])"));
+        for m in macs {
+            g.add_edge(m, ifft);
+        }
+        iffts.push(ifft);
+    }
+
+    // Gate activations (block-granular) feed the point-wise tail.
+    let h_blocks = spec.hidden_dim.div_ceil(lb);
+    let act_cycles = (lb as u64).max(1);
+    let mut acts = Vec::new();
+    for b in 0..h_blocks {
+        let sig = g.add_node(OpKind::Sigmoid, act_cycles, format!("sigmoid(g[{b}])"));
+        let th = g.add_node(OpKind::Tanh, act_cycles, format!("tanh(c[{b}])"));
+        // Tie each activation to the IFFT covering the same block rows.
+        let src = iffts[b % iffts.len()];
+        g.add_edge(src, sig);
+        g.add_edge(src, th);
+        acts.push((sig, th));
+    }
+    for (b, &(sig, th)) in acts.iter().enumerate() {
+        let mul = g.add_node(OpKind::PointwiseMul, act_cycles, format!("vmul(c[{b}])"));
+        let add = g.add_node(OpKind::PointwiseAdd, act_cycles, format!("vadd(c[{b}])"));
+        g.add_edge(sig, mul);
+        g.add_edge(th, mul);
+        g.add_edge(mul, add);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_fpga::RnnSpec;
+
+    fn small_spec() -> RnnSpec {
+        RnnSpec {
+            cell: ernn_fpga::HwCell::Gru,
+            input_dim: 8,
+            hidden_dim: 16,
+            block_size: 8,
+            io_block_size: 8,
+            weight_bits: 12,
+            layers: 1,
+        }
+    }
+
+    #[test]
+    fn graph_has_expected_op_counts() {
+        let spec = small_spec();
+        let g = graph_for_spec(&spec);
+        let count = |k: OpKind| g.nodes.iter().filter(|n| n.kind == k).count();
+        // Stage-1: rows=32, cols=24 at block 8 -> p=4, q=3.
+        assert_eq!(count(OpKind::Fft), 3);
+        assert_eq!(count(OpKind::EwMulAcc), 12);
+        assert_eq!(count(OpKind::Ifft), 4);
+        assert!(count(OpKind::Sigmoid) > 0);
+    }
+
+    #[test]
+    fn graph_is_acyclic_and_ordered() {
+        let g = graph_for_spec(&small_spec());
+        let order = g.topological_order();
+        assert_eq!(order.len(), g.len());
+        // Every edge goes forward in the order.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for (u, succs) in g.edges.iter().enumerate() {
+            for &v in succs {
+                assert!(pos[u] < pos[v], "edge {u}->{v} violates topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn macs_depend_on_their_fft() {
+        let g = graph_for_spec(&small_spec());
+        // Every EwMulAcc node must have at least one Fft predecessor.
+        let mut has_fft_pred = vec![false; g.len()];
+        for (u, succs) in g.edges.iter().enumerate() {
+            if g.nodes[u].kind == OpKind::Fft {
+                for &v in succs {
+                    has_fft_pred[v] = true;
+                }
+            }
+        }
+        for n in &g.nodes {
+            if n.kind == OpKind::EwMulAcc {
+                assert!(has_fft_pred[n.id], "{} lacks an FFT input", n.label);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_spans_fft_mac_ifft_chain() {
+        let g = graph_for_spec(&small_spec());
+        // At least FFT + MAC + IFFT + activation + mul + add deep.
+        let op = 5u64; // block 8 -> 5 cycles per spectrum op
+        assert!(g.critical_path() >= 3 * op + 3 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = OpGraph::default();
+        let a = g.add_node(OpKind::Fft, 1, "a");
+        g.add_edge(a, a);
+    }
+}

@@ -1,0 +1,279 @@
+//! Resource-constrained list scheduling (the paper's "Operation
+//! Scheduler": "maximize throughput under hardware resource constraints").
+
+use crate::graph::OpGraph;
+use std::collections::BinaryHeap;
+
+/// Available functional units per resource class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourcePool {
+    /// FFT/IFFT units.
+    pub fft: u32,
+    /// Complex/real multiplier banks.
+    pub mult: u32,
+    /// Vector adder banks.
+    pub adder: u32,
+    /// Activation (PWL) units.
+    pub act: u32,
+}
+
+impl ResourcePool {
+    /// A pool with `n` of everything.
+    pub fn uniform(n: u32) -> Self {
+        ResourcePool {
+            fft: n,
+            mult: n,
+            adder: n,
+            act: n,
+        }
+    }
+
+    fn capacity(&self, resource: &str) -> u32 {
+        match resource {
+            "fft" => self.fft,
+            "mult" => self.mult,
+            "adder" => self.adder,
+            "act" => self.act,
+            other => panic!("unknown resource class {other}"),
+        }
+    }
+}
+
+/// A computed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Start cycle of each operation (indexed by node id).
+    pub start: Vec<u64>,
+    /// Total cycles until the last operation finishes.
+    pub makespan: u64,
+    /// Busy-cycle fraction per resource class `(fft, mult, adder, act)`.
+    pub occupancy: [f64; 4],
+}
+
+impl Schedule {
+    /// End cycle of operation `id`.
+    pub fn end(&self, graph: &OpGraph, id: usize) -> u64 {
+        self.start[id] + graph.nodes[id].cycles
+    }
+}
+
+/// Critical-path list scheduling: ready operations are started on free
+/// units in order of decreasing remaining critical path.
+///
+/// # Panics
+///
+/// Panics if any pool capacity is zero or the graph contains a cycle.
+pub fn schedule(graph: &OpGraph, pool: ResourcePool) -> Schedule {
+    assert!(
+        pool.fft > 0 && pool.mult > 0 && pool.adder > 0 && pool.act > 0,
+        "every resource class needs at least one unit"
+    );
+    let n = graph.len();
+    if n == 0 {
+        return Schedule {
+            start: Vec::new(),
+            makespan: 0,
+            occupancy: [0.0; 4],
+        };
+    }
+
+    // Priority: longest remaining path to a sink.
+    let mut priority: Vec<u64> = graph.nodes.iter().map(|n| n.cycles).collect();
+    let order = graph.topological_order();
+    for &u in order.iter().rev() {
+        for &v in &graph.edges[u] {
+            priority[u] = priority[u].max(graph.nodes[u].cycles + priority[v]);
+        }
+    }
+
+    let mut in_deg = graph.in_degrees();
+    // Earliest time dependencies allow each node to start.
+    let mut dep_ready = vec![0u64; n];
+    let mut start = vec![u64::MAX; n];
+
+    // Per-resource-class: min-heap of unit free times.
+    let classes = ["fft", "mult", "adder", "act"];
+    let mut units: Vec<Vec<u64>> = classes
+        .iter()
+        .map(|c| vec![0u64; pool.capacity(c) as usize])
+        .collect();
+    let class_of = |id: usize| -> usize {
+        classes
+            .iter()
+            .position(|c| *c == graph.nodes[id].kind.resource())
+            .expect("known class")
+    };
+
+    // Ready heap keyed by (priority desc, id asc for determinism).
+    let mut ready: BinaryHeap<(u64, std::cmp::Reverse<usize>)> = (0..n)
+        .filter(|&i| in_deg[i] == 0)
+        .map(|i| (priority[i], std::cmp::Reverse(i)))
+        .collect();
+
+    let mut busy = [0u64; 4];
+    let mut scheduled = 0usize;
+    while let Some((_, std::cmp::Reverse(id))) = ready.pop() {
+        let c = class_of(id);
+        // Earliest-free unit in the class.
+        let (unit_idx, &free_at) = units[c]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("non-empty pool");
+        let s = free_at.max(dep_ready[id]);
+        start[id] = s;
+        let e = s + graph.nodes[id].cycles;
+        units[c][unit_idx] = e;
+        busy[c] += graph.nodes[id].cycles;
+        scheduled += 1;
+        for &v in &graph.edges[id] {
+            dep_ready[v] = dep_ready[v].max(e);
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                ready.push((priority[v], std::cmp::Reverse(v)));
+            }
+        }
+    }
+    assert_eq!(scheduled, n, "cycle in operation graph");
+
+    let makespan = (0..n)
+        .map(|i| start[i] + graph.nodes[i].cycles)
+        .max()
+        .unwrap();
+    let occupancy = std::array::from_fn(|c| {
+        let cap = units[c].len() as u64;
+        busy[c] as f64 / (makespan * cap).max(1) as f64
+    });
+    Schedule {
+        start,
+        makespan,
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{graph_for_spec, OpGraph, OpKind};
+    use ernn_fpga::{HwCell, RnnSpec};
+    use proptest::prelude::*;
+
+    fn spec(block: usize) -> RnnSpec {
+        RnnSpec {
+            cell: HwCell::Gru,
+            input_dim: 8,
+            hidden_dim: 16,
+            block_size: block,
+            io_block_size: block,
+            weight_bits: 12,
+            layers: 1,
+        }
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let g = graph_for_spec(&spec(8));
+        let s = schedule(&g, ResourcePool::uniform(2));
+        for (u, succs) in g.edges.iter().enumerate() {
+            for &v in succs {
+                assert!(
+                    s.start[v] >= s.end(&g, u),
+                    "{} starts before {} ends",
+                    g.nodes[v].label,
+                    g.nodes[u].label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_resource_capacity() {
+        let g = graph_for_spec(&spec(8));
+        let pool = ResourcePool {
+            fft: 1,
+            mult: 2,
+            adder: 1,
+            act: 1,
+        };
+        let s = schedule(&g, pool);
+        // At every cycle, concurrent mult ops must be <= 2.
+        for t in 0..s.makespan {
+            let running = g
+                .nodes
+                .iter()
+                .filter(|n| n.kind.resource() == "mult")
+                .filter(|n| s.start[n.id] <= t && t < s.end(&g, n.id))
+                .count();
+            assert!(running <= 2, "cycle {t}: {running} mult ops running");
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let g = graph_for_spec(&spec(8));
+        let s = schedule(&g, ResourcePool::uniform(4));
+        assert!(s.makespan >= g.critical_path());
+    }
+
+    #[test]
+    fn unlimited_resources_reach_critical_path() {
+        let g = graph_for_spec(&spec(8));
+        let s = schedule(&g, ResourcePool::uniform(1024));
+        assert_eq!(s.makespan, g.critical_path());
+    }
+
+    #[test]
+    fn more_units_never_hurt() {
+        let g = graph_for_spec(&spec(16));
+        let slow = schedule(&g, ResourcePool::uniform(1)).makespan;
+        let fast = schedule(&g, ResourcePool::uniform(8)).makespan;
+        assert!(fast <= slow);
+    }
+
+    #[test]
+    fn occupancy_is_bounded() {
+        let g = graph_for_spec(&spec(8));
+        let s = schedule(&g, ResourcePool::uniform(2));
+        for o in s.occupancy {
+            assert!((0.0..=1.0 + 1e-9).contains(&o));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = graph_for_spec(&spec(8));
+        let a = schedule(&g, ResourcePool::uniform(3));
+        let b = schedule(&g, ResourcePool::uniform(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = OpGraph::default();
+        let s = schedule(&g, ResourcePool::uniform(1));
+        assert_eq!(s.makespan, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_chains_schedule_correctly(
+            lens in proptest::collection::vec(1u64..20, 1..30),
+            units in 1u32..4,
+        ) {
+            // A linear chain: makespan must equal the sum of durations.
+            let mut g = OpGraph::default();
+            let mut prev: Option<usize> = None;
+            for (i, &c) in lens.iter().enumerate() {
+                let id = g.add_node(OpKind::EwMulAcc, c, format!("op{i}"));
+                if let Some(p) = prev {
+                    g.add_edge(p, id);
+                }
+                prev = Some(id);
+            }
+            let s = schedule(&g, ResourcePool::uniform(units));
+            prop_assert_eq!(s.makespan, lens.iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Weight-matrix abstraction shared by dense and compressed models.
+//!
+//! RNN cells in `ernn-model` are generic over [`MatVec`] so that the same
+//! forward-pass code runs the uncompressed training model
+//! ([`crate::Matrix`]), the compressed inference model
+//! ([`crate::BlockCirculantMatrix`]), or a mixture chosen at run time
+//! ([`WeightMatrix`]).
+
+use crate::{BlockCirculantMatrix, Matrix};
+
+/// A matrix that can multiply a vector (and its transpose).
+///
+/// This is the only capability an RNN cell's forward pass needs from its
+/// weights. The trait is sealed-by-convention: the workspace implements it
+/// for [`Matrix`], [`BlockCirculantMatrix`] and [`WeightMatrix`].
+pub trait MatVec {
+    /// Output dimension.
+    fn rows(&self) -> usize;
+    /// Input dimension.
+    fn cols(&self) -> usize;
+    /// `y = A·x`.
+    fn matvec(&self, x: &[f32]) -> Vec<f32>;
+    /// `y = Aᵀ·x`.
+    fn matvec_t(&self, x: &[f32]) -> Vec<f32>;
+}
+
+impl MatVec for Matrix {
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+    fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        Matrix::matvec(self, x)
+    }
+    fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        Matrix::matvec_t(self, x)
+    }
+}
+
+/// A weight matrix in either representation, chosen at run time.
+///
+/// Phase I of E-RNN may assign *different* block sizes to different weight
+/// matrices (Sec. VI-B step 3 uses larger blocks for input/output matrices),
+/// including leaving some dense; this enum is the uniform container.
+///
+/// ```
+/// use ernn_linalg::{Matrix, MatVec, WeightMatrix, BlockCirculantMatrix};
+/// let dense = Matrix::from_fn(4, 4, |r, c| (r + c) as f32);
+/// let w = WeightMatrix::Circulant(BlockCirculantMatrix::project_dense(&dense, 2));
+/// assert_eq!(w.rows(), 4);
+/// assert_eq!(w.param_count(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightMatrix {
+    /// Uncompressed storage.
+    Dense(Matrix),
+    /// Block-circulant compressed storage.
+    Circulant(BlockCirculantMatrix),
+}
+
+impl WeightMatrix {
+    /// Number of stored parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            WeightMatrix::Dense(m) => m.rows() * m.cols(),
+            WeightMatrix::Circulant(m) => m.param_count(),
+        }
+    }
+
+    /// Block size of the representation (1 for dense).
+    pub fn block_size(&self) -> usize {
+        match self {
+            WeightMatrix::Dense(_) => 1,
+            WeightMatrix::Circulant(m) => m.block_size(),
+        }
+    }
+
+    /// Materializes a dense copy.
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            WeightMatrix::Dense(m) => m.clone(),
+            WeightMatrix::Circulant(m) => m.to_dense(),
+        }
+    }
+}
+
+impl MatVec for WeightMatrix {
+    fn rows(&self) -> usize {
+        match self {
+            WeightMatrix::Dense(m) => m.rows(),
+            WeightMatrix::Circulant(m) => m.rows(),
+        }
+    }
+    fn cols(&self) -> usize {
+        match self {
+            WeightMatrix::Dense(m) => m.cols(),
+            WeightMatrix::Circulant(m) => m.cols(),
+        }
+    }
+    fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            WeightMatrix::Dense(m) => m.matvec(x),
+            WeightMatrix::Circulant(m) => m.matvec(x),
+        }
+    }
+    fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            WeightMatrix::Dense(m) => m.matvec_t(x),
+            WeightMatrix::Circulant(m) => m.matvec_t(x),
+        }
+    }
+}
+
+impl From<Matrix> for WeightMatrix {
+    fn from(m: Matrix) -> Self {
+        WeightMatrix::Dense(m)
+    }
+}
+
+impl From<BlockCirculantMatrix> for WeightMatrix {
+    fn from(m: BlockCirculantMatrix) -> Self {
+        WeightMatrix::Circulant(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn enum_dispatch_matches_inner() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let dense = Matrix::xavier(8, 8, &mut rng);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let w = WeightMatrix::Dense(dense.clone());
+        assert_eq!(w.matvec(&x), dense.matvec(&x));
+        assert_eq!(w.matvec_t(&x), dense.matvec_t(&x));
+
+        let bc = BlockCirculantMatrix::project_dense(&dense, 4);
+        let w = WeightMatrix::Circulant(bc.clone());
+        assert_eq!(w.matvec(&x), bc.matvec(&x));
+        assert_eq!(w.param_count(), bc.param_count());
+        assert_eq!(w.block_size(), 4);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let m = Matrix::zeros(2, 2);
+        let w: WeightMatrix = m.into();
+        assert_eq!(w.block_size(), 1);
+        assert_eq!(w.param_count(), 4);
+    }
+}

@@ -1,0 +1,475 @@
+//! The GRU cell of paper Eqn. 2 (Fig. 3b).
+//!
+//! The paper's GRU variant feeds `[xᵀ, cᵀ₋₁]ᵀ` to the fused update/reset
+//! gates (Sec. II-B: "the reset and update gate matrices can be
+//! concatenated and calculated through one matrix-vector multiplication as
+//! `W_(rz)(xc)·[xᵀ, cᵀ₋₁]ᵀ`") and computes the candidate state from
+//! `W_c̃x·x` plus `W_c̃c·(r ⊙ c_{t−1})` — three matvecs per timestep versus
+//! the LSTM's two larger ones.
+
+use crate::activation::{sigmoid, Act};
+use ernn_linalg::{MatVec, Matrix};
+use rand::Rng;
+
+/// One GRU layer, generic over the weight representation.
+///
+/// Lane order in the fused gate matrices is `z` (update) then `r` (reset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruLayer<M> {
+    input_dim: usize,
+    hidden_dim: usize,
+    /// Candidate-state activation `h` of Eqn. 2c (tanh in the paper).
+    pub candidate_activation: Act,
+    /// Fused gate input weights `(2H × I)`.
+    pub wzr_x: M,
+    /// Fused gate recurrent weights `(2H × H)`.
+    pub wzr_c: M,
+    /// Fused gate biases `(2H)`.
+    pub bias_zr: Vec<f32>,
+    /// Candidate input weights `W_c̃x (H × I)`.
+    pub wcx: M,
+    /// Candidate recurrent weights `W_c̃c (H × H)`.
+    pub wcc: M,
+    /// Candidate bias `(H)`.
+    pub bias_c: Vec<f32>,
+}
+
+/// Per-timestep values cached for BPTT.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    x: Vec<f32>,
+    c_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    rc: Vec<f32>,
+    c_tilde: Vec<f32>,
+}
+
+/// Gradients of one GRU layer, shaped like the parameters.
+#[derive(Debug, Clone)]
+pub struct GruGrads {
+    /// Gradient of [`GruLayer::wzr_x`].
+    pub wzr_x: Matrix,
+    /// Gradient of [`GruLayer::wzr_c`].
+    pub wzr_c: Matrix,
+    /// Gradient of the fused gate biases.
+    pub bias_zr: Vec<f32>,
+    /// Gradient of [`GruLayer::wcx`].
+    pub wcx: Matrix,
+    /// Gradient of [`GruLayer::wcc`].
+    pub wcc: Matrix,
+    /// Gradient of the candidate bias.
+    pub bias_c: Vec<f32>,
+}
+
+impl<M: MatVec> GruLayer<M> {
+    /// Assembles a layer from explicit parts (used by the compression pass
+    /// to rebuild a layer with block-circulant weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor shape is inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        input_dim: usize,
+        hidden_dim: usize,
+        candidate_activation: Act,
+        wzr_x: M,
+        wzr_c: M,
+        bias_zr: Vec<f32>,
+        wcx: M,
+        wcc: M,
+        bias_c: Vec<f32>,
+    ) -> Self {
+        assert_eq!(
+            (wzr_x.rows(), wzr_x.cols()),
+            (2 * hidden_dim, input_dim),
+            "wzr_x shape"
+        );
+        assert_eq!(
+            (wzr_c.rows(), wzr_c.cols()),
+            (2 * hidden_dim, hidden_dim),
+            "wzr_c shape"
+        );
+        assert_eq!(bias_zr.len(), 2 * hidden_dim, "bias_zr length");
+        assert_eq!(
+            (wcx.rows(), wcx.cols()),
+            (hidden_dim, input_dim),
+            "wcx shape"
+        );
+        assert_eq!(
+            (wcc.rows(), wcc.cols()),
+            (hidden_dim, hidden_dim),
+            "wcc shape"
+        );
+        assert_eq!(bias_c.len(), hidden_dim, "bias_c length");
+        GruLayer {
+            input_dim,
+            hidden_dim,
+            candidate_activation,
+            wzr_x,
+            wzr_c,
+            bias_zr,
+            wcx,
+            wcc,
+            bias_c,
+        }
+    }
+
+    /// Input dimension `|x_t|`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden dimension `|c_t|` (also the layer output dimension — GRUs
+    /// take the cell state as output, Sec. II-B).
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Initial all-zero state.
+    pub fn zero_state(&self) -> Vec<f32> {
+        vec![0.0; self.hidden_dim]
+    }
+
+    /// One timestep of Eqn. 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `c_prev` have the wrong dimension.
+    pub fn step(
+        &self,
+        x: &[f32],
+        c_prev: &[f32],
+        want_cache: bool,
+    ) -> (Vec<f32>, Option<GruCache>) {
+        let h = self.hidden_dim;
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        assert_eq!(c_prev.len(), h, "state dimension mismatch");
+
+        // Fused gates: z, r = σ(W_(zr)x·x + W_(zr)c·c_{t-1} + b)  (2a, 2b).
+        let mut pre = self.wzr_x.matvec(x);
+        let rec = self.wzr_c.matvec(c_prev);
+        for ((p, r), b) in pre.iter_mut().zip(rec.iter()).zip(self.bias_zr.iter()) {
+            *p += r + b;
+        }
+        let z: Vec<f32> = pre[..h].iter().map(|&v| sigmoid(v)).collect();
+        let r: Vec<f32> = pre[h..].iter().map(|&v| sigmoid(v)).collect();
+
+        // c̃ = h(W_c̃x·x + W_c̃c·(r ⊙ c_{t-1}) + b_c̃)   (2c).
+        let rc: Vec<f32> = r.iter().zip(c_prev.iter()).map(|(a, b)| a * b).collect();
+        let mut pre_c = self.wcx.matvec(x);
+        let rec_c = self.wcc.matvec(&rc);
+        for ((p, r), b) in pre_c.iter_mut().zip(rec_c.iter()).zip(self.bias_c.iter()) {
+            *p += r + b;
+        }
+        let c_tilde: Vec<f32> = pre_c
+            .iter()
+            .map(|&v| self.candidate_activation.eval(v))
+            .collect();
+
+        // c_t = (1 − z) ⊙ c_{t-1} + z ⊙ c̃   (2d).
+        let c: Vec<f32> = (0..h)
+            .map(|k| (1.0 - z[k]) * c_prev[k] + z[k] * c_tilde[k])
+            .collect();
+
+        let cache = want_cache.then(|| GruCache {
+            x: x.to_vec(),
+            c_prev: c_prev.to_vec(),
+            z,
+            r,
+            rc,
+            c_tilde,
+        });
+        (c, cache)
+    }
+
+    /// Runs a full sequence, returning the state trajectory (the layer
+    /// output) and caches when training.
+    pub fn forward_seq(
+        &self,
+        inputs: &[Vec<f32>],
+        want_cache: bool,
+    ) -> (Vec<Vec<f32>>, Vec<GruCache>) {
+        let mut state = self.zero_state();
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut caches = Vec::with_capacity(if want_cache { inputs.len() } else { 0 });
+        for x in inputs {
+            let (next, cache) = self.step(x, &state, want_cache);
+            outputs.push(next.clone());
+            if let Some(c) = cache {
+                caches.push(c);
+            }
+            state = next;
+        }
+        (outputs, caches)
+    }
+
+    /// Number of stored parameters.
+    pub fn param_count(&self) -> usize
+    where
+        M: crate::lstm::ParamCount,
+    {
+        self.wzr_x.param_count()
+            + self.wzr_c.param_count()
+            + self.bias_zr.len()
+            + self.wcx.param_count()
+            + self.wcc.param_count()
+            + self.bias_c.len()
+    }
+}
+
+impl GruLayer<Matrix> {
+    /// Creates a dense GRU layer with Xavier-initialized weights.
+    pub fn new_dense(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        GruLayer {
+            input_dim,
+            hidden_dim,
+            candidate_activation: Act::Tanh,
+            wzr_x: Matrix::xavier(2 * hidden_dim, input_dim, rng),
+            wzr_c: Matrix::xavier(2 * hidden_dim, hidden_dim, rng),
+            bias_zr: vec![0.0; 2 * hidden_dim],
+            wcx: Matrix::xavier(hidden_dim, input_dim, rng),
+            wcc: Matrix::xavier(hidden_dim, hidden_dim, rng),
+            bias_c: vec![0.0; hidden_dim],
+        }
+    }
+
+    /// Zero-initialized gradients shaped like this layer.
+    pub fn zero_grads(&self) -> GruGrads {
+        GruGrads {
+            wzr_x: Matrix::zeros(self.wzr_x.rows(), self.wzr_x.cols()),
+            wzr_c: Matrix::zeros(self.wzr_c.rows(), self.wzr_c.cols()),
+            bias_zr: vec![0.0; self.bias_zr.len()],
+            wcx: Matrix::zeros(self.wcx.rows(), self.wcx.cols()),
+            wcc: Matrix::zeros(self.wcc.rows(), self.wcc.cols()),
+            bias_c: vec![0.0; self.bias_c.len()],
+        }
+    }
+
+    /// Backpropagation through time; see
+    /// [`LstmLayer::backward_seq`](crate::LstmLayer::backward_seq) for the
+    /// calling convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != d_outputs.len()`.
+    pub fn backward_seq(
+        &self,
+        caches: &[GruCache],
+        d_outputs: &[Vec<f32>],
+        grads: &mut GruGrads,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(caches.len(), d_outputs.len(), "sequence length mismatch");
+        let h = self.hidden_dim;
+        let t_len = caches.len();
+        let mut dx_seq = vec![Vec::new(); t_len];
+        let mut dc_rec = vec![0.0f32; h];
+
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            let mut dct = d_outputs[t].clone();
+            for (a, b) in dct.iter_mut().zip(dc_rec.iter()) {
+                *a += b;
+            }
+
+            // Through c = (1 − z) ⊙ c_prev + z ⊙ c̃.
+            let mut dz = vec![0.0f32; h];
+            let mut dc_tilde = vec![0.0f32; h];
+            let mut dc_prev = vec![0.0f32; h];
+            for k in 0..h {
+                dz[k] = dct[k] * (cache.c_tilde[k] - cache.c_prev[k]);
+                dc_tilde[k] = dct[k] * cache.z[k];
+                dc_prev[k] = dct[k] * (1.0 - cache.z[k]);
+            }
+
+            // Through c̃ = h(pre_c).
+            let dpre_c: Vec<f32> = (0..h)
+                .map(|k| {
+                    dc_tilde[k]
+                        * self
+                            .candidate_activation
+                            .deriv_from_output(cache.c_tilde[k])
+                })
+                .collect();
+            grads.wcx.add_outer(1.0, &dpre_c, &cache.x);
+            grads.wcc.add_outer(1.0, &dpre_c, &cache.rc);
+            for (b, d) in grads.bias_c.iter_mut().zip(dpre_c.iter()) {
+                *b += d;
+            }
+            let drc = self.wcc.matvec_t(&dpre_c);
+            let mut dr = vec![0.0f32; h];
+            for k in 0..h {
+                dr[k] = drc[k] * cache.c_prev[k];
+                dc_prev[k] += drc[k] * cache.r[k];
+            }
+
+            // Through the fused gates.
+            let mut dpre_zr = vec![0.0f32; 2 * h];
+            for k in 0..h {
+                dpre_zr[k] = dz[k] * cache.z[k] * (1.0 - cache.z[k]);
+                dpre_zr[h + k] = dr[k] * cache.r[k] * (1.0 - cache.r[k]);
+            }
+            grads.wzr_x.add_outer(1.0, &dpre_zr, &cache.x);
+            grads.wzr_c.add_outer(1.0, &dpre_zr, &cache.c_prev);
+            for (b, d) in grads.bias_zr.iter_mut().zip(dpre_zr.iter()) {
+                *b += d;
+            }
+
+            let mut dx = self.wzr_x.matvec_t(&dpre_zr);
+            let dx_c = self.wcx.matvec_t(&dpre_c);
+            for (a, b) in dx.iter_mut().zip(dx_c.iter()) {
+                *a += b;
+            }
+            dx_seq[t] = dx;
+
+            let dc_gate = self.wzr_c.matvec_t(&dpre_zr);
+            for (a, b) in dc_prev.iter_mut().zip(dc_gate.iter()) {
+                *a += b;
+            }
+            dc_rec = dc_prev;
+        }
+        dx_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_layer(seed: u64) -> GruLayer<Matrix> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        GruLayer::new_dense(3, 4, &mut rng)
+    }
+
+    #[test]
+    fn step_shapes_and_interpolation_bound() {
+        // c_t is a convex combination of c_prev and c̃ ∈ (−1, 1), so with
+        // |c_prev| ≤ 1 the state stays in (−1, 1) forever.
+        let layer = tiny_layer(1);
+        let mut c = layer.zero_state();
+        for t in 0..100 {
+            let x = vec![(t as f32 * 0.3).sin(), -0.2, 0.7];
+            c = layer.step(&x, &c, false).0;
+            for &v in &c {
+                assert!(v.abs() <= 1.0, "state escaped the invariant: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_seq_matches_manual_stepping() {
+        let layer = tiny_layer(2);
+        let inputs: Vec<Vec<f32>> = (0..5).map(|t| vec![t as f32 * 0.2, 0.1, -0.3]).collect();
+        let (outputs, caches) = layer.forward_seq(&inputs, true);
+        assert_eq!(caches.len(), 5);
+        let mut c = layer.zero_state();
+        for (t, x) in inputs.iter().enumerate() {
+            c = layer.step(x, &c, false).0;
+            assert_eq!(outputs[t], c);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let layer = tiny_layer(3);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        use rand::Rng;
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let loss = |layer: &GruLayer<Matrix>| -> f32 {
+            let (outs, _) = layer.forward_seq(&inputs, false);
+            outs.iter()
+                .flat_map(|o| o.iter())
+                .map(|v| 0.5 * v * v)
+                .sum()
+        };
+
+        let (outs, caches) = layer.forward_seq(&inputs, true);
+        let mut grads = layer.zero_grads();
+        layer.backward_seq(&caches, &outs, &mut grads);
+
+        let eps = 1e-2f32;
+        let mut p = layer.clone();
+        // Sample parameters across all six tensors.
+        let checks: Vec<(&str, f32, f32)> = {
+            let mut v = Vec::new();
+            for idx in [0usize, 9] {
+                let orig = p.wzr_x.as_slice()[idx];
+                p.wzr_x.as_mut_slice()[idx] = orig + eps;
+                let lp = loss(&p);
+                p.wzr_x.as_mut_slice()[idx] = orig - eps;
+                let lm = loss(&p);
+                p.wzr_x.as_mut_slice()[idx] = orig;
+                v.push((
+                    "wzr_x",
+                    (lp - lm) / (2.0 * eps),
+                    grads.wzr_x.as_slice()[idx],
+                ));
+            }
+            for idx in [2usize, 11] {
+                let orig = p.wcc.as_slice()[idx];
+                p.wcc.as_mut_slice()[idx] = orig + eps;
+                let lp = loss(&p);
+                p.wcc.as_mut_slice()[idx] = orig - eps;
+                let lm = loss(&p);
+                p.wcc.as_mut_slice()[idx] = orig;
+                v.push(("wcc", (lp - lm) / (2.0 * eps), grads.wcc.as_slice()[idx]));
+            }
+            for idx in [1usize, 6] {
+                let orig = p.bias_zr[idx];
+                p.bias_zr[idx] = orig + eps;
+                let lp = loss(&p);
+                p.bias_zr[idx] = orig - eps;
+                let lm = loss(&p);
+                p.bias_zr[idx] = orig;
+                v.push(("bias_zr", (lp - lm) / (2.0 * eps), grads.bias_zr[idx]));
+            }
+            {
+                let orig = p.wcx.as_slice()[5];
+                p.wcx.as_mut_slice()[5] = orig + eps;
+                let lp = loss(&p);
+                p.wcx.as_mut_slice()[5] = orig - eps;
+                let lm = loss(&p);
+                p.wcx.as_mut_slice()[5] = orig;
+                v.push(("wcx", (lp - lm) / (2.0 * eps), grads.wcx.as_slice()[5]));
+            }
+            {
+                let orig = p.wzr_c.as_slice()[3];
+                p.wzr_c.as_mut_slice()[3] = orig + eps;
+                let lp = loss(&p);
+                p.wzr_c.as_mut_slice()[3] = orig - eps;
+                let lm = loss(&p);
+                p.wzr_c.as_mut_slice()[3] = orig;
+                v.push(("wzr_c", (lp - lm) / (2.0 * eps), grads.wzr_c.as_slice()[3]));
+            }
+            v
+        };
+        for (name, fd, an) in checks {
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "{name}: fd={fd} an={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_is_smaller_than_equivalent_lstm() {
+        // The paper's Table III shows GRU-1024 at ~0.45M vs LSTM 0.73M top
+        // layer params: GRUs have 3 gate matrices vs the LSTM's 4.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let gru = GruLayer::new_dense(16, 32, &mut rng);
+        let lstm_cfg = crate::LstmConfig::simple(16, 32);
+        let lstm = crate::LstmLayer::new_dense(lstm_cfg, &mut rng);
+        assert!(gru.param_count() < lstm.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "state dimension")]
+    fn step_rejects_bad_state_dim() {
+        let layer = tiny_layer(6);
+        let _ = layer.step(&[0.0; 3], &[0.0; 7], false);
+    }
+}

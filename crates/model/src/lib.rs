@@ -1,0 +1,53 @@
+//! RNN cells, stacked networks and training for the E-RNN reproduction.
+//!
+//! Implements the two cell types the paper evaluates (Sec. II):
+//!
+//! * [`LstmLayer`] — the Google-style LSTM of Sak et al. with peephole
+//!   connections and an optional recurrent projection layer (paper Eqn. 1,
+//!   Fig. 3a). The fused weight layout follows the paper's observation that
+//!   the four gate matrices concatenate into one matvec
+//!   `W_(ifgo)(xr)·[xᵀ, yᵀ₋₁]ᵀ`.
+//! * [`GruLayer`] — the paper's GRU variant (Eqn. 2, Fig. 3b) where the
+//!   update/reset gates read `[xᵀ, cᵀ₋₁]ᵀ` and the candidate state applies
+//!   the reset gate to the previous cell state before its recurrent matvec.
+//!
+//! Both cells are generic over [`MatVec`], so the identical forward code
+//! runs dense training weights and block-circulant inference weights.
+//! Full backpropagation through time is implemented for the dense
+//! representation ([`RnnNetwork::forward_backward`]) and validated by
+//! finite-difference tests.
+//!
+//! ```
+//! use ernn_model::{NetworkBuilder, CellType};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut net = NetworkBuilder::new(CellType::Lstm, 8, 10)
+//!     .layer_dims(&[16, 16])
+//!     .build(&mut rng);
+//! let frames = vec![vec![0.1f32; 8]; 5];
+//! let logits = net.forward_logits(&frames);
+//! assert_eq!(logits.len(), 5);
+//! assert_eq!(logits[0].len(), 10);
+//! ```
+
+mod activation;
+mod compress;
+mod gru;
+mod layer;
+mod loss;
+mod lstm;
+mod network;
+mod optim;
+pub mod trainer;
+
+pub use activation::Act;
+pub use compress::{compress_network, compress_network_layers, BlockPolicy};
+pub use gru::{GruCache, GruGrads, GruLayer};
+pub use layer::{LayerCaches, LayerGrads, RnnLayer};
+pub use loss::softmax_cross_entropy;
+pub use lstm::{LstmCache, LstmConfig, LstmGrads, LstmLayer, LstmState, ParamCount};
+pub use network::{CellType, NetworkBuilder, NetworkGrads, RnnNetwork, WeightRole};
+pub use optim::{Adam, Optimizer, Sgd};
+
+pub use ernn_linalg::{BlockCirculantMatrix, MatVec, Matrix, WeightMatrix};

@@ -1,0 +1,78 @@
+//! Framewise classification loss.
+
+use ernn_linalg::ops::softmax;
+
+/// Softmax cross-entropy for one frame.
+///
+/// Returns `(loss, ∂loss/∂logits)`. The gradient is the classic
+/// `softmax(logits) − one_hot(target)`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+///
+/// ```
+/// use ernn_model::softmax_cross_entropy;
+/// let (loss, grad) = softmax_cross_entropy(&[2.0, 0.0, 0.0], 0);
+/// assert!(loss < 0.5); // confident and correct
+/// assert!(grad[0] < 0.0 && grad[1] > 0.0);
+/// ```
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(
+        target < logits.len(),
+        "target {target} out of range for {} classes",
+        logits.len()
+    );
+    let probs = softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let (loss, _) = softmax_cross_entropy(&[0.0; 4], 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[1.0, -2.0, 0.5], 1);
+        let s: f32 = grad.iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.3f32, -0.7, 1.2, 0.1];
+        let target = 2;
+        let (_, grad) = softmax_cross_entropy(&logits, target);
+        let eps = 1e-3;
+        for k in 0..logits.len() {
+            let mut lp = logits;
+            lp[k] += eps;
+            let mut lm = logits;
+            lm[k] -= eps;
+            let fd = (softmax_cross_entropy(&lp, target).0 - softmax_cross_entropy(&lm, target).0)
+                / (2.0 * eps);
+            assert!((fd - grad[k]).abs() < 1e-3, "k={k}: {fd} vs {}", grad[k]);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let (loss, _) = softmax_cross_entropy(&[50.0, 0.0], 0);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,646 @@
+//! The LSTM cell of paper Eqn. 1 (Sak et al. architecture, Fig. 3a).
+//!
+//! Gate pre-activations are computed with two fused matvecs, exactly the
+//! structure the paper exploits on hardware (Sec. II-A: "the four gate/cell
+//! matrices can be concatenated and calculated through one matrix-vector
+//! multiplication as `W_(ifco)(xr)·[xᵀ, yᵀ₋₁]ᵀ`"): `wx` stacks the four
+//! input matrices `(i, f, g, o)` and `wr` the four recurrent matrices.
+//! Peephole connections are diagonal (stored as vectors, applied with `⊙`)
+//! and the optional projection `W_ym` maps the cell output `m_t` to the
+//! lower-dimensional recurrent output `y_t` (Eqn. 1g).
+
+use crate::activation::{sigmoid, Act};
+use ernn_linalg::ops::hadamard_acc;
+use ernn_linalg::{MatVec, Matrix};
+use rand::Rng;
+
+/// Static configuration of one LSTM layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmConfig {
+    /// Input dimension `|x_t|`.
+    pub input_dim: usize,
+    /// Hidden (cell) dimension `|c_t|` — the paper's "layer size".
+    pub hidden_dim: usize,
+    /// Recurrent output dimension `|y_t|`; equals `hidden_dim` unless a
+    /// projection layer is present (paper Table I uses projection 512 for
+    /// the 1024 models).
+    pub output_dim: usize,
+    /// Whether the diagonal peephole connections of Eqn. 1a/1b/1e exist.
+    pub peephole: bool,
+    /// Activation for the cell input `g_t` (Eqn. 1c — see [`Act`]).
+    pub cell_activation: Act,
+}
+
+impl LstmConfig {
+    /// A plain LSTM: no projection (`output_dim == hidden_dim`), no
+    /// peepholes, tanh cell input.
+    pub fn simple(input_dim: usize, hidden_dim: usize) -> Self {
+        LstmConfig {
+            input_dim,
+            hidden_dim,
+            output_dim: hidden_dim,
+            peephole: false,
+            cell_activation: Act::Tanh,
+        }
+    }
+
+    /// Whether a projection matrix `W_ym` is present.
+    pub fn has_projection(&self) -> bool {
+        self.output_dim != self.hidden_dim
+    }
+}
+
+/// One LSTM layer, generic over the weight representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmLayer<M> {
+    cfg: LstmConfig,
+    /// Fused input weights `(4H × I)`, gate order `i, f, g, o`.
+    pub wx: M,
+    /// Fused recurrent weights `(4H × R)`.
+    pub wr: M,
+    /// Gate biases `(4H)`.
+    pub bias: Vec<f32>,
+    /// Peephole vectors `(p_i, p_f, p_o)`, present iff `cfg.peephole`.
+    pub peepholes: Option<[Vec<f32>; 3]>,
+    /// Projection `W_ym (R × H)`, present iff `cfg.has_projection()`.
+    pub wym: Option<M>,
+}
+
+/// Recurrent state carried across timesteps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Cell state `c_t` (`hidden_dim`).
+    pub c: Vec<f32>,
+    /// Projected output `y_t` (`output_dim`).
+    pub y: Vec<f32>,
+}
+
+/// Per-timestep values cached by the forward pass for BPTT.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    x: Vec<f32>,
+    y_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+    m: Vec<f32>,
+}
+
+/// Gradients of one LSTM layer, shaped like the parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient of [`LstmLayer::wx`].
+    pub wx: Matrix,
+    /// Gradient of [`LstmLayer::wr`].
+    pub wr: Matrix,
+    /// Gradient of the gate biases.
+    pub bias: Vec<f32>,
+    /// Gradients of the peephole vectors.
+    pub peepholes: Option<[Vec<f32>; 3]>,
+    /// Gradient of the projection matrix.
+    pub wym: Option<Matrix>,
+}
+
+impl<M: MatVec> LstmLayer<M> {
+    /// Assembles a layer from explicit parts (used by the compression pass
+    /// to rebuild a layer with block-circulant weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tensor shape disagrees with `cfg`.
+    pub fn from_parts(
+        cfg: LstmConfig,
+        wx: M,
+        wr: M,
+        bias: Vec<f32>,
+        peepholes: Option<[Vec<f32>; 3]>,
+        wym: Option<M>,
+    ) -> Self {
+        let h = cfg.hidden_dim;
+        assert_eq!((wx.rows(), wx.cols()), (4 * h, cfg.input_dim), "wx shape");
+        assert_eq!((wr.rows(), wr.cols()), (4 * h, cfg.output_dim), "wr shape");
+        assert_eq!(bias.len(), 4 * h, "bias length");
+        assert_eq!(cfg.peephole, peepholes.is_some(), "peephole presence");
+        if let Some(p) = &peepholes {
+            assert!(p.iter().all(|v| v.len() == h), "peephole length");
+        }
+        assert_eq!(cfg.has_projection(), wym.is_some(), "projection presence");
+        if let Some(w) = &wym {
+            assert_eq!((w.rows(), w.cols()), (cfg.output_dim, h), "wym shape");
+        }
+        LstmLayer {
+            cfg,
+            wx,
+            wr,
+            bias,
+            peepholes,
+            wym,
+        }
+    }
+
+    /// Layer configuration.
+    pub fn config(&self) -> &LstmConfig {
+        &self.cfg
+    }
+
+    /// Initial all-zero state.
+    pub fn zero_state(&self) -> LstmState {
+        LstmState {
+            c: vec![0.0; self.cfg.hidden_dim],
+            y: vec![0.0; self.cfg.output_dim],
+        }
+    }
+
+    /// One timestep of Eqn. 1, returning the new state and (optionally) the
+    /// cache needed for backpropagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or the state dimensions disagree with the config.
+    pub fn step(
+        &self,
+        x: &[f32],
+        state: &LstmState,
+        want_cache: bool,
+    ) -> (LstmState, Option<LstmCache>) {
+        let h = self.cfg.hidden_dim;
+        assert_eq!(x.len(), self.cfg.input_dim, "input dimension mismatch");
+        assert_eq!(state.c.len(), h, "cell state dimension mismatch");
+        assert_eq!(
+            state.y.len(),
+            self.cfg.output_dim,
+            "output dimension mismatch"
+        );
+
+        // Fused pre-activations: W_(ifgo)x · x + W_(ifgo)r · y_{t-1} + b.
+        let mut pre = self.wx.matvec(x);
+        let rec = self.wr.matvec(&state.y);
+        for ((p, r), b) in pre.iter_mut().zip(rec.iter()).zip(self.bias.iter()) {
+            *p += r + b;
+        }
+
+        // Peepholes on i and f read c_{t-1} (Eqn. 1a/1b).
+        if let Some([pi, pf, _]) = &self.peepholes {
+            for k in 0..h {
+                pre[k] += pi[k] * state.c[k];
+                pre[h + k] += pf[k] * state.c[k];
+            }
+        }
+
+        let mut i_gate = vec![0.0f32; h];
+        let mut f_gate = vec![0.0f32; h];
+        let mut g_cell = vec![0.0f32; h];
+        for k in 0..h {
+            i_gate[k] = sigmoid(pre[k]);
+            f_gate[k] = sigmoid(pre[h + k]);
+            g_cell[k] = self.cfg.cell_activation.eval(pre[2 * h + k]);
+        }
+
+        // c_t = f ⊙ c_{t-1} + g ⊙ i   (Eqn. 1d)
+        let mut c = vec![0.0f32; h];
+        for k in 0..h {
+            c[k] = f_gate[k] * state.c[k] + g_cell[k] * i_gate[k];
+        }
+
+        // Peephole on o reads c_t (Eqn. 1e).
+        let mut o_gate = vec![0.0f32; h];
+        for k in 0..h {
+            let mut po = pre[3 * h + k];
+            if let Some([_, _, p_o]) = &self.peepholes {
+                po += p_o[k] * c[k];
+            }
+            o_gate[k] = sigmoid(po);
+        }
+
+        // m_t = o ⊙ tanh(c_t)   (Eqn. 1f, h = tanh)
+        let tanh_c: Vec<f32> = c.iter().map(|&v| v.tanh()).collect();
+        let m: Vec<f32> = o_gate
+            .iter()
+            .zip(tanh_c.iter())
+            .map(|(&o, &tc)| o * tc)
+            .collect();
+
+        // y_t = W_ym · m_t   (Eqn. 1g) or identity without projection.
+        let y = match &self.wym {
+            Some(w) => w.matvec(&m),
+            None => m.clone(),
+        };
+
+        let cache = want_cache.then(|| LstmCache {
+            x: x.to_vec(),
+            y_prev: state.y.clone(),
+            c_prev: state.c.clone(),
+            i: i_gate,
+            f: f_gate,
+            g: g_cell,
+            o: o_gate,
+            c: c.clone(),
+            tanh_c,
+            m,
+        });
+        (LstmState { c, y }, cache)
+    }
+
+    /// Runs a full sequence, returning outputs per frame (and caches when
+    /// training).
+    pub fn forward_seq(
+        &self,
+        inputs: &[Vec<f32>],
+        want_cache: bool,
+    ) -> (Vec<Vec<f32>>, Vec<LstmCache>) {
+        let mut state = self.zero_state();
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut caches = Vec::with_capacity(if want_cache { inputs.len() } else { 0 });
+        for x in inputs {
+            let (next, cache) = self.step(x, &state, want_cache);
+            outputs.push(next.y.clone());
+            if let Some(c) = cache {
+                caches.push(c);
+            }
+            state = next;
+        }
+        (outputs, caches)
+    }
+
+    /// Number of stored parameters (weights + biases + peepholes).
+    pub fn param_count(&self) -> usize
+    where
+        M: ParamCount,
+    {
+        let mut n = self.wx.param_count() + self.wr.param_count() + self.bias.len();
+        if let Some(peeps) = &self.peepholes {
+            n += peeps.iter().map(Vec::len).sum::<usize>();
+        }
+        if let Some(w) = &self.wym {
+            n += w.param_count();
+        }
+        n
+    }
+}
+
+/// Parameter counting for weight representations (dense counts `rows·cols`,
+/// circulant counts the defining vectors).
+pub trait ParamCount {
+    /// Number of stored parameters.
+    fn param_count(&self) -> usize;
+}
+
+impl ParamCount for Matrix {
+    fn param_count(&self) -> usize {
+        self.rows() * self.cols()
+    }
+}
+
+impl ParamCount for ernn_linalg::BlockCirculantMatrix {
+    fn param_count(&self) -> usize {
+        ernn_linalg::BlockCirculantMatrix::param_count(self)
+    }
+}
+
+impl ParamCount for ernn_linalg::WeightMatrix {
+    fn param_count(&self) -> usize {
+        ernn_linalg::WeightMatrix::param_count(self)
+    }
+}
+
+impl LstmLayer<Matrix> {
+    /// Creates a dense layer with Xavier-initialized weights and the forget
+    /// gate bias set to 1 (standard practice for gradient flow).
+    pub fn new_dense(cfg: LstmConfig, rng: &mut impl Rng) -> Self {
+        let h = cfg.hidden_dim;
+        let mut bias = vec![0.0; 4 * h];
+        bias[h..2 * h].iter_mut().for_each(|b| *b = 1.0);
+        let peepholes = cfg.peephole.then(|| {
+            [
+                (0..h).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+                (0..h).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+                (0..h).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+            ]
+        });
+        let wym = cfg
+            .has_projection()
+            .then(|| Matrix::xavier(cfg.output_dim, h, rng));
+        LstmLayer {
+            cfg,
+            wx: Matrix::xavier(4 * h, cfg.input_dim, rng),
+            wr: Matrix::xavier(4 * h, cfg.output_dim, rng),
+            bias,
+            peepholes,
+            wym,
+        }
+    }
+
+    /// Zero-initialized gradients shaped like this layer.
+    pub fn zero_grads(&self) -> LstmGrads {
+        LstmGrads {
+            wx: Matrix::zeros(self.wx.rows(), self.wx.cols()),
+            wr: Matrix::zeros(self.wr.rows(), self.wr.cols()),
+            bias: vec![0.0; self.bias.len()],
+            peepholes: self.peepholes.as_ref().map(|p| {
+                [
+                    vec![0.0; p[0].len()],
+                    vec![0.0; p[1].len()],
+                    vec![0.0; p[2].len()],
+                ]
+            }),
+            wym: self.wym.as_ref().map(|w| Matrix::zeros(w.rows(), w.cols())),
+        }
+    }
+
+    /// Backpropagation through time for a full sequence.
+    ///
+    /// `d_outputs[t]` is `∂L/∂y_t` from the layers above (classifier and/or
+    /// next stacked layer). Accumulates parameter gradients into `grads`
+    /// and returns `∂L/∂x_t` for the layer below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len() != d_outputs.len()`.
+    pub fn backward_seq(
+        &self,
+        caches: &[LstmCache],
+        d_outputs: &[Vec<f32>],
+        grads: &mut LstmGrads,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(caches.len(), d_outputs.len(), "sequence length mismatch");
+        let h = self.cfg.hidden_dim;
+        let t_len = caches.len();
+        let mut dx_seq = vec![Vec::new(); t_len];
+        let mut dy_rec = vec![0.0f32; self.cfg.output_dim];
+        let mut dc_next = vec![0.0f32; h];
+
+        for t in (0..t_len).rev() {
+            let cache = &caches[t];
+            // Total gradient on y_t: external + recurrent from t+1.
+            let mut dy = d_outputs[t].clone();
+            for (a, b) in dy.iter_mut().zip(dy_rec.iter()) {
+                *a += b;
+            }
+
+            // Through the projection (Eqn. 1g).
+            let dm = match &self.wym {
+                Some(w) => {
+                    grads
+                        .wym
+                        .as_mut()
+                        .expect("grads shaped like layer")
+                        .add_outer(1.0, &dy, &cache.m);
+                    w.matvec_t(&dy)
+                }
+                None => dy,
+            };
+
+            // Through m = o ⊙ tanh(c).
+            let mut dc = dc_next.clone();
+            let mut dpre_o = vec![0.0f32; h];
+            for k in 0..h {
+                let d_o = dm[k] * cache.tanh_c[k];
+                dc[k] += dm[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                dpre_o[k] = d_o * cache.o[k] * (1.0 - cache.o[k]);
+            }
+            // Peephole o feeds back into c_t.
+            if let Some([_, _, p_o]) = &self.peepholes {
+                let g_peep = grads.peepholes.as_mut().expect("grads shaped like layer");
+                for k in 0..h {
+                    dc[k] += dpre_o[k] * p_o[k];
+                }
+                hadamard_acc(&mut g_peep[2], &dpre_o, &cache.c);
+            }
+
+            // Through c = f ⊙ c_prev + g ⊙ i.
+            let mut dpre_i = vec![0.0f32; h];
+            let mut dpre_f = vec![0.0f32; h];
+            let mut dpre_g = vec![0.0f32; h];
+            let mut dc_prev = vec![0.0f32; h];
+            for k in 0..h {
+                let di = dc[k] * cache.g[k];
+                let dg = dc[k] * cache.i[k];
+                let df = dc[k] * cache.c_prev[k];
+                dc_prev[k] = dc[k] * cache.f[k];
+                dpre_i[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                dpre_f[k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                dpre_g[k] = dg * self.cfg.cell_activation.deriv_from_output(cache.g[k]);
+            }
+            if let Some([p_i, p_f, _]) = &self.peepholes {
+                let g_peep = grads.peepholes.as_mut().expect("grads shaped like layer");
+                for k in 0..h {
+                    dc_prev[k] += dpre_i[k] * p_i[k] + dpre_f[k] * p_f[k];
+                }
+                hadamard_acc(&mut g_peep[0], &dpre_i, &cache.c_prev);
+                hadamard_acc(&mut g_peep[1], &dpre_f, &cache.c_prev);
+            }
+
+            // Fused gate pre-activation gradient (i, f, g, o lanes).
+            let mut dpre = vec![0.0f32; 4 * h];
+            dpre[..h].copy_from_slice(&dpre_i);
+            dpre[h..2 * h].copy_from_slice(&dpre_f);
+            dpre[2 * h..3 * h].copy_from_slice(&dpre_g);
+            dpre[3 * h..].copy_from_slice(&dpre_o);
+
+            for (b, d) in grads.bias.iter_mut().zip(dpre.iter()) {
+                *b += d;
+            }
+            grads.wx.add_outer(1.0, &dpre, &cache.x);
+            grads.wr.add_outer(1.0, &dpre, &cache.y_prev);
+
+            dx_seq[t] = self.wx.matvec_t(&dpre);
+            dy_rec = self.wr.matvec_t(&dpre);
+            dc_next = dc_prev;
+        }
+        dx_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_layer(peephole: bool, projection: bool, seed: u64) -> LstmLayer<Matrix> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let cfg = LstmConfig {
+            input_dim: 3,
+            hidden_dim: 4,
+            output_dim: if projection { 2 } else { 4 },
+            peephole,
+            cell_activation: Act::Tanh,
+        };
+        LstmLayer::new_dense(cfg, &mut rng)
+    }
+
+    #[test]
+    fn step_produces_correct_shapes() {
+        let layer = tiny_layer(true, true, 1);
+        let state = layer.zero_state();
+        let (next, cache) = layer.step(&[0.1, -0.2, 0.3], &state, true);
+        assert_eq!(next.c.len(), 4);
+        assert_eq!(next.y.len(), 2);
+        assert!(cache.is_some());
+    }
+
+    #[test]
+    fn zero_input_and_state_is_near_rest() {
+        // With zero input/state, gates see only biases; cell state stays
+        // small and bounded.
+        let layer = tiny_layer(false, false, 2);
+        let (next, _) = layer.step(&[0.0, 0.0, 0.0], &layer.zero_state(), false);
+        for &c in &next.c {
+            assert!(c.abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn cell_state_is_bounded_over_long_sequences() {
+        // Sigmoid gates keep |c| growth linear at worst; with tanh cell
+        // input, |c_t| <= t. Check stability for a moderately long run.
+        let layer = tiny_layer(true, false, 3);
+        let mut state = layer.zero_state();
+        for t in 0..200 {
+            let x = vec![(t as f32 * 0.1).sin(), 0.3, -0.5];
+            state = layer.step(&x, &state, false).0;
+        }
+        for &c in &state.c {
+            assert!(c.is_finite() && c.abs() < 50.0);
+        }
+    }
+
+    #[test]
+    fn forward_seq_matches_manual_stepping() {
+        let layer = tiny_layer(true, true, 4);
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|t| vec![t as f32 * 0.1, -0.2, 0.05 * t as f32])
+            .collect();
+        let (outputs, caches) = layer.forward_seq(&inputs, true);
+        assert_eq!(outputs.len(), 6);
+        assert_eq!(caches.len(), 6);
+        let mut state = layer.zero_state();
+        for (t, x) in inputs.iter().enumerate() {
+            let (next, _) = layer.step(x, &state, false);
+            assert_eq!(outputs[t], next.y);
+            state = next;
+        }
+    }
+
+    /// Finite-difference validation of the full BPTT path, the linchpin
+    /// correctness test for training.
+    fn check_gradients(peephole: bool, projection: bool) {
+        let layer = tiny_layer(peephole, projection, 5);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        use rand::Rng;
+        let inputs: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        // Loss: sum of squares of outputs — simple and smooth.
+        let loss = |layer: &LstmLayer<Matrix>| -> f32 {
+            let (outs, _) = layer.forward_seq(&inputs, false);
+            outs.iter()
+                .flat_map(|o| o.iter())
+                .map(|v| 0.5 * v * v)
+                .sum()
+        };
+
+        let (outs, caches) = layer.forward_seq(&inputs, true);
+        let d_outputs: Vec<Vec<f32>> = outs.clone();
+        let mut grads = layer.zero_grads();
+        layer.backward_seq(&caches, &d_outputs, &mut grads);
+
+        let eps = 1e-2f32;
+        // Check a sample of wx, wr, bias and (if present) peephole params.
+        let mut perturbed = layer.clone();
+        for idx in [0usize, 7, 13] {
+            let orig = perturbed.wx.as_slice()[idx];
+            perturbed.wx.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&perturbed);
+            perturbed.wx.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&perturbed);
+            perturbed.wx.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.wx.as_slice()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "wx[{idx}] fd={fd} an={an} (peephole={peephole}, projection={projection})"
+            );
+        }
+        for idx in [0usize, 5] {
+            let orig = perturbed.bias[idx];
+            perturbed.bias[idx] = orig + eps;
+            let lp = loss(&perturbed);
+            perturbed.bias[idx] = orig - eps;
+            let lm = loss(&perturbed);
+            perturbed.bias[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.bias[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "bias[{idx}] fd={fd} an={an}"
+            );
+        }
+        if peephole {
+            let orig = perturbed.peepholes.as_ref().unwrap()[0][1];
+            perturbed.peepholes.as_mut().unwrap()[0][1] = orig + eps;
+            let lp = loss(&perturbed);
+            perturbed.peepholes.as_mut().unwrap()[0][1] = orig - eps;
+            let lm = loss(&perturbed);
+            perturbed.peepholes.as_mut().unwrap()[0][1] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.peepholes.as_ref().unwrap()[0][1];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "peephole fd={fd} an={an}"
+            );
+        }
+        if projection {
+            let orig = perturbed.wym.as_ref().unwrap().as_slice()[3];
+            perturbed.wym.as_mut().unwrap().as_mut_slice()[3] = orig + eps;
+            let lp = loss(&perturbed);
+            perturbed.wym.as_mut().unwrap().as_mut_slice()[3] = orig - eps;
+            let lm = loss(&perturbed);
+            perturbed.wym.as_mut().unwrap().as_mut_slice()[3] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.wym.as_ref().unwrap().as_slice()[3];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "wym fd={fd} an={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_plain() {
+        check_gradients(false, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_peephole() {
+        check_gradients(true, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_projection() {
+        check_gradients(false, true);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_full() {
+        check_gradients(true, true);
+    }
+
+    #[test]
+    fn param_count_accounts_for_all_tensors() {
+        let layer = tiny_layer(true, true, 6);
+        // wx: 16x3, wr: 16x2, bias: 16, peep: 3*4, wym: 2x4.
+        assert_eq!(layer.param_count(), 48 + 32 + 16 + 12 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension")]
+    fn step_rejects_bad_input_dim() {
+        let layer = tiny_layer(false, false, 7);
+        let state = layer.zero_state();
+        let _ = layer.step(&[0.0; 5], &state, false);
+    }
+}

@@ -1,0 +1,336 @@
+//! Fixed-point number formats with saturation.
+//!
+//! The E-RNN accelerator replaces floating point with fixed-point units
+//! (Sec. VII-D). A format is `Q(word − 1 − frac, frac)`: one sign bit,
+//! `word − 1 − frac` integer bits and `frac` fractional bits. Values are
+//! represented as scaled integers `round(x · 2^frac)` saturated to the word
+//! range — exactly what a DSP-slice datapath does.
+
+/// A signed fixed-point format.
+///
+/// ```
+/// use ernn_quant::FixedFormat;
+/// let fmt = FixedFormat::new(12, 10); // Q1.10, range ±2
+/// assert_eq!(fmt.quantize_f32(0.5), 0.5);
+/// assert_eq!(fmt.quantize_f32(100.0), fmt.max_value()); // saturation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    /// Total word length in bits, including the sign bit (2..=32).
+    word_bits: u8,
+    /// Number of fractional bits (`< word_bits`).
+    frac_bits: u8,
+}
+
+impl FixedFormat {
+    /// Creates a format with `word_bits` total bits and `frac_bits`
+    /// fractional bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bits` is outside `2..=32` or `frac_bits >= word_bits`.
+    pub fn new(word_bits: u8, frac_bits: u8) -> Self {
+        assert!(
+            (2..=32).contains(&word_bits),
+            "word length must be 2..=32 bits, got {word_bits}"
+        );
+        assert!(
+            frac_bits < word_bits,
+            "fractional bits ({frac_bits}) must leave room for the sign bit"
+        );
+        FixedFormat {
+            word_bits,
+            frac_bits,
+        }
+    }
+
+    /// Chooses the format with `word_bits` total bits whose integer part
+    /// just covers `max_abs` — the range analysis step of Sec. VII-D.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bits` is outside `2..=32` or `max_abs` is not finite
+    /// and positive.
+    pub fn for_range(word_bits: u8, max_abs: f32) -> Self {
+        assert!(
+            max_abs.is_finite() && max_abs > 0.0,
+            "range must be a positive finite value, got {max_abs}"
+        );
+        // Integer bits needed so that max_abs < 2^int_bits.
+        let int_bits = max_abs.log2().floor() as i32 + 1;
+        let int_bits = int_bits.clamp(0, word_bits as i32 - 1) as u8;
+        FixedFormat::new(word_bits, word_bits - 1 - int_bits)
+    }
+
+    /// Total word length in bits.
+    #[inline]
+    pub fn word_bits(&self) -> u8 {
+        self.word_bits
+    }
+
+    /// Fractional bits.
+    #[inline]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Integer bits (excluding sign).
+    #[inline]
+    pub fn int_bits(&self) -> u8 {
+        self.word_bits - 1 - self.frac_bits
+    }
+
+    /// The quantization step `2^(−frac)`.
+    #[inline]
+    pub fn step(&self) -> f32 {
+        (2.0f32).powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    #[inline]
+    pub fn max_value(&self) -> f32 {
+        self.raw_max() as f32 * self.step()
+    }
+
+    /// Smallest (most negative) representable value.
+    #[inline]
+    pub fn min_value(&self) -> f32 {
+        self.raw_min() as f32 * self.step()
+    }
+
+    #[inline]
+    fn raw_max(&self) -> i64 {
+        (1i64 << (self.word_bits - 1)) - 1
+    }
+
+    #[inline]
+    fn raw_min(&self) -> i64 {
+        -(1i64 << (self.word_bits - 1))
+    }
+
+    /// Quantizes to the raw scaled integer, rounding to nearest and
+    /// saturating at the word boundaries.
+    pub fn quantize_raw(&self, x: f32) -> i64 {
+        if x.is_nan() {
+            return 0;
+        }
+        let scaled = (x as f64 * (1i64 << self.frac_bits) as f64).round();
+        (scaled as i64).clamp(self.raw_min(), self.raw_max())
+    }
+
+    /// Converts a raw scaled integer back to `f32`.
+    #[inline]
+    pub fn dequantize_raw(&self, raw: i64) -> f32 {
+        raw as f32 * self.step()
+    }
+
+    /// Round-trips a value through the format (quantize then dequantize) —
+    /// the standard way to simulate fixed-point behaviour inside an `f32`
+    /// pipeline.
+    #[inline]
+    pub fn quantize_f32(&self, x: f32) -> f32 {
+        self.dequantize_raw(self.quantize_raw(x))
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.quantize_f32(*x);
+        }
+    }
+}
+
+impl std::fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Q{}.{} ({}b)",
+            self.int_bits(),
+            self.frac_bits,
+            self.word_bits
+        )
+    }
+}
+
+/// Error statistics from quantizing a data set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantStats {
+    /// Largest absolute quantization error observed.
+    pub max_abs_error: f32,
+    /// Root-mean-square quantization error.
+    pub rms_error: f32,
+    /// Fraction of values that hit the saturation bounds.
+    pub saturation_rate: f32,
+}
+
+/// Applies a [`FixedFormat`] to data sets and reports error statistics —
+/// used by Phase II to pick the shortest safe word length ("12-bit weight
+/// quantization is in general a safe design", Sec. VII-D).
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    format: FixedFormat,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for the given format.
+    pub fn new(format: FixedFormat) -> Self {
+        Quantizer { format }
+    }
+
+    /// The underlying format.
+    pub fn format(&self) -> FixedFormat {
+        self.format
+    }
+
+    /// Quantizes `xs` in place and returns the error statistics.
+    pub fn apply(&self, xs: &mut [f32]) -> QuantStats {
+        let mut max_abs = 0.0f32;
+        let mut sq_sum = 0.0f64;
+        let mut saturated = 0usize;
+        let hi = self.format.max_value();
+        let lo = self.format.min_value();
+        for x in xs.iter_mut() {
+            let orig = *x;
+            let q = self.format.quantize_f32(orig);
+            let err = (q - orig).abs();
+            max_abs = max_abs.max(err);
+            sq_sum += (err as f64) * (err as f64);
+            if q >= hi || q <= lo {
+                saturated += 1;
+            }
+            *x = q;
+        }
+        let n = xs.len().max(1) as f64;
+        QuantStats {
+            max_abs_error: max_abs,
+            rms_error: (sq_sum / n).sqrt() as f32,
+            saturation_rate: saturated as f32 / n as f32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn step_and_bounds_are_consistent() {
+        let fmt = FixedFormat::new(12, 10);
+        assert_eq!(fmt.step(), 1.0 / 1024.0);
+        assert!((fmt.max_value() - (2.0 - fmt.step())).abs() < 1e-6);
+        assert_eq!(fmt.min_value(), -2.0);
+        assert_eq!(fmt.int_bits(), 1);
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        let fmt = FixedFormat::new(8, 4); // step 1/16
+        assert_eq!(fmt.quantize_f32(0.06), 0.0625); // 0.06·16 = 0.96 → 1
+        assert_eq!(fmt.quantize_f32(0.03), 0.0); // 0.03·16 = 0.48 → 0
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let fmt = FixedFormat::new(8, 4);
+        assert_eq!(fmt.quantize_f32(100.0), fmt.max_value());
+        assert_eq!(fmt.quantize_f32(-100.0), fmt.min_value());
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        let fmt = FixedFormat::new(8, 4);
+        assert_eq!(fmt.quantize_f32(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn for_range_covers_the_range() {
+        for &max_abs in &[0.1f32, 0.5, 0.99, 1.0, 1.5, 3.9, 7.2, 100.0] {
+            let fmt = FixedFormat::for_range(12, max_abs);
+            assert!(
+                fmt.max_value() >= max_abs.min(fmt.max_value()),
+                "range {max_abs} format {fmt}"
+            );
+            // Unless clamped by the word size, the format covers max_abs.
+            if max_abs < (1 << 10) as f32 {
+                assert!(fmt.max_value() + fmt.step() >= max_abs, "range {max_abs}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_range_maximizes_precision() {
+        // max_abs = 0.9 fits in 0 integer bits: Q0.11 for a 12-bit word.
+        let fmt = FixedFormat::for_range(12, 0.9);
+        assert_eq!(fmt.frac_bits(), 11);
+        // max_abs = 1.5 needs 1 integer bit.
+        let fmt = FixedFormat::for_range(12, 1.5);
+        assert_eq!(fmt.frac_bits(), 10);
+    }
+
+    #[test]
+    fn twelve_bit_error_is_small() {
+        // Paper: "The accuracy degradation from input/weight quantization is
+        // very small" at 12 bits; the per-value error bound is step/2.
+        let fmt = FixedFormat::for_range(12, 1.0);
+        let mut xs: Vec<f32> = (0..1000).map(|i| (i as f32 / 500.0) - 1.0).collect();
+        let stats = Quantizer::new(fmt).apply(&mut xs);
+        assert!(stats.max_abs_error <= fmt.step() / 2.0 + 1e-7);
+        assert!(stats.rms_error <= fmt.step());
+    }
+
+    #[test]
+    fn quantizer_reports_saturation() {
+        let fmt = FixedFormat::new(8, 6); // range ±2
+        let mut xs = vec![5.0f32, -5.0, 0.0, 1.0];
+        let stats = Quantizer::new(fmt).apply(&mut xs);
+        assert_eq!(stats.saturation_rate, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "word length")]
+    fn rejects_oversized_word() {
+        let _ = FixedFormat::new(33, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional bits")]
+    fn rejects_frac_equal_word() {
+        let _ = FixedFormat::new(8, 8);
+    }
+
+    #[test]
+    fn display_shows_q_format() {
+        assert_eq!(FixedFormat::new(12, 10).to_string(), "Q1.10 (12b)");
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_error_bounded_by_half_step(
+            word in 4u8..16,
+            x in -1.0f32..1.0,
+        ) {
+            let fmt = FixedFormat::for_range(word, 1.0);
+            let q = fmt.quantize_f32(x);
+            // In-range values are within half a step.
+            if x.abs() <= fmt.max_value() {
+                prop_assert!((q - x).abs() <= fmt.step() / 2.0 + 1e-7);
+            }
+        }
+
+        #[test]
+        fn quantization_is_idempotent(word in 4u8..16, frac in 0u8..8, x in -100.0f32..100.0) {
+            prop_assume!(frac < word);
+            let fmt = FixedFormat::new(word, frac);
+            let once = fmt.quantize_f32(x);
+            prop_assert_eq!(fmt.quantize_f32(once), once);
+        }
+
+        #[test]
+        fn quantization_is_monotone(word in 4u8..12, a in -4.0f32..4.0, b in -4.0f32..4.0) {
+            let fmt = FixedFormat::for_range(word, 2.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(fmt.quantize_f32(lo) <= fmt.quantize_f32(hi));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Quantization substrate for the E-RNN reproduction.
+//!
+//! Phase II of the E-RNN framework (paper Sec. VII-D) replaces
+//! floating-point arithmetic with fixed-point units and replaces the
+//! `sigmoid`/`tanh` activations with piecewise-linear approximations that
+//! fit in on-chip logic (Sec. VIII-B1 credits the PWL activations with a
+//! large share of the efficiency gain over ESE's off-chip lookup tables).
+//!
+//! * [`FixedFormat`] — a `Q(int, frac)` fixed-point format with saturation,
+//!   plus range-driven format selection as described in Sec. VII-D
+//!   ("analyze the numerical range of inputs and trained weights ... then
+//!   initialize the integer and fractional part").
+//! * [`Quantizer`] — slice-level quantization with error statistics.
+//! * [`PiecewiseLinear`] — uniform-segment PWL approximation of activation
+//!   functions with max-error analysis.
+//!
+//! ```
+//! use ernn_quant::{FixedFormat, PiecewiseLinear};
+//!
+//! // 12-bit weights as used in E-RNN's final design.
+//! let fmt = FixedFormat::for_range(12, 0.9);
+//! let q = fmt.quantize_f32(0.123456);
+//! assert!((q - 0.123456).abs() < fmt.step());
+//!
+//! let tanh = PiecewiseLinear::tanh(64);
+//! assert!(tanh.max_error(1000) < 5e-3);
+//! ```
+
+mod fixed;
+mod pwl;
+
+pub use fixed::{FixedFormat, QuantStats, Quantizer};
+pub use pwl::PiecewiseLinear;

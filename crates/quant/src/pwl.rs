@@ -1,0 +1,218 @@
+//! Piecewise-linear activation approximation.
+//!
+//! ESE implements `sigmoid`/`tanh` with lookup tables that spill to off-chip
+//! DDR under high parallelism; E-RNN instead uses piecewise-linear (PWL)
+//! approximations evaluated entirely on-chip (paper Sec. VIII-B1: "Our
+//! piecewise linear approximation method can support activation
+//! implementation only using on-chip resources", worth "more than 2× energy
+//! efficiency gain"). A PWL unit stores one slope/intercept pair per
+//! segment; evaluation is one multiply and one add after a segment select.
+
+/// A uniform-segment piecewise-linear approximation of a scalar function.
+///
+/// Outside `[lo, hi]` the approximation clamps to the function's boundary
+/// values, which is correct for the saturating activations used in RNNs.
+///
+/// ```
+/// use ernn_quant::PiecewiseLinear;
+/// let sigmoid = PiecewiseLinear::sigmoid(32);
+/// let err = (sigmoid.eval(0.7) - 1.0 / (1.0 + (-0.7f32).exp())).abs();
+/// assert!(err < 1e-2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    lo: f32,
+    hi: f32,
+    /// Per-segment slope `a` and intercept `b`: `y = a·x + b`.
+    segments: Vec<(f32, f32)>,
+    /// Clamped output below `lo` / above `hi`.
+    left_value: f32,
+    right_value: f32,
+}
+
+impl PiecewiseLinear {
+    /// Builds a PWL approximation of `f` over `[lo, hi]` with `segments`
+    /// uniform pieces, interpolating `f` at the segment endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `lo >= hi`.
+    pub fn from_fn(lo: f32, hi: f32, segments: usize, f: impl Fn(f32) -> f32) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        assert!(lo < hi, "invalid interval [{lo}, {hi}]");
+        let width = (hi - lo) / segments as f32;
+        let mut seg = Vec::with_capacity(segments);
+        for s in 0..segments {
+            let x0 = lo + s as f32 * width;
+            let x1 = x0 + width;
+            let y0 = f(x0);
+            let y1 = f(x1);
+            let a = (y1 - y0) / width;
+            let b = y0 - a * x0;
+            seg.push((a, b));
+        }
+        PiecewiseLinear {
+            lo,
+            hi,
+            segments: seg,
+            left_value: f(lo),
+            right_value: f(hi),
+        }
+    }
+
+    /// PWL approximation of the logistic sigmoid over `[-8, 8]`.
+    pub fn sigmoid(segments: usize) -> Self {
+        PiecewiseLinear::from_fn(-8.0, 8.0, segments, |x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// PWL approximation of `tanh` over `[-4, 4]`.
+    pub fn tanh(segments: usize) -> Self {
+        PiecewiseLinear::from_fn(-4.0, 4.0, segments, f32::tanh)
+    }
+
+    /// Number of linear segments (drives the LUT cost model in `ernn-fpga`).
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The approximated domain.
+    #[inline]
+    pub fn domain(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+
+    /// Evaluates the approximation (clamping outside the domain).
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= self.lo {
+            return self.left_value;
+        }
+        if x >= self.hi {
+            return self.right_value;
+        }
+        let width = (self.hi - self.lo) / self.segments.len() as f32;
+        let idx = (((x - self.lo) / width) as usize).min(self.segments.len() - 1);
+        let (a, b) = self.segments[idx];
+        a * x + b
+    }
+
+    /// Evaluates a whole slice in place.
+    pub fn eval_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.eval(*x);
+        }
+    }
+
+    /// Maximum absolute error versus a reference function, estimated on a
+    /// uniform grid of `samples` points across the domain.
+    pub fn max_error_vs(&self, reference: impl Fn(f32) -> f32, samples: usize) -> f32 {
+        let mut max = 0.0f32;
+        for i in 0..samples {
+            let x = self.lo + (self.hi - self.lo) * i as f32 / (samples - 1).max(1) as f32;
+            max = max.max((self.eval(x) - reference(x)).abs());
+        }
+        max
+    }
+
+    /// Max error for the built-in constructors: compares against the exact
+    /// sigmoid when the domain is `[-8, 8]`, otherwise against exact `tanh`.
+    ///
+    /// Prefer [`Self::max_error_vs`] with an explicit reference for custom
+    /// functions.
+    pub fn max_error(&self, samples: usize) -> f32 {
+        if self.lo == -8.0 && self.hi == 8.0 {
+            self.max_error_vs(|x| 1.0 / (1.0 + (-x).exp()), samples)
+        } else {
+            self.max_error_vs(f32::tanh, samples)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigmoid(x: f32) -> f32 {
+        1.0 / (1.0 + (-x).exp())
+    }
+
+    #[test]
+    fn interpolates_exactly_at_knots() {
+        let pwl = PiecewiseLinear::tanh(16);
+        let width = 8.0 / 16.0;
+        for s in 0..=16 {
+            let x = -4.0 + s as f32 * width;
+            assert!((pwl.eval(x) - x.tanh()).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let pwl = PiecewiseLinear::sigmoid(8);
+        assert_eq!(pwl.eval(-100.0), sigmoid(-8.0));
+        assert_eq!(pwl.eval(100.0), sigmoid(8.0));
+    }
+
+    #[test]
+    fn error_shrinks_with_more_segments() {
+        let coarse = PiecewiseLinear::tanh(8).max_error(2000);
+        let medium = PiecewiseLinear::tanh(32).max_error(2000);
+        let fine = PiecewiseLinear::tanh(128).max_error(2000);
+        assert!(coarse > medium && medium > fine);
+        // Linear interpolation error scales ~1/segments².
+        assert!(fine < coarse / 16.0 * 1.5);
+    }
+
+    #[test]
+    fn sixty_four_segments_meet_hardware_budget() {
+        // The quantization step of a 12-bit Q1.10 datapath is ~1e-3; the
+        // PWL error at 64 segments is comfortably below it for sigmoid and
+        // of the same order for tanh.
+        assert!(PiecewiseLinear::sigmoid(64).max_error(4000) < 1e-3);
+        assert!(PiecewiseLinear::tanh(64).max_error(4000) < 2e-3);
+    }
+
+    #[test]
+    fn preserves_monotonicity_on_grid() {
+        let pwl = PiecewiseLinear::sigmoid(16);
+        let mut prev = f32::NEG_INFINITY;
+        for i in 0..200 {
+            let x = -10.0 + i as f32 * 0.1;
+            let y = pwl.eval(x);
+            assert!(y >= prev - 1e-6, "non-monotone at x={x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn odd_symmetry_of_tanh_approximation() {
+        let pwl = PiecewiseLinear::tanh(32);
+        for i in 0..50 {
+            let x = i as f32 * 0.1;
+            assert!((pwl.eval(x) + pwl.eval(-x)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn eval_slice_matches_scalar() {
+        let pwl = PiecewiseLinear::tanh(16);
+        let xs: Vec<f32> = (0..10).map(|i| i as f32 * 0.3 - 1.5).collect();
+        let mut ys = xs.clone();
+        pwl.eval_slice(&mut ys);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(pwl.eval(*x), *y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn rejects_zero_segments() {
+        let _ = PiecewiseLinear::from_fn(0.0, 1.0, 0, |x| x);
+    }
+
+    #[test]
+    fn custom_function_uses_explicit_reference() {
+        let pwl = PiecewiseLinear::from_fn(0.0, 1.0, 64, |x| x * x);
+        assert!(pwl.max_error_vs(|x| x * x, 1000) < 1e-3);
+    }
+}

@@ -1,0 +1,49 @@
+//! The two-phase E-RNN design-optimization flow (paper Fig. 2 + Sec. VII):
+//! Phase I derives the model (cell type, block sizes) under an accuracy
+//! budget with a bounded number of training trials; Phase II derives the
+//! datapath (quantization, PWL activations) and reports the hardware.
+//!
+//! Run with: `cargo run --release --example design_explorer`
+//! (add `--full` for the experiment-scale configuration)
+
+use ernn::core::explore::{block_size_bounds, Fig8Curve};
+use ernn::core::flow::{run_flow, FlowConfig};
+use ernn::fpga::XCKU060;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    // The two explorations that bound Phase I's search:
+    let bounds = block_size_bounds(1024, &XCKU060);
+    println!(
+        "block-size bounds on {}: BRAM floor {} .. compute ceiling {} ({} candidates)",
+        XCKU060.name, bounds.lower, bounds.upper, bounds.candidates
+    );
+    println!("{}", Fig8Curve::paper(1024).render());
+
+    // The full flow: Phase I (real ADMM training trials on the synthetic
+    // corpus) + Phase II (quantization scan + hardware report).
+    let config = if full {
+        FlowConfig::standard(11)
+    } else {
+        FlowConfig::quick(11)
+    };
+    let report = run_flow(config);
+    println!("{}", report.render());
+    println!("Phase-I trials:");
+    for (i, t) in report.phase1.trials.iter().enumerate() {
+        println!(
+            "  trial {}: {:?} block {} io {} -> PER {:.2}% [{}]",
+            i + 1,
+            t.spec.cell,
+            t.spec.block,
+            t.spec.io_block,
+            t.per,
+            if t.accepted { "ok" } else { "rejected" }
+        );
+    }
+    println!("Phase-II quantization scan:");
+    for (bits, per) in &report.phase2.quant_trials {
+        println!("  {bits:>2}-bit fixed point -> PER {per:.2}%");
+    }
+}

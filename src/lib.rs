@@ -1,0 +1,40 @@
+//! # E-RNN
+//!
+//! A reproduction of *"E-RNN: Design Optimization for Efficient Recurrent
+//! Neural Networks in FPGAs"* (Li, Ding, et al., HPCA 2019).
+//!
+//! E-RNN is an algorithm/hardware co-design framework: LSTM/GRU weight
+//! matrices are constrained to the block-circulant format, trained with
+//! ADMM, executed with FFT-based kernels, and mapped onto an FPGA through a
+//! two-phase design-optimization flow.
+//!
+//! This facade crate re-exports the entire workspace; downstream users can
+//! depend on `ernn` alone:
+//!
+//! * [`fft`] — FFT kernels, circular convolution, multiplication-cost model.
+//! * [`linalg`] — dense kernels and the block-circulant matrix type.
+//! * [`quant`] — fixed-point arithmetic and piecewise-linear activations.
+//! * [`model`] — LSTM/GRU cells, stacked networks, BPTT training.
+//! * [`admm`] — ADMM-based structured training (the paper's Sec. III-B).
+//! * [`asr`] — synthetic speech corpus, DSP front end, PER scoring.
+//! * [`baselines`] — ESE-style pruned LSTM and C-LSTM-style training.
+//! * [`fpga`] — device models, PE/CU designs, cycle simulator, power model.
+//! * [`hls`] — operation graphs, scheduling and C-like code generation.
+//! * [`core`] — the Phase I / Phase II E-RNN framework itself.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: train a dense LSTM
+//! on synthetic speech, compress it with ADMM into block-circulant form, and
+//! estimate the resulting FPGA implementation.
+
+pub use ernn_admm as admm;
+pub use ernn_asr as asr;
+pub use ernn_baselines as baselines;
+pub use ernn_core as core;
+pub use ernn_fft as fft;
+pub use ernn_fpga as fpga;
+pub use ernn_hls as hls;
+pub use ernn_linalg as linalg;
+pub use ernn_model as model;
+pub use ernn_quant as quant;

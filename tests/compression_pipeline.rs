@@ -1,0 +1,81 @@
+//! Cross-crate integration: dense training → ADMM → compression →
+//! quantized execution, verifying the representations agree end to end.
+
+use ernn::admm::{AdmmConfig, AdmmTrainer};
+use ernn::asr::{evaluate_per, SynthCorpus, SynthCorpusConfig};
+use ernn::fpga::exec::{DatapathConfig, QuantizedNetwork};
+use ernn::model::trainer::{train, TrainOptions};
+use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder, Sgd};
+use rand::SeedableRng;
+
+fn pipeline(cell: CellType) {
+    let corpus = SynthCorpus::generate(&SynthCorpusConfig::tiny(5));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let mut net = NetworkBuilder::new(cell, corpus.feature_dim, corpus.num_classes())
+        .layer_dims(&[16])
+        .build(&mut rng);
+    let data = corpus.train_sequences();
+    let mut opt = Sgd::new(0.05).momentum(0.9).clip_norm(2.0);
+    train(
+        &mut net,
+        &data,
+        TrainOptions {
+            epochs: 3,
+            ..TrainOptions::default()
+        },
+        &mut opt,
+        &mut rng,
+    );
+
+    // ADMM onto block size 4, then snap and compress.
+    let policy = BlockPolicy::uniform(4);
+    let mut trainer = AdmmTrainer::new(
+        &net,
+        policy,
+        AdmmConfig {
+            iterations: 2,
+            epochs_per_iter: 1,
+            ..AdmmConfig::default()
+        },
+    );
+    let mut opt2 = Sgd::new(0.02).momentum(0.9).clip_norm(2.0);
+    trainer.run(&mut net, &data, &mut opt2, &mut rng);
+    trainer.finalize(&mut net);
+
+    let compressed = compress_network(&net, policy);
+    assert!(compressed.param_count() < net.param_count());
+
+    // The compressed model computes the same function as the snapped
+    // dense model (projection was lossless after finalize).
+    let frames = &corpus.test[0].features;
+    let dense_logits = net.forward_logits(frames);
+    let comp_logits = compressed.forward_logits(frames);
+    for (a, b) in dense_logits
+        .iter()
+        .flatten()
+        .zip(comp_logits.iter().flatten())
+    {
+        assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+    }
+
+    // PER is computable for every representation, including fixed point.
+    let per_dense = evaluate_per(&net, &corpus.test);
+    let per_comp = evaluate_per(&compressed, &corpus.test);
+    assert!((per_dense - per_comp).abs() < 20.0);
+
+    let quantized = QuantizedNetwork::new(&compressed, &DatapathConfig::paper_12bit());
+    let q_logits = quantized.forward_logits(frames);
+    for (a, b) in comp_logits.iter().flatten().zip(q_logits.iter().flatten()) {
+        assert!((a - b).abs() < 0.2, "12-bit drift too large: {a} vs {b}");
+    }
+}
+
+#[test]
+fn lstm_pipeline_is_consistent() {
+    pipeline(CellType::Lstm);
+}
+
+#[test]
+fn gru_pipeline_is_consistent() {
+    pipeline(CellType::Gru);
+}
