@@ -95,7 +95,7 @@ pub fn render_phone(
             let period = (SAMPLE_RATE / speaker.pitch_hz).max(2.0) as usize;
             for (n, v) in out.iter_mut().enumerate() {
                 let excitation = if n % period == 0 { 1.0 } else { 0.0 };
-                let x = excitation + rng.gen_range(-0.01..0.01);
+                let x = excitation + rng.gen_range(-0.01f32..0.01);
                 *v = r1.process(x) + 0.7 * r2.process(x) + 0.35 * r3.process(x);
             }
             normalize(&mut out, 0.3);

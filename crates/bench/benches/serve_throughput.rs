@@ -1,0 +1,51 @@
+//! Criterion bench for the serving runtime: event-loop + device-model
+//! overhead under batched and unbatched policies, one and two devices.
+//! (Virtual-time throughput is the `serve_sweep` binary's job; this
+//! bench tracks the *host-side* cost of simulating a serving run.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ernn_fpga::exec::DatapathConfig;
+use ernn_fpga::XCKU060;
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
+use ernn_serve::{BatchPolicy, CompiledModel, Request, ServeRuntime};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn compiled() -> CompiledModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let dense = NetworkBuilder::new(CellType::Gru, 16, 8)
+        .layer_dims(&[32])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(8));
+    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+}
+
+fn load() -> Vec<Request> {
+    let utterances = synthetic_utterances(8, (10, 30), 16, 5);
+    open_loop_poisson(&utterances, 64, 300_000.0, 6)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_millis(600));
+
+    let requests = load();
+    for (devices, policy, label) in [
+        (1, BatchPolicy::immediate(), "1dev_unbatched"),
+        (1, BatchPolicy::new(8, 200.0), "1dev_batch8"),
+        (2, BatchPolicy::new(8, 200.0), "2dev_batch8"),
+        (4, BatchPolicy::new(16, 400.0), "4dev_batch16"),
+    ] {
+        let runtime = ServeRuntime::new(compiled(), devices, policy);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &requests, |b, reqs| {
+            b.iter(|| std::hint::black_box(runtime.run(reqs.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

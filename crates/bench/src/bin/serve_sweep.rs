@@ -1,0 +1,70 @@
+//! Sweeps device count × batch policy for the serving runtime and prints
+//! the virtual-time throughput/latency frontier — the serving analogue of
+//! the paper's design-space exploration.
+//!
+//! Run with: `cargo run --release -p ernn-bench --bin serve_sweep`
+//! (`--quick` halves the request count for smoke runs).
+
+use ernn_fpga::exec::DatapathConfig;
+use ernn_fpga::XCKU060;
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
+use ernn_serve::{BatchPolicy, CompiledModel, ServeRuntime};
+use rand::SeedableRng;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let num_requests = if quick { 200 } else { 400 };
+
+    // A GRU-64 acoustic model compressed at block 8, the Table II shape.
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let dense = NetworkBuilder::new(CellType::Gru, 52, 40)
+        .layer_dims(&[64])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(8));
+    let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+    println!(
+        "model: GRU-64 block 8, II {} cycles, {} cached weight spectra\n",
+        model.stage_cycles().ii(),
+        model.load_stats.cached_spectra
+    );
+
+    // Offered load: ~2× one device's capacity, so batching and sharding
+    // both matter.
+    let utterances = synthetic_utterances(12, (20, 60), 52, 21);
+    let requests = open_loop_poisson(&utterances, num_requests, 400_000.0, 22);
+
+    println!(
+        "{:<8} {:<14} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "devices", "policy", "throughput", "p50 µs", "p95 µs", "p99 µs", "mean batch", "occ %"
+    );
+    for devices in [1usize, 2, 4] {
+        for (policy, label) in [
+            (BatchPolicy::immediate(), "unbatched"),
+            (BatchPolicy::new(4, 100.0), "b4/w100"),
+            (BatchPolicy::new(8, 200.0), "b8/w200"),
+            (BatchPolicy::new(16, 400.0), "b16/w400"),
+        ] {
+            let runtime = ServeRuntime::new(model.clone(), devices, policy);
+            let report = runtime.run(requests.clone());
+            let m = &report.metrics;
+            let mean_occ =
+                m.device_occupancy.iter().sum::<f64>() / m.device_occupancy.len().max(1) as f64;
+            println!(
+                "{:<8} {:<14} {:>10.0}/s {:>10.1} {:>10.1} {:>10.1} {:>10.2} {:>7.0}%",
+                devices,
+                label,
+                m.throughput_rps,
+                m.latency.p50_us,
+                m.latency.p95_us,
+                m.latency.p99_us,
+                m.mean_batch_size,
+                mean_occ * 100.0
+            );
+        }
+    }
+    println!(
+        "\n({} open-loop Poisson requests at 400k req/s offered; virtual time)",
+        num_requests
+    );
+}

@@ -35,6 +35,7 @@ mod real;
 
 pub mod conv;
 pub mod cost;
+pub mod stats;
 
 pub use complex::Complex32;
 pub use plan::{dft_naive, FftPlan};

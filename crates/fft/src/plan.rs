@@ -59,6 +59,7 @@ impl FftPlan {
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .map(|i| if size == 1 { 0 } else { i })
             .collect();
+        crate::stats::count_plan();
         FftPlan {
             size,
             twiddles,

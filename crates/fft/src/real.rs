@@ -55,6 +55,7 @@ impl RealFft {
         let twiddles = (0..=size / 2)
             .map(|k| Complex32::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
             .collect();
+        crate::stats::count_plan();
         RealFft {
             size,
             half_plan,
@@ -85,6 +86,7 @@ impl RealFft {
     /// Panics if `input.len() != self.size()`.
     pub fn forward(&self, input: &[f32]) -> Vec<Complex32> {
         assert_eq!(input.len(), self.size, "input length must match plan size");
+        crate::stats::count_forward();
         match self.size {
             1 => vec![Complex32::from_real(input[0])],
             2 => vec![
@@ -128,6 +130,7 @@ impl RealFft {
             self.spectrum_len(),
             "spectrum length must be N/2 + 1"
         );
+        crate::stats::count_inverse();
         match self.size {
             1 => vec![spectrum[0].re],
             2 => vec![

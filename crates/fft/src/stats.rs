@@ -1,0 +1,83 @@
+//! Process-wide FFT invocation counters.
+//!
+//! The serving runtime's weight-spectrum cache (see `ernn-serve`) claims
+//! that block-circulant weight FFTs run once per model load rather than
+//! once per request. These counters make that claim *observable*: plan
+//! construction and forward/inverse transform invocations are counted
+//! globally (relaxed atomics, negligible cost), so a test or a demo can
+//! snapshot the counters around a serving run and show that only
+//! input-side transforms grow with request count.
+//!
+//! Counters are process-global and monotonically increasing; consumers
+//! should compare [`FftStats`] snapshots rather than absolute values, and
+//! tests that assert exact deltas must not run concurrently with other
+//! FFT-using tests in the same process.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PLANS_CREATED: AtomicU64 = AtomicU64::new(0);
+static FORWARD_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
+static INVERSE_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide FFT counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftStats {
+    /// [`crate::FftPlan`] / [`crate::RealFft`] constructions.
+    pub plans_created: u64,
+    /// Real-input forward transforms ([`crate::RealFft::forward`]).
+    pub forward_transforms: u64,
+    /// Real-output inverse transforms ([`crate::RealFft::inverse`]).
+    pub inverse_transforms: u64,
+}
+
+impl FftStats {
+    /// Component-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &FftStats) -> FftStats {
+        FftStats {
+            plans_created: self.plans_created - earlier.plans_created,
+            forward_transforms: self.forward_transforms - earlier.forward_transforms,
+            inverse_transforms: self.inverse_transforms - earlier.inverse_transforms,
+        }
+    }
+}
+
+/// Takes a snapshot of the counters.
+pub fn snapshot() -> FftStats {
+    FftStats {
+        plans_created: PLANS_CREATED.load(Ordering::Relaxed),
+        forward_transforms: FORWARD_TRANSFORMS.load(Ordering::Relaxed),
+        inverse_transforms: INVERSE_TRANSFORMS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn count_plan() {
+    PLANS_CREATED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_forward() {
+    FORWARD_TRANSFORMS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_inverse() {
+    INVERSE_TRANSFORMS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RealFft;
+
+    #[test]
+    fn counters_track_plan_and_transform_activity() {
+        // Other tests may run concurrently in this process, so assert
+        // monotone growth by at-least the local activity, not equality.
+        let before = snapshot();
+        let rfft = RealFft::new(16);
+        let spec = rfft.forward(&[0.5f32; 16]);
+        let _ = rfft.inverse(&spec);
+        let delta = snapshot().since(&before);
+        assert!(delta.plans_created >= 1, "{delta:?}");
+        assert!(delta.forward_transforms >= 1, "{delta:?}");
+        assert!(delta.inverse_transforms >= 1, "{delta:?}");
+    }
+}

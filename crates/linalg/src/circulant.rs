@@ -45,6 +45,11 @@ pub struct BlockCirculantMatrix {
     spectra: Vec<Complex32>,
     /// Shared real-FFT plan of size `L_b`.
     rfft: RealFft,
+    /// How many times the weight spectra have been (re)computed over this
+    /// instance's lifetime (clones inherit the count). Construction counts
+    /// as one; a steady count across matvecs is the observable guarantee
+    /// that weight FFTs are cached rather than recomputed per request.
+    refreshes: u64,
 }
 
 impl BlockCirculantMatrix {
@@ -82,6 +87,7 @@ impl BlockCirculantMatrix {
             blocks,
             spectra: Vec::new(),
             rfft,
+            refreshes: 0,
         };
         m.refresh_spectra();
         m
@@ -204,7 +210,16 @@ impl BlockCirculantMatrix {
         self.refresh_spectra();
     }
 
+    /// Lifetime count of weight-spectrum recomputations (see the field
+    /// docs); serving-layer tests use this to prove the FFT'd-weight cache
+    /// is hit rather than rebuilt per request.
+    #[inline]
+    pub fn spectrum_refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
     fn refresh_spectra(&mut self) {
+        self.refreshes += 1;
         let sp_len = self.rfft.spectrum_len();
         self.spectra.clear();
         self.spectra.reserve(self.p * self.q * sp_len);

@@ -1,0 +1,155 @@
+//! Dynamic batching: group compatible requests under a max-batch /
+//! max-wait policy.
+//!
+//! The batcher is the classic serving trade-off dial (cf. C-LSTM and the
+//! parameterised-LSTM-accelerator line of work): larger batches amortize
+//! the CGPipe fill and scheduling overhead, longer waits add queueing
+//! latency. [`BatchPolicy`] expresses the dial; [`DynamicBatcher`] is the
+//! deterministic queue the runtime's event loop drives.
+
+use crate::request::Request;
+use std::collections::VecDeque;
+
+/// When to close a forming batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Dispatch once the oldest queued request has waited this long (µs),
+    /// even if the batch is not full.
+    pub max_wait_us: f64,
+}
+
+impl BatchPolicy {
+    /// No batching: every request dispatches alone, immediately.
+    pub fn immediate() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_wait_us: 0.0,
+        }
+    }
+
+    /// Batch up to `max_batch`, waiting at most `max_wait_us`.
+    pub fn new(max_batch: usize, max_wait_us: f64) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        assert!(max_wait_us >= 0.0, "max_wait_us must be non-negative");
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+        }
+    }
+}
+
+/// FIFO queue that forms batches according to a [`BatchPolicy`].
+#[derive(Debug)]
+pub struct DynamicBatcher {
+    policy: BatchPolicy,
+    queue: VecDeque<Request>,
+}
+
+impl DynamicBatcher {
+    /// An empty batcher under the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        DynamicBatcher {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues an arrived request.
+    pub fn push(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// The absolute time (µs) at which the forming batch must dispatch
+    /// even if still under-full, or `None` when the queue is empty.
+    pub fn flush_deadline_us(&self) -> Option<f64> {
+        self.queue
+            .front()
+            .map(|oldest| oldest.arrival_us + self.policy.max_wait_us)
+    }
+
+    /// Whether a batch should dispatch at time `now_us`: the queue is
+    /// full, or the oldest request has exhausted its wait budget.
+    pub fn ready(&self, now_us: f64) -> bool {
+        if self.queue.len() >= self.policy.max_batch {
+            return true;
+        }
+        match self.flush_deadline_us() {
+            Some(deadline) => now_us >= deadline,
+            None => false,
+        }
+    }
+
+    /// Removes and returns the next batch (up to `max_batch` requests,
+    /// FIFO). Returns an empty vec when nothing is queued.
+    pub fn take_batch(&mut self) -> Vec<Request> {
+        let n = self.queue.len().min(self.policy.max_batch);
+        self.queue.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival: f64) -> Request {
+        Request::new(id, vec![vec![0.0; 2]], arrival)
+    }
+
+    #[test]
+    fn full_queue_is_ready_immediately() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(2, 1000.0));
+        b.push(req(0, 0.0));
+        assert!(!b.ready(0.0));
+        b.push(req(1, 1.0));
+        assert!(b.ready(1.0));
+        let batch = b.take_batch();
+        assert_eq!(batch.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn wait_budget_flushes_partial_batch() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(8, 50.0));
+        b.push(req(0, 10.0));
+        assert!(!b.ready(59.0));
+        assert!(b.ready(60.0));
+        assert_eq!(b.flush_deadline_us(), Some(60.0));
+        assert_eq!(b.take_batch().len(), 1);
+    }
+
+    #[test]
+    fn take_batch_respects_max_and_fifo_order() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(3, 0.0));
+        for i in 0..5 {
+            b.push(req(i, i as f64));
+        }
+        let ids: Vec<u64> = b.take_batch().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn immediate_policy_dispatches_singletons() {
+        let mut b = DynamicBatcher::new(BatchPolicy::immediate());
+        b.push(req(0, 5.0));
+        assert!(b.ready(5.0));
+        assert_eq!(b.take_batch().len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Model loading with a once-per-load FFT'd-weight cache.
+//!
+//! [`CompiledModel`] is what the runtime serves: the quantized functional
+//! twin of a compressed network ([`ernn_fpga::exec::QuantizedNetwork`])
+//! plus the cycle-timing model of the accelerator that would run it
+//! ([`ernn_fpga::Accelerator`]). Compilation is the *only* point where
+//! block-circulant weight spectra are computed — every
+//! [`BlockCirculantMatrix`](ernn_linalg::BlockCirculantMatrix) carries its
+//! spectra from construction, and serving only ever calls `matvec`
+//! (input-side FFTs). [`CompiledModel::weight_spectrum_refreshes`] exposes
+//! the per-matrix refresh counters so tests can prove the cache holds:
+//! the counts must not move between requests.
+
+use ernn_fft::stats::{self, FftStats};
+use ernn_fpga::exec::{DatapathConfig, QuantizedNetwork};
+use ernn_fpga::{Accelerator, Device, HwCell, RnnSpec, StageCycles};
+use ernn_linalg::WeightMatrix;
+use ernn_model::{RnnLayer, RnnNetwork};
+
+/// FFT activity recorded while compiling a model.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// FFT plan constructions and transforms performed during load
+    /// (weight-spectrum computation dominates the forward count).
+    ///
+    /// Derived from the process-global counters in [`ernn_fft::stats`]:
+    /// FFT activity on *other* threads during compilation leaks into
+    /// this delta, so treat it as diagnostic unless compilation is the
+    /// only FFT user at the time (the per-instance
+    /// [`spectrum_refresh_count`](ernn_linalg::BlockCirculantMatrix::spectrum_refresh_count)
+    /// counters are the race-free cache witness).
+    pub fft: FftStats,
+    /// Number of block-circulant weight matrices in the model.
+    pub circulant_matrices: usize,
+    /// Total cached weight-spectrum count (`p·q` blocks per matrix).
+    pub cached_spectra: usize,
+}
+
+/// A loaded, quantized, timing-annotated model ready to serve.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    qnet: QuantizedNetwork,
+    spec: RnnSpec,
+    accel: Accelerator,
+    stages: StageCycles,
+    /// FFT work done at load time (the cache fill).
+    pub load_stats: LoadStats,
+}
+
+impl CompiledModel {
+    /// Quantizes `net` for `datapath` and derives the accelerator timing
+    /// model for `device`. All block-circulant weight spectra are
+    /// computed here, once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no RNN layers.
+    pub fn compile(
+        net: &RnnNetwork<WeightMatrix>,
+        datapath: &DatapathConfig,
+        device: Device,
+    ) -> Self {
+        let before = stats::snapshot();
+        let qnet = QuantizedNetwork::new(net, datapath);
+        let spec = derive_spec(qnet.network(), datapath.weight_bits);
+        let accel = Accelerator::new(spec, device);
+        let stages = accel.stage_cycles();
+        let (circulant_matrices, cached_spectra) =
+            circulant_matrices(qnet.network())
+                .iter()
+                .fold((0, 0), |(n, s), m| {
+                    let (p, q) = m.grid();
+                    (n + 1, s + p * q)
+                });
+        let load_stats = LoadStats {
+            fft: stats::snapshot().since(&before),
+            circulant_matrices,
+            cached_spectra,
+        };
+        CompiledModel {
+            qnet,
+            spec,
+            accel,
+            stages,
+            load_stats,
+        }
+    }
+
+    /// The quantized functional model.
+    pub fn quantized(&self) -> &QuantizedNetwork {
+        &self.qnet
+    }
+
+    /// The derived hardware workload spec.
+    pub fn spec(&self) -> &RnnSpec {
+        &self.spec
+    }
+
+    /// The accelerator timing model.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Per-frame CGPipe stage cycles (top layer, the paper's convention).
+    pub fn stage_cycles(&self) -> StageCycles {
+        self.stages
+    }
+
+    /// The model's input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.qnet.network().input_dim()
+    }
+
+    /// Runs one utterance through the quantized datapath. This is the
+    /// exact code path single-request execution uses, so batched and
+    /// sequential results are bit-identical by construction.
+    pub fn infer(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.qnet.forward_logits(frames)
+    }
+
+    /// Lifetime spectrum-refresh count of every block-circulant weight
+    /// matrix in the model, in layer order. Serving must not change
+    /// these: a moving count would mean weight FFTs are being recomputed
+    /// per request instead of cached.
+    pub fn weight_spectrum_refreshes(&self) -> Vec<u64> {
+        circulant_matrices(self.qnet.network())
+            .iter()
+            .map(|m| m.spectrum_refresh_count())
+            .collect()
+    }
+}
+
+/// Collects references to every block-circulant weight matrix.
+fn circulant_matrices<'n>(
+    net: &'n RnnNetwork<WeightMatrix>,
+) -> Vec<&'n ernn_linalg::BlockCirculantMatrix> {
+    let mut out = Vec::new();
+    for layer in net.layers() {
+        let weights: Vec<&WeightMatrix> = match layer {
+            RnnLayer::Lstm(l) => {
+                let mut w = vec![&l.wx, &l.wr];
+                if let Some(wym) = &l.wym {
+                    w.push(wym);
+                }
+                w
+            }
+            RnnLayer::Gru(g) => vec![&g.wzr_x, &g.wzr_c, &g.wcx, &g.wcc],
+        };
+        for w in weights {
+            if let WeightMatrix::Circulant(c) = w {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Derives the hardware workload spec from the network's top RNN layer
+/// (performance is quoted per top layer, matching the paper's Table III;
+/// storage accounts for all layers via `spec.layers`).
+fn derive_spec(net: &RnnNetwork<WeightMatrix>, weight_bits: u8) -> RnnSpec {
+    let top = net.layers().last().expect("network has at least one layer");
+    let (cell, hidden_dim, input_dim, block_size, io_block_size) = match top {
+        RnnLayer::Lstm(l) => {
+            let cfg = l.config();
+            let projection = l.wym.is_some().then_some(cfg.output_dim);
+            (
+                HwCell::Lstm { projection },
+                cfg.hidden_dim,
+                cfg.input_dim,
+                l.wr.block_size(),
+                l.wx.block_size(),
+            )
+        }
+        RnnLayer::Gru(g) => (
+            HwCell::Gru,
+            g.hidden_dim(),
+            g.input_dim(),
+            g.wzr_c.block_size(),
+            g.wcx.block_size(),
+        ),
+    };
+    RnnSpec {
+        cell,
+        input_dim,
+        hidden_dim,
+        block_size,
+        io_block_size,
+        weight_bits,
+        layers: net.num_layers(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_fpga::XCKU060;
+    use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+    use rand::SeedableRng;
+
+    fn model(cell: CellType) -> CompiledModel {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let dense = NetworkBuilder::new(cell, 8, 5)
+            .layer_dims(&[16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    }
+
+    #[test]
+    fn compile_fills_the_spectrum_cache_once() {
+        let m = model(CellType::Lstm);
+        assert!(m.load_stats.circulant_matrices > 0);
+        assert!(m.load_stats.cached_spectra > 0);
+        // Quantization clones the training-time matrix (1 refresh at
+        // construction) and rewrites its blocks (1 more); serving adds none.
+        let baseline = m.weight_spectrum_refreshes();
+        assert!(!baseline.is_empty());
+        for _ in 0..10 {
+            let _ = m.infer(&[vec![0.1; 8], vec![-0.2; 8]]);
+        }
+        assert_eq!(m.weight_spectrum_refreshes(), baseline);
+    }
+
+    #[test]
+    fn derived_spec_matches_network_shape() {
+        let m = model(CellType::Gru);
+        assert_eq!(m.spec().cell, HwCell::Gru);
+        assert_eq!(m.spec().hidden_dim, 16);
+        assert_eq!(m.spec().input_dim, 8);
+        assert_eq!(m.spec().block_size, 4);
+        assert_eq!(m.input_dim(), 8);
+        assert!(m.stage_cycles().ii() > 0);
+    }
+
+    #[test]
+    fn lstm_spec_sees_projection_absence() {
+        let m = model(CellType::Lstm);
+        assert_eq!(m.spec().cell, HwCell::Lstm { projection: None });
+    }
+}

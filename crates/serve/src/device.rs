@@ -1,0 +1,214 @@
+//! Virtual accelerator devices and the pool that shards work across them.
+//!
+//! Each [`VirtualDevice`] advances its own clock using the CGPipe stage
+//! timing from the compiled model ([`ernn_fpga::sim::simulate_batch`]):
+//! a dispatched batch streams its utterances' frames back-to-back through
+//! the 3-stage pipeline and the device is busy until the last frame
+//! drains. The [`DevicePool`] places each batch on the device that frees
+//! up earliest — the simplest work-conserving sharding policy, and the
+//! seam where smarter placement (heterogeneous pools, locality, admission
+//! control) plugs in later.
+
+use ernn_fpga::sim::simulate_batch;
+use ernn_fpga::{Device, StageCycles};
+
+/// Timing of one dispatched batch on a device.
+#[derive(Debug, Clone)]
+pub struct BatchExecution {
+    /// Index of the executing device.
+    pub device: usize,
+    /// When the batch started executing (µs; max of dispatch time and
+    /// the device's previous free time).
+    pub start_us: f64,
+    /// Per-utterance completion times (µs, absolute), submission order.
+    pub complete_us: Vec<f64>,
+    /// When the device frees up (µs).
+    pub free_us: f64,
+}
+
+/// One simulated accelerator with a private virtual clock.
+#[derive(Debug, Clone)]
+pub struct VirtualDevice {
+    stages: StageCycles,
+    /// When this device finishes its last accepted batch (µs).
+    free_at_us: f64,
+    /// Total busy time (µs).
+    busy_us: f64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Utterances executed.
+    pub requests: u64,
+    /// Frames executed.
+    pub frames: u64,
+}
+
+impl VirtualDevice {
+    /// An idle device with the given per-frame stage timing.
+    pub fn new(stages: StageCycles) -> Self {
+        VirtualDevice {
+            stages,
+            free_at_us: 0.0,
+            busy_us: 0.0,
+            batches: 0,
+            requests: 0,
+            frames: 0,
+        }
+    }
+
+    /// When the device next frees up (µs).
+    pub fn free_at_us(&self) -> f64 {
+        self.free_at_us
+    }
+
+    /// Total time the device has spent executing (µs).
+    pub fn busy_us(&self) -> f64 {
+        self.busy_us
+    }
+
+    /// Accepts a batch at `dispatch_us`, advances the device clock, and
+    /// returns absolute per-utterance completion times.
+    fn execute(&mut self, index: usize, dispatch_us: f64, frame_counts: &[u64]) -> BatchExecution {
+        let start_us = dispatch_us.max(self.free_at_us);
+        let trace = simulate_batch(self.stages, frame_counts);
+        let period_us = Device::clock_period_us();
+        let complete_us: Vec<f64> = trace
+            .completion_cycles
+            .iter()
+            .map(|&c| start_us + c as f64 * period_us)
+            .collect();
+        let makespan_us = trace.makespan_cycles as f64 * period_us;
+        self.free_at_us = start_us + makespan_us;
+        self.busy_us += makespan_us;
+        self.batches += 1;
+        self.requests += frame_counts.len() as u64;
+        self.frames += frame_counts.iter().sum::<u64>();
+        BatchExecution {
+            device: index,
+            start_us,
+            complete_us,
+            free_us: self.free_at_us,
+        }
+    }
+}
+
+/// A pool of identical virtual devices with earliest-free placement.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<VirtualDevice>,
+}
+
+impl DevicePool {
+    /// A pool of `n` idle devices sharing one timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, stages: StageCycles) -> Self {
+        assert!(n > 0, "device pool needs at least one device");
+        DevicePool {
+            devices: vec![VirtualDevice::new(stages); n],
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always false (the pool is non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Read access to the devices.
+    pub fn devices(&self) -> &[VirtualDevice] {
+        &self.devices
+    }
+
+    /// Places a batch on the earliest-free device (lowest index wins
+    /// ties, keeping the simulation fully deterministic).
+    pub fn dispatch(&mut self, dispatch_us: f64, frame_counts: &[u64]) -> BatchExecution {
+        let chosen = self
+            .devices
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.free_at_us
+                    .partial_cmp(&b.free_at_us)
+                    .expect("finite device clocks")
+            })
+            .map(|(i, _)| i)
+            .expect("pool is non-empty");
+        self.devices[chosen].execute(chosen, dispatch_us, frame_counts)
+    }
+
+    /// When every device is idle again (µs): the pool-wide makespan.
+    pub fn drained_at_us(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.free_at_us)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages() -> StageCycles {
+        StageCycles {
+            stage1: 100,
+            stage2: 60,
+            stage3: 80,
+        }
+    }
+
+    #[test]
+    fn device_clock_advances_by_batch_makespan() {
+        let mut pool = DevicePool::new(1, stages());
+        let exec = pool.dispatch(0.0, &[4, 2]);
+        assert_eq!(exec.device, 0);
+        assert!(exec.free_us > 0.0);
+        assert_eq!(exec.complete_us.len(), 2);
+        assert!(exec.complete_us[0] < exec.complete_us[1]);
+        assert_eq!(*exec.complete_us.last().unwrap(), exec.free_us);
+        // A second batch dispatched "in the past" waits for the device.
+        let exec2 = pool.dispatch(0.0, &[1]);
+        assert_eq!(exec2.start_us, exec.free_us);
+    }
+
+    #[test]
+    fn pool_places_on_earliest_free_device() {
+        let mut pool = DevicePool::new(2, stages());
+        let a = pool.dispatch(0.0, &[8]);
+        let b = pool.dispatch(0.0, &[1]);
+        assert_eq!(a.device, 0);
+        assert_eq!(b.device, 1, "second batch must go to the idle device");
+        let c = pool.dispatch(0.0, &[1]);
+        assert_eq!(
+            c.device, 1,
+            "device 1 frees first and takes the third batch"
+        );
+    }
+
+    #[test]
+    fn two_devices_drain_sooner_than_one() {
+        let batches: Vec<Vec<u64>> = (0..8).map(|_| vec![5u64]).collect();
+        let mut one = DevicePool::new(1, stages());
+        let mut two = DevicePool::new(2, stages());
+        for b in &batches {
+            one.dispatch(0.0, b);
+            two.dispatch(0.0, b);
+        }
+        assert!(two.drained_at_us() < one.drained_at_us());
+    }
+
+    #[test]
+    fn busy_time_tracks_executed_work_only() {
+        let mut pool = DevicePool::new(2, stages());
+        pool.dispatch(0.0, &[3]);
+        let d = pool.devices();
+        assert!((d[0].busy_us() - pool.drained_at_us()).abs() < 1e-9);
+        assert_eq!(d[1].busy_us(), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Batched multi-accelerator inference serving for compressed E-RNN
+//! models.
+//!
+//! The rest of the workspace reproduces the paper's compress-then-map
+//! flow: ADMM training ([`ernn_admm`]), block-circulant kernels
+//! ([`ernn_linalg`]/[`ernn_fft`]), and the CGPipe accelerator model
+//! ([`ernn_fpga`]). This crate adds the *serving* layer on top — the part
+//! a production deployment needs to turn one accelerator's µs-scale frame
+//! latency into sustained utterance throughput under live traffic:
+//!
+//! * [`Request`]/[`Response`] — utterance-level requests with virtual
+//!   arrival times, optional deadlines, and full timing breakdowns.
+//! * [`DynamicBatcher`] — groups requests under a max-batch / max-wait
+//!   [`BatchPolicy`], the classic throughput-vs-latency dial.
+//! * [`DevicePool`] — shards batches across N simulated accelerators;
+//!   each device advances a virtual clock with the cycle-accurate CGPipe
+//!   batch simulation ([`ernn_fpga::sim::simulate_batch`]) while outputs
+//!   come from the quantized datapath ([`ernn_fpga::exec`]), so batched
+//!   results are bit-identical to sequential execution.
+//! * [`CompiledModel`] — model load with a once-per-load FFT'd-weight
+//!   cache: every block-circulant weight spectrum is computed exactly
+//!   once at compile time and only input-side FFTs run per request
+//!   (observable via [`CompiledModel::weight_spectrum_refreshes`] and
+//!   [`ernn_fft::stats`]).
+//! * [`ServeRuntime`] — the deterministic event loop; [`ServeMetrics`]
+//!   reports p50/p95/p99 latency, throughput, per-device occupancy and
+//!   the batch-size histogram.
+//! * [`loadgen`] — open-loop Poisson and closed-loop traffic shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use ernn_serve::{BatchPolicy, CompiledModel, ServeRuntime};
+//! use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
+//! use ernn_fpga::exec::DatapathConfig;
+//! use ernn_fpga::XCKU060;
+//! use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+//! use rand::SeedableRng;
+//!
+//! // Compress a small GRU and compile it for serving.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let dense = NetworkBuilder::new(CellType::Gru, 8, 5).layer_dims(&[16]).build(&mut rng);
+//! let net = compress_network(&dense, BlockPolicy::uniform(4));
+//! let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+//!
+//! // Two devices, batches of up to 4, 100 µs wait budget.
+//! let runtime = ServeRuntime::new(model, 2, BatchPolicy::new(4, 100.0));
+//! let utterances = synthetic_utterances(4, (3, 8), 8, 7);
+//! let report = runtime.run(open_loop_poisson(&utterances, 32, 50_000.0, 9));
+//! assert_eq!(report.responses.len(), 32);
+//! println!("{}", report.metrics);
+//! ```
+
+mod batcher;
+mod cache;
+mod device;
+pub mod loadgen;
+mod metrics;
+mod request;
+mod runtime;
+
+pub use batcher::{BatchPolicy, DynamicBatcher};
+pub use cache::{CompiledModel, LoadStats};
+pub use device::{BatchExecution, DevicePool, VirtualDevice};
+pub use metrics::{LatencySummary, ServeMetrics};
+pub use request::{Request, Response};
+pub use runtime::{ServeReport, ServeRuntime};

@@ -1,0 +1,137 @@
+//! Traffic generation for the serving runtime.
+//!
+//! Two canonical load shapes:
+//!
+//! * **Open-loop Poisson** — arrivals follow an exponential inter-arrival
+//!   process at a fixed offered rate, independent of completions. This is
+//!   the "heavy traffic from many users" shape; the system has no back
+//!   pressure and queues grow when the offered rate exceeds capacity.
+//! * **Closed-loop** — a fixed population of clients, each submitting its
+//!   next request the moment the previous one completes. Throughput here
+//!   is latency-bound (`concurrency / mean latency`).
+//!
+//! Open-loop traffic is materialized up front as a request list; closed
+//! loops need completion feedback and are driven by
+//! [`crate::runtime::ServeRuntime::run_closed_loop`].
+
+use crate::request::Request;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws an exponential inter-arrival gap (µs) for the given rate.
+fn exp_gap_us(rate_rps: f64, rng: &mut ChaCha8Rng) -> f64 {
+    // Inverse-CDF sampling; clamp the uniform away from 0 so ln stays finite.
+    let u: f64 = rng.gen_range(1e-12f64..1.0);
+    -u.ln() / rate_rps * 1e6
+}
+
+/// Generates `num_requests` open-loop Poisson arrivals at `rate_rps`
+/// requests/second, cycling through `utterances` for payloads.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `utterances` is empty or `rate_rps` is not positive.
+pub fn open_loop_poisson(
+    utterances: &[Vec<Vec<f32>>],
+    num_requests: usize,
+    rate_rps: f64,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(!utterances.is_empty(), "need at least one utterance");
+    assert!(rate_rps > 0.0, "rate must be positive, got {rate_rps}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut now_us = 0.0f64;
+    (0..num_requests)
+        .map(|i| {
+            now_us += exp_gap_us(rate_rps, &mut rng);
+            Request::new(i as u64, utterances[i % utterances.len()].clone(), now_us)
+        })
+        .collect()
+}
+
+/// Attaches a uniform latency deadline (`slo_us` after arrival) to every
+/// request.
+pub fn with_uniform_slo(requests: Vec<Request>, slo_us: f64) -> Vec<Request> {
+    requests
+        .into_iter()
+        .map(|r| {
+            let arrival = r.arrival_us;
+            r.with_deadline(arrival + slo_us)
+        })
+        .collect()
+}
+
+/// Synthesizes `count` random utterances of `dim`-dimensional frames with
+/// lengths drawn from `frames` (inclusive). Deterministic in `seed`;
+/// useful for benches and tests that don't need the full ASR corpus.
+pub fn synthetic_utterances(
+    count: usize,
+    frames: (usize, usize),
+    dim: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<f32>>> {
+    assert!(frames.0 >= 1 && frames.0 <= frames.1, "bad frame range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let len = rng.gen_range(frames.0..=frames.1);
+            (0..len)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_increasing_and_rate_matched() {
+        let utts = synthetic_utterances(4, (3, 6), 8, 1);
+        let reqs = open_loop_poisson(&utts, 2000, 10_000.0, 7);
+        assert_eq!(reqs.len(), 2000);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_us < w[1].arrival_us);
+        }
+        // 2000 requests at 10k rps ≈ 200 ms span; allow generous slack.
+        let span_s = reqs.last().unwrap().arrival_us * 1e-6;
+        let empirical_rate = 2000.0 / span_s;
+        assert!(
+            (empirical_rate - 10_000.0).abs() / 10_000.0 < 0.15,
+            "empirical rate {empirical_rate}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let utts = synthetic_utterances(2, (2, 4), 4, 3);
+        let a = open_loop_poisson(&utts, 50, 1000.0, 42);
+        let b = open_loop_poisson(&utts, 50, 1000.0, 42);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.arrival_us, y.arrival_us);
+        }
+        let c = open_loop_poisson(&utts, 50, 1000.0, 43);
+        assert_ne!(a[0].arrival_us, c[0].arrival_us);
+    }
+
+    #[test]
+    fn slo_attaches_relative_deadline() {
+        let utts = synthetic_utterances(1, (2, 2), 4, 3);
+        let reqs = with_uniform_slo(open_loop_poisson(&utts, 5, 1000.0, 1), 500.0);
+        for r in &reqs {
+            assert_eq!(r.deadline_us, Some(r.arrival_us + 500.0));
+        }
+    }
+
+    #[test]
+    fn synthetic_utterances_respect_shape() {
+        let utts = synthetic_utterances(10, (3, 7), 5, 9);
+        assert_eq!(utts.len(), 10);
+        for u in &utts {
+            assert!((3..=7).contains(&u.len()));
+            assert!(u.iter().all(|f| f.len() == 5));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Serving metrics: latency percentiles, throughput, device occupancy
+//! and batch-size distribution.
+
+use crate::request::Response;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics over a set of latency samples (µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Computes the summary; returns an all-zero summary for no samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        LatencySummary {
+            count: sorted.len(),
+            mean_us: mean,
+            p50_us: percentile(&sorted, 0.50),
+            p95_us: percentile(&sorted, 0.95),
+            p99_us: percentile(&sorted, 0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=1.0).contains(&q), "percentile rank {q}");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Full metrics for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Requests completed.
+    pub completed: usize,
+    /// End-to-end latency (arrival → completion).
+    pub latency: LatencySummary,
+    /// Queueing component (arrival → batch start).
+    pub queue: LatencySummary,
+    /// Virtual-time horizon of the run: first arrival to last completion (µs).
+    pub makespan_us: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput_rps: f64,
+    /// Frames per second of virtual time.
+    pub throughput_fps: f64,
+    /// Busy fraction per device over the makespan (the same horizon as
+    /// [`ServeMetrics::makespan_us`], so the two cannot diverge).
+    pub device_occupancy: Vec<f64>,
+    /// batch size → number of batches dispatched at that size.
+    pub batch_histogram: BTreeMap<usize, usize>,
+    /// Mean dispatched batch size.
+    pub mean_batch_size: f64,
+    /// Fraction of deadline-carrying requests that missed.
+    pub deadline_miss_rate: f64,
+}
+
+impl ServeMetrics {
+    /// Aggregates responses plus per-device busy time (µs) into a
+    /// metrics report; occupancy is busy time over the makespan.
+    pub fn compute(responses: &[Response], device_busy_us: Vec<f64>) -> Self {
+        let latencies: Vec<f64> = responses.iter().map(Response::latency_us).collect();
+        let queues: Vec<f64> = responses.iter().map(Response::queue_us).collect();
+        let first_arrival = responses
+            .iter()
+            .map(|r| r.arrival_us)
+            .fold(f64::INFINITY, f64::min);
+        let last_complete = responses.iter().map(|r| r.complete_us).fold(0.0, f64::max);
+        let makespan_us = if responses.is_empty() {
+            0.0
+        } else {
+            last_complete - first_arrival
+        };
+        let total_frames: usize = responses.iter().map(|r| r.logits.len()).sum();
+
+        // Each batch appears once per member response; divide the member
+        // count by the batch size to recover the batch count.
+        let mut member_counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for r in responses {
+            *member_counts.entry(r.batch_size).or_insert(0) += 1;
+        }
+        let batch_histogram: BTreeMap<usize, usize> = member_counts
+            .iter()
+            .map(|(&size, &members)| (size, members / size))
+            .collect();
+        let num_batches: usize = batch_histogram.values().sum();
+        let mean_batch_size = if num_batches > 0 {
+            responses.len() as f64 / num_batches as f64
+        } else {
+            0.0
+        };
+
+        let with_deadline = responses.iter().filter(|r| r.deadline_tracked).count();
+        let missed = responses
+            .iter()
+            .filter(|r| r.deadline_tracked && !r.deadline_met)
+            .count();
+
+        let device_occupancy = device_busy_us
+            .iter()
+            .map(|&busy| {
+                if makespan_us > 0.0 {
+                    busy / makespan_us
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        ServeMetrics {
+            completed: responses.len(),
+            latency: LatencySummary::from_samples(&latencies),
+            queue: LatencySummary::from_samples(&queues),
+            makespan_us,
+            throughput_rps: rate_per_second(responses.len(), makespan_us),
+            throughput_fps: rate_per_second(total_frames, makespan_us),
+            device_occupancy,
+            batch_histogram,
+            mean_batch_size,
+            deadline_miss_rate: if with_deadline > 0 {
+                missed as f64 / with_deadline as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn rate_per_second(count: usize, horizon_us: f64) -> f64 {
+    if horizon_us > 0.0 {
+        count as f64 / (horizon_us * 1e-6)
+    } else {
+        0.0
+    }
+}
+
+impl fmt::Display for ServeMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "completed {} requests in {:.1} ms of virtual time",
+            self.completed,
+            self.makespan_us / 1e3
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.0} req/s, {:.0} frames/s",
+            self.throughput_rps, self.throughput_fps
+        )?;
+        writeln!(
+            f,
+            "latency µs: p50 {:.1}  p95 {:.1}  p99 {:.1}  max {:.1}  (queue p50 {:.1})",
+            self.latency.p50_us,
+            self.latency.p95_us,
+            self.latency.p99_us,
+            self.latency.max_us,
+            self.queue.p50_us
+        )?;
+        let occ: Vec<String> = self
+            .device_occupancy
+            .iter()
+            .map(|o| format!("{:.0}%", o * 100.0))
+            .collect();
+        writeln!(f, "device occupancy: [{}]", occ.join(", "))?;
+        let hist: Vec<String> = self
+            .batch_histogram
+            .iter()
+            .map(|(size, n)| format!("{size}×{n}"))
+            .collect();
+        write!(
+            f,
+            "batches (size×count): [{}], mean batch {:.2}",
+            hist.join(", "),
+            self.mean_batch_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(arrival: f64, dispatch: f64, complete: f64, batch: usize) -> Response {
+        Response {
+            id: 0,
+            logits: vec![vec![0.0]; 3],
+            arrival_us: arrival,
+            dispatch_us: dispatch,
+            complete_us: complete,
+            device: 0,
+            batch_size: batch,
+            deadline_met: true,
+            deadline_tracked: false,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn empty_samples_yield_zeroes() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_us, 0.0);
+    }
+
+    #[test]
+    fn batch_histogram_counts_batches_not_members() {
+        // One batch of 2 (two member responses) + one singleton batch.
+        let responses = vec![
+            resp(0.0, 1.0, 5.0, 2),
+            resp(0.5, 1.0, 6.0, 2),
+            resp(2.0, 7.0, 9.0, 1),
+        ];
+        let m = ServeMetrics::compute(&responses, vec![1.0]);
+        assert_eq!(m.batch_histogram[&2], 1);
+        assert_eq!(m.batch_histogram[&1], 1);
+        assert!((m.mean_batch_size - 1.5).abs() < 1e-9);
+        assert_eq!(m.completed, 3);
+        // Horizon: first arrival 0.0 → last completion 9.0.
+        assert!((m.makespan_us - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_without_panic() {
+        let m = ServeMetrics::compute(&[resp(0.0, 0.0, 10.0, 1)], vec![0.5, 0.25]);
+        let text = m.to_string();
+        assert!(text.contains("p95"));
+        assert!(text.contains("occupancy"));
+    }
+}

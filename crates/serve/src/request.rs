@@ -1,0 +1,112 @@
+//! Request/response model for the serving runtime.
+//!
+//! A [`Request`] is one ASR utterance — a sequence of feature frames —
+//! stamped with a (virtual) arrival time and an optional latency deadline.
+//! The runtime answers it with a [`Response`] carrying the per-frame
+//! logits plus the full timing breakdown, so callers can audit queueing,
+//! batching and device time separately.
+
+/// One utterance-level inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed on the response.
+    pub id: u64,
+    /// Feature frames, each of the model's input dimension.
+    pub frames: Vec<Vec<f32>>,
+    /// Arrival time on the virtual clock, in microseconds.
+    pub arrival_us: f64,
+    /// Optional completion deadline (absolute, microseconds).
+    pub deadline_us: Option<f64>,
+}
+
+impl Request {
+    /// A request with no deadline.
+    pub fn new(id: u64, frames: Vec<Vec<f32>>, arrival_us: f64) -> Self {
+        Request {
+            id,
+            frames,
+            arrival_us,
+            deadline_us: None,
+        }
+    }
+
+    /// Sets an absolute completion deadline.
+    pub fn with_deadline(mut self, deadline_us: f64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Number of feature frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// The completed answer for one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's identifier.
+    pub id: u64,
+    /// Per-frame class logits from the quantized datapath.
+    pub logits: Vec<Vec<f32>>,
+    /// When the request arrived (µs, virtual clock).
+    pub arrival_us: f64,
+    /// When its batch started executing on a device (µs).
+    pub dispatch_us: f64,
+    /// When its last frame left the pipeline (µs).
+    pub complete_us: f64,
+    /// Index of the device that executed it.
+    pub device: usize,
+    /// Size of the batch it rode in.
+    pub batch_size: usize,
+    /// Whether the request carried a deadline.
+    pub deadline_tracked: bool,
+    /// Whether the deadline (if any) was met; `true` when no deadline.
+    pub deadline_met: bool,
+}
+
+impl Response {
+    /// End-to-end latency: arrival to completion (µs).
+    pub fn latency_us(&self) -> f64 {
+        self.complete_us - self.arrival_us
+    }
+
+    /// Time spent waiting before the batch started (µs).
+    pub fn queue_us(&self) -> f64 {
+        self.dispatch_us - self.arrival_us
+    }
+
+    /// Time spent executing on the device (µs).
+    pub fn service_us(&self) -> f64 {
+        self.complete_us - self.dispatch_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_breakdown_adds_up() {
+        let r = Response {
+            id: 7,
+            logits: vec![],
+            arrival_us: 10.0,
+            dispatch_us: 25.0,
+            complete_us: 40.0,
+            device: 0,
+            batch_size: 4,
+            deadline_tracked: false,
+            deadline_met: true,
+        };
+        assert_eq!(r.latency_us(), 30.0);
+        assert_eq!(r.queue_us() + r.service_us(), r.latency_us());
+    }
+
+    #[test]
+    fn deadline_builder_sets_field() {
+        let req = Request::new(1, vec![vec![0.0; 4]], 0.0).with_deadline(99.0);
+        assert_eq!(req.deadline_us, Some(99.0));
+        assert_eq!(req.num_frames(), 1);
+    }
+}

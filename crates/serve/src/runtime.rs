@@ -1,0 +1,474 @@
+//! The serving event loop: arrivals → dynamic batches → device pool.
+//!
+//! The runtime advances a virtual clock over three event kinds — request
+//! arrival, batch-full dispatch, and max-wait flush — and shards formed
+//! batches across the device pool. Everything is deterministic: same
+//! requests, same policy, same pool ⇒ same responses and timings.
+//!
+//! Functional outputs come from the compiled model's quantized datapath
+//! one utterance at a time, so a batched run's logits are bit-identical
+//! to running each request alone; batching changes *when* work happens,
+//! never *what* is computed.
+
+use crate::batcher::{BatchPolicy, DynamicBatcher};
+use crate::cache::CompiledModel;
+use crate::device::DevicePool;
+use crate::metrics::ServeMetrics;
+use crate::request::{Request, Response};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timed arrival in the event queue (min-heap by time, then sequence
+/// number for determinism).
+struct Arrival {
+    t_us: f64,
+    seq: u64,
+    request: Request,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .t_us
+            .total_cmp(&self.t_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// All completed responses, in completion order per batch.
+    pub responses: Vec<Response>,
+    /// Aggregated latency/throughput/occupancy metrics.
+    pub metrics: ServeMetrics,
+}
+
+/// The batched multi-accelerator serving runtime.
+#[derive(Debug)]
+pub struct ServeRuntime {
+    model: CompiledModel,
+    num_devices: usize,
+    policy: BatchPolicy,
+}
+
+impl ServeRuntime {
+    /// A runtime serving `model` on `num_devices` identical virtual
+    /// accelerators under the given batching policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn new(model: CompiledModel, num_devices: usize, policy: BatchPolicy) -> Self {
+        assert!(num_devices > 0, "need at least one device");
+        ServeRuntime {
+            model,
+            num_devices,
+            policy,
+        }
+    }
+
+    /// The compiled model being served.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// Serves a pre-generated (open-loop) request list to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's frame dimension disagrees with the model.
+    pub fn run(&self, requests: Vec<Request>) -> ServeReport {
+        let mut heap = BinaryHeap::with_capacity(requests.len());
+        for (seq, request) in requests.into_iter().enumerate() {
+            self.validate(&request);
+            heap.push(Arrival {
+                t_us: request.arrival_us,
+                seq: seq as u64,
+                request,
+            });
+        }
+        self.run_events(heap, None)
+    }
+
+    /// Serves `total_requests` in a closed loop: `concurrency` clients
+    /// each submit at time zero and replace their request the moment it
+    /// completes, cycling through `utterances` for payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utterances` is empty or `concurrency == 0`.
+    pub fn run_closed_loop(
+        &self,
+        utterances: &[Vec<Vec<f32>>],
+        concurrency: usize,
+        total_requests: usize,
+    ) -> ServeReport {
+        assert!(!utterances.is_empty(), "need at least one utterance");
+        assert!(concurrency > 0, "need at least one client");
+        // Validate the whole payload pool up front: replacement requests
+        // are minted mid-run, long past the admission point.
+        for (i, utterance) in utterances.iter().enumerate() {
+            self.validate_frames(i as u64, utterance);
+        }
+        let mut heap = BinaryHeap::new();
+        let initial = concurrency.min(total_requests);
+        for i in 0..initial {
+            let request = Request::new(i as u64, utterances[i % utterances.len()].clone(), 0.0);
+            heap.push(Arrival {
+                t_us: 0.0,
+                seq: i as u64,
+                request,
+            });
+        }
+        let feedback = ClosedLoop {
+            utterances,
+            issued: initial,
+            total: total_requests,
+        };
+        self.run_events(heap, Some(feedback))
+    }
+
+    fn validate(&self, request: &Request) {
+        self.validate_frames(request.id, &request.frames);
+    }
+
+    fn validate_frames(&self, id: u64, frames: &[Vec<f32>]) {
+        let dim = self.model.input_dim();
+        assert!(
+            frames.iter().all(|f| f.len() == dim),
+            "request {id} frame dimension must be {dim}"
+        );
+        assert!(!frames.is_empty(), "request {id} has no frames");
+    }
+
+    fn run_events(
+        &self,
+        mut arrivals: BinaryHeap<Arrival>,
+        mut feedback: Option<ClosedLoop<'_>>,
+    ) -> ServeReport {
+        let mut pool = DevicePool::new(self.num_devices, self.model.stage_cycles());
+        let mut batcher = DynamicBatcher::new(self.policy);
+        let mut responses: Vec<Response> = Vec::new();
+        let mut now_us = 0.0f64;
+
+        loop {
+            if batcher.is_empty() {
+                match arrivals.pop() {
+                    Some(a) => {
+                        now_us = now_us.max(a.t_us);
+                        batcher.push(a.request);
+                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
+                    }
+                    None => break,
+                }
+                continue;
+            }
+
+            // The batcher owns the dispatch policy; the loop only decides
+            // whether the clock can reach an arrival before the flush.
+            let full = batcher.len() >= batcher.policy().max_batch;
+            let flush_at = batcher
+                .flush_deadline_us()
+                .expect("non-empty batcher has a flush deadline");
+            let next_arrival = arrivals.peek().map(|a| a.t_us);
+
+            if full {
+                debug_assert!(batcher.ready(now_us));
+                self.dispatch(
+                    now_us,
+                    &mut batcher,
+                    &mut pool,
+                    &mut responses,
+                    &mut arrivals,
+                    &mut feedback,
+                );
+            } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
+                // The next arrival lands before the wait budget runs out:
+                // let it join the forming batch.
+                now_us = now_us.max(t);
+                let a = arrivals.pop().expect("peeked arrival exists");
+                batcher.push(a.request);
+                self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
+            } else {
+                // Wait budget exhausted before anything else can join.
+                now_us = now_us.max(flush_at);
+                debug_assert!(batcher.ready(now_us));
+                self.dispatch(
+                    now_us,
+                    &mut batcher,
+                    &mut pool,
+                    &mut responses,
+                    &mut arrivals,
+                    &mut feedback,
+                );
+            }
+        }
+
+        let busy_us: Vec<f64> = pool.devices().iter().map(|d| d.busy_us()).collect();
+        let metrics = ServeMetrics::compute(&responses, busy_us);
+        ServeReport { responses, metrics }
+    }
+
+    /// Moves every arrival with `t ≤ now` into the batcher (they are
+    /// logically already waiting).
+    fn drain_due_arrivals(
+        &self,
+        arrivals: &mut BinaryHeap<Arrival>,
+        now_us: f64,
+        batcher: &mut DynamicBatcher,
+    ) {
+        while arrivals.peek().is_some_and(|a| a.t_us <= now_us)
+            && batcher.len() < batcher.policy().max_batch
+        {
+            let a = arrivals.pop().expect("peeked arrival exists");
+            batcher.push(a.request);
+        }
+    }
+
+    fn dispatch(
+        &self,
+        now_us: f64,
+        batcher: &mut DynamicBatcher,
+        pool: &mut DevicePool,
+        responses: &mut Vec<Response>,
+        arrivals: &mut BinaryHeap<Arrival>,
+        feedback: &mut Option<ClosedLoop<'_>>,
+    ) {
+        let batch = batcher.take_batch();
+        debug_assert!(!batch.is_empty(), "dispatch requires a formed batch");
+        let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
+        let exec = pool.dispatch(now_us, &frame_counts);
+        let batch_size = batch.len();
+
+        for (request, &complete_us) in batch.iter().zip(exec.complete_us.iter()) {
+            let logits = self.model.infer(&request.frames);
+            let deadline_met = request.deadline_us.is_none_or(|d| complete_us <= d);
+            responses.push(Response {
+                id: request.id,
+                logits,
+                arrival_us: request.arrival_us,
+                dispatch_us: exec.start_us,
+                complete_us,
+                device: exec.device,
+                batch_size,
+                deadline_tracked: request.deadline_us.is_some(),
+                deadline_met,
+            });
+
+            if let Some(fb) = feedback.as_mut() {
+                if let Some(next) = fb.next(complete_us) {
+                    arrivals.push(Arrival {
+                        t_us: complete_us,
+                        seq: next.id,
+                        request: next,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Closed-loop client population state.
+struct ClosedLoop<'u> {
+    utterances: &'u [Vec<Vec<f32>>],
+    issued: usize,
+    total: usize,
+}
+
+impl ClosedLoop<'_> {
+    /// The replacement request arriving at `t_us`, if the budget allows.
+    fn next(&mut self, t_us: f64) -> Option<Request> {
+        if self.issued >= self.total {
+            return None;
+        }
+        let id = self.issued as u64;
+        let payload = self.utterances[self.issued % self.utterances.len()].clone();
+        self.issued += 1;
+        Some(Request::new(id, payload, t_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{open_loop_poisson, synthetic_utterances, with_uniform_slo};
+    use ernn_fpga::exec::DatapathConfig;
+    use ernn_fpga::XCKU060;
+    use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+    use rand::SeedableRng;
+
+    fn model() -> CompiledModel {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let dense = NetworkBuilder::new(CellType::Gru, 8, 5)
+            .layer_dims(&[16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    }
+
+    /// Utterances long enough that service time (≈ frames × II) dominates
+    /// the µs-scale arrival gaps used by the pressure tests.
+    fn load(n: usize, rate: f64) -> Vec<Request> {
+        let utts = synthetic_utterances(6, (40, 80), 8, 33);
+        open_loop_poisson(&utts, n, rate, 44)
+    }
+
+    #[test]
+    fn all_requests_complete_exactly_once() {
+        let rt = ServeRuntime::new(model(), 2, BatchPolicy::new(4, 100.0));
+        let report = rt.run(load(64, 50_000.0));
+        assert_eq!(report.responses.len(), 64);
+        let mut ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<_>>());
+        for r in &report.responses {
+            assert!(r.complete_us > r.arrival_us);
+            assert!(r.dispatch_us >= r.arrival_us);
+            assert!(!r.logits.is_empty());
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let rt = ServeRuntime::new(model(), 2, BatchPolicy::new(4, 50.0));
+        let a = rt.run(load(40, 80_000.0));
+        let b = rt.run(load(40, 80_000.0));
+        for (x, y) in a.responses.iter().zip(b.responses.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.complete_us, y.complete_us);
+            assert_eq!(x.device, y.device);
+        }
+    }
+
+    #[test]
+    fn batching_engages_under_pressure() {
+        // Offered load far above single-device capacity forces full
+        // batches once the queue builds.
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::new(8, 200.0));
+        let report = rt.run(load(96, 500_000.0));
+        assert!(
+            report.metrics.mean_batch_size > 2.0,
+            "mean batch {} under heavy load",
+            report.metrics.mean_batch_size
+        );
+        assert!(report.metrics.batch_histogram.contains_key(&8));
+    }
+
+    #[test]
+    fn max_wait_bounds_queue_time_under_light_load() {
+        // One request every millisecond (deterministic spacing far above
+        // the wait budget): every batch is a flushed singleton and
+        // queueing stays within the 50 µs budget.
+        let utts = synthetic_utterances(4, (40, 80), 8, 33);
+        let reqs: Vec<Request> = (0..20)
+            .map(|i| Request::new(i, utts[i as usize % utts.len()].clone(), i as f64 * 1000.0))
+            .collect();
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::new(8, 50.0));
+        let report = rt.run(reqs);
+        for r in &report.responses {
+            assert!(r.queue_us() <= 50.0 + 1e-9, "queue {}", r.queue_us());
+            assert_eq!(r.batch_size, 1);
+        }
+    }
+
+    #[test]
+    fn deadlines_are_scored() {
+        // 1 µs SLO on 40+-frame utterances is unmeetable (device service
+        // alone exceeds it) → every deadline-carrying request misses.
+        let utts = synthetic_utterances(3, (40, 80), 8, 5);
+        let reqs = with_uniform_slo(open_loop_poisson(&utts, 30, 200_000.0, 6), 1.0);
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::new(4, 20.0));
+        let report = rt.run(reqs);
+        assert!((report.metrics.deadline_miss_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_completes_budget_and_respects_concurrency() {
+        let utts = synthetic_utterances(4, (3, 6), 8, 11);
+        let rt = ServeRuntime::new(model(), 2, BatchPolicy::new(4, 30.0));
+        let report = rt.run_closed_loop(&utts, 4, 40);
+        assert_eq!(report.responses.len(), 40);
+        // With 4 clients, at most 4 requests can overlap in flight.
+        for r in &report.responses {
+            assert!(r.batch_size <= 4);
+        }
+        // Later requests arrive exactly at some earlier completion.
+        let mut arrivals: Vec<f64> = report
+            .responses
+            .iter()
+            .filter(|r| r.id >= 4)
+            .map(|r| r.arrival_us)
+            .collect();
+        arrivals.sort_by(f64::total_cmp);
+        let completions: Vec<f64> = report.responses.iter().map(|r| r.complete_us).collect();
+        for a in arrivals {
+            assert!(
+                completions.iter().any(|&c| (c - a).abs() < 1e-9),
+                "arrival {a} matches no completion"
+            );
+        }
+    }
+
+    #[test]
+    fn more_devices_never_slow_the_drain() {
+        let reqs = load(80, 400_000.0);
+        let one = ServeRuntime::new(model(), 1, BatchPolicy::new(4, 100.0)).run(reqs.clone());
+        let two = ServeRuntime::new(model(), 2, BatchPolicy::new(4, 100.0)).run(reqs.clone());
+        let four = ServeRuntime::new(model(), 4, BatchPolicy::new(4, 100.0)).run(reqs);
+        assert!(two.metrics.makespan_us < one.metrics.makespan_us);
+        assert!(four.metrics.makespan_us <= two.metrics.makespan_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame dimension")]
+    fn rejects_mismatched_frame_dimension() {
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::immediate());
+        let _ = rt.run(vec![Request::new(0, vec![vec![0.0; 3]], 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no frames")]
+    fn closed_loop_validates_all_payloads_up_front() {
+        // The second utterance is only reachable via a mid-run
+        // replacement request; admission must still reject it.
+        let good = vec![vec![0.0f32; 8]; 3];
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::immediate());
+        let _ = rt.run_closed_loop(&[good, Vec::new()], 1, 10);
+    }
+
+    #[test]
+    fn occupancy_horizon_starts_at_first_arrival() {
+        // All arrivals late on the virtual clock: occupancy must be
+        // measured from the first arrival, not from t = 0.
+        let utts = synthetic_utterances(4, (40, 80), 8, 33);
+        let reqs: Vec<Request> = (0..32)
+            .map(|i| {
+                Request::new(
+                    i,
+                    utts[i as usize % utts.len()].clone(),
+                    1_000_000.0 + i as f64,
+                )
+            })
+            .collect();
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::new(8, 50.0));
+        let report = rt.run(reqs);
+        assert!(
+            report.metrics.device_occupancy[0] > 0.5,
+            "late-start load must still show real occupancy: {:?}",
+            report.metrics.device_occupancy
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Proves the FFT'd-weight cache: block-circulant weight spectra are
+//! computed once per model load, never per request.
+//!
+//! This file deliberately holds a single `#[test]` so the process-global
+//! FFT counters in [`ernn_fft::stats`] see no concurrent activity and
+//! exact-delta assertions are sound.
+
+use ernn_fft::stats;
+use ernn_fpga::exec::DatapathConfig;
+use ernn_fpga::XCKU060;
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_serve::loadgen::synthetic_utterances;
+use ernn_serve::{BatchPolicy, CompiledModel, Request, ServeRuntime};
+use rand::SeedableRng;
+
+#[test]
+fn weight_spectra_are_computed_at_load_not_per_request() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let dense = NetworkBuilder::new(CellType::Lstm, 8, 5)
+        .layer_dims(&[16])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(4));
+
+    // ---- Load: the cache fill. Quantization clones the compressed
+    // matrices (reusing their FFT plans) and rewrites the blocks, which
+    // re-FFTs every weight block exactly once. ----
+    let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+    assert!(
+        model.load_stats.fft.forward_transforms as usize >= model.load_stats.cached_spectra,
+        "compilation FFTs every weight block once: {:?} vs {} spectra",
+        model.load_stats.fft,
+        model.load_stats.cached_spectra
+    );
+    let refreshes_after_load = model.weight_spectrum_refreshes();
+    assert!(!refreshes_after_load.is_empty());
+
+    // ---- Serve: only input-side transforms may run. ----
+    let utterances = synthetic_utterances(4, (5, 9), 8, 3);
+    let runtime = ServeRuntime::new(model, 2, BatchPolicy::new(4, 50.0));
+
+    // Warm-up request to measure the per-request transform cost.
+    let probe = utterances[0].clone();
+    let before_one = stats::snapshot();
+    let _ = runtime.run(vec![Request::new(0, probe.clone(), 0.0)]);
+    let per_request = stats::snapshot().since(&before_one);
+    assert!(
+        per_request.forward_transforms > 0,
+        "serving performs input-side FFTs"
+    );
+    assert_eq!(
+        per_request.plans_created, 0,
+        "serving must not build new FFT plans"
+    );
+
+    // N identical requests must cost exactly N × the per-request
+    // transforms — i.e. zero weight-spectrum recomputation amortized in.
+    let n = 16u64;
+    let before_batch = stats::snapshot();
+    let reqs: Vec<Request> = (0..n)
+        .map(|i| Request::new(i, probe.clone(), i as f64 * 10.0))
+        .collect();
+    let report = runtime.run(reqs);
+    assert_eq!(report.responses.len(), n as usize);
+    let delta = stats::snapshot().since(&before_batch);
+    assert_eq!(
+        delta.forward_transforms,
+        per_request.forward_transforms * n,
+        "forward FFTs must scale with requests only (input side)"
+    );
+    assert_eq!(
+        delta.inverse_transforms,
+        per_request.inverse_transforms * n,
+        "inverse FFTs must scale with requests only"
+    );
+    assert_eq!(delta.plans_created, 0);
+
+    // The per-matrix refresh counters are the direct cache witness: no
+    // weight spectrum was recomputed by any of the requests above.
+    assert_eq!(
+        runtime.model().weight_spectrum_refreshes(),
+        refreshes_after_load,
+        "weight spectra must not be refreshed during serving"
+    );
+}

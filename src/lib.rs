@@ -21,12 +21,26 @@
 //! * [`fpga`] — device models, PE/CU designs, cycle simulator, power model.
 //! * [`hls`] — operation graphs, scheduling and C-like code generation.
 //! * [`core`] — the Phase I / Phase II E-RNN framework itself.
+//! * [`serve`] — batched multi-accelerator inference serving: dynamic
+//!   request batching, a virtual device pool driven by the CGPipe cycle
+//!   simulation, an FFT'd-weight cache filled once per model load, and
+//!   latency/throughput/occupancy metrics under open- and closed-loop
+//!   traffic.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour: train a dense LSTM
 //! on synthetic speech, compress it with ADMM into block-circulant form, and
 //! estimate the resulting FPGA implementation.
+//!
+//! ## Serving
+//!
+//! See `examples/serving_demo.rs` for the serving path: load → compress →
+//! compile → serve a Poisson request stream across a device pool, with
+//! printed latency percentiles and per-device occupancy. The knobs are
+//! [`serve::BatchPolicy`] (max batch size / max wait) and the device
+//! count; `cargo run --release -p ernn-bench --bin serve_sweep` sweeps
+//! both and prints the resulting throughput/latency frontier.
 
 pub use ernn_admm as admm;
 pub use ernn_asr as asr;
@@ -38,3 +52,4 @@ pub use ernn_hls as hls;
 pub use ernn_linalg as linalg;
 pub use ernn_model as model;
 pub use ernn_quant as quant;
+pub use ernn_serve as serve;

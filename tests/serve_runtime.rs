@@ -1,0 +1,112 @@
+//! Integration tests for the serving runtime (`ernn::serve`):
+//!
+//! * batched execution is **bit-identical** to sequential single-request
+//!   execution through the quantized datapath (`fpga::exec`), and
+//! * sharding the same open-loop load over 2 devices finishes strictly
+//!   sooner than over 1 device.
+
+use ernn::fpga::exec::{DatapathConfig, QuantizedNetwork};
+use ernn::fpga::XCKU060;
+use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances};
+use ernn::serve::{BatchPolicy, CompiledModel, ServeRuntime};
+use rand::SeedableRng;
+
+const INPUT_DIM: usize = 10;
+
+fn compiled(cell: CellType) -> CompiledModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(71);
+    let dense = NetworkBuilder::new(cell, INPUT_DIM, 6)
+        .layer_dims(&[16])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(4));
+    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_sequential_exec() {
+    for cell in [CellType::Lstm, CellType::Gru] {
+        // Reference: the raw quantized datapath, one utterance at a time.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(71);
+        let dense = NetworkBuilder::new(cell, INPUT_DIM, 6)
+            .layer_dims(&[16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        let reference = QuantizedNetwork::new(&net, &DatapathConfig::paper_12bit());
+
+        let utterances = synthetic_utterances(12, (4, 12), INPUT_DIM, 201);
+        let expected: Vec<Vec<Vec<f32>>> = utterances
+            .iter()
+            .map(|u| reference.forward_logits(u))
+            .collect();
+
+        // Serve the same utterances under aggressive batching.
+        let runtime = ServeRuntime::new(compiled(cell), 2, BatchPolicy::new(4, 500.0));
+        let requests = open_loop_poisson(&utterances, 12, 1_000_000.0, 202);
+        let report = runtime.run(requests);
+        assert_eq!(report.responses.len(), 12);
+        assert!(
+            report.metrics.mean_batch_size > 1.0,
+            "{cell}: load must actually batch (mean {})",
+            report.metrics.mean_batch_size
+        );
+
+        for response in &report.responses {
+            let want = &expected[response.id as usize % utterances.len()];
+            assert_eq!(response.logits.len(), want.len());
+            for (got, exp) in response.logits.iter().zip(want.iter()) {
+                // Bit-identical, not approximately equal.
+                assert_eq!(got, exp, "{cell}: request {}", response.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn two_devices_beat_one_under_the_same_open_loop_load() {
+    // Heavy offered load: long utterances arriving far faster than one
+    // device can serve them, so the drain time is capacity-bound.
+    let utterances = synthetic_utterances(8, (40, 80), INPUT_DIM, 301);
+    let requests = open_loop_poisson(&utterances, 96, 400_000.0, 302);
+    let policy = BatchPolicy::new(4, 100.0);
+
+    let one = ServeRuntime::new(compiled(CellType::Gru), 1, policy).run(requests.clone());
+    let two = ServeRuntime::new(compiled(CellType::Gru), 2, policy).run(requests);
+
+    assert_eq!(one.responses.len(), 96);
+    assert_eq!(two.responses.len(), 96);
+    assert!(
+        two.metrics.makespan_us < one.metrics.makespan_us,
+        "2-device makespan {} must be strictly below 1-device {}",
+        two.metrics.makespan_us,
+        one.metrics.makespan_us
+    );
+    // Under capacity-bound load the speedup should be substantial, and
+    // both devices must have carried real work.
+    assert!(
+        two.metrics.makespan_us < 0.75 * one.metrics.makespan_us,
+        "speedup too small: {} vs {}",
+        two.metrics.makespan_us,
+        one.metrics.makespan_us
+    );
+    let busy_devices = two
+        .metrics
+        .device_occupancy
+        .iter()
+        .filter(|&&o| o > 0.2)
+        .count();
+    assert_eq!(busy_devices, 2, "{:?}", two.metrics.device_occupancy);
+}
+
+#[test]
+fn facade_reexports_the_serving_surface() {
+    // The facade path (`ernn::serve`) must expose the full serving API.
+    let model = compiled(CellType::Gru);
+    assert_eq!(model.input_dim(), INPUT_DIM);
+    let policy = ernn::serve::BatchPolicy::immediate();
+    let runtime = ernn::serve::ServeRuntime::new(model, 1, policy);
+    let utterances = synthetic_utterances(1, (3, 3), INPUT_DIM, 7);
+    let report = runtime.run_closed_loop(&utterances, 1, 3);
+    assert_eq!(report.responses.len(), 3);
+    assert!(report.metrics.latency.p99_us > 0.0);
+}

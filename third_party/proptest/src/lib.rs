@@ -1,0 +1,362 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro over
+//! named arguments drawn from strategies, numeric-range and `any::<T>()`
+//! strategies, `collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Failing cases are **not shrunk** — the failure message reports the
+//! case index and the assertion that fired. Case generation is seeded per
+//! test-function name, so runs are deterministic.
+
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Runner configuration (mirrors `proptest::test_runner`).
+
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Deterministic source the strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::SplitMix64);
+
+impl TestRng {
+    /// Seeds the generator; each property function gets its own stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng(rand::SplitMix64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF))
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Hashes a test name into a seed (FNV-1a), so each property gets a
+/// distinct but reproducible stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator. Unlike real proptest there is no shrinking; a
+/// strategy is just a sampler.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_for_float_range!(f32, f64);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e3
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() * 2.0 - 1.0) * 1e6
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy over all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (mirrors `proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length bounds for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of a nested strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len_range)` — a vector whose length is drawn from
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Runs the property body over `cases` sampled inputs. Used by the
+/// [`proptest!`] expansion; not part of the public upstream API.
+pub fn run_cases(cases: u32, mut case: impl FnMut(&mut TestRng, u32)) {
+    let mut rng = TestRng::new(seed_from_name("proptest-shared-stream"));
+    for i in 0..cases {
+        case(&mut rng, i);
+    }
+}
+
+/// Property-test entry macro. Matches the upstream grammar for the forms
+/// this workspace uses:
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]   // optional
+///     #[test]
+///     fn prop_name(x in 0u32..10, v in collection::vec(0f32..1.0, 1..5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for case_index in 0..config.cases {
+                    $( let $arg = $crate::Strategy::new_value(&($strat), &mut rng); )+
+                    // The body runs inside a closure so that `prop_assume!`
+                    // can skip the case with a plain `return`.
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || $body,
+                    ));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stand-in: property `{}` failed on case {} of {} (no shrinking)",
+                            stringify!($name), case_index, config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )+
+        }
+    };
+}
+
+/// Asserts within a property body (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..9, f in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in collection::vec(0u64..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 5);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+}
