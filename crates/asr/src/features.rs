@@ -273,7 +273,7 @@ mod tests {
         let fa = fe.extract(&a);
         let fb = fe.extract(&b);
         let mean = |fs: &[Vec<f32>]| -> Vec<f32> {
-            let mut m = vec![0.0; 26];
+            let mut m = [0.0; 26];
             for f in fs {
                 for (a, b) in m.iter_mut().zip(f) {
                     *a += b;
@@ -297,7 +297,7 @@ mod tests {
     #[test]
     fn frame_labels_align_with_extract() {
         let fe = FrontEnd::standard();
-        let labels = vec![vec![0usize; 3000], vec![1usize; 3000], vec![2usize; 3000]].concat();
+        let labels = [vec![0usize; 3000], vec![1usize; 3000], vec![2usize; 3000]].concat();
         let fl = fe.frame_labels(&labels);
         let wave = vec![0.01f32; 9000];
         assert_eq!(fl.len(), fe.extract(&wave).len());

@@ -3,8 +3,10 @@
 //! the paper's design-space exploration.
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin serve_sweep`
-//! (`--quick` halves the request count for smoke runs).
+//! (`--quick` halves the request count for smoke runs, `--json PATH`
+//! writes the rows as a bench artifact for CI trend tracking).
 
+use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
 use ernn_fpga::exec::DatapathConfig;
 use ernn_fpga::XCKU060;
 use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
@@ -13,7 +15,9 @@ use ernn_serve::{BatchPolicy, CompiledModel, ServeRuntime};
 use rand::SeedableRng;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_path_arg(&args);
     let num_requests = if quick { 200 } else { 400 };
 
     // A GRU-64 acoustic model compressed at block 8, the Table II shape.
@@ -38,6 +42,7 @@ fn main() {
         "{:<8} {:<14} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
         "devices", "policy", "throughput", "p50 µs", "p95 µs", "p99 µs", "mean batch", "occ %"
     );
+    let mut rows: Vec<String> = Vec::new();
     for devices in [1usize, 2, 4] {
         for (policy, label) in [
             (BatchPolicy::immediate(), "unbatched"),
@@ -61,10 +66,32 @@ fn main() {
                 m.mean_batch_size,
                 mean_occ * 100.0
             );
+            rows.push(
+                JsonObject::new()
+                    .int("devices", devices as i64)
+                    .str("policy", label)
+                    .num("throughput_rps", m.throughput_rps)
+                    .num("p50_us", m.latency.p50_us)
+                    .num("p95_us", m.latency.p95_us)
+                    .num("p99_us", m.latency.p99_us)
+                    .num("mean_batch", m.mean_batch_size)
+                    .num("mean_occupancy", mean_occ)
+                    .num("host_us", report.host_us)
+                    .render(),
+            );
         }
     }
     println!(
         "\n({} open-loop Poisson requests at 400k req/s offered; virtual time)",
         num_requests
     );
+
+    if let Some(path) = json_path {
+        let doc = JsonObject::new()
+            .str("bench", "serve_sweep")
+            .int("requests", num_requests as i64)
+            .raw("rows", array(rows))
+            .render();
+        write_artifact(&path, doc);
+    }
 }

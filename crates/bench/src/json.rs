@@ -1,0 +1,163 @@
+//! Minimal JSON emission for bench artifacts.
+//!
+//! The CI bench-smoke step uploads sweep results (`BENCH_*.json`) as
+//! workflow artifacts so the serving-perf trajectory is tracked per PR.
+//! The build is offline (no serde), so this module hand-renders the tiny
+//! subset of JSON the sweeps need: flat objects of numbers/strings plus
+//! arrays of such objects.
+
+use std::fmt::Write as _;
+
+/// A flat JSON object built field by field, rendered in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        let rendered = format!("\"{}\"", escape(value));
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (e.g. an [`array`]).
+    pub fn raw(mut self, key: &str, rendered_json: String) -> Self {
+        self.fields.push((key.to_string(), rendered_json));
+        self
+    }
+
+    /// Renders the object as a JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(key), value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Pulls the value following a `--json` flag out of an argument list.
+pub fn json_path_arg(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes a rendered JSON document as a newline-terminated bench
+/// artifact and announces the path (the CI artifact-upload step globs
+/// these files).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a bench artifact silently
+/// missing from CI would defeat its purpose.
+pub fn write_artifact(path: &str, rendered_json: String) {
+    std::fs::write(path, rendered_json + "\n").expect("write bench artifact");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_objects_in_order() {
+        let obj = JsonObject::new()
+            .str("bench", "serve_sweep")
+            .int("devices", 4)
+            .num("p99_us", 123.5);
+        assert_eq!(
+            obj.render(),
+            r#"{"bench":"serve_sweep","devices":4,"p99_us":123.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_rejects_non_finite() {
+        let obj = JsonObject::new()
+            .str("label", "a\"b\\c\nd")
+            .num("bad", f64::NAN);
+        assert_eq!(obj.render(), r#"{"label":"a\"b\\c\nd","bad":null}"#);
+    }
+
+    #[test]
+    fn arrays_compose_with_objects() {
+        let rows = array([
+            JsonObject::new().int("i", 1).render(),
+            JsonObject::new().int("i", 2).render(),
+        ]);
+        let doc = JsonObject::new().raw("rows", rows).render();
+        assert_eq!(doc, r#"{"rows":[{"i":1},{"i":2}]}"#);
+    }
+
+    #[test]
+    fn json_path_arg_finds_the_flag_value() {
+        let args: Vec<String> = ["x", "--quick", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(json_path_arg(&args).as_deref(), Some("out.json"));
+        assert_eq!(json_path_arg(&args[..2]), None);
+    }
+}

@@ -13,6 +13,8 @@
 //! | `fig8`          | Fig. 8    (multiplication-count curves)  |
 //! | `phase1_trials` | Sec. VI   (Phase-I trial-count claim)    |
 
+pub mod json;
+
 use ernn_admm::{AdmmConfig, AdmmTrainer};
 use ernn_asr::{evaluate_per, SynthCorpus};
 use ernn_model::trainer::{train, TrainOptions};

@@ -181,8 +181,8 @@ mod tests {
         let a = Complex32::new(2.0, 3.0);
         let b = Complex32::new(-1.0, 4.0);
         let c = a * b;
-        assert_eq!(c.re, 2.0 * -1.0 - 3.0 * 4.0);
-        assert_eq!(c.im, 2.0 * 4.0 + 3.0 * -1.0);
+        assert_eq!(c.re, -2.0 - 3.0 * 4.0);
+        assert_eq!(c.im, 2.0 * 4.0 - 3.0);
     }
 
     #[test]

@@ -12,15 +12,28 @@
 //! should compare [`FftStats`] snapshots rather than absolute values, and
 //! tests that assert exact deltas must not run concurrently with other
 //! FFT-using tests in the same process.
+//!
+//! Every increment is mirrored into a **thread-local** counter set
+//! ([`thread_snapshot`]). Unlike the globals, a thread-local delta is
+//! immune to concurrent FFT users on other threads, so a parallel host
+//! executor (see `ernn-serve`) can attribute FFT work to individual
+//! workers exactly: the per-worker deltas always sum to the global delta.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PLANS_CREATED: AtomicU64 = AtomicU64::new(0);
 static FORWARD_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
 static INVERSE_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static TL_PLANS_CREATED: Cell<u64> = const { Cell::new(0) };
+    static TL_FORWARD_TRANSFORMS: Cell<u64> = const { Cell::new(0) };
+    static TL_INVERSE_TRANSFORMS: Cell<u64> = const { Cell::new(0) };
+}
+
 /// A snapshot of the process-wide FFT counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FftStats {
     /// [`crate::FftPlan`] / [`crate::RealFft`] constructions.
     pub plans_created: u64,
@@ -39,6 +52,20 @@ impl FftStats {
             inverse_transforms: self.inverse_transforms - earlier.inverse_transforms,
         }
     }
+
+    /// Component-wise sum (used to fold per-worker deltas back together).
+    pub fn plus(&self, other: &FftStats) -> FftStats {
+        FftStats {
+            plans_created: self.plans_created + other.plans_created,
+            forward_transforms: self.forward_transforms + other.forward_transforms,
+            inverse_transforms: self.inverse_transforms + other.inverse_transforms,
+        }
+    }
+
+    /// Total transform invocations (forward + inverse; plans excluded).
+    pub fn transforms(&self) -> u64 {
+        self.forward_transforms + self.inverse_transforms
+    }
 }
 
 /// Takes a snapshot of the counters.
@@ -50,16 +77,33 @@ pub fn snapshot() -> FftStats {
     }
 }
 
+/// Takes a snapshot of the *calling thread's* counters.
+///
+/// Deltas between two `thread_snapshot` calls on the same thread count
+/// exactly the FFT work that thread performed in between, regardless of
+/// what other threads are doing — so exact-delta assertions are safe even
+/// in multi-threaded test binaries.
+pub fn thread_snapshot() -> FftStats {
+    FftStats {
+        plans_created: TL_PLANS_CREATED.get(),
+        forward_transforms: TL_FORWARD_TRANSFORMS.get(),
+        inverse_transforms: TL_INVERSE_TRANSFORMS.get(),
+    }
+}
+
 pub(crate) fn count_plan() {
     PLANS_CREATED.fetch_add(1, Ordering::Relaxed);
+    TL_PLANS_CREATED.set(TL_PLANS_CREATED.get() + 1);
 }
 
 pub(crate) fn count_forward() {
     FORWARD_TRANSFORMS.fetch_add(1, Ordering::Relaxed);
+    TL_FORWARD_TRANSFORMS.set(TL_FORWARD_TRANSFORMS.get() + 1);
 }
 
 pub(crate) fn count_inverse() {
     INVERSE_TRANSFORMS.fetch_add(1, Ordering::Relaxed);
+    TL_INVERSE_TRANSFORMS.set(TL_INVERSE_TRANSFORMS.get() + 1);
 }
 
 #[cfg(test)]
@@ -79,5 +123,53 @@ mod tests {
         assert!(delta.plans_created >= 1, "{delta:?}");
         assert!(delta.forward_transforms >= 1, "{delta:?}");
         assert!(delta.inverse_transforms >= 1, "{delta:?}");
+    }
+
+    #[test]
+    fn thread_counters_are_exact_under_concurrency() {
+        // Thread-local deltas are immune to other tests' FFT activity, so
+        // exact equality is safe here (unlike the global counters above).
+        let before = thread_snapshot();
+        let rfft = RealFft::new(8); // size 8 => one extra half plan inside
+        let spec = rfft.forward(&[1.0f32; 8]);
+        let spec2 = rfft.forward(&[2.0f32; 8]);
+        let _ = rfft.inverse(&spec);
+        let _ = spec2;
+        let delta = thread_snapshot().since(&before);
+        assert_eq!(delta.plans_created, 2, "{delta:?}"); // RealFft + half FftPlan
+        assert_eq!(delta.forward_transforms, 2, "{delta:?}");
+        assert_eq!(delta.inverse_transforms, 1, "{delta:?}");
+        assert_eq!(delta.transforms(), 3);
+    }
+
+    #[test]
+    fn fft_work_on_another_thread_stays_off_this_thread_ledger() {
+        let before = thread_snapshot();
+        std::thread::spawn(|| {
+            let rfft = RealFft::new(16);
+            let _ = rfft.forward(&[0.25f32; 16]);
+        })
+        .join()
+        .expect("spawned FFT thread");
+        let delta = thread_snapshot().since(&before);
+        assert_eq!(delta, FftStats::default(), "{delta:?}");
+    }
+
+    #[test]
+    fn plus_is_componentwise() {
+        let a = FftStats {
+            plans_created: 1,
+            forward_transforms: 2,
+            inverse_transforms: 3,
+        };
+        let b = FftStats {
+            plans_created: 10,
+            forward_transforms: 20,
+            inverse_transforms: 30,
+        };
+        let sum = a.plus(&b);
+        assert_eq!(sum.plans_created, 11);
+        assert_eq!(sum.forward_transforms, 22);
+        assert_eq!(sum.inverse_transforms, 33);
     }
 }

@@ -95,7 +95,7 @@ pub fn simulate_pipeline(stages: StageCycles, frames: u64) -> SimResult {
 /// Result of simulating a *batch* of utterances whose frames stream
 /// back-to-back through the pipeline (the serving runtime's device model:
 /// a dispatched batch owns the CGPipe until its last frame drains).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BatchTrace {
     /// Cycles from batch start to the last frame leaving stage 3.
     pub makespan_cycles: u64,
@@ -119,29 +119,41 @@ pub struct BatchTrace {
 ///
 /// Panics if `frame_counts` is empty or any count is zero.
 pub fn simulate_batch(stages: StageCycles, frame_counts: &[u64]) -> BatchTrace {
+    let mut trace = BatchTrace::default();
+    simulate_batch_into(stages, frame_counts, &mut trace);
+    trace
+}
+
+/// [`simulate_batch`] writing into a caller-owned trace, reusing its
+/// `completion_cycles` allocation. The serving runtime's device pool keeps
+/// one scratch trace per virtual device so the per-dispatch hot path stays
+/// allocation-free; results are identical to [`simulate_batch`].
+///
+/// # Panics
+///
+/// Panics if `frame_counts` is empty or any count is zero.
+pub fn simulate_batch_into(stages: StageCycles, frame_counts: &[u64], trace: &mut BatchTrace) {
     assert!(!frame_counts.is_empty(), "need at least one utterance");
     let durations = stages.as_array();
     let mut finish = [0u64; 3];
     let mut busy = [0u64; 3];
-    let mut completion_cycles = Vec::with_capacity(frame_counts.len());
+    trace.completion_cycles.clear();
+    trace.completion_cycles.reserve(frame_counts.len());
     for &frames in frame_counts {
         assert!(frames > 0, "every utterance needs at least one frame");
         let mut last_exit = 0u64;
         for _ in 0..frames {
             last_exit = advance_frame(&durations, &mut finish, &mut busy);
         }
-        completion_cycles.push(last_exit);
+        trace.completion_cycles.push(last_exit);
     }
     let makespan = finish[2];
-    BatchTrace {
-        makespan_cycles: makespan,
-        completion_cycles,
-        occupancy: [
-            busy[0] as f64 / makespan as f64,
-            busy[1] as f64 / makespan as f64,
-            busy[2] as f64 / makespan as f64,
-        ],
-    }
+    trace.makespan_cycles = makespan;
+    trace.occupancy = [
+        busy[0] as f64 / makespan as f64,
+        busy[1] as f64 / makespan as f64,
+        busy[2] as f64 / makespan as f64,
+    ];
 }
 
 #[cfg(test)]
@@ -238,6 +250,22 @@ mod tests {
             );
         }
         assert!(trace.occupancy[1] > trace.occupancy[0]);
+    }
+
+    #[test]
+    fn simulate_batch_into_reuses_scratch_and_matches() {
+        let s = stages(100, 50, 80);
+        let mut scratch = BatchTrace {
+            makespan_cycles: 999,
+            completion_cycles: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            occupancy: [0.5; 3],
+        };
+        // Stale scratch contents must be fully overwritten.
+        simulate_batch_into(s, &[4, 2], &mut scratch);
+        assert_eq!(scratch, simulate_batch(s, &[4, 2]));
+        // And a second reuse with a different batch shape works too.
+        simulate_batch_into(s, &[1, 1, 1], &mut scratch);
+        assert_eq!(scratch, simulate_batch(s, &[1, 1, 1]));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct LoadStats {
 }
 
 /// A loaded, quantized, timing-annotated model ready to serve.
+///
+/// `CompiledModel` is plain owned data with no interior mutability —
+/// weight spectra are baked in at compile time and [`Self::infer`] takes
+/// `&self` — so it is `Send + Sync` and can be shared read-only across a
+/// worker pool behind an `Arc` (the parallel executor in `ernn-serve`
+/// relies on this; the assertion below makes the guarantee compile-time).
 #[derive(Debug, Clone)]
 pub struct CompiledModel {
     qnet: QuantizedNetwork,
@@ -46,6 +52,14 @@ pub struct CompiledModel {
     /// FFT work done at load time (the cache fill).
     pub load_stats: LoadStats,
 }
+
+// Compile-time proof that a loaded model can be shared across executor
+// workers; a regression (e.g. an Rc or RefCell smuggled into the weight
+// path) fails the build here rather than deep inside the thread pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledModel>();
+};
 
 impl CompiledModel {
     /// Quantizes `net` for `datapath` and derives the accelerator timing
@@ -131,9 +145,7 @@ impl CompiledModel {
 }
 
 /// Collects references to every block-circulant weight matrix.
-fn circulant_matrices<'n>(
-    net: &'n RnnNetwork<WeightMatrix>,
-) -> Vec<&'n ernn_linalg::BlockCirculantMatrix> {
+fn circulant_matrices(net: &RnnNetwork<WeightMatrix>) -> Vec<&ernn_linalg::BlockCirculantMatrix> {
     let mut out = Vec::new();
     for layer in net.layers() {
         let weights: Vec<&WeightMatrix> = match layer {

@@ -9,7 +9,7 @@
 //! seam where smarter placement (heterogeneous pools, locality, admission
 //! control) plugs in later.
 
-use ernn_fpga::sim::simulate_batch;
+use ernn_fpga::sim::{simulate_batch_into, BatchTrace};
 use ernn_fpga::{Device, StageCycles};
 
 /// Timing of one dispatched batch on a device.
@@ -40,6 +40,9 @@ pub struct VirtualDevice {
     pub requests: u64,
     /// Frames executed.
     pub frames: u64,
+    /// Reusable pipeline-simulation scratch (keeps the per-dispatch hot
+    /// path allocation-free; never observable from outside `execute`).
+    scratch: BatchTrace,
 }
 
 impl VirtualDevice {
@@ -52,6 +55,7 @@ impl VirtualDevice {
             batches: 0,
             requests: 0,
             frames: 0,
+            scratch: BatchTrace::default(),
         }
     }
 
@@ -69,14 +73,15 @@ impl VirtualDevice {
     /// returns absolute per-utterance completion times.
     fn execute(&mut self, index: usize, dispatch_us: f64, frame_counts: &[u64]) -> BatchExecution {
         let start_us = dispatch_us.max(self.free_at_us);
-        let trace = simulate_batch(self.stages, frame_counts);
+        simulate_batch_into(self.stages, frame_counts, &mut self.scratch);
         let period_us = Device::clock_period_us();
-        let complete_us: Vec<f64> = trace
+        let complete_us: Vec<f64> = self
+            .scratch
             .completion_cycles
             .iter()
             .map(|&c| start_us + c as f64 * period_us)
             .collect();
-        let makespan_us = trace.makespan_cycles as f64 * period_us;
+        let makespan_us = self.scratch.makespan_cycles as f64 * period_us;
         self.free_at_us = start_us + makespan_us;
         self.busy_us += makespan_us;
         self.batches += 1;

@@ -1,0 +1,381 @@
+//! Host-side inference executors: *where* `forward_logits` runs.
+//!
+//! The serving runtime separates two clocks. The **virtual clock** decides
+//! when batches form and how long devices take (`DevicePool` +
+//! [`ernn_fpga::sim::simulate_batch`]) — it is pure arithmetic and fully
+//! deterministic. The **host clock** is the real CPU time spent computing
+//! logits through the quantized datapath, which on a live deployment is
+//! the pre/post-processing work the host must overlap with device
+//! execution to keep every accelerator fed.
+//!
+//! An [`Executor`] owns the host side of that split. The runtime submits
+//! one [`InferenceJob`] per request at dispatch time and collects every
+//! result once the virtual-time event loop has drained:
+//!
+//! * [`InlineExecutor`] computes each job synchronously at submit, on the
+//!   event-loop thread — the deterministic reference, and exactly the
+//!   pre-existing single-threaded behaviour.
+//! * [`ThreadPoolExecutor`] fans jobs out to a pool of `std::thread`
+//!   workers over channels (no external async runtime), one worker per
+//!   device slot, with jobs pinned to their batch's device so per-worker
+//!   accounting is deterministic. Host inference for batch k+1 then
+//!   overlaps with event-loop work for batch k.
+//!
+//! Logits are a pure function of the frames (`f32` arithmetic, no
+//! reductions across threads), so both executors produce **bit-identical**
+//! outputs; only wall-clock host time differs. Per-worker FFT activity is
+//! tracked exactly via the thread-local counters in [`ernn_fft::stats`].
+
+use crate::cache::CompiledModel;
+use ernn_fft::stats::{self, FftStats};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Which host-side executor a [`ServeRuntime`](crate::ServeRuntime) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// Compute logits inline at dispatch, on the event-loop thread.
+    #[default]
+    Inline,
+    /// One worker thread per device slot, fed over channels.
+    ThreadPool,
+}
+
+/// One unit of host-side inference work.
+#[derive(Debug)]
+pub struct InferenceJob {
+    /// Index of the response this job's logits belong to.
+    pub slot: usize,
+    /// Device slot the batch ran on; doubles as the worker affinity key.
+    pub device: usize,
+    /// The request's feature frames (moved in, consumed by inference).
+    pub frames: Vec<Vec<f32>>,
+}
+
+/// Everything an executor hands back when a run drains.
+#[derive(Debug)]
+pub struct ExecutorReport {
+    /// `(slot, logits)` for every submitted job, in arbitrary order.
+    pub outputs: Vec<(usize, Vec<Vec<f32>>)>,
+    /// Host FFT activity per worker ([`InlineExecutor`] has one entry).
+    /// The entries always sum to the run's global FFT delta.
+    pub worker_fft: Vec<FftStats>,
+}
+
+/// Runs host-side inference for a serving run.
+///
+/// The contract the runtime relies on:
+///
+/// * every submitted job's logits appear exactly once in
+///   [`ExecutorReport::outputs`], tagged with the job's `slot`;
+/// * logits are bit-identical to `CompiledModel::infer` on the same
+///   frames, whatever thread computes them;
+/// * [`Executor::finish`] blocks until all submitted work is done.
+pub trait Executor {
+    /// Accepts one inference job. May compute it immediately (inline) or
+    /// hand it to a worker and return at once (thread pool).
+    fn submit(&mut self, job: InferenceJob);
+
+    /// Waits for every submitted job and returns the collected outputs.
+    /// Must be called exactly once, after the last `submit`.
+    fn finish(&mut self) -> ExecutorReport;
+}
+
+/// The deterministic reference executor: jobs run synchronously at submit
+/// on the caller's thread, in submission order.
+#[derive(Debug)]
+pub struct InlineExecutor {
+    model: Arc<CompiledModel>,
+    outputs: Vec<(usize, Vec<Vec<f32>>)>,
+    fft_start: FftStats,
+}
+
+impl InlineExecutor {
+    /// An executor computing on the calling thread.
+    pub fn new(model: Arc<CompiledModel>) -> Self {
+        InlineExecutor {
+            model,
+            outputs: Vec::new(),
+            fft_start: stats::thread_snapshot(),
+        }
+    }
+}
+
+impl Executor for InlineExecutor {
+    fn submit(&mut self, job: InferenceJob) {
+        let logits = self.model.infer(&job.frames);
+        self.outputs.push((job.slot, logits));
+    }
+
+    fn finish(&mut self) -> ExecutorReport {
+        ExecutorReport {
+            outputs: std::mem::take(&mut self.outputs),
+            worker_fft: vec![stats::thread_snapshot().since(&self.fft_start)],
+        }
+    }
+}
+
+/// Message a worker sends back to the submitting thread.
+enum WorkerMessage {
+    /// Finished logits for one job slot.
+    Output(usize, Vec<Vec<f32>>),
+    /// Worker `i` drained its queue and exited; carries its exact FFT
+    /// activity (thread-local delta over the worker's lifetime).
+    Done(usize, FftStats),
+}
+
+/// A fixed pool of `std::thread` workers consuming jobs over channels.
+///
+/// Jobs are routed by `job.device % workers`, so all inference for one
+/// virtual device lands on one worker (deterministic per-worker load and
+/// FFT accounting) while distinct devices proceed in parallel.
+#[derive(Debug)]
+pub struct ThreadPoolExecutor {
+    /// Per-worker job senders; `None` once `finish` closed the queues.
+    job_txs: Vec<Option<mpsc::Sender<InferenceJob>>>,
+    result_rx: mpsc::Receiver<WorkerMessage>,
+    handles: Vec<thread::JoinHandle<()>>,
+    submitted: usize,
+}
+
+impl ThreadPoolExecutor {
+    /// Spawns `workers` threads sharing `model` read-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(model: Arc<CompiledModel>, workers: usize) -> Self {
+        assert!(workers > 0, "thread pool needs at least one worker");
+        let (result_tx, result_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<InferenceJob>();
+            let model = Arc::clone(&model);
+            let result_tx = result_tx.clone();
+            handles.push(thread::spawn(move || {
+                let fft_start = stats::thread_snapshot();
+                while let Ok(job) = job_rx.recv() {
+                    let logits = model.infer(&job.frames);
+                    if result_tx
+                        .send(WorkerMessage::Output(job.slot, logits))
+                        .is_err()
+                    {
+                        // Receiver gone: the executor was dropped without
+                        // finish(); nothing left to report to.
+                        return;
+                    }
+                }
+                let delta = stats::thread_snapshot().since(&fft_start);
+                let _ = result_tx.send(WorkerMessage::Done(w, delta));
+            }));
+            job_txs.push(Some(job_tx));
+        }
+        ThreadPoolExecutor {
+            job_txs,
+            result_rx,
+            handles,
+            submitted: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// A closed channel means a worker died mid-run: close the remaining
+    /// queues, join everyone, and re-raise the *original* worker panic so
+    /// the failure points at the actual fault, not at the channel.
+    fn propagate_worker_panic(&mut self) -> ! {
+        for tx in &mut self.job_txs {
+            tx.take();
+        }
+        let mut payload = None;
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                payload.get_or_insert(panic);
+            }
+        }
+        match payload {
+            Some(panic) => std::panic::resume_unwind(panic),
+            None => unreachable!("executor channel closed but no worker panicked"),
+        }
+    }
+}
+
+impl Executor for ThreadPoolExecutor {
+    fn submit(&mut self, job: InferenceJob) {
+        let w = job.device % self.job_txs.len();
+        let sent = self.job_txs[w]
+            .as_ref()
+            .expect("submit after finish")
+            .send(job);
+        if sent.is_err() {
+            self.propagate_worker_panic();
+        }
+        self.submitted += 1;
+    }
+
+    fn finish(&mut self) -> ExecutorReport {
+        // Closing the job queues is what tells workers to drain and exit.
+        for tx in &mut self.job_txs {
+            tx.take();
+        }
+        let workers = self.handles.len();
+        let mut outputs = Vec::with_capacity(self.submitted);
+        let mut worker_fft = vec![FftStats::default(); workers];
+        let mut done = 0usize;
+        while done < workers {
+            match self.result_rx.recv() {
+                Ok(WorkerMessage::Output(slot, logits)) => outputs.push((slot, logits)),
+                Ok(WorkerMessage::Done(w, fft)) => {
+                    worker_fft[w] = fft;
+                    done += 1;
+                }
+                Err(_) => self.propagate_worker_panic(),
+            }
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+        debug_assert_eq!(outputs.len(), self.submitted, "every job must report");
+        ExecutorReport {
+            outputs,
+            worker_fft,
+        }
+    }
+}
+
+impl Drop for ThreadPoolExecutor {
+    /// Dropping without `finish` (e.g. an event-loop panic) still closes
+    /// the queues and joins the workers so no thread outlives the run.
+    fn drop(&mut self) {
+        for tx in &mut self.job_txs {
+            tx.take();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_fpga::exec::DatapathConfig;
+    use ernn_fpga::XCKU060;
+    use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+    use rand::SeedableRng;
+
+    fn model() -> Arc<CompiledModel> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let dense = NetworkBuilder::new(CellType::Gru, 8, 5)
+            .layer_dims(&[16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        Arc::new(CompiledModel::compile(
+            &net,
+            &DatapathConfig::paper_12bit(),
+            XCKU060,
+        ))
+    }
+
+    fn jobs(n: usize, devices: usize) -> Vec<InferenceJob> {
+        (0..n)
+            .map(|i| InferenceJob {
+                slot: i,
+                device: i % devices,
+                frames: vec![vec![0.1 * (i as f32 + 1.0); 8]; 3 + i % 4],
+            })
+            .collect()
+    }
+
+    fn sorted_outputs(mut report: ExecutorReport) -> Vec<(usize, Vec<Vec<f32>>)> {
+        report.outputs.sort_by_key(|(slot, _)| *slot);
+        report.outputs
+    }
+
+    #[test]
+    fn inline_and_pool_outputs_are_bit_identical() {
+        let m = model();
+        let mut inline = InlineExecutor::new(Arc::clone(&m));
+        let mut pool = ThreadPoolExecutor::new(Arc::clone(&m), 3);
+        for job in jobs(10, 3) {
+            inline.submit(job);
+        }
+        for job in jobs(10, 3) {
+            pool.submit(job);
+        }
+        let a = sorted_outputs(inline.finish());
+        let b = sorted_outputs(pool.finish());
+        assert_eq!(a.len(), 10);
+        // Bit-identical logits, slot for slot.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_routes_by_device_and_accounts_fft_per_worker() {
+        let m = model();
+        let mut pool = ThreadPoolExecutor::new(Arc::clone(&m), 2);
+        assert_eq!(pool.workers(), 2);
+        // Devices 0 and 1 → workers 0 and 1; both must show FFT activity.
+        for job in jobs(8, 2) {
+            pool.submit(job);
+        }
+        let report = pool.finish();
+        assert_eq!(report.outputs.len(), 8);
+        assert_eq!(report.worker_fft.len(), 2);
+        for (w, fft) in report.worker_fft.iter().enumerate() {
+            assert!(
+                fft.forward_transforms > 0,
+                "worker {w} ran no FFTs: {fft:?}"
+            );
+            // Workers only infer; they never build plans (spectra and
+            // plans are baked into the shared model at compile time).
+            assert_eq!(fft.plans_created, 0, "worker {w}: {fft:?}");
+        }
+    }
+
+    #[test]
+    fn pool_with_zero_jobs_finishes_cleanly() {
+        let mut pool = ThreadPoolExecutor::new(model(), 4);
+        let report = pool.finish();
+        assert!(report.outputs.is_empty());
+        assert_eq!(report.worker_fft.len(), 4);
+        assert_eq!(report.worker_fft[0], FftStats::default());
+    }
+
+    #[test]
+    fn dropping_an_unfinished_pool_joins_workers() {
+        let m = model();
+        let mut pool = ThreadPoolExecutor::new(m, 2);
+        for job in jobs(4, 2) {
+            pool.submit(job);
+        }
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = ThreadPoolExecutor::new(model(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn worker_panics_resurface_with_the_original_message() {
+        // Bad frame dimension slips past the executor (the runtime
+        // validates at admission; raw executor use does not) and panics
+        // inside the worker's matvec. finish() must re-raise that panic,
+        // not a generic channel error.
+        let mut pool = ThreadPoolExecutor::new(model(), 2);
+        pool.submit(InferenceJob {
+            slot: 0,
+            device: 0,
+            frames: vec![vec![0.0; 3]], // model expects dim 8
+        });
+        let _ = pool.finish();
+    }
+}

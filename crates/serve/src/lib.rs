@@ -25,6 +25,13 @@
 //! * [`ServeRuntime`] — the deterministic event loop; [`ServeMetrics`]
 //!   reports p50/p95/p99 latency, throughput, per-device occupancy and
 //!   the batch-size histogram.
+//! * [`Executor`] — where host-side inference runs: [`InlineExecutor`]
+//!   (deterministic reference, compute at dispatch) or
+//!   [`ThreadPoolExecutor`] (one std-thread worker per device slot, jobs
+//!   over channels), selected per runtime via [`ExecutorKind`]. Virtual
+//!   -time results are bit-identical either way; only the wall-clock
+//!   [`ServeReport::host_us`] and the per-worker FFT ledger
+//!   ([`ServeReport::worker_fft`]) differ.
 //! * [`loadgen`] — open-loop Poisson and closed-loop traffic shapes.
 //!
 //! # Example
@@ -54,6 +61,7 @@
 mod batcher;
 mod cache;
 mod device;
+mod executor;
 pub mod loadgen;
 mod metrics;
 mod request;
@@ -62,6 +70,9 @@ mod runtime;
 pub use batcher::{BatchPolicy, DynamicBatcher};
 pub use cache::{CompiledModel, LoadStats};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
+pub use executor::{
+    Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, ThreadPoolExecutor,
+};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use request::{Request, Response};
 pub use runtime::{ServeReport, ServeRuntime};

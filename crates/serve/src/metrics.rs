@@ -58,7 +58,14 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Full metrics for one serving run.
-#[derive(Debug, Clone)]
+///
+/// Every field here is derived from the *virtual* clock and is therefore
+/// deterministic: two runs of the same load under any host executor must
+/// compare equal (`PartialEq` is derived precisely so tests can assert
+/// that bit-identity). Wall-clock host time lives on
+/// [`ServeReport::host_us`](crate::ServeReport::host_us) instead, keeping
+/// nondeterminism out of this struct entirely.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeMetrics {
     /// Requests completed.
     pub completed: usize,

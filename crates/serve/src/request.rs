@@ -43,7 +43,11 @@ impl Request {
 }
 
 /// The completed answer for one request.
-#[derive(Debug, Clone)]
+///
+/// Every field is deterministic (virtual-clock timing plus bit-exact
+/// logits), so whole responses compare meaningfully with `==` — the
+/// cross-executor tests rely on this to assert bit-identity.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// The request's identifier.
     pub id: u64,

@@ -9,14 +9,41 @@
 //! one utterance at a time, so a batched run's logits are bit-identical
 //! to running each request alone; batching changes *when* work happens,
 //! never *what* is computed.
+//!
+//! # Virtual time vs wall clock
+//!
+//! The runtime keeps two clocks strictly apart:
+//!
+//! * **Virtual time** (`now_us`, every `*_us` field on [`Response`] and
+//!   [`ServeMetrics`]) is the simulated deployment's clock: arrival
+//!   processes, batching waits, and CGPipe device timing all advance it
+//!   deterministically. No host-side property — thread scheduling, CPU
+//!   load, executor choice — can move a virtual timestamp.
+//! * **Wall clock** ([`ServeReport::host_us`]) is the real CPU time this
+//!   process spent producing the run, dominated by
+//!   `CompiledModel::infer`. It is the one number an
+//!   [`Executor`](crate::Executor) is allowed to change.
+//!
+//! The event loop computes timing first (pool dispatch is pure
+//! arithmetic) and hands the functional work to the executor as
+//! [`InferenceJob`]s, so with [`ExecutorKind::ThreadPool`] host inference
+//! for one batch overlaps with event-loop processing of the next —
+//! mirroring how an FPGA serving host overlaps pre/post-processing with
+//! device execution. Logits are stitched back into the responses before
+//! metrics are computed, which is why both executors yield bit-identical
+//! reports apart from `host_us` and the per-worker FFT ledger.
 
 use crate::batcher::{BatchPolicy, DynamicBatcher};
 use crate::cache::CompiledModel;
 use crate::device::DevicePool;
+use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
 use crate::metrics::ServeMetrics;
 use crate::request::{Request, Response};
+use ernn_fft::stats::FftStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A timed arrival in the event queue (min-heap by time, then sequence
 /// number for determinism).
@@ -52,37 +79,91 @@ impl Ord for Arrival {
 pub struct ServeReport {
     /// All completed responses, in completion order per batch.
     pub responses: Vec<Response>,
-    /// Aggregated latency/throughput/occupancy metrics.
+    /// Aggregated latency/throughput/occupancy metrics (virtual time;
+    /// deterministic and executor-independent).
     pub metrics: ServeMetrics,
+    /// Wall-clock host time for the whole run (µs). The only
+    /// nondeterministic number in the report — and the one the
+    /// [`ExecutorKind::ThreadPool`] executor exists to shrink.
+    pub host_us: f64,
+    /// Exact host FFT activity per executor worker
+    /// ([`ExecutorKind::Inline`] reports a single entry). The entries sum
+    /// to the run's total inference FFT work.
+    pub worker_fft: Vec<FftStats>,
+}
+
+impl ServeReport {
+    /// Total host FFT activity across all executor workers.
+    pub fn host_fft(&self) -> FftStats {
+        self.worker_fft
+            .iter()
+            .fold(FftStats::default(), |acc, w| acc.plus(w))
+    }
 }
 
 /// The batched multi-accelerator serving runtime.
 #[derive(Debug)]
 pub struct ServeRuntime {
-    model: CompiledModel,
+    model: Arc<CompiledModel>,
     num_devices: usize,
     policy: BatchPolicy,
+    executor: ExecutorKind,
 }
 
 impl ServeRuntime {
     /// A runtime serving `model` on `num_devices` identical virtual
-    /// accelerators under the given batching policy.
+    /// accelerators under the given batching policy, with the
+    /// deterministic-reference [`ExecutorKind::Inline`] host executor.
     ///
     /// # Panics
     ///
     /// Panics if `num_devices == 0`.
-    pub fn new(model: CompiledModel, num_devices: usize, policy: BatchPolicy) -> Self {
+    pub fn new(
+        model: impl Into<Arc<CompiledModel>>,
+        num_devices: usize,
+        policy: BatchPolicy,
+    ) -> Self {
+        Self::with_executor(model, num_devices, policy, ExecutorKind::Inline)
+    }
+
+    /// A runtime with an explicit host executor. [`ExecutorKind::ThreadPool`]
+    /// spawns one worker per device slot for each run, overlapping host
+    /// inference across devices; reports stay bit-identical to
+    /// [`ExecutorKind::Inline`] apart from [`ServeReport::host_us`] and
+    /// [`ServeReport::worker_fft`].
+    ///
+    /// Both constructors take `impl Into<Arc<CompiledModel>>`: pass a
+    /// `CompiledModel` by value for convenience, or an
+    /// `Arc<CompiledModel>` to share one set of cached weight spectra
+    /// across many runtimes (sweeps, A/B comparisons) without deep
+    /// clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn with_executor(
+        model: impl Into<Arc<CompiledModel>>,
+        num_devices: usize,
+        policy: BatchPolicy,
+        executor: ExecutorKind,
+    ) -> Self {
         assert!(num_devices > 0, "need at least one device");
         ServeRuntime {
-            model,
+            model: model.into(),
             num_devices,
             policy,
+            executor,
         }
     }
 
     /// The compiled model being served.
     pub fn model(&self) -> &CompiledModel {
         &self.model
+    }
+
+    /// The host executor strategy this runtime uses.
+    pub fn executor_kind(&self) -> ExecutorKind {
+        self.executor
     }
 
     /// Serves a pre-generated (open-loop) request list to completion.
@@ -154,11 +235,25 @@ impl ServeRuntime {
         assert!(!frames.is_empty(), "request {id} has no frames");
     }
 
+    /// The executor instance for one run (each run gets a fresh one, so a
+    /// `ThreadPool` runtime spawns and joins its workers per run).
+    fn make_executor(&self) -> Box<dyn Executor> {
+        match self.executor {
+            ExecutorKind::Inline => Box::new(InlineExecutor::new(Arc::clone(&self.model))),
+            ExecutorKind::ThreadPool => Box::new(ThreadPoolExecutor::new(
+                Arc::clone(&self.model),
+                self.num_devices,
+            )),
+        }
+    }
+
     fn run_events(
         &self,
         mut arrivals: BinaryHeap<Arrival>,
         mut feedback: Option<ClosedLoop<'_>>,
     ) -> ServeReport {
+        let host_start = Instant::now();
+        let mut executor = self.make_executor();
         let mut pool = DevicePool::new(self.num_devices, self.model.stage_cycles());
         let mut batcher = DynamicBatcher::new(self.policy);
         let mut responses: Vec<Response> = Vec::new();
@@ -191,6 +286,7 @@ impl ServeRuntime {
                     now_us,
                     &mut batcher,
                     &mut pool,
+                    executor.as_mut(),
                     &mut responses,
                     &mut arrivals,
                     &mut feedback,
@@ -210,6 +306,7 @@ impl ServeRuntime {
                     now_us,
                     &mut batcher,
                     &mut pool,
+                    executor.as_mut(),
                     &mut responses,
                     &mut arrivals,
                     &mut feedback,
@@ -217,9 +314,23 @@ impl ServeRuntime {
             }
         }
 
+        // Event loop drained: collect the host-side logits and stitch them
+        // into the responses *before* metrics, so throughput_fps (frames
+        // from logits) is identical for every executor.
+        let exec_report = executor.finish();
+        for (slot, logits) in exec_report.outputs {
+            debug_assert!(responses[slot].logits.is_empty(), "slot filled twice");
+            responses[slot].logits = logits;
+        }
+
         let busy_us: Vec<f64> = pool.devices().iter().map(|d| d.busy_us()).collect();
         let metrics = ServeMetrics::compute(&responses, busy_us);
-        ServeReport { responses, metrics }
+        ServeReport {
+            responses,
+            metrics,
+            host_us: host_start.elapsed().as_secs_f64() * 1e6,
+            worker_fft: exec_report.worker_fft,
+        }
     }
 
     /// Moves every arrival with `t ≤ now` into the batcher (they are
@@ -238,11 +349,13 @@ impl ServeRuntime {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         now_us: f64,
         batcher: &mut DynamicBatcher,
         pool: &mut DevicePool,
+        executor: &mut dyn Executor,
         responses: &mut Vec<Response>,
         arrivals: &mut BinaryHeap<Arrival>,
         feedback: &mut Option<ClosedLoop<'_>>,
@@ -253,18 +366,30 @@ impl ServeRuntime {
         let exec = pool.dispatch(now_us, &frame_counts);
         let batch_size = batch.len();
 
-        for (request, &complete_us) in batch.iter().zip(exec.complete_us.iter()) {
-            let logits = self.model.infer(&request.frames);
-            let deadline_met = request.deadline_us.is_none_or(|d| complete_us <= d);
+        for (request, &complete_us) in batch.into_iter().zip(exec.complete_us.iter()) {
+            let Request {
+                id,
+                frames,
+                arrival_us,
+                deadline_us,
+            } = request;
+            let deadline_met = deadline_us.is_none_or(|d| complete_us <= d);
+            // Timing is settled here on the virtual clock; the logits are
+            // the executor's job and land in this slot at run end.
+            executor.submit(InferenceJob {
+                slot: responses.len(),
+                device: exec.device,
+                frames,
+            });
             responses.push(Response {
-                id: request.id,
-                logits,
-                arrival_us: request.arrival_us,
+                id,
+                logits: Vec::new(),
+                arrival_us,
                 dispatch_us: exec.start_us,
                 complete_us,
                 device: exec.device,
                 batch_size,
-                deadline_tracked: request.deadline_us.is_some(),
+                deadline_tracked: deadline_us.is_some(),
                 deadline_met,
             });
 
@@ -430,6 +555,51 @@ mod tests {
         let four = ServeRuntime::new(model(), 4, BatchPolicy::new(4, 100.0)).run(reqs);
         assert!(two.metrics.makespan_us < one.metrics.makespan_us);
         assert!(four.metrics.makespan_us <= two.metrics.makespan_us);
+    }
+
+    /// Equality of two reports, ignoring only the wall-clock and
+    /// per-worker diagnostics (which legitimately differ across
+    /// executors). `Response: PartialEq` covers every field.
+    fn assert_reports_identical(a: &ServeReport, b: &ServeReport) {
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.responses, b.responses);
+    }
+
+    #[test]
+    fn thread_pool_report_is_bit_identical_to_inline() {
+        let policy = BatchPolicy::new(4, 100.0);
+        let inline = ServeRuntime::new(model(), 3, policy).run(load(48, 200_000.0));
+        let pool = ServeRuntime::with_executor(model(), 3, policy, ExecutorKind::ThreadPool)
+            .run(load(48, 200_000.0));
+        assert_eq!(
+            ServeRuntime::with_executor(model(), 3, policy, ExecutorKind::ThreadPool)
+                .executor_kind(),
+            ExecutorKind::ThreadPool
+        );
+        assert_reports_identical(&inline, &pool);
+        // The pool reports one FFT ledger entry per device-slot worker,
+        // and the totals agree with the inline run exactly.
+        assert_eq!(pool.worker_fft.len(), 3);
+        assert_eq!(inline.worker_fft.len(), 1);
+        assert_eq!(pool.host_fft(), inline.host_fft());
+        assert!(pool.host_us > 0.0 && inline.host_us > 0.0);
+    }
+
+    #[test]
+    fn thread_pool_closed_loop_matches_inline() {
+        let utts = synthetic_utterances(4, (3, 6), 8, 11);
+        let policy = BatchPolicy::new(4, 30.0);
+        let inline = ServeRuntime::new(model(), 2, policy).run_closed_loop(&utts, 4, 40);
+        let pool = ServeRuntime::with_executor(model(), 2, policy, ExecutorKind::ThreadPool)
+            .run_closed_loop(&utts, 4, 40);
+        assert_reports_identical(&inline, &pool);
+    }
+
+    #[test]
+    fn default_executor_is_inline() {
+        let rt = ServeRuntime::new(model(), 1, BatchPolicy::immediate());
+        assert_eq!(rt.executor_kind(), ExecutorKind::Inline);
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Inline);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Serving demo: load a synthetic speech corpus, compress an acoustic
 //! model into block-circulant form, compile it for the accelerator, and
 //! serve an open-loop Poisson request stream across a pool of simulated
-//! devices — printing latency percentiles, throughput, device occupancy
-//! and the FFT'd-weight cache statistics.
+//! devices — printing latency percentiles, throughput, device occupancy,
+//! the FFT'd-weight cache statistics, and the wall-clock effect of the
+//! parallel host executor (virtual-time results are bit-identical by
+//! construction; only `host_us` moves).
 //!
 //! Run with: `cargo run --release --example serving_demo`
 
@@ -12,7 +14,7 @@ use ernn::fpga::exec::DatapathConfig;
 use ernn::fpga::XCKU060;
 use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
 use ernn::serve::loadgen::{open_loop_poisson, with_uniform_slo};
-use ernn::serve::{BatchPolicy, CompiledModel, ServeRuntime};
+use ernn::serve::{BatchPolicy, CompiledModel, ExecutorKind, ServeRuntime};
 use rand::SeedableRng;
 
 fn main() {
@@ -83,5 +85,44 @@ fn main() {
         single_report.metrics.makespan_us / 1e3,
         report.metrics.makespan_us / 1e3,
         single_report.metrics.makespan_us / report.metrics.makespan_us
+    );
+
+    // 5. The same load through the parallel host executor: one worker
+    //    per device slot, host inference overlapped across devices. The
+    //    virtual-time report is bit-identical; only wall-clock host time
+    //    changes (a real speedup on multi-core hosts).
+    let pooled = ServeRuntime::with_executor(
+        runtime.model().clone(),
+        2,
+        BatchPolicy::new(8, 200.0),
+        ExecutorKind::ThreadPool,
+    );
+    let pooled_report = pooled.run(with_uniform_slo(
+        open_loop_poisson(&utterances, 400, 500_000.0, 11),
+        5_000.0,
+    ));
+    assert_eq!(
+        pooled_report.metrics, report.metrics,
+        "virtual-time metrics must not depend on the host executor"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "\n== host executor ({cores} cores) ==\n\
+         inline:     {:.1} ms wall-clock host time\n\
+         threadpool: {:.1} ms wall-clock host time ({:.2}× vs inline; \
+         virtual metrics bit-identical)",
+        report.host_us / 1e3,
+        pooled_report.host_us / 1e3,
+        report.host_us / pooled_report.host_us
+    );
+    let worker_loads: Vec<String> = pooled_report
+        .worker_fft
+        .iter()
+        .map(|w| format!("{}", w.forward_transforms))
+        .collect();
+    println!(
+        "per-worker forward FFTs: [{}] (sum = inline's {})",
+        worker_loads.join(", "),
+        report.host_fft().forward_transforms
     );
 }
