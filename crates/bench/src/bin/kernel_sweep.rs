@@ -1,0 +1,170 @@
+//! Sweeps the zero-allocation, batch-fused FFT matvec kernel stack:
+//! per-call heap-allocation counts for the allocating vs `_into` paths,
+//! and batched-vs-sequential matvec wall clock across block sizes and
+//! batch sizes.
+//!
+//! The sweep doubles as a correctness harness (CI runs it with `--quick`):
+//!
+//! * the steady-state allocation count of `matvec_batch_into` must be
+//!   **zero** (counted by the [`ernn_bench::alloc`] global allocator);
+//! * `matvec_batch_into` must stream the cached weight spectra exactly
+//!   once per batch (`p·q` block reads, via `ernn_fft::stats`);
+//! * for batches of 8 or more, one fused call must beat B sequential
+//!   `matvec` calls on wall clock.
+//!
+//! Run with: `cargo run --release -p ernn-bench --bin kernel_sweep`
+//! (`--quick` shrinks the configs for smoke runs, `--json PATH` writes
+//! the rows as a bench artifact for CI trend tracking).
+
+use ernn_bench::alloc::{allocation_count, CountingAllocator};
+use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_fft::stats;
+use ernn_linalg::{BlockCirculantMatrix, MatVecScratch};
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Best-of-`reps` wall time of `f`, in microseconds.
+fn best_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_path_arg(&args);
+    let dim = if quick { 256 } else { 1024 };
+    let block_sizes: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let batches: &[usize] = &[1, 4, 8, 16];
+    let reps = if quick { 15 } else { 40 };
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    println!("kernel_sweep: {dim}×{dim} block-circulant matvec, best of {reps} reps\n");
+    println!(
+        "{:<6} {:<6} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "L_b", "batch", "seq µs", "fused µs", "speedup", "seq allocs", "fused allocs"
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for &lb in block_sizes {
+        let p = dim / lb;
+        let blocks: Vec<f32> = (0..p * p * lb).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let m = BlockCirculantMatrix::from_blocks(dim, dim, lb, blocks);
+        let mut scratch = MatVecScratch::new();
+
+        for &batch in batches {
+            let xs: Vec<f32> = (0..batch * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut ys = vec![0.0f32; batch * dim];
+
+            // Warm the scratch, then count steady-state allocations and
+            // spectrum-block reads for one fused call.
+            m.matvec_batch_into(&xs, &mut ys, batch, &mut scratch);
+            let (a0, s0) = (allocation_count(), stats::thread_snapshot());
+            m.matvec_batch_into(&xs, &mut ys, batch, &mut scratch);
+            let fused_allocs = allocation_count() - a0;
+            let fused_reads = stats::thread_snapshot().since(&s0).spectrum_block_reads;
+            assert_eq!(
+                fused_allocs, 0,
+                "steady-state matvec_batch_into must not allocate (L_b={lb}, batch={batch})"
+            );
+            assert_eq!(
+                fused_reads,
+                (p * p) as u64,
+                "fused matvec must stream the weight spectra once per batch"
+            );
+
+            // Allocation count of the B allocating sequential calls.
+            let a0 = allocation_count();
+            for b in 0..batch {
+                let _ = m.matvec(&xs[b * dim..(b + 1) * dim]);
+            }
+            let seq_allocs = allocation_count() - a0;
+
+            let seq_us = best_us(reps, || {
+                for b in 0..batch {
+                    std::hint::black_box(m.matvec(&xs[b * dim..(b + 1) * dim]));
+                }
+            });
+            let fused_us = best_us(reps, || {
+                m.matvec_batch_into(
+                    std::hint::black_box(&xs),
+                    std::hint::black_box(&mut ys),
+                    batch,
+                    &mut scratch,
+                );
+            });
+            let speedup = seq_us / fused_us;
+            if batch >= 8 {
+                assert!(
+                    fused_us < seq_us,
+                    "fused batch {batch} must beat {batch} sequential matvecs \
+                     (L_b={lb}: {fused_us:.1}µs vs {seq_us:.1}µs)"
+                );
+            }
+
+            println!(
+                "{:<6} {:<6} {:>12.1} {:>12.1} {:>8.2}x {:>12} {:>12}",
+                lb, batch, seq_us, fused_us, speedup, seq_allocs, fused_allocs
+            );
+            rows.push(
+                JsonObject::new()
+                    .int("block_size", lb as i64)
+                    .int("batch", batch as i64)
+                    .num("seq_us", seq_us)
+                    .num("fused_us", fused_us)
+                    .num("speedup", speedup)
+                    .int("seq_allocs", seq_allocs as i64)
+                    .int("fused_steady_allocs", fused_allocs as i64)
+                    .int("fused_spectrum_reads", fused_reads as i64)
+                    .render(),
+            );
+        }
+    }
+
+    // FFT kernels alone: allocating vs `_into`, per call.
+    let rfft = ernn_fft::RealFft::new(if quick { 256 } else { 1024 });
+    let signal: Vec<f32> = (0..rfft.size()).map(|i| (i as f32 * 0.7).sin()).collect();
+    let mut spec = vec![ernn_fft::Complex32::ZERO; rfft.spectrum_len()];
+    let mut back = vec![0.0f32; rfft.size()];
+    let mut fft_scratch = ernn_fft::RealFftScratch::new();
+    rfft.forward_into(&signal, &mut spec, &mut fft_scratch);
+    rfft.inverse_into(&spec, &mut back, &mut fft_scratch);
+    let a0 = allocation_count();
+    let _ = rfft.forward(&signal);
+    let fwd_allocs = allocation_count() - a0;
+    let a0 = allocation_count();
+    rfft.forward_into(&signal, &mut spec, &mut fft_scratch);
+    rfft.inverse_into(&spec, &mut back, &mut fft_scratch);
+    let into_allocs = allocation_count() - a0;
+    assert_eq!(
+        into_allocs, 0,
+        "steady-state FFT _into kernels must not allocate"
+    );
+    println!(
+        "\nRealFft({}) per call: forward {} allocs, forward_into+inverse_into {} allocs",
+        rfft.size(),
+        fwd_allocs,
+        into_allocs
+    );
+    println!("(steady-state fused-matvec and FFT `_into` allocation counts asserted zero;");
+    println!(" fused batch ≥ 8 asserted faster than sequential)");
+
+    if let Some(path) = json_path {
+        let doc = JsonObject::new()
+            .str("bench", "kernel_sweep")
+            .int("dim", dim as i64)
+            .int("fft_forward_allocs", fwd_allocs as i64)
+            .int("fft_into_allocs", into_allocs as i64)
+            .raw("rows", array(rows))
+            .render();
+        write_artifact(&path, doc);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `fig8`          | Fig. 8    (multiplication-count curves)  |
 //! | `phase1_trials` | Sec. VI   (Phase-I trial-count claim)    |
 
+pub mod alloc;
 pub mod json;
 
 use ernn_admm::{AdmmConfig, AdmmTrainer};

@@ -14,6 +14,22 @@
 //! * [`cost`] — the multiplication-count model behind Fig. 8 of the paper
 //!   (FFT/IFFT decoupling, real-valued symmetry, trivial-twiddle trimming).
 //!
+//! # Scratch / `_into` conventions
+//!
+//! Every transform has two forms. The allocating form (`forward`,
+//! `inverse`) returns fresh `Vec`s and is the convenient API for setup
+//! code and tests. The in-place form (`forward_into`, `inverse_into`)
+//! writes into caller-provided buffers and borrows a [`RealFftScratch`]
+//! for its internal packed half-length buffer, so steady-state transforms
+//! perform **zero heap allocations** — the contract the serving hot path
+//! in `ernn-serve` is built on. The allocating forms are thin wrappers
+//! over the `_into` kernels, so the two are bit-identical by construction.
+//!
+//! Plans themselves are cheap to share: [`RealFft::shared`] returns a
+//! process-wide cached `Arc<RealFft>` per size, so model clones stop
+//! recomputing twiddle tables ([`stats::FftStats::plan_cache_hits`] makes
+//! the reuse observable).
+//!
 //! # Example
 //!
 //! ```
@@ -39,7 +55,7 @@ pub mod stats;
 
 pub use complex::Complex32;
 pub use plan::{dft_naive, FftPlan};
-pub use real::{spectrum_conj_mul, spectrum_conj_mul_acc, spectrum_mul, RealFft};
+pub use real::{spectrum_conj_mul, spectrum_conj_mul_acc, spectrum_mul, RealFft, RealFftScratch};
 
 /// Returns `true` if `n` is a power of two (and non-zero).
 ///

@@ -9,6 +9,34 @@
 //! hardware optimization.
 
 use crate::{is_power_of_two, Complex32, FftPlan};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Reusable workspace for the in-place real-FFT kernels.
+///
+/// [`RealFft::forward_into`] and [`RealFft::inverse_into`] need one
+/// half-length complex buffer for the packed transform; a `RealFftScratch`
+/// owns it so steady-state transforms allocate nothing. One scratch serves
+/// plans of any size (the buffer grows to the largest size seen and is
+/// then reused), so a worker can keep a single scratch across every layer
+/// of a model.
+#[derive(Debug, Clone, Default)]
+pub struct RealFftScratch {
+    packed: Vec<Complex32>,
+}
+
+impl RealFftScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        RealFftScratch::default()
+    }
+
+    /// The packed buffer, resized to exactly `half` entries.
+    fn packed(&mut self, half: usize) -> &mut [Complex32] {
+        self.packed.resize(half, Complex32::ZERO);
+        &mut self.packed[..half]
+    }
+}
 
 /// Real-input FFT producing (and consuming) the unique half spectrum.
 ///
@@ -79,85 +107,164 @@ impl RealFft {
         }
     }
 
+    /// Looks up (or builds) a process-wide shared plan for `size`.
+    ///
+    /// `RealFft::new` recomputes the twiddle tables on every call — e.g.
+    /// once per block-circulant matrix per model clone. The shared cache
+    /// builds each size exactly once per process and hands out `Arc`
+    /// clones afterwards; hits are observable as
+    /// [`FftStats::plan_cache_hits`](crate::stats::FftStats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn shared(size: usize) -> Arc<RealFft> {
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<RealFft>>>> = OnceLock::new();
+        assert!(
+            is_power_of_two(size),
+            "real FFT size must be a power of two, got {size}"
+        );
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("plan cache poisoned");
+        if let Some(plan) = map.get(&size) {
+            crate::stats::count_plan_cache_hit();
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(RealFft::new(size));
+        map.insert(size, Arc::clone(&plan));
+        plan
+    }
+
     /// Forward transform of a real signal into its unique half spectrum.
+    ///
+    /// Thin allocating wrapper over [`Self::forward_into`]; results are
+    /// bit-identical by construction.
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.size()`.
     pub fn forward(&self, input: &[f32]) -> Vec<Complex32> {
+        let mut spectrum = vec![Complex32::ZERO; self.spectrum_len()];
+        self.forward_into(input, &mut spectrum, &mut RealFftScratch::new());
+        spectrum
+    }
+
+    /// In-place forward transform: writes the unique half spectrum into
+    /// `spectrum`, using `scratch` for the packed half-length buffer.
+    /// Allocation-free once the scratch has grown to this plan's size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()` or
+    /// `spectrum.len() != self.spectrum_len()`.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        spectrum: &mut [Complex32],
+        scratch: &mut RealFftScratch,
+    ) {
         assert_eq!(input.len(), self.size, "input length must match plan size");
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length must be N/2 + 1"
+        );
         crate::stats::count_forward();
         match self.size {
-            1 => vec![Complex32::from_real(input[0])],
-            2 => vec![
-                Complex32::from_real(input[0] + input[1]),
-                Complex32::from_real(input[0] - input[1]),
-            ],
+            1 => spectrum[0] = Complex32::from_real(input[0]),
+            2 => {
+                spectrum[0] = Complex32::from_real(input[0] + input[1]);
+                spectrum[1] = Complex32::from_real(input[0] - input[1]);
+            }
             n => {
                 let half = n / 2;
-                let mut packed: Vec<Complex32> = (0..half)
-                    .map(|k| Complex32::new(input[2 * k], input[2 * k + 1]))
-                    .collect();
+                let packed = scratch.packed(half);
+                for (k, p) in packed.iter_mut().enumerate() {
+                    *p = Complex32::new(input[2 * k], input[2 * k + 1]);
+                }
                 self.half_plan
                     .as_ref()
                     .expect("plan exists for N >= 4")
-                    .forward(&mut packed);
-                let mut spectrum = Vec::with_capacity(half + 1);
-                for k in 0..=half {
+                    .forward(packed);
+                for (k, bin) in spectrum.iter_mut().enumerate() {
                     let zk = packed[k % half];
                     let znk = packed[(half - k) % half].conj();
                     let even = (zk + znk).scale(0.5);
                     let odd = (zk - znk).mul_neg_i().scale(0.5);
-                    spectrum.push(even + self.twiddles[k] * odd);
+                    *bin = even + self.twiddles[k] * odd;
                 }
                 // Enforce the exact Hermitian endpoints: bins 0 and N/2 of a
                 // real signal are mathematically real.
                 spectrum[0].im = 0.0;
                 spectrum[half].im = 0.0;
-                spectrum
             }
         }
     }
 
     /// Inverse transform from the unique half spectrum back to a real signal.
     ///
+    /// Thin allocating wrapper over [`Self::inverse_into`]; results are
+    /// bit-identical by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `spectrum.len() != self.spectrum_len()`.
     pub fn inverse(&self, spectrum: &[Complex32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.size];
+        self.inverse_into(spectrum, &mut out, &mut RealFftScratch::new());
+        out
+    }
+
+    /// In-place inverse transform: writes the real signal into `output`,
+    /// using `scratch` for the packed half-length buffer. Allocation-free
+    /// once the scratch has grown to this plan's size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != self.spectrum_len()` or
+    /// `output.len() != self.size()`.
+    pub fn inverse_into(
+        &self,
+        spectrum: &[Complex32],
+        output: &mut [f32],
+        scratch: &mut RealFftScratch,
+    ) {
         assert_eq!(
             spectrum.len(),
             self.spectrum_len(),
             "spectrum length must be N/2 + 1"
         );
+        assert_eq!(
+            output.len(),
+            self.size,
+            "output length must match plan size"
+        );
         crate::stats::count_inverse();
         match self.size {
-            1 => vec![spectrum[0].re],
-            2 => vec![
-                0.5 * (spectrum[0].re + spectrum[1].re),
-                0.5 * (spectrum[0].re - spectrum[1].re),
-            ],
+            1 => output[0] = spectrum[0].re,
+            2 => {
+                output[0] = 0.5 * (spectrum[0].re + spectrum[1].re);
+                output[1] = 0.5 * (spectrum[0].re - spectrum[1].re);
+            }
             n => {
                 let half = n / 2;
-                let mut packed = Vec::with_capacity(half);
-                for k in 0..half {
+                let packed = scratch.packed(half);
+                for (k, p) in packed.iter_mut().enumerate() {
                     let xk = spectrum[k];
                     let xnk = spectrum[half - k].conj();
                     let even = (xk + xnk).scale(0.5);
                     // W^k · O[k] = (X[k] - conj(X[N/2-k])) / 2
                     let odd = (xk - xnk).scale(0.5) * self.twiddles[k].conj();
-                    packed.push(even + odd.mul_i());
+                    *p = even + odd.mul_i();
                 }
                 self.half_plan
                     .as_ref()
                     .expect("plan exists for N >= 4")
-                    .inverse(&mut packed);
-                let mut out = Vec::with_capacity(n);
-                for z in packed {
-                    out.push(z.re);
-                    out.push(z.im);
+                    .inverse(packed);
+                for (k, z) in packed.iter().enumerate() {
+                    output[2 * k] = z.re;
+                    output[2 * k + 1] = z.im;
                 }
-                out
             }
         }
     }
@@ -264,6 +371,61 @@ mod tests {
         let b = vec![Complex32::ONE; 4];
         let result = std::panic::catch_unwind(|| spectrum_mul(&a, &b));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_paths() {
+        let mut scratch = RealFftScratch::new();
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let rfft = RealFft::new(n);
+            let x: Vec<f32> = (0..n).map(|i| ((i * 5 % 11) as f32) * 0.7 - 2.0).collect();
+            let spec = rfft.forward(&x);
+            let mut spec_into = vec![Complex32::ZERO; rfft.spectrum_len()];
+            rfft.forward_into(&x, &mut spec_into, &mut scratch);
+            assert_eq!(spec, spec_into, "forward n={n}");
+            let back = rfft.inverse(&spec);
+            let mut back_into = vec![0.0f32; n];
+            rfft.inverse_into(&spec_into, &mut back_into, &mut scratch);
+            assert_eq!(back, back_into, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_mixed_sizes() {
+        // Shrinking then regrowing the packed buffer must stay correct.
+        let mut scratch = RealFftScratch::new();
+        for &n in &[64usize, 8, 128, 16] {
+            let rfft = RealFft::new(n);
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).cos()).collect();
+            let mut spec = vec![Complex32::ZERO; rfft.spectrum_len()];
+            rfft.forward_into(&x, &mut spec, &mut scratch);
+            let mut back = vec![0.0f32; n];
+            rfft.inverse_into(&spec, &mut back, &mut scratch);
+            for (a, b) in back.iter().zip(x.iter()) {
+                assert!((a - b).abs() < 1e-3, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_plan_cache_reuses_plans() {
+        // Unusual size to keep this test's first lookup plausibly cold;
+        // the assertions below are exact regardless thanks to the
+        // thread-local counters and the grow-only cache.
+        let a = RealFft::shared(4096);
+        let before = crate::stats::thread_snapshot();
+        let b = RealFft::shared(4096);
+        let delta = crate::stats::thread_snapshot().since(&before);
+        assert_eq!(delta.plans_created, 0, "second lookup must build nothing");
+        assert_eq!(delta.plan_cache_hits, 1);
+        assert!(Arc::ptr_eq(&a, &b), "both handles share one plan");
+        assert_eq!(a.size(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shared_rejects_non_power_of_two() {
+        let _ = RealFft::shared(12);
     }
 
     proptest! {

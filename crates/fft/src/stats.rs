@@ -23,13 +23,17 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PLANS_CREATED: AtomicU64 = AtomicU64::new(0);
+static PLAN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static FORWARD_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
 static INVERSE_TRANSFORMS: AtomicU64 = AtomicU64::new(0);
+static SPECTRUM_BLOCK_READS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TL_PLANS_CREATED: Cell<u64> = const { Cell::new(0) };
+    static TL_PLAN_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
     static TL_FORWARD_TRANSFORMS: Cell<u64> = const { Cell::new(0) };
     static TL_INVERSE_TRANSFORMS: Cell<u64> = const { Cell::new(0) };
+    static TL_SPECTRUM_BLOCK_READS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of the process-wide FFT counters.
@@ -37,10 +41,19 @@ thread_local! {
 pub struct FftStats {
     /// [`crate::FftPlan`] / [`crate::RealFft`] constructions.
     pub plans_created: u64,
+    /// [`crate::RealFft::shared`] lookups satisfied from the process-wide
+    /// plan cache (no twiddle recomputation).
+    pub plan_cache_hits: u64,
     /// Real-input forward transforms ([`crate::RealFft::forward`]).
     pub forward_transforms: u64,
     /// Real-output inverse transforms ([`crate::RealFft::inverse`]).
     pub inverse_transforms: u64,
+    /// Cached weight-spectrum blocks streamed by block-circulant matvec
+    /// kernels (one count per `(i, j)` block visit, however many batch
+    /// inputs that visit serves — see
+    /// [`count_spectrum_block_reads`]). A batch-fused matvec reads `p·q`
+    /// blocks per *batch*; B sequential matvecs read `B·p·q`.
+    pub spectrum_block_reads: u64,
 }
 
 impl FftStats {
@@ -48,8 +61,10 @@ impl FftStats {
     pub fn since(&self, earlier: &FftStats) -> FftStats {
         FftStats {
             plans_created: self.plans_created - earlier.plans_created,
+            plan_cache_hits: self.plan_cache_hits - earlier.plan_cache_hits,
             forward_transforms: self.forward_transforms - earlier.forward_transforms,
             inverse_transforms: self.inverse_transforms - earlier.inverse_transforms,
+            spectrum_block_reads: self.spectrum_block_reads - earlier.spectrum_block_reads,
         }
     }
 
@@ -57,8 +72,10 @@ impl FftStats {
     pub fn plus(&self, other: &FftStats) -> FftStats {
         FftStats {
             plans_created: self.plans_created + other.plans_created,
+            plan_cache_hits: self.plan_cache_hits + other.plan_cache_hits,
             forward_transforms: self.forward_transforms + other.forward_transforms,
             inverse_transforms: self.inverse_transforms + other.inverse_transforms,
+            spectrum_block_reads: self.spectrum_block_reads + other.spectrum_block_reads,
         }
     }
 
@@ -72,8 +89,10 @@ impl FftStats {
 pub fn snapshot() -> FftStats {
     FftStats {
         plans_created: PLANS_CREATED.load(Ordering::Relaxed),
+        plan_cache_hits: PLAN_CACHE_HITS.load(Ordering::Relaxed),
         forward_transforms: FORWARD_TRANSFORMS.load(Ordering::Relaxed),
         inverse_transforms: INVERSE_TRANSFORMS.load(Ordering::Relaxed),
+        spectrum_block_reads: SPECTRUM_BLOCK_READS.load(Ordering::Relaxed),
     }
 }
 
@@ -86,14 +105,21 @@ pub fn snapshot() -> FftStats {
 pub fn thread_snapshot() -> FftStats {
     FftStats {
         plans_created: TL_PLANS_CREATED.get(),
+        plan_cache_hits: TL_PLAN_CACHE_HITS.get(),
         forward_transforms: TL_FORWARD_TRANSFORMS.get(),
         inverse_transforms: TL_INVERSE_TRANSFORMS.get(),
+        spectrum_block_reads: TL_SPECTRUM_BLOCK_READS.get(),
     }
 }
 
 pub(crate) fn count_plan() {
     PLANS_CREATED.fetch_add(1, Ordering::Relaxed);
     TL_PLANS_CREATED.set(TL_PLANS_CREATED.get() + 1);
+}
+
+pub(crate) fn count_plan_cache_hit() {
+    PLAN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    TL_PLAN_CACHE_HITS.set(TL_PLAN_CACHE_HITS.get() + 1);
 }
 
 pub(crate) fn count_forward() {
@@ -104,6 +130,19 @@ pub(crate) fn count_forward() {
 pub(crate) fn count_inverse() {
     INVERSE_TRANSFORMS.fetch_add(1, Ordering::Relaxed);
     TL_INVERSE_TRANSFORMS.set(TL_INVERSE_TRANSFORMS.get() + 1);
+}
+
+/// Records `n` weight-spectrum block reads.
+///
+/// Instrumentation hook for downstream frequency-domain kernels (the
+/// block-circulant matvec in `ernn-linalg`): each count is one visit to
+/// one cached `FFT(w_ij)` block, regardless of how many batch inputs
+/// that single visit serves. Tests use the delta to prove a batch-fused
+/// matvec streams the weight spectra once per batch instead of once per
+/// input.
+pub fn count_spectrum_block_reads(n: u64) {
+    SPECTRUM_BLOCK_READS.fetch_add(n, Ordering::Relaxed);
+    TL_SPECTRUM_BLOCK_READS.set(TL_SPECTRUM_BLOCK_READS.get() + n);
 }
 
 #[cfg(test)]
@@ -159,17 +198,34 @@ mod tests {
     fn plus_is_componentwise() {
         let a = FftStats {
             plans_created: 1,
+            plan_cache_hits: 4,
             forward_transforms: 2,
             inverse_transforms: 3,
+            spectrum_block_reads: 5,
         };
         let b = FftStats {
             plans_created: 10,
+            plan_cache_hits: 40,
             forward_transforms: 20,
             inverse_transforms: 30,
+            spectrum_block_reads: 50,
         };
         let sum = a.plus(&b);
         assert_eq!(sum.plans_created, 11);
+        assert_eq!(sum.plan_cache_hits, 44);
         assert_eq!(sum.forward_transforms, 22);
         assert_eq!(sum.inverse_transforms, 33);
+        assert_eq!(sum.spectrum_block_reads, 55);
+        assert_eq!(sum.since(&a), b);
+    }
+
+    #[test]
+    fn spectrum_block_reads_accumulate() {
+        let before = thread_snapshot();
+        count_spectrum_block_reads(3);
+        count_spectrum_block_reads(4);
+        let delta = thread_snapshot().since(&before);
+        assert_eq!(delta.spectrum_block_reads, 7);
+        assert_eq!(delta.plans_created, 0);
     }
 }

@@ -7,9 +7,58 @@
 //! piecewise-linear sigmoid/tanh — by materializing a quantized copy of
 //! the network and evaluating it with PWL activations injected.
 
-use ernn_linalg::{Matrix, WeightMatrix};
+use ernn_linalg::{MatVec, MatVecScratch, Matrix, WeightMatrix};
 use ernn_model::{GruLayer, LstmLayer, RnnLayer, RnnNetwork};
 use ernn_quant::{FixedFormat, PiecewiseLinear, Quantizer};
+
+/// Reusable workspace for the quantized datapath
+/// ([`QuantizedNetwork::forward_logits_batch_into`] and friends).
+///
+/// Holds the ping-pong inter-layer activation buffers, the per-timestep
+/// gather/scatter buffers for lockstep batching, and the shared
+/// [`MatVecScratch`] that threads down into the FFT kernels. Every buffer
+/// grows to the largest shape seen and is then reused, so post-warmup
+/// inference performs zero heap allocations in the FFT/matvec kernels —
+/// and, when paired with [`QuantizedNetwork::forward_logits_batch_into`]
+/// on a steady shape, zero allocations altogether. Serving executors keep
+/// one `ExecScratch` per worker for its whole lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    /// Ping-pong activation buffers (all sequences' frames, flattened).
+    a: Vec<f32>,
+    b: Vec<f32>,
+    /// Per-sequence starting frame offset into the activation buffers.
+    off: Vec<usize>,
+    /// Sequence indices still active at the current timestep.
+    active: Vec<usize>,
+    /// Gathered inputs / states for the active lanes.
+    xb: Vec<f32>,
+    cb: Vec<f32>,
+    yb: Vec<f32>,
+    /// Next states for the active lanes.
+    cn: Vec<f32>,
+    yn: Vec<f32>,
+    /// Cell intermediates (`batch × …`).
+    pre: Vec<f32>,
+    rec: Vec<f32>,
+    m: Vec<f32>,
+    z: Vec<f32>,
+    rc: Vec<f32>,
+    pre_c: Vec<f32>,
+    rec_c: Vec<f32>,
+    /// Persistent per-sequence recurrent state for the current layer.
+    c_state: Vec<f32>,
+    y_state: Vec<f32>,
+    /// Matvec workspace shared by every weight matrix in the model.
+    mv: MatVecScratch,
+}
+
+impl ExecScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+}
 
 /// Hardware datapath configuration for functional simulation.
 #[derive(Debug, Clone)]
@@ -172,119 +221,298 @@ impl QuantizedNetwork {
     /// Forward pass the way the hardware computes it: quantized inputs,
     /// quantized intermediate vectors after every matvec/point-wise
     /// operator, and piecewise-linear sigmoid/tanh units.
+    ///
+    /// Thin wrapper over the batched, scratch-threaded kernel
+    /// ([`Self::forward_logits_batch_into`]) with a batch of one and a
+    /// throwaway scratch; results are bit-identical to every other entry
+    /// point by construction.
     pub fn forward_logits(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        let mut seq: Vec<Vec<f32>> = frames
-            .iter()
-            .map(|f| f.iter().map(|&v| self.q(v)).collect())
-            .collect();
-        for layer in self.net.layers() {
-            seq = match layer {
-                RnnLayer::Lstm(l) => self.lstm_seq(l, &seq),
-                RnnLayer::Gru(g) => self.gru_seq(g, &seq),
-            };
+        self.forward_logits_with(frames, &mut ExecScratch::new())
+    }
+
+    /// [`Self::forward_logits`] reusing a caller-owned scratch — the
+    /// per-worker serving form: post-warmup, the FFT/matvec kernels
+    /// allocate nothing and only the returned logits are fresh.
+    pub fn forward_logits_with(
+        &self,
+        frames: &[Vec<f32>],
+        scratch: &mut ExecScratch,
+    ) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        self.forward_logits_batch_into(&[frames], &mut out, scratch);
+        out.pop().expect("one sequence in, one sequence out")
+    }
+
+    /// Batched forward pass over several utterances at once; allocating
+    /// wrapper over [`Self::forward_logits_batch_into`].
+    pub fn forward_logits_batch(&self, utterances: &[&[Vec<f32>]]) -> Vec<Vec<Vec<f32>>> {
+        let mut out = Vec::new();
+        self.forward_logits_batch_into(utterances, &mut out, &mut ExecScratch::new());
+        out
+    }
+
+    /// The quantized-datapath kernel: runs `utterances` in lockstep so
+    /// every cell matvec fuses across the batch (block-circulant weights
+    /// stream their cached spectra once per batch), writing framewise
+    /// logits per utterance into `out` (shape-reusing: steady-state calls
+    /// with unchanged shapes allocate nothing at all). Sequences may have
+    /// unequal lengths. Per-utterance results are bit-identical to
+    /// single-utterance execution — batching changes *when* work happens,
+    /// never *what* is computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's dimension disagrees with the model.
+    pub fn forward_logits_batch_into(
+        &self,
+        utterances: &[&[Vec<f32>]],
+        out: &mut Vec<Vec<Vec<f32>>>,
+        scratch: &mut ExecScratch,
+    ) {
+        let n = utterances.len();
+        let in_dim = self.net.input_dim();
+
+        // Quantized input frames into ping-pong buffer `a`. `off` holds
+        // n+1 frame offsets (total as the sentinel), so per-sequence
+        // lengths are derivable without a separate buffer.
+        scratch.off.clear();
+        let mut total = 0usize;
+        for u in utterances {
+            scratch.off.push(total);
+            total += u.len();
         }
-        seq.iter()
-            .map(|h| {
-                let mut logits = self.net.classifier_w.matvec(h);
-                for (v, b) in logits.iter_mut().zip(self.net.classifier_b.iter()) {
+        scratch.off.push(total);
+        scratch.a.resize(total * in_dim, 0.0);
+        for (s, u) in utterances.iter().enumerate() {
+            for (t, f) in u.iter().enumerate() {
+                assert_eq!(f.len(), in_dim, "input length must equal the feature dim");
+                let dst = &mut scratch.a[(scratch.off[s] + t) * in_dim..][..in_dim];
+                for (d, &v) in dst.iter_mut().zip(f.iter()) {
+                    *d = self.q(v);
+                }
+            }
+        }
+
+        // Through the stack: each layer consumes `a`, produces `b`, swap.
+        for layer in self.net.layers() {
+            match layer {
+                RnnLayer::Lstm(l) => self.lstm_seq_batch(l, n, scratch),
+                RnnLayer::Gru(g) => self.gru_seq_batch(g, n, scratch),
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+
+        // Classifier head, reusing `out`'s allocations when shapes match.
+        let top_dim = self
+            .net
+            .layers()
+            .last()
+            .expect("network has at least one layer")
+            .output_dim();
+        let classes = self.net.classifier_b.len();
+        out.resize(n, Vec::new());
+        for (s, seq) in out.iter_mut().enumerate() {
+            seq.resize(utterances[s].len(), Vec::new());
+            for (t, row) in seq.iter_mut().enumerate() {
+                let h = &scratch.a[(scratch.off[s] + t) * top_dim..][..top_dim];
+                row.resize(classes, 0.0);
+                self.net.classifier_w.matvec_into(h, row);
+                for (v, b) in row.iter_mut().zip(self.net.classifier_b.iter()) {
                     *v = self.q(*v + b);
                 }
-                logits
-            })
-            .collect()
+            }
+        }
     }
 
-    /// LSTM sequence with the hardware datapath (mirrors
+    /// Batched LSTM lockstep with the hardware datapath (mirrors
     /// `ernn_model::LstmLayer::step` with quantization and PWL injected —
-    /// kept in sync by the agreement tests below).
-    fn lstm_seq(&self, l: &LstmLayer<WeightMatrix>, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        use ernn_linalg::MatVec;
+    /// kept in sync by the agreement tests below). Reads activations from
+    /// `scratch.a`, writes to `scratch.b`.
+    fn lstm_seq_batch(&self, l: &LstmLayer<WeightMatrix>, n: usize, scratch: &mut ExecScratch) {
         let cfg = l.config();
         let h = cfg.hidden_dim;
-        let mut c = vec![0.0f32; h];
-        let mut y = vec![0.0f32; cfg.output_dim];
-        let mut outputs = Vec::with_capacity(inputs.len());
-        for x in inputs {
-            let mut pre = l.wx.matvec(x);
-            let rec = l.wr.matvec(&y);
-            for ((p, r), b) in pre.iter_mut().zip(rec.iter()).zip(l.bias.iter()) {
-                *p = self.q(*p + r + b);
+        let r = cfg.output_dim;
+        let in_dim = cfg.input_dim;
+        let ExecScratch {
+            a,
+            b,
+            off,
+            active,
+            xb,
+            cb,
+            yb,
+            cn,
+            yn,
+            pre,
+            rec,
+            m,
+            c_state,
+            y_state,
+            mv,
+            ..
+        } = scratch;
+        let len_of = |s: usize| off[s + 1] - off[s];
+        let max_t = (0..n).map(len_of).max().unwrap_or(0);
+        b.resize(off[n] * r, 0.0);
+        c_state.resize(n * h, 0.0);
+        c_state.iter_mut().for_each(|v| *v = 0.0);
+        y_state.resize(n * r, 0.0);
+        y_state.iter_mut().for_each(|v| *v = 0.0);
+
+        for t in 0..max_t {
+            active.clear();
+            active.extend((0..n).filter(|&s| t < len_of(s)));
+            let bsz = active.len();
+            xb.clear();
+            cb.clear();
+            yb.clear();
+            for &s in active.iter() {
+                xb.extend_from_slice(&a[(off[s] + t) * in_dim..][..in_dim]);
+                cb.extend_from_slice(&c_state[s * h..(s + 1) * h]);
+                yb.extend_from_slice(&y_state[s * r..(s + 1) * r]);
             }
-            if let Some([pi, pf, _]) = &l.peepholes {
+            pre.resize(bsz * 4 * h, 0.0);
+            rec.resize(bsz * 4 * h, 0.0);
+            cn.resize(bsz * h, 0.0);
+            m.resize(bsz * h, 0.0);
+            l.wx.matvec_batch_into(xb, pre, bsz, mv);
+            l.wr.matvec_batch_into(yb, rec, bsz, mv);
+            for bi in 0..bsz {
+                let pre = &mut pre[bi * 4 * h..(bi + 1) * 4 * h];
+                let rec = &rec[bi * 4 * h..(bi + 1) * 4 * h];
+                let c = &cb[bi * h..(bi + 1) * h];
+                let c_new = &mut cn[bi * h..(bi + 1) * h];
+                let m = &mut m[bi * h..(bi + 1) * h];
+                for ((p, rv), bias) in pre.iter_mut().zip(rec.iter()).zip(l.bias.iter()) {
+                    *p = self.q(*p + rv + bias);
+                }
+                if let Some([pi, pf, _]) = &l.peepholes {
+                    for k in 0..h {
+                        pre[k] = self.q(pre[k] + pi[k] * c[k]);
+                        pre[h + k] = self.q(pre[h + k] + pf[k] * c[k]);
+                    }
+                }
                 for k in 0..h {
-                    pre[k] = self.q(pre[k] + pi[k] * c[k]);
-                    pre[h + k] = self.q(pre[h + k] + pf[k] * c[k]);
+                    let i_gate = self.sigmoid.eval(pre[k]);
+                    let f_gate = self.sigmoid.eval(pre[h + k]);
+                    let g_cell = match cfg.cell_activation {
+                        ernn_model::Act::Sigmoid => self.sigmoid.eval(pre[2 * h + k]),
+                        ernn_model::Act::Tanh => self.tanh.eval(pre[2 * h + k]),
+                    };
+                    c_new[k] = self.q(f_gate * c[k] + g_cell * i_gate);
+                }
+                for k in 0..h {
+                    let mut po = pre[3 * h + k];
+                    if let Some([_, _, p_o]) = &l.peepholes {
+                        po = self.q(po + p_o[k] * c_new[k]);
+                    }
+                    let o_gate = self.sigmoid.eval(po);
+                    m[k] = self.q(o_gate * self.tanh.eval(c_new[k]));
                 }
             }
-            let mut c_new = vec![0.0f32; h];
-            let mut g_vec = vec![0.0f32; h];
-            for k in 0..h {
-                let i_gate = self.sigmoid.eval(pre[k]);
-                let f_gate = self.sigmoid.eval(pre[h + k]);
-                let g_cell = match cfg.cell_activation {
-                    ernn_model::Act::Sigmoid => self.sigmoid.eval(pre[2 * h + k]),
-                    ernn_model::Act::Tanh => self.tanh.eval(pre[2 * h + k]),
-                };
-                g_vec[k] = g_cell;
-                c_new[k] = self.q(f_gate * c[k] + g_cell * i_gate);
-            }
-            let mut m = vec![0.0f32; h];
-            for k in 0..h {
-                let mut po = pre[3 * h + k];
-                if let Some([_, _, p_o]) = &l.peepholes {
-                    po = self.q(po + p_o[k] * c_new[k]);
-                }
-                let o_gate = self.sigmoid.eval(po);
-                m[k] = self.q(o_gate * self.tanh.eval(c_new[k]));
-            }
-            y = match &l.wym {
+            match &l.wym {
                 Some(w) => {
-                    let mut out = w.matvec(&m);
-                    out.iter_mut().for_each(|v| *v = self.q(*v));
-                    out
+                    yn.resize(bsz * r, 0.0);
+                    w.matvec_batch_into(m, yn, bsz, mv);
+                    yn.iter_mut().for_each(|v| *v = self.q(*v));
                 }
-                None => m,
-            };
-            c = c_new;
-            outputs.push(y.clone());
+                None => {
+                    yn.clear();
+                    yn.extend_from_slice(m);
+                }
+            }
+            for (bi, &s) in active.iter().enumerate() {
+                c_state[s * h..(s + 1) * h].copy_from_slice(&cn[bi * h..(bi + 1) * h]);
+                y_state[s * r..(s + 1) * r].copy_from_slice(&yn[bi * r..(bi + 1) * r]);
+                b[(off[s] + t) * r..][..r].copy_from_slice(&yn[bi * r..(bi + 1) * r]);
+            }
         }
-        outputs
     }
 
-    /// GRU sequence with the hardware datapath (mirrors
-    /// `ernn_model::GruLayer::step`).
-    fn gru_seq(&self, g: &GruLayer<WeightMatrix>, inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        use ernn_linalg::MatVec;
+    /// Batched GRU lockstep with the hardware datapath (mirrors
+    /// `ernn_model::GruLayer::step`). Reads activations from `scratch.a`,
+    /// writes to `scratch.b`.
+    fn gru_seq_batch(&self, g: &GruLayer<WeightMatrix>, n: usize, scratch: &mut ExecScratch) {
         let h = g.hidden_dim();
-        let mut c = vec![0.0f32; h];
-        let mut outputs = Vec::with_capacity(inputs.len());
-        for x in inputs {
-            let mut pre = g.wzr_x.matvec(x);
-            let rec = g.wzr_c.matvec(&c);
-            for ((p, r), b) in pre.iter_mut().zip(rec.iter()).zip(g.bias_zr.iter()) {
-                *p = self.q(*p + r + b);
+        let in_dim = g.input_dim();
+        let ExecScratch {
+            a,
+            b,
+            off,
+            active,
+            xb,
+            cb,
+            cn,
+            pre,
+            rec,
+            z,
+            rc,
+            pre_c,
+            rec_c,
+            c_state,
+            mv,
+            ..
+        } = scratch;
+        let len_of = |s: usize| off[s + 1] - off[s];
+        let max_t = (0..n).map(len_of).max().unwrap_or(0);
+        b.resize(off[n] * h, 0.0);
+        c_state.resize(n * h, 0.0);
+        c_state.iter_mut().for_each(|v| *v = 0.0);
+
+        for t in 0..max_t {
+            active.clear();
+            active.extend((0..n).filter(|&s| t < len_of(s)));
+            let bsz = active.len();
+            xb.clear();
+            cb.clear();
+            for &s in active.iter() {
+                xb.extend_from_slice(&a[(off[s] + t) * in_dim..][..in_dim]);
+                cb.extend_from_slice(&c_state[s * h..(s + 1) * h]);
             }
-            let z: Vec<f32> = pre[..h].iter().map(|&v| self.sigmoid.eval(v)).collect();
-            let r: Vec<f32> = pre[h..].iter().map(|&v| self.sigmoid.eval(v)).collect();
-            let rc: Vec<f32> = r.iter().zip(c.iter()).map(|(a, b)| self.q(a * b)).collect();
-            let mut pre_c = g.wcx.matvec(x);
-            let rec_c = g.wcc.matvec(&rc);
-            for ((p, rr), b) in pre_c.iter_mut().zip(rec_c.iter()).zip(g.bias_c.iter()) {
-                *p = self.q(*p + rr + b);
+            pre.resize(bsz * 2 * h, 0.0);
+            rec.resize(bsz * 2 * h, 0.0);
+            z.resize(bsz * h, 0.0);
+            rc.resize(bsz * h, 0.0);
+            pre_c.resize(bsz * h, 0.0);
+            rec_c.resize(bsz * h, 0.0);
+            cn.resize(bsz * h, 0.0);
+            g.wzr_x.matvec_batch_into(xb, pre, bsz, mv);
+            g.wzr_c.matvec_batch_into(cb, rec, bsz, mv);
+            for bi in 0..bsz {
+                let pre = &mut pre[bi * 2 * h..(bi + 1) * 2 * h];
+                let rec = &rec[bi * 2 * h..(bi + 1) * 2 * h];
+                let c = &cb[bi * h..(bi + 1) * h];
+                for ((p, rv), bias) in pre.iter_mut().zip(rec.iter()).zip(g.bias_zr.iter()) {
+                    *p = self.q(*p + rv + bias);
+                }
+                for k in 0..h {
+                    z[bi * h + k] = self.sigmoid.eval(pre[k]);
+                    rc[bi * h + k] = self.q(self.sigmoid.eval(pre[h + k]) * c[k]);
+                }
             }
-            let c_tilde: Vec<f32> = pre_c
-                .iter()
-                .map(|&v| match g.candidate_activation {
-                    ernn_model::Act::Sigmoid => self.sigmoid.eval(v),
-                    ernn_model::Act::Tanh => self.tanh.eval(v),
-                })
-                .collect();
-            c = (0..h)
-                .map(|k| self.q((1.0 - z[k]) * c[k] + z[k] * c_tilde[k]))
-                .collect();
-            outputs.push(c.clone());
+            g.wcx.matvec_batch_into(xb, pre_c, bsz, mv);
+            g.wcc.matvec_batch_into(rc, rec_c, bsz, mv);
+            for bi in 0..bsz {
+                let pre_c = &mut pre_c[bi * h..(bi + 1) * h];
+                let rec_c = &rec_c[bi * h..(bi + 1) * h];
+                let c = &cb[bi * h..(bi + 1) * h];
+                let c_new = &mut cn[bi * h..(bi + 1) * h];
+                for ((p, rv), bias) in pre_c.iter_mut().zip(rec_c.iter()).zip(g.bias_c.iter()) {
+                    *p = self.q(*p + rv + bias);
+                }
+                for k in 0..h {
+                    let c_tilde = match g.candidate_activation {
+                        ernn_model::Act::Sigmoid => self.sigmoid.eval(pre_c[k]),
+                        ernn_model::Act::Tanh => self.tanh.eval(pre_c[k]),
+                    };
+                    c_new[k] = self.q((1.0 - z[bi * h + k]) * c[k] + z[bi * h + k] * c_tilde);
+                }
+            }
+            for (bi, &s) in active.iter().enumerate() {
+                c_state[s * h..(s + 1) * h].copy_from_slice(&cn[bi * h..(bi + 1) * h]);
+                b[(off[s] + t) * h..][..h].copy_from_slice(&cn[bi * h..(bi + 1) * h]);
+            }
         }
-        outputs
     }
 }
 
@@ -376,6 +604,36 @@ mod tests {
         };
         assert!(err_at(8) > err_at(12));
         assert!(err_at(12) >= err_at(16) - 1e-6);
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_sequential() {
+        for cell in [CellType::Lstm, CellType::Gru] {
+            let net = compressed_net(cell);
+            let q = QuantizedNetwork::new(&net, &DatapathConfig::paper_12bit());
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+            use rand::Rng;
+            // Ragged utterance lengths exercise the shrinking active set.
+            let utts: Vec<Vec<Vec<f32>>> = (0..5)
+                .map(|s| {
+                    (0..2 + s * 3)
+                        .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[Vec<f32>]> = utts.iter().map(Vec::as_slice).collect();
+            let batched = q.forward_logits_batch(&refs);
+            let mut scratch = ExecScratch::new();
+            for (s, utt) in utts.iter().enumerate() {
+                assert_eq!(batched[s], q.forward_logits(utt), "{cell} utterance {s}");
+                // Scratch reuse across calls changes nothing either.
+                assert_eq!(
+                    batched[s],
+                    q.forward_logits_with(utt, &mut scratch),
+                    "{cell} scratch reuse, utterance {s}"
+                );
+            }
+        }
     }
 
     #[test]

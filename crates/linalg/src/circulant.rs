@@ -17,8 +17,9 @@
 //! input block and the IFFT runs once per output block after
 //! frequency-domain accumulation.
 
-use crate::{MatVec, Matrix};
-use ernn_fft::{is_power_of_two, spectrum_conj_mul_acc, Complex32, RealFft};
+use crate::{MatVec, MatVecScratch, Matrix};
+use ernn_fft::{is_power_of_two, spectrum_conj_mul_acc, stats, Complex32, RealFft};
+use std::sync::Arc;
 
 /// A block-circulant matrix with cached weight spectra.
 ///
@@ -43,8 +44,10 @@ pub struct BlockCirculantMatrix {
     blocks: Vec<f32>,
     /// Cached `FFT(w_ij)` half spectra, `p*q` × `spectrum_len` entries.
     spectra: Vec<Complex32>,
-    /// Shared real-FFT plan of size `L_b`.
-    rfft: RealFft,
+    /// Process-wide shared real-FFT plan of size `L_b` (see
+    /// [`RealFft::shared`]); clones of this matrix share the plan instead
+    /// of recomputing twiddle tables.
+    rfft: Arc<RealFft>,
     /// How many times the weight spectra have been (re)computed over this
     /// instance's lifetime (clones inherit the count). Construction counts
     /// as one; a steady count across matvecs is the observable guarantee
@@ -77,7 +80,7 @@ impl BlockCirculantMatrix {
             p * q * block_size,
             blocks.len()
         );
-        let rfft = RealFft::new(block_size);
+        let rfft = RealFft::shared(block_size);
         let mut m = BlockCirculantMatrix {
             rows,
             cols,
@@ -241,43 +244,132 @@ impl BlockCirculantMatrix {
     /// FFT-based matvec `y = W·x` with FFT/IFFT decoupling (Sec. V-A1).
     ///
     /// Cost: `q` forward FFTs, `p·q` frequency-domain multiply-accumulates,
-    /// `p` inverse FFTs.
+    /// `p` inverse FFTs. Thin allocating wrapper over
+    /// [`Self::matvec_into`]; results are bit-identical by construction.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "input length must equal cols");
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut y, &mut MatVecScratch::new());
+        y
+    }
+
+    /// FFT-based matvec writing into a caller-provided output buffer,
+    /// allocation-free once `scratch` has grown to this matrix's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32], scratch: &mut MatVecScratch) {
+        self.matvec_batch_into(x, y, 1, scratch);
+    }
+
+    /// Batch-fused FFT matvec: `ys[b] = W·xs[b]` for `batch` inputs laid
+    /// out contiguously (`xs` is `batch × cols` row-major, `ys` is
+    /// `batch × rows`).
+    ///
+    /// All `batch · q` input blocks are FFT'd first; the cached weight
+    /// spectra are then streamed **once per batch** — each `(i, j)` block
+    /// visit accumulates into all `batch` frequency-domain accumulators
+    /// (observable via
+    /// [`spectrum_block_reads`](ernn_fft::stats::FftStats::spectrum_block_reads):
+    /// `p·q` reads per call, versus `batch · p·q` for sequential calls).
+    /// This is the host-side analogue of how C-LSTM amortizes the weight
+    /// stream across concurrent inputs. Per-input results are
+    /// bit-identical to [`Self::matvec`]: each input sees the exact same
+    /// operation sequence, only the weight-block traversal is shared.
+    ///
+    /// Allocation-free once `scratch` has grown to this shape and batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != batch * cols` or `ys.len() != batch * rows`.
+    pub fn matvec_batch_into(
+        &self,
+        xs: &[f32],
+        ys: &mut [f32],
+        batch: usize,
+        scratch: &mut MatVecScratch,
+    ) {
+        assert_eq!(
+            xs.len(),
+            batch * self.cols,
+            "input length must equal batch × cols"
+        );
+        assert_eq!(
+            ys.len(),
+            batch * self.rows,
+            "output length must equal batch × rows"
+        );
         let lb = self.block_size;
         let sp_len = self.rfft.spectrum_len();
+        let MatVecScratch {
+            padded,
+            x_spectra,
+            acc,
+            block_out,
+            fft,
+        } = scratch;
+        padded.resize(lb, 0.0);
+        x_spectra.resize(batch * self.q * sp_len, Complex32::ZERO);
+        acc.resize(batch * sp_len, Complex32::ZERO);
+        block_out.resize(lb, 0.0);
 
-        // Stage 1 (decoupled): FFT of each (zero-padded) input block, once.
-        let mut x_spectra = Vec::with_capacity(self.q * sp_len);
-        let mut padded = vec![0.0f32; lb];
-        for j in 0..self.q {
-            let start = j * lb;
-            let end = ((j + 1) * lb).min(self.cols);
-            padded.iter_mut().for_each(|v| *v = 0.0);
-            padded[..end - start].copy_from_slice(&x[start..end]);
-            x_spectra.extend_from_slice(&self.rfft.forward(&padded));
+        // Stage 1 (decoupled): FFT of every (zero-padded) input block, once.
+        for b in 0..batch {
+            let x = &xs[b * self.cols..(b + 1) * self.cols];
+            for j in 0..self.q {
+                let start = j * lb;
+                let end = ((j + 1) * lb).min(self.cols);
+                padded.iter_mut().for_each(|v| *v = 0.0);
+                padded[..end - start].copy_from_slice(&x[start..end]);
+                let spec = &mut x_spectra[(b * self.q + j) * sp_len..][..sp_len];
+                self.rfft.forward_into(padded, spec, fft);
+            }
         }
 
-        // Stage 2+3: frequency-domain accumulate per output block, then one
-        // IFFT per output block.
-        let mut y = vec![0.0f32; self.rows];
-        let mut acc = vec![Complex32::ZERO; sp_len];
+        // Stage 2+3: one pass over the weight spectra per batch — every
+        // block visit feeds all `batch` accumulators — then one IFFT per
+        // (output block, input). The pass visits exactly p·q blocks, so
+        // the read counter is bumped once up front rather than paying an
+        // atomic RMW inside the hot accumulate loop.
+        stats::count_spectrum_block_reads((self.p * self.q) as u64);
         for i in 0..self.p {
             acc.iter_mut().for_each(|v| *v = Complex32::ZERO);
             for j in 0..self.q {
-                let xs = &x_spectra[j * sp_len..(j + 1) * sp_len];
-                spectrum_conj_mul_acc(&mut acc, self.spectrum(i, j), xs);
+                let w = self.spectrum(i, j);
+                for b in 0..batch {
+                    let xsj = &x_spectra[(b * self.q + j) * sp_len..][..sp_len];
+                    spectrum_conj_mul_acc(&mut acc[b * sp_len..][..sp_len], w, xsj);
+                }
             }
-            let block_out = self.rfft.inverse(&acc);
             let start = i * lb;
             let end = ((i + 1) * lb).min(self.rows);
-            y[start..end].copy_from_slice(&block_out[..end - start]);
+            for b in 0..batch {
+                self.rfft
+                    .inverse_into(&acc[b * sp_len..][..sp_len], block_out, fft);
+                ys[b * self.rows..][start..end].copy_from_slice(&block_out[..end - start]);
+            }
         }
-        y
+    }
+
+    /// Convenience batched matvec over separate input vectors; thin
+    /// allocating wrapper over [`Self::matvec_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's length differs from `cols`.
+    pub fn matvec_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut flat = Vec::with_capacity(xs.len() * self.cols);
+        for x in xs {
+            assert_eq!(x.len(), self.cols, "input length must equal cols");
+            flat.extend_from_slice(x);
+        }
+        let mut ys = vec![0.0f32; xs.len() * self.rows];
+        self.matvec_batch_into(&flat, &mut ys, xs.len(), &mut MatVecScratch::new());
+        ys.chunks(self.rows).map(|c| c.to_vec()).collect()
     }
 
     /// Direct (no-FFT) matvec, O(L_b²) per block. Reference implementation
@@ -292,23 +384,27 @@ impl BlockCirculantMatrix {
         let lb = self.block_size;
         let mut y = vec![0.0f32; self.rows];
         for i in 0..self.p {
+            let rlimit = lb.min(self.rows - i * lb);
             for j in 0..self.q {
                 let w = self.block(i, j);
-                for r in 0..lb {
-                    let rr = i * lb + r;
-                    if rr >= self.rows {
-                        break;
-                    }
+                let jbase = j * lb;
+                let climit = lb.min(self.cols - jbase);
+                let xs = &x[jbase..jbase + climit];
+                for (r, out) in y[i * lb..i * lb + rlimit].iter_mut().enumerate() {
+                    // Row r of the block is w rotated right by r: entry
+                    // (r, c) = w[(c − r) mod L_b], i.e. the wrapped tail
+                    // w[L_b−r..] for c < r followed by w[..] for c ≥ r —
+                    // two contiguous segments, no per-element modulo.
                     let mut acc = 0.0f32;
-                    for c in 0..lb {
-                        let cc = j * lb + c;
-                        if cc < self.cols {
-                            // Row r of the block is w rotated right by r:
-                            // entry (r, c) = w[(c - r) mod L_b].
-                            acc += w[(c + lb - r) % lb] * x[cc];
+                    for (wv, xv) in w[lb - r..].iter().zip(xs) {
+                        acc += wv * xv;
+                    }
+                    if r < climit {
+                        for (wv, xv) in w.iter().zip(&xs[r..]) {
+                            acc += wv * xv;
                         }
                     }
-                    y[rr] += acc;
+                    *out += acc;
                 }
             }
         }
@@ -328,21 +424,28 @@ impl BlockCirculantMatrix {
         let lb = self.block_size;
         let mut y = vec![0.0f32; self.cols];
         for i in 0..self.p {
+            let ibase = i * lb;
+            let rlimit = lb.min(self.rows - ibase);
+            let xs = &x[ibase..ibase + rlimit];
             for j in 0..self.q {
                 let w = self.block(i, j);
-                for c in 0..lb {
-                    let cc = j * lb + c;
-                    if cc >= self.cols {
-                        break;
-                    }
+                let jbase = j * lb;
+                let climit = lb.min(self.cols - jbase);
+                for (c, out) in y[jbase..jbase + climit].iter_mut().enumerate() {
+                    // Column c reads w[(c − r) mod L_b] down the rows:
+                    // w[c], w[c−1], …, w[0], then w[L_b−1] down to the wrap
+                    // point — two reversed contiguous runs, no modulo.
                     let mut acc = 0.0f32;
-                    for r in 0..lb {
-                        let rr = i * lb + r;
-                        if rr < self.rows {
-                            acc += w[(c + lb - r) % lb] * x[rr];
+                    for (wv, xv) in w[..=c].iter().rev().zip(xs) {
+                        acc += wv * xv;
+                    }
+                    if c + 1 < rlimit {
+                        let lo = lb + c + 1 - rlimit;
+                        for (wv, xv) in w[lo..].iter().rev().zip(&xs[c + 1..]) {
+                            acc += wv * xv;
                         }
                     }
-                    y[cc] += acc;
+                    *out += acc;
                 }
             }
         }
@@ -371,18 +474,30 @@ impl BlockCirculantMatrix {
         let lb = self.block_size;
         let mut grad = vec![0.0f32; self.blocks.len()];
         for i in 0..self.p {
+            let ibase = i * lb;
+            let rlimit = lb.min(self.rows - ibase);
+            let dys = &dy[ibase..ibase + rlimit];
             for j in 0..self.q {
+                let jbase = j * lb;
+                let climit = lb.min(self.cols - jbase);
+                let xs = &x[jbase..jbase + climit];
                 let base = (i * self.q + j) * lb;
-                for k in 0..lb {
+                for (k, g) in grad[base..base + lb].iter_mut().enumerate() {
+                    // Diagonal (r, (r + k) mod L_b): column index r + k
+                    // until it wraps at r = L_b − k, then r + k − L_b —
+                    // two contiguous dy/x segment products, no modulo.
                     let mut acc = 0.0f32;
-                    for r in 0..lb {
-                        let rr = i * lb + r;
-                        let cc = j * lb + (r + k) % lb;
-                        if rr < self.rows && cc < self.cols {
-                            acc += dy[rr] * x[cc];
+                    if k < climit {
+                        for (dv, xv) in dys.iter().zip(&xs[k..]) {
+                            acc += dv * xv;
                         }
                     }
-                    grad[base + k] = acc;
+                    if k > 0 && lb - k < rlimit {
+                        for (dv, xv) in dys[lb - k..].iter().zip(xs) {
+                            acc += dv * xv;
+                        }
+                    }
+                    *g = acc;
                 }
             }
         }
@@ -443,6 +558,18 @@ impl MatVec for BlockCirculantMatrix {
     }
     fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         BlockCirculantMatrix::matvec_t(self, x)
+    }
+    fn matvec_into(&self, x: &[f32], y: &mut [f32], scratch: &mut MatVecScratch) {
+        BlockCirculantMatrix::matvec_into(self, x, y, scratch);
+    }
+    fn matvec_batch_into(
+        &self,
+        xs: &[f32],
+        ys: &mut [f32],
+        batch: usize,
+        scratch: &mut MatVecScratch,
+    ) {
+        BlockCirculantMatrix::matvec_batch_into(self, xs, ys, batch, scratch);
     }
 }
 
@@ -624,8 +751,82 @@ mod tests {
         }
     }
 
+    #[test]
+    fn batched_matvec_streams_weight_spectra_once_per_batch() {
+        let (bc, mut rng) = random_bc(16, 24, 8, 41);
+        let (p, q) = bc.grid();
+        let batch = 6usize;
+        let xs: Vec<f32> = (0..batch * bc.cols())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let mut ys = vec![0.0f32; batch * bc.rows()];
+        let mut scratch = MatVecScratch::new();
+
+        // Sequential: one pass over the weight spectra per input.
+        let before = ernn_fft::stats::thread_snapshot();
+        for b in 0..batch {
+            let (x, y) = (
+                &xs[b * bc.cols()..(b + 1) * bc.cols()],
+                &mut ys[b * bc.rows()..(b + 1) * bc.rows()],
+            );
+            bc.matvec_into(x, y, &mut scratch);
+        }
+        let seq = ernn_fft::stats::thread_snapshot().since(&before);
+        assert_eq!(seq.spectrum_block_reads, (batch * p * q) as u64);
+
+        // Fused: exactly one pass per batch, whatever the batch size.
+        let before = ernn_fft::stats::thread_snapshot();
+        bc.matvec_batch_into(&xs, &mut ys, batch, &mut scratch);
+        let fused = ernn_fft::stats::thread_snapshot().since(&before);
+        assert_eq!(fused.spectrum_block_reads, (p * q) as u64);
+        // FFT work is identical either way; only the spectrum streaming
+        // is amortized.
+        assert_eq!(fused.forward_transforms, seq.forward_transforms);
+        assert_eq!(fused.inverse_transforms, seq.inverse_transforms);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn into_and_batch_paths_are_bit_identical_to_matvec(
+            lb_pow in 0u32..5,
+            p in 1usize..4,
+            q in 1usize..4,
+            batch in 1usize..5,
+            rows_off in 0usize..3,
+            cols_off in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            // Padded edge blocks included: logical dims need not divide L_b.
+            let lb = 1usize << lb_pow;
+            let rows = (p * lb).saturating_sub(rows_off).max(1);
+            let cols = (q * lb).saturating_sub(cols_off).max(1);
+            let (bc, mut rng) = random_bc(rows, cols, lb, seed);
+            let xs: Vec<Vec<f32>> = (0..batch)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let expected: Vec<Vec<f32>> = xs.iter().map(|x| bc.matvec(x)).collect();
+
+            // matvec_into, with one reused scratch across calls.
+            let mut scratch = MatVecScratch::new();
+            for (x, want) in xs.iter().zip(expected.iter()) {
+                let mut y = vec![0.0f32; rows];
+                bc.matvec_into(x, &mut y, &mut scratch);
+                prop_assert_eq!(&y, want);
+            }
+
+            // matvec_batch_into over the flattened batch.
+            let flat: Vec<f32> = xs.iter().flatten().copied().collect();
+            let mut ys = vec![0.0f32; batch * rows];
+            bc.matvec_batch_into(&flat, &mut ys, batch, &mut scratch);
+            for (b, want) in expected.iter().enumerate() {
+                prop_assert_eq!(&ys[b * rows..(b + 1) * rows], want.as_slice());
+            }
+
+            // Allocating batch wrapper agrees too.
+            prop_assert_eq!(bc.matvec_batch(&xs), expected);
+        }
 
         #[test]
         fn fft_and_direct_paths_agree(

@@ -143,6 +143,16 @@ impl Matrix {
         y
     }
 
+    /// `y = A·x` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        self.matvec_acc(x, y);
+    }
+
     /// `y += A·x` (accumulating into the caller's buffer).
     ///
     /// # Panics

@@ -28,11 +28,29 @@
 //! }
 //! ```
 
+//! # Scratch / `_into` conventions
+//!
+//! Every matvec kernel has an allocating form (`matvec`, `matvec_batch`)
+//! and an in-place form (`matvec_into`, `matvec_batch_into`) that writes
+//! into caller-provided buffers and borrows a [`MatVecScratch`] for its
+//! intermediates. The allocating forms are thin wrappers over the `_into`
+//! kernels — bit-identical by construction — while the `_into` forms
+//! perform **zero heap allocations** once the scratch has grown to the
+//! shapes in play. `matvec_batch_into` additionally fuses a whole batch:
+//! all inputs are FFT'd first and the cached weight spectra are streamed
+//! once per *batch* rather than once per input (the cache-locality win
+//! that makes host-side batching pay; see
+//! [`BlockCirculantMatrix::matvec_batch_into`]). One [`MatVecScratch`]
+//! serves every matrix in a model — keep it per worker and thread it
+//! through.
+
 mod circulant;
 mod dense;
 pub mod ops;
+mod scratch;
 mod weight;
 
 pub use circulant::BlockCirculantMatrix;
 pub use dense::Matrix;
+pub use scratch::MatVecScratch;
 pub use weight::{MatVec, WeightMatrix};

@@ -1,0 +1,33 @@
+//! Reusable workspace for the matvec kernels.
+
+use ernn_fft::{Complex32, RealFftScratch};
+
+/// Caller-owned scratch space for the `_into` matvec kernels.
+///
+/// One scratch serves matrices of any shape and any batch size: every
+/// buffer grows to the largest size seen and is then reused, so
+/// steady-state [`BlockCirculantMatrix::matvec_into`](crate::BlockCirculantMatrix::matvec_into)
+/// / [`matvec_batch_into`](crate::BlockCirculantMatrix::matvec_batch_into)
+/// calls perform zero heap allocations. A serving worker keeps one
+/// `MatVecScratch` (inside its cell/network scratch) for its whole
+/// lifetime and threads it through every layer.
+#[derive(Debug, Clone, Default)]
+pub struct MatVecScratch {
+    /// Zero-padded copy of one input block (`L_b`).
+    pub(crate) padded: Vec<f32>,
+    /// FFT'd input blocks, `batch · q · spectrum_len` entries.
+    pub(crate) x_spectra: Vec<Complex32>,
+    /// Frequency-domain accumulators, `batch · spectrum_len` entries.
+    pub(crate) acc: Vec<Complex32>,
+    /// Time-domain output of one block IFFT (`L_b`).
+    pub(crate) block_out: Vec<f32>,
+    /// Packed-buffer scratch for the real FFT itself.
+    pub(crate) fft: RealFftScratch,
+}
+
+impl MatVecScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        MatVecScratch::default()
+    }
+}

@@ -6,13 +6,18 @@
 //! ([`crate::BlockCirculantMatrix`]), or a mixture chosen at run time
 //! ([`WeightMatrix`]).
 
-use crate::{BlockCirculantMatrix, Matrix};
+use crate::{BlockCirculantMatrix, MatVecScratch, Matrix};
 
 /// A matrix that can multiply a vector (and its transpose).
 ///
 /// This is the only capability an RNN cell's forward pass needs from its
 /// weights. The trait is sealed-by-convention: the workspace implements it
 /// for [`Matrix`], [`BlockCirculantMatrix`] and [`WeightMatrix`].
+///
+/// The `_into` methods are the allocation-free forms used by the
+/// inference hot path; they must be bit-identical to `matvec`. The
+/// provided defaults fall back to the allocating path, and every
+/// workspace implementation overrides them with true in-place kernels.
 pub trait MatVec {
     /// Output dimension.
     fn rows(&self) -> usize;
@@ -22,6 +27,52 @@ pub trait MatVec {
     fn matvec(&self, x: &[f32]) -> Vec<f32>;
     /// `y = Aᵀ·x`.
     fn matvec_t(&self, x: &[f32]) -> Vec<f32>;
+
+    /// `y = A·x` into a caller-provided buffer, borrowing `scratch` for
+    /// intermediates. Bit-identical to [`Self::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.rows()`.
+    fn matvec_into(&self, x: &[f32], y: &mut [f32], scratch: &mut MatVecScratch) {
+        let _ = scratch;
+        y.copy_from_slice(&self.matvec(x));
+    }
+
+    /// Batched `ys[b] = A·xs[b]` over contiguous `batch × cols` inputs
+    /// and `batch × rows` outputs. Bit-identical per input to
+    /// [`Self::matvec`]; implementations may fuse the batch (the
+    /// block-circulant kernel streams its weight spectra once per batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with `batch` and the shape.
+    fn matvec_batch_into(
+        &self,
+        xs: &[f32],
+        ys: &mut [f32],
+        batch: usize,
+        scratch: &mut MatVecScratch,
+    ) {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert_eq!(
+            xs.len(),
+            batch * cols,
+            "input length must equal batch × cols"
+        );
+        assert_eq!(
+            ys.len(),
+            batch * rows,
+            "output length must equal batch × rows"
+        );
+        for b in 0..batch {
+            self.matvec_into(
+                &xs[b * cols..(b + 1) * cols],
+                &mut ys[b * rows..(b + 1) * rows],
+                scratch,
+            );
+        }
+    }
 }
 
 impl MatVec for Matrix {
@@ -36,6 +87,9 @@ impl MatVec for Matrix {
     }
     fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         Matrix::matvec_t(self, x)
+    }
+    fn matvec_into(&self, x: &[f32], y: &mut [f32], _scratch: &mut MatVecScratch) {
+        Matrix::matvec_into(self, x, y);
     }
 }
 
@@ -109,6 +163,24 @@ impl MatVec for WeightMatrix {
         match self {
             WeightMatrix::Dense(m) => m.matvec_t(x),
             WeightMatrix::Circulant(m) => m.matvec_t(x),
+        }
+    }
+    fn matvec_into(&self, x: &[f32], y: &mut [f32], scratch: &mut MatVecScratch) {
+        match self {
+            WeightMatrix::Dense(m) => MatVec::matvec_into(m, x, y, scratch),
+            WeightMatrix::Circulant(m) => m.matvec_into(x, y, scratch),
+        }
+    }
+    fn matvec_batch_into(
+        &self,
+        xs: &[f32],
+        ys: &mut [f32],
+        batch: usize,
+        scratch: &mut MatVecScratch,
+    ) {
+        match self {
+            WeightMatrix::Dense(m) => MatVec::matvec_batch_into(m, xs, ys, batch, scratch),
+            WeightMatrix::Circulant(m) => m.matvec_batch_into(xs, ys, batch, scratch),
         }
     }
 }

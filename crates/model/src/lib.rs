@@ -43,10 +43,10 @@ pub mod trainer;
 
 pub use activation::Act;
 pub use compress::{compress_network, compress_network_layers, BlockPolicy};
-pub use gru::{GruCache, GruGrads, GruLayer};
+pub use gru::{GruCache, GruGrads, GruLayer, GruScratch};
 pub use layer::{LayerCaches, LayerGrads, RnnLayer};
 pub use loss::softmax_cross_entropy;
-pub use lstm::{LstmCache, LstmConfig, LstmGrads, LstmLayer, LstmState, ParamCount};
+pub use lstm::{LstmCache, LstmConfig, LstmGrads, LstmLayer, LstmScratch, LstmState, ParamCount};
 pub use network::{CellType, NetworkBuilder, NetworkGrads, RnnNetwork, WeightRole};
 pub use optim::{Adam, Optimizer, Sgd};
 

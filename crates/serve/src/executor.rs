@@ -28,6 +28,7 @@
 
 use crate::cache::CompiledModel;
 use ernn_fft::stats::{self, FftStats};
+use ernn_fpga::exec::ExecScratch;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -77,17 +78,32 @@ pub trait Executor {
     /// hand it to a worker and return at once (thread pool).
     fn submit(&mut self, job: InferenceJob);
 
+    /// Accepts every job of one dispatched batch at once, so the
+    /// executor can batch-fuse host inference across them (the runtime
+    /// dispatches a formed batch to a single device, so batch members
+    /// share a `device`). The default degrades to per-job [`Self::submit`];
+    /// implementations that fuse must keep logits bit-identical to the
+    /// per-job path.
+    fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
+        for job in jobs {
+            self.submit(job);
+        }
+    }
+
     /// Waits for every submitted job and returns the collected outputs.
     /// Must be called exactly once, after the last `submit`.
     fn finish(&mut self) -> ExecutorReport;
 }
 
 /// The deterministic reference executor: jobs run synchronously at submit
-/// on the caller's thread, in submission order.
+/// on the caller's thread, in submission order, with one persistent
+/// [`ExecScratch`] so the FFT/matvec kernels stop allocating after the
+/// first job warms the buffers.
 #[derive(Debug)]
 pub struct InlineExecutor {
     model: Arc<CompiledModel>,
     outputs: Vec<(usize, Vec<Vec<f32>>)>,
+    scratch: ExecScratch,
     fft_start: FftStats,
 }
 
@@ -97,6 +113,7 @@ impl InlineExecutor {
         InlineExecutor {
             model,
             outputs: Vec::new(),
+            scratch: ExecScratch::new(),
             fft_start: stats::thread_snapshot(),
         }
     }
@@ -104,8 +121,16 @@ impl InlineExecutor {
 
 impl Executor for InlineExecutor {
     fn submit(&mut self, job: InferenceJob) {
-        let logits = self.model.infer(&job.frames);
+        let logits = self.model.infer_with(&job.frames, &mut self.scratch);
         self.outputs.push((job.slot, logits));
+    }
+
+    fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
+        let frames: Vec<&[Vec<f32>]> = jobs.iter().map(|j| j.frames.as_slice()).collect();
+        let logits = self.model.infer_batch_with(&frames, &mut self.scratch);
+        for (job, l) in jobs.into_iter().zip(logits) {
+            self.outputs.push((job.slot, l));
+        }
     }
 
     fn finish(&mut self) -> ExecutorReport {
@@ -129,11 +154,15 @@ enum WorkerMessage {
 ///
 /// Jobs are routed by `job.device % workers`, so all inference for one
 /// virtual device lands on one worker (deterministic per-worker load and
-/// FFT accounting) while distinct devices proceed in parallel.
+/// FFT accounting) while distinct devices proceed in parallel. Each
+/// worker owns a persistent [`ExecScratch`] for its whole lifetime, so
+/// steady-state inference stops allocating in the FFT/matvec kernels, and
+/// batch submissions ([`Executor::submit_batch`]) are batch-fused: one
+/// pass over the cached weight spectra serves the whole batch.
 #[derive(Debug)]
 pub struct ThreadPoolExecutor {
-    /// Per-worker job senders; `None` once `finish` closed the queues.
-    job_txs: Vec<Option<mpsc::Sender<InferenceJob>>>,
+    /// Per-worker batch senders; `None` once `finish` closed the queues.
+    job_txs: Vec<Option<mpsc::Sender<Vec<InferenceJob>>>>,
     result_rx: mpsc::Receiver<WorkerMessage>,
     handles: Vec<thread::JoinHandle<()>>,
     submitted: usize,
@@ -151,20 +180,22 @@ impl ThreadPoolExecutor {
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (job_tx, job_rx) = mpsc::channel::<InferenceJob>();
+            let (job_tx, job_rx) = mpsc::channel::<Vec<InferenceJob>>();
             let model = Arc::clone(&model);
             let result_tx = result_tx.clone();
             handles.push(thread::spawn(move || {
                 let fft_start = stats::thread_snapshot();
-                while let Ok(job) = job_rx.recv() {
-                    let logits = model.infer(&job.frames);
-                    if result_tx
-                        .send(WorkerMessage::Output(job.slot, logits))
-                        .is_err()
-                    {
-                        // Receiver gone: the executor was dropped without
-                        // finish(); nothing left to report to.
-                        return;
+                let mut scratch = ExecScratch::new();
+                while let Ok(jobs) = job_rx.recv() {
+                    let frames: Vec<&[Vec<f32>]> =
+                        jobs.iter().map(|j| j.frames.as_slice()).collect();
+                    let logits = model.infer_batch_with(&frames, &mut scratch);
+                    for (job, l) in jobs.iter().zip(logits) {
+                        if result_tx.send(WorkerMessage::Output(job.slot, l)).is_err() {
+                            // Receiver gone: the executor was dropped
+                            // without finish(); nothing left to report to.
+                            return;
+                        }
                     }
                 }
                 let delta = stats::thread_snapshot().since(&fft_start);
@@ -211,11 +242,34 @@ impl Executor for ThreadPoolExecutor {
         let sent = self.job_txs[w]
             .as_ref()
             .expect("submit after finish")
-            .send(job);
+            .send(vec![job]);
         if sent.is_err() {
             self.propagate_worker_panic();
         }
         self.submitted += 1;
+    }
+
+    fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
+        // Runtime batches share a device, but stay correct for arbitrary
+        // callers: split into runs of equal device so each run lands on
+        // its pinned worker as one fused batch.
+        let mut jobs = jobs.into_iter().peekable();
+        while let Some(first) = jobs.next() {
+            let device = first.device;
+            let mut run = vec![first];
+            while jobs.peek().is_some_and(|j| j.device == device) {
+                run.push(jobs.next().expect("peeked job exists"));
+            }
+            self.submitted += run.len();
+            let w = device % self.job_txs.len();
+            let sent = self.job_txs[w]
+                .as_ref()
+                .expect("submit after finish")
+                .send(run);
+            if sent.is_err() {
+                self.propagate_worker_panic();
+            }
+        }
     }
 
     fn finish(&mut self) -> ExecutorReport {

@@ -21,7 +21,12 @@
 //!   cache: every block-circulant weight spectrum is computed exactly
 //!   once at compile time and only input-side FFTs run per request
 //!   (observable via [`CompiledModel::weight_spectrum_refreshes`] and
-//!   [`ernn_fft::stats`]).
+//!   [`ernn_fft::stats`]). Inference runs on the zero-allocation,
+//!   batch-fused kernel stack: executors keep one [`ExecScratch`] per
+//!   worker, a dispatched batch is computed with one fused
+//!   [`CompiledModel::infer_batch_with`] call (one pass over the cached
+//!   weight spectra per batch), and post-warmup the FFT/matvec kernels
+//!   perform zero heap allocations.
 //! * [`ServeRuntime`] — the deterministic event loop; [`ServeMetrics`]
 //!   reports p50/p95/p99 latency, throughput, per-device occupancy and
 //!   the batch-size histogram.
@@ -70,6 +75,7 @@ mod runtime;
 pub use batcher::{BatchPolicy, DynamicBatcher};
 pub use cache::{CompiledModel, LoadStats};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
+pub use ernn_fpga::exec::ExecScratch;
 pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, ThreadPoolExecutor,
 };

@@ -366,6 +366,7 @@ impl ServeRuntime {
         let exec = pool.dispatch(now_us, &frame_counts);
         let batch_size = batch.len();
 
+        let mut jobs = Vec::with_capacity(batch_size);
         for (request, &complete_us) in batch.into_iter().zip(exec.complete_us.iter()) {
             let Request {
                 id,
@@ -375,8 +376,10 @@ impl ServeRuntime {
             } = request;
             let deadline_met = deadline_us.is_none_or(|d| complete_us <= d);
             // Timing is settled here on the virtual clock; the logits are
-            // the executor's job and land in this slot at run end.
-            executor.submit(InferenceJob {
+            // the executor's job and land in this slot at run end. The
+            // whole batch is handed over at once so the executor can fuse
+            // host inference across it.
+            jobs.push(InferenceJob {
                 slot: responses.len(),
                 device: exec.device,
                 frames,
@@ -403,6 +406,7 @@ impl ServeRuntime {
                 }
             }
         }
+        executor.submit_batch(jobs);
     }
 }
 

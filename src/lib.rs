@@ -25,7 +25,12 @@
 //!   request batching, a virtual device pool driven by the CGPipe cycle
 //!   simulation, an FFT'd-weight cache filled once per model load, and
 //!   latency/throughput/occupancy metrics under open- and closed-loop
-//!   traffic.
+//!   traffic. Host inference runs on a zero-allocation, batch-fused
+//!   kernel stack: every FFT/matvec has an in-place `_into` form fed by
+//!   per-worker scratch buffers, and a dispatched batch streams the
+//!   cached weight spectra once per batch (see the `_into`/scratch
+//!   conventions in [`fft`] and [`linalg`], and `tests/kernel_alloc.rs`
+//!   for the counting-allocator proof).
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,65 @@
+//! Counting-allocator proof that the steady-state serve hot path is
+//! allocation-free.
+//!
+//! This binary installs [`ernn_bench::alloc::CountingAllocator`] as its
+//! global allocator and holds a **single** `#[test]` so no concurrent
+//! test thread can pollute the process-wide allocation counter during
+//! the measured window.
+//!
+//! The claim under test (ISSUE 3 acceptance): after warmup, the batched
+//! inference path a serving worker runs — input quantization, every
+//! cell's FFT/matvec kernels, the classifier head, and the logits
+//! buffers themselves — performs **zero** heap allocations when shapes
+//! repeat, because every intermediate lives in a persistent
+//! [`ExecScratch`] and outputs are written shape-reusingly in place.
+
+use ernn::fpga::exec::{DatapathConfig, ExecScratch};
+use ernn::fpga::XCKU060;
+use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn::serve::CompiledModel;
+use ernn_bench::alloc::{allocation_count, CountingAllocator};
+use rand::{Rng, SeedableRng};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_batched_inference_performs_zero_allocations() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(29);
+    for cell in [CellType::Gru, CellType::Lstm] {
+        let dense = NetworkBuilder::new(cell, 12, 7)
+            .layer_dims(&[16, 16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(8));
+        let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+
+        // A served batch of ragged-length utterances.
+        let utterances: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|s| {
+                (0..5 + s * 2)
+                    .map(|_| (0..12).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                    .collect()
+            })
+            .collect();
+        let batch: Vec<&[Vec<f32>]> = utterances.iter().map(Vec::as_slice).collect();
+
+        let mut scratch = ExecScratch::new();
+        let mut out = Vec::new();
+        // Warmup grows every scratch buffer and the output shape.
+        model.infer_batch_into(&batch, &mut out, &mut scratch);
+
+        let before = allocation_count();
+        model.infer_batch_into(&batch, &mut out, &mut scratch);
+        let delta = allocation_count() - before;
+        assert_eq!(
+            delta, 0,
+            "{cell}: steady-state batched inference allocated {delta} times"
+        );
+
+        // And the in-place results are still bit-identical to the plain
+        // allocating path, per utterance.
+        for (s, utt) in utterances.iter().enumerate() {
+            assert_eq!(out[s], model.infer(utt), "{cell} utterance {s}");
+        }
+    }
+}
