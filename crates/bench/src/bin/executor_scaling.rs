@@ -89,8 +89,7 @@ fn main() {
                     .str("executor", label)
                     .int("workers", report.worker_fft.len() as i64)
                     .num("throughput_rps", m.throughput_rps)
-                    .num("p50_us", m.latency.p50_us)
-                    .num("p99_us", m.latency.p99_us)
+                    .latency("", &m.latency)
                     .num("makespan_us", m.makespan_us)
                     .num("host_us", report.host_us)
                     .num("host_speedup", speedup)

@@ -1,0 +1,238 @@
+//! Head-to-head scheduler sweep: EDF + cost-model placement vs the naive
+//! FIFO + earliest-free baseline on a mixed two-model, two-platform
+//! workload at fixed offered load.
+//!
+//! The workload is the canonical multi-tenant shape: an *interactive*
+//! tenant (small acoustic model, short utterances, tight SLO) sharing the
+//! pool with a *batch* tenant (larger model, long utterances, loose SLO).
+//! A BRAM budget that holds only one weight image per device makes
+//! placement residency-aware: thrashing models across devices costs real
+//! stall time.
+//!
+//! This sweep is also a correctness harness — it **asserts** that
+//!
+//! * EDF + cost-model misses strictly fewer deadlines than FIFO +
+//!   earliest-free at the same load, and
+//! * virtual-time results (responses, metrics, scheduler stats) are
+//!   bit-identical across the `Inline` and `ThreadPool` executors.
+//!
+//! Run with: `cargo run --release -p ernn-bench --bin sched_sweep`
+//! (`--quick` shrinks the load for smoke runs, `--json PATH` writes the
+//! rows as a bench artifact for CI trend tracking).
+
+use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_fpga::exec::DatapathConfig;
+use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
+use ernn_serve::sched::{
+    AdmissionPolicy, ModelRegistry, PaddingModel, SchedPolicy, SchedReport, SchedRuntime,
+};
+use ernn_serve::{CompiledModel, ExecutorKind, Request};
+use rand::SeedableRng;
+
+const INPUT_DIM: usize = 52;
+/// Interactive tenant: model 0, short utterances, tight SLO.
+const INTERACTIVE_SLO_US: f64 = 60.0;
+/// Batch tenant: model 1, long utterances, loose SLO.
+const BATCH_SLO_US: f64 = 20_000.0;
+
+fn compile(seed: u64, hidden: usize) -> CompiledModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let dense = NetworkBuilder::new(CellType::Gru, INPUT_DIM, 40)
+        .layer_dims(&[hidden])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(8));
+    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+}
+
+fn registry() -> ModelRegistry {
+    let mut reg = ModelRegistry::new();
+    reg.register("gru-64-interactive", compile(3, 64));
+    reg.register("gru-256-batch", compile(4, 256));
+    reg
+}
+
+/// The fixed mixed load: 3 interactive requests to every batch request,
+/// deadlines per tenant class (class-heterogeneous SLOs are what make
+/// deadline-aware ordering matter — uniform SLOs degenerate EDF to FIFO).
+fn load(num_requests: usize) -> Vec<Request> {
+    let interactive = synthetic_utterances(8, (5, 15), INPUT_DIM, 21);
+    let batch = synthetic_utterances(8, (30, 60), INPUT_DIM, 22);
+    let arrivals = open_loop_poisson(&interactive, num_requests, 500_000.0, 23);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let arrival = r.arrival_us;
+            if i % 4 == 3 {
+                // i/4 so consecutive batch requests cycle the whole pool
+                // (i itself only hits indices ≡ 3 mod 4).
+                let payload = batch[(i / 4) % batch.len()].clone();
+                Request::new(r.id, payload, arrival)
+                    .with_model(1)
+                    .with_deadline(arrival + BATCH_SLO_US)
+            } else {
+                r.with_model(0).with_deadline(arrival + INTERACTIVE_SLO_US)
+            }
+        })
+        .collect()
+}
+
+struct Config {
+    label: &'static str,
+    policy: SchedPolicy,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = json_path_arg(&args);
+    let num_requests = if quick { 200 } else { 600 };
+
+    let reg = registry();
+    // A weight budget that holds exactly one model per device: placement
+    // must respect residency or pay the reload stall.
+    let tight_budget = reg.weight_bytes(1) + reg.weight_bytes(0) / 2;
+    println!(
+        "models: {} ({} KiB), {} ({} KiB); per-device weight budget {} KiB",
+        reg.name(0),
+        reg.weight_bytes(0) / 1024,
+        reg.name(1),
+        reg.weight_bytes(1) / 1024,
+        tight_budget / 1024
+    );
+    drop(reg);
+
+    let platforms = vec![XCKU060, ADM_PCIE_7V3];
+    let base = |policy: SchedPolicy| policy.with_bram_budget_bytes(tight_budget);
+    let configs = [
+        Config {
+            label: "fifo+earliest_free",
+            policy: base(SchedPolicy::fifo_earliest_free(8, 200.0)),
+        },
+        Config {
+            label: "edf+cost_model",
+            policy: base(SchedPolicy::edf_cost_model(8, 200.0)),
+        },
+        Config {
+            label: "edf+cost+padding",
+            policy: base(
+                SchedPolicy::edf_cost_model(8, 200.0).with_padding(PaddingModel::new(0.4)),
+            ),
+        },
+        Config {
+            label: "edf+cost+shed",
+            policy: base(
+                SchedPolicy::edf_cost_model(8, 200.0)
+                    .with_admission(AdmissionPolicy::ShedPredictedLate),
+            ),
+        },
+    ];
+
+    println!(
+        "\n{:<20} {:>8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "config", "served", "shed", "miss %", "p99 µs", "p99.9 µs", "loads", "evict"
+    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut miss_by_label: Vec<(&str, f64)> = Vec::new();
+    for config in &configs {
+        let run = |kind| {
+            SchedRuntime::with_executor(registry(), platforms.clone(), config.policy, kind)
+                .run(load(num_requests))
+        };
+        let report = run(ExecutorKind::Inline);
+
+        // Correctness harness: the thread-pool executor must reproduce
+        // every virtual-time result bit for bit.
+        let pool_report: SchedReport = run(ExecutorKind::ThreadPool);
+        assert_eq!(
+            report.responses, pool_report.responses,
+            "{}: executor changed responses",
+            config.label
+        );
+        assert_eq!(
+            report.metrics, pool_report.metrics,
+            "{}: executor changed virtual-time metrics",
+            config.label
+        );
+        assert_eq!(
+            report.sched, pool_report.sched,
+            "{}: executor changed scheduler stats",
+            config.label
+        );
+
+        let m = &report.metrics;
+        println!(
+            "{:<20} {:>8} {:>6} {:>8.1}% {:>9.1} {:>9.1} {:>8} {:>7}",
+            config.label,
+            m.completed,
+            m.shed,
+            m.deadline_miss_rate * 100.0,
+            m.latency.p99_us,
+            m.latency.p999_us,
+            report.sched.model_loads,
+            report.sched.model_evictions
+        );
+        miss_by_label.push((config.label, m.deadline_miss_rate));
+
+        let per_model = array(m.per_model.iter().map(|(id, pm)| {
+            JsonObject::new()
+                .int("model", *id as i64)
+                .int("completed", pm.completed as i64)
+                .int("shed", pm.shed as i64)
+                .num("miss_rate", pm.deadline_miss_rate)
+                .latency("", &pm.latency)
+                .render()
+        }));
+        rows.push(
+            JsonObject::new()
+                .str("config", config.label)
+                .int("completed", m.completed as i64)
+                .int("shed", m.shed as i64)
+                .num("miss_rate", m.deadline_miss_rate)
+                .num("throughput_rps", m.throughput_rps)
+                .latency("", &m.latency)
+                .latency("queue_", &m.queue)
+                .int("model_loads", report.sched.model_loads as i64)
+                .int("model_evictions", report.sched.model_evictions as i64)
+                .num("load_us_total", report.sched.load_us_total)
+                .num("host_us", report.host_us)
+                .raw("per_model", per_model)
+                .render(),
+        );
+    }
+
+    let miss = |label: &str| {
+        miss_by_label
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("config ran")
+            .1
+    };
+    let fifo = miss("fifo+earliest_free");
+    let edf = miss("edf+cost_model");
+    println!(
+        "\nEDF + cost-model miss rate {:.1}% vs FIFO + earliest-free {:.1}%",
+        edf * 100.0,
+        fifo * 100.0
+    );
+    assert!(
+        edf < fifo,
+        "EDF + cost-model must miss fewer deadlines than FIFO + earliest-free \
+         ({edf:.4} vs {fifo:.4})"
+    );
+    println!("(assertions passed: EDF beats FIFO; executors bit-identical)");
+
+    if let Some(path) = json_path {
+        let doc = JsonObject::new()
+            .str("bench", "sched_sweep")
+            .int("requests", num_requests as i64)
+            .num("interactive_slo_us", INTERACTIVE_SLO_US)
+            .num("batch_slo_us", BATCH_SLO_US)
+            .int("weight_budget_bytes", tight_budget as i64)
+            .raw("rows", array(rows))
+            .render();
+        write_artifact(&path, doc);
+    }
+}

@@ -71,9 +71,7 @@ fn main() {
                     .int("devices", devices as i64)
                     .str("policy", label)
                     .num("throughput_rps", m.throughput_rps)
-                    .num("p50_us", m.latency.p50_us)
-                    .num("p95_us", m.latency.p95_us)
-                    .num("p99_us", m.latency.p99_us)
+                    .latency("", &m.latency)
                     .num("mean_batch", m.mean_batch_size)
                     .num("mean_occupancy", mean_occ)
                     .num("host_us", report.host_us)

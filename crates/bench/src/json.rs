@@ -96,6 +96,20 @@ fn escape(s: &str) -> String {
     out
 }
 
+impl JsonObject {
+    /// Adds the standard latency-quantile fields (`<prefix>p50_us` …
+    /// `<prefix>p999_us`) from a serving [`LatencySummary`] — the one
+    /// place the bench artifacts' quantile schema is defined, so every
+    /// sweep stays in sync with `ServeMetrics` (adding a quantile there
+    /// means adding it here, and every artifact picks it up).
+    pub fn latency(self, prefix: &str, s: &ernn_serve::LatencySummary) -> Self {
+        self.num(&format!("{prefix}p50_us"), s.p50_us)
+            .num(&format!("{prefix}p95_us"), s.p95_us)
+            .num(&format!("{prefix}p99_us"), s.p99_us)
+            .num(&format!("{prefix}p999_us"), s.p999_us)
+    }
+}
+
 /// Pulls the value following a `--json` flag out of an argument list.
 pub fn json_path_arg(args: &[String]) -> Option<String> {
     args.iter()
@@ -149,6 +163,17 @@ mod tests {
         ]);
         let doc = JsonObject::new().raw("rows", rows).render();
         assert_eq!(doc, r#"{"rows":[{"i":1},{"i":2}]}"#);
+    }
+
+    #[test]
+    fn latency_helper_emits_the_quantile_schema() {
+        let s = ernn_serve::LatencySummary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let doc = JsonObject::new().latency("", &s).render();
+        for key in ["p50_us", "p95_us", "p99_us", "p999_us"] {
+            assert!(doc.contains(&format!("\"{key}\"")), "{doc}");
+        }
+        let doc = JsonObject::new().latency("queue_", &s).render();
+        assert!(doc.contains("\"queue_p999_us\""));
     }
 
     #[test]

@@ -260,6 +260,42 @@ impl StageCycles {
     pub fn as_array(&self) -> [u64; 3] {
         [self.stage1, self.stage2, self.stage3]
     }
+
+    /// Sum of the three stage durations: the pipeline fill, and the exact
+    /// latency of the first frame through an idle CGPipe.
+    pub fn fill_cycles(&self) -> u64 {
+        self.stage1 + self.stage2 + self.stage3
+    }
+
+    /// Closed-form completion cycle of the `frame`-th frame (1-indexed)
+    /// in a back-to-back stream through an initially idle pipeline:
+    /// `fill + (frame − 1) · II`. This is *exact* against the
+    /// event-driven [`crate::sim::simulate_batch`] (property-tested
+    /// there), which is what lets the serving scheduler's cost model
+    /// predict batch makespans without running the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame == 0` (frames are 1-indexed).
+    pub fn stream_completion_cycles(&self, frame: u64) -> u64 {
+        assert!(frame > 0, "frames are 1-indexed");
+        self.fill_cycles() + (frame - 1) * self.ii()
+    }
+
+    /// Per-frame CGPipe timing of the paper's FFT8 LSTM-1024 design on
+    /// the Kintex UltraScale KU060 (Table III's "E-RNN FFT8" column) —
+    /// a named preset for building heterogeneous device pools.
+    pub fn xcku060() -> Self {
+        Accelerator::new(RnnSpec::lstm_1024(8, 12), crate::device::XCKU060).stage_cycles()
+    }
+
+    /// Per-frame CGPipe timing of the same design on the Virtex-7 690t
+    /// (ADM-PCIE-7V3). More DSPs than the KU060, hence the faster II —
+    /// the per-platform `StageCycles` gap that makes placement in a mixed
+    /// pool a cost-model decision rather than earliest-free.
+    pub fn virtex7_690t() -> Self {
+        Accelerator::new(RnnSpec::lstm_1024(8, 12), crate::device::ADM_PCIE_7V3).stage_cycles()
+    }
 }
 
 /// A fully configured accelerator on a device.
@@ -524,6 +560,38 @@ mod tests {
                 assert!(r.dsp_pct > 40.0, "{}: dsp {}", dev.name, r.dsp_pct);
             }
         }
+    }
+
+    #[test]
+    fn platform_presets_reflect_table_iii_speed_gap() {
+        // The 7V3 carries more DSPs than the KU060, so the same FFT8
+        // LSTM-1024 design runs at a shorter II there — the heterogeneity
+        // the serving scheduler's cost model exploits.
+        let ku = StageCycles::xcku060();
+        let v7 = StageCycles::virtex7_690t();
+        assert!(ku.ii() > 0 && v7.ii() > 0);
+        assert!(v7.ii() < ku.ii(), "7V3 {} vs KU060 {}", v7.ii(), ku.ii());
+        assert_eq!(
+            ku,
+            Accelerator::new(RnnSpec::lstm_1024(8, 12), XCKU060).stage_cycles()
+        );
+        assert_eq!(
+            v7,
+            Accelerator::new(RnnSpec::lstm_1024(8, 12), ADM_PCIE_7V3).stage_cycles()
+        );
+    }
+
+    #[test]
+    fn stream_completion_closed_form_basics() {
+        let s = StageCycles {
+            stage1: 5,
+            stage2: 3,
+            stage3: 2,
+        };
+        assert_eq!(s.fill_cycles(), 10);
+        // Frame 1 = pipeline fill; each further frame adds one II.
+        assert_eq!(s.stream_completion_cycles(1), 10);
+        assert_eq!(s.stream_completion_cycles(4), 10 + 3 * 5);
     }
 
     #[test]

@@ -213,6 +213,14 @@ impl QuantizedNetwork {
         &self.net
     }
 
+    /// Mutable access to the quantized network, for callers that need to
+    /// refresh cached weight-spectrum state (e.g. the serving registry
+    /// reloading a model's device image). Functional values must not
+    /// change — the datapath assumes the weights are already quantized.
+    pub fn network_mut(&mut self) -> &mut RnnNetwork<WeightMatrix> {
+        &mut self.net
+    }
+
     #[inline]
     fn q(&self, x: f32) -> f32 {
         self.activation_format.quantize_f32(x)

@@ -252,6 +252,37 @@ mod tests {
         assert!(trace.occupancy[1] > trace.occupancy[0]);
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn stream_closed_form_is_exact_against_the_event_sim(
+            s1 in 1u64..200,
+            s2 in 1u64..200,
+            s3 in 1u64..200,
+            counts in proptest::collection::vec(1u64..20, 1..6),
+        ) {
+            // The scheduler's cost model relies on the closed form
+            // `fill + (j − 1)·II` for the j-th streamed frame being exact,
+            // whatever the stage imbalance — per-utterance completions and
+            // the batch makespan must match the event-driven sim cycle for
+            // cycle.
+            let s = stages(s1, s2, s3);
+            let trace = simulate_batch(s, &counts);
+            let mut streamed = 0u64;
+            for (utt, &frames) in counts.iter().enumerate() {
+                streamed += frames;
+                prop_assert_eq!(
+                    trace.completion_cycles[utt],
+                    s.stream_completion_cycles(streamed)
+                );
+            }
+            prop_assert_eq!(
+                trace.makespan_cycles,
+                s.stream_completion_cycles(streamed)
+            );
+        }
+    }
+
     #[test]
     fn simulate_batch_into_reuses_scratch_and_matches() {
         let s = stages(100, 50, 80);

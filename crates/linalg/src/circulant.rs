@@ -221,7 +221,12 @@ impl BlockCirculantMatrix {
         self.refreshes
     }
 
-    fn refresh_spectra(&mut self) {
+    /// Recomputes the cached weight spectra from the defining vectors and
+    /// bumps [`Self::spectrum_refresh_count`]. Values are unchanged (the
+    /// FFT of the same blocks); callers use this to model re-streaming a
+    /// weight image — e.g. the serving registry loading a model into an
+    /// accelerator's BRAM — while keeping the refresh counter honest.
+    pub fn refresh_spectra(&mut self) {
         self.refreshes += 1;
         let sp_len = self.rfft.spectrum_len();
         self.spectra.clear();

@@ -187,6 +187,12 @@ impl<M: MatVec> RnnNetwork<M> {
         &self.layers
     }
 
+    /// Mutable access to the stacked layers (weight surgery: quantization
+    /// rewrites, serving-side weight-cache refreshes).
+    pub fn layers_mut(&mut self) -> &mut [RnnLayer<M>] {
+        &mut self.layers
+    }
+
     /// Number of stacked RNN layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()

@@ -40,6 +40,29 @@ impl BatchPolicy {
     }
 }
 
+/// What the forming batch needs from the event loop — a total snapshot of
+/// the batcher's dispatch state.
+///
+/// This is the structured replacement for the old
+/// `flush_deadline_us().expect(..)` pattern: the event loop `match`es on
+/// one value instead of combining a length check with an `Option` unwrap
+/// whose invariant ("non-empty ⇒ has a flush deadline") lived only in a
+/// panic message. A batcher refactor that breaks the invariant now fails
+/// to type-check the loop rather than killing it at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchReadiness {
+    /// Nothing queued; wait for the next arrival.
+    Empty,
+    /// A batch is forming; unless it fills first, it must dispatch no
+    /// later than `flush_at_us` (oldest member's arrival + max wait).
+    Forming {
+        /// Absolute flush time (µs).
+        flush_at_us: f64,
+    },
+    /// The batch is full: dispatch now.
+    Full,
+}
+
 /// FIFO queue that forms batches according to a [`BatchPolicy`].
 #[derive(Debug)]
 pub struct DynamicBatcher {
@@ -82,6 +105,20 @@ impl DynamicBatcher {
         self.queue
             .front()
             .map(|oldest| oldest.arrival_us + self.policy.max_wait_us)
+    }
+
+    /// The dispatch state the event loop switches on (see
+    /// [`BatchReadiness`]). Empty, full, and forming are mutually
+    /// exclusive by construction, so the loop cannot observe a non-empty
+    /// batcher without a flush deadline.
+    pub fn readiness(&self) -> BatchReadiness {
+        match self.queue.front() {
+            None => BatchReadiness::Empty,
+            Some(_) if self.queue.len() >= self.policy.max_batch => BatchReadiness::Full,
+            Some(oldest) => BatchReadiness::Forming {
+                flush_at_us: oldest.arrival_us + self.policy.max_wait_us,
+            },
+        }
     }
 
     /// Whether a batch should dispatch at time `now_us`: the queue is
@@ -151,5 +188,17 @@ mod tests {
         b.push(req(0, 5.0));
         assert!(b.ready(5.0));
         assert_eq!(b.take_batch().len(), 1);
+    }
+
+    #[test]
+    fn readiness_tracks_empty_forming_full() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(2, 50.0));
+        assert_eq!(b.readiness(), BatchReadiness::Empty);
+        b.push(req(0, 10.0));
+        assert_eq!(b.readiness(), BatchReadiness::Forming { flush_at_us: 60.0 });
+        b.push(req(1, 11.0));
+        assert_eq!(b.readiness(), BatchReadiness::Full);
+        let _ = b.take_batch();
+        assert_eq!(b.readiness(), BatchReadiness::Empty);
     }
 }

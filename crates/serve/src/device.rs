@@ -1,13 +1,23 @@
 //! Virtual accelerator devices and the pool that shards work across them.
 //!
-//! Each [`VirtualDevice`] advances its own clock using the CGPipe stage
-//! timing from the compiled model ([`ernn_fpga::sim::simulate_batch`]):
-//! a dispatched batch streams its utterances' frames back-to-back through
-//! the 3-stage pipeline and the device is busy until the last frame
-//! drains. The [`DevicePool`] places each batch on the device that frees
-//! up earliest — the simplest work-conserving sharding policy, and the
-//! seam where smarter placement (heterogeneous pools, locality, admission
-//! control) plugs in later.
+//! Each [`VirtualDevice`] advances its own clock using CGPipe stage
+//! timing ([`ernn_fpga::sim::simulate_batch`]): a dispatched batch
+//! streams its utterances' frames back-to-back through the 3-stage
+//! pipeline and the device is busy until the last frame drains.
+//!
+//! The pool supports two shapes:
+//!
+//! * **Homogeneous** ([`DevicePool::new`]): `n` identical devices, each
+//!   executing with its default stage timing, placed earliest-free by
+//!   [`DevicePool::dispatch`] — the original single-model runtime's
+//!   policy.
+//! * **Heterogeneous** ([`DevicePool::heterogeneous`]): per-device
+//!   [`StageCycles`] (e.g. the [`StageCycles::xcku060`] /
+//!   [`StageCycles::virtex7_690t`] presets). Because the right timing
+//!   then depends on *which model* a batch carries, placement moves up
+//!   into the scheduler's cost model and batches land via
+//!   [`DevicePool::dispatch_to`], which takes the (device, model)
+//!   timing and an optional weight-load setup delay explicitly.
 
 use ernn_fpga::sim::{simulate_batch_into, BatchTrace};
 use ernn_fpga::{Device, StageCycles};
@@ -17,8 +27,9 @@ use ernn_fpga::{Device, StageCycles};
 pub struct BatchExecution {
     /// Index of the executing device.
     pub device: usize,
-    /// When the batch started executing (µs; max of dispatch time and
-    /// the device's previous free time).
+    /// When the batch started occupying the device (µs; max of dispatch
+    /// time and the device's previous free time — includes any weight
+    /// -load setup that preceded compute).
     pub start_us: f64,
     /// Per-utterance completion times (µs, absolute), submission order.
     pub complete_us: Vec<f64>,
@@ -32,7 +43,7 @@ pub struct VirtualDevice {
     stages: StageCycles,
     /// When this device finishes its last accepted batch (µs).
     free_at_us: f64,
-    /// Total busy time (µs).
+    /// Total busy time (µs), including weight-load setup stalls.
     busy_us: f64,
     /// Batches executed.
     pub batches: u64,
@@ -46,7 +57,7 @@ pub struct VirtualDevice {
 }
 
 impl VirtualDevice {
-    /// An idle device with the given per-frame stage timing.
+    /// An idle device with the given default per-frame stage timing.
     pub fn new(stages: StageCycles) -> Self {
         VirtualDevice {
             stages,
@@ -57,6 +68,11 @@ impl VirtualDevice {
             frames: 0,
             scratch: BatchTrace::default(),
         }
+    }
+
+    /// The device's default per-frame stage timing.
+    pub fn stages(&self) -> StageCycles {
+        self.stages
     }
 
     /// When the device next frees up (µs).
@@ -70,20 +86,31 @@ impl VirtualDevice {
     }
 
     /// Accepts a batch at `dispatch_us`, advances the device clock, and
-    /// returns absolute per-utterance completion times.
-    fn execute(&mut self, index: usize, dispatch_us: f64, frame_counts: &[u64]) -> BatchExecution {
+    /// returns absolute per-utterance completion times. `setup_us` stalls
+    /// the device before compute (weight-image streaming on a residency
+    /// miss); `stages` is the timing of the dispatched model on this
+    /// platform.
+    fn execute(
+        &mut self,
+        index: usize,
+        dispatch_us: f64,
+        setup_us: f64,
+        stages: StageCycles,
+        frame_counts: &[u64],
+    ) -> BatchExecution {
         let start_us = dispatch_us.max(self.free_at_us);
-        simulate_batch_into(self.stages, frame_counts, &mut self.scratch);
+        let compute_start_us = start_us + setup_us;
+        simulate_batch_into(stages, frame_counts, &mut self.scratch);
         let period_us = Device::clock_period_us();
         let complete_us: Vec<f64> = self
             .scratch
             .completion_cycles
             .iter()
-            .map(|&c| start_us + c as f64 * period_us)
+            .map(|&c| compute_start_us + c as f64 * period_us)
             .collect();
         let makespan_us = self.scratch.makespan_cycles as f64 * period_us;
-        self.free_at_us = start_us + makespan_us;
-        self.busy_us += makespan_us;
+        self.free_at_us = compute_start_us + makespan_us;
+        self.busy_us += setup_us + makespan_us;
         self.batches += 1;
         self.requests += frame_counts.len() as u64;
         self.frames += frame_counts.iter().sum::<u64>();
@@ -96,7 +123,9 @@ impl VirtualDevice {
     }
 }
 
-/// A pool of identical virtual devices with earliest-free placement.
+/// A pool of virtual devices: identical (earliest-free placement via
+/// [`Self::dispatch`]) or heterogeneous (caller-decided placement via
+/// [`Self::dispatch_to`]).
 #[derive(Debug, Clone)]
 pub struct DevicePool {
     devices: Vec<VirtualDevice>,
@@ -115,6 +144,19 @@ impl DevicePool {
         }
     }
 
+    /// A pool with per-device stage timing — one entry per device, e.g.
+    /// mixing [`StageCycles::xcku060`] and [`StageCycles::virtex7_690t`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn heterogeneous(stages: Vec<StageCycles>) -> Self {
+        assert!(!stages.is_empty(), "device pool needs at least one device");
+        DevicePool {
+            devices: stages.into_iter().map(VirtualDevice::new).collect(),
+        }
+    }
+
     /// Number of devices.
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -130,11 +172,23 @@ impl DevicePool {
         &self.devices
     }
 
+    /// When device `i` next frees up (µs).
+    pub fn free_at_us(&self, i: usize) -> f64 {
+        self.devices[i].free_at_us()
+    }
+
     /// Places a batch on the earliest-free device (lowest index wins
-    /// ties, keeping the simulation fully deterministic).
+    /// ties, keeping the simulation fully deterministic), executing with
+    /// that device's default stage timing.
     pub fn dispatch(&mut self, dispatch_us: f64, frame_counts: &[u64]) -> BatchExecution {
-        let chosen = self
-            .devices
+        let chosen = self.earliest_free();
+        let stages = self.devices[chosen].stages;
+        self.devices[chosen].execute(chosen, dispatch_us, 0.0, stages, frame_counts)
+    }
+
+    /// The earliest-free device index (lowest index wins ties).
+    pub fn earliest_free(&self) -> usize {
+        self.devices
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
@@ -143,8 +197,27 @@ impl DevicePool {
                     .expect("finite device clocks")
             })
             .map(|(i, _)| i)
-            .expect("pool is non-empty");
-        self.devices[chosen].execute(chosen, dispatch_us, frame_counts)
+            .expect("pool is non-empty")
+    }
+
+    /// Places a batch on an explicitly chosen device — the scheduler's
+    /// entry point after its cost model picked the placement. `stages` is
+    /// the dispatched model's timing on that device's platform and
+    /// `setup_us` any weight-load stall charged before compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or `setup_us` is negative.
+    pub fn dispatch_to(
+        &mut self,
+        device: usize,
+        dispatch_us: f64,
+        setup_us: f64,
+        stages: StageCycles,
+        frame_counts: &[u64],
+    ) -> BatchExecution {
+        assert!(setup_us >= 0.0, "setup time must be non-negative");
+        self.devices[device].execute(device, dispatch_us, setup_us, stages, frame_counts)
     }
 
     /// When every device is idle again (µs): the pool-wide makespan.
@@ -165,6 +238,14 @@ mod tests {
             stage1: 100,
             stage2: 60,
             stage3: 80,
+        }
+    }
+
+    fn fast_stages() -> StageCycles {
+        StageCycles {
+            stage1: 50,
+            stage2: 30,
+            stage3: 40,
         }
     }
 
@@ -215,5 +296,45 @@ mod tests {
         let d = pool.devices();
         assert!((d[0].busy_us() - pool.drained_at_us()).abs() < 1e-9);
         assert_eq!(d[1].busy_us(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_pool_keeps_per_device_timing() {
+        let mut pool = DevicePool::heterogeneous(vec![stages(), fast_stages()]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.devices()[1].stages().ii(), 50);
+        // Same batch, default timing: the fast device finishes in half
+        // the cycles.
+        let slow = pool.dispatch_to(0, 0.0, 0.0, pool.devices()[0].stages(), &[4]);
+        let fast = pool.dispatch_to(1, 0.0, 0.0, pool.devices()[1].stages(), &[4]);
+        assert!((slow.free_us - 2.0 * fast.free_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dispatch_to_charges_setup_before_compute() {
+        let mut pool = DevicePool::new(1, stages());
+        let cold = pool.dispatch_to(0, 0.0, 7.5, stages(), &[2]);
+        // Occupation starts at dispatch; completions shift by the setup.
+        assert_eq!(cold.start_us, 0.0);
+        let mut warm_pool = DevicePool::new(1, stages());
+        let warm = warm_pool.dispatch_to(0, 0.0, 0.0, stages(), &[2]);
+        for (c, w) in cold.complete_us.iter().zip(warm.complete_us.iter()) {
+            assert!((c - w - 7.5).abs() < 1e-9);
+        }
+        assert!((cold.free_us - warm.free_us - 7.5).abs() < 1e-9);
+        // Busy time includes the setup stall.
+        assert!(
+            (pool.devices()[0].busy_us() - warm_pool.devices()[0].busy_us() - 7.5).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn dispatch_to_overrides_stage_timing_per_model() {
+        // One device, two "models": dispatching with fast stages must
+        // finish sooner than the device default.
+        let mut pool = DevicePool::new(1, stages());
+        let a = pool.dispatch_to(0, 0.0, 0.0, fast_stages(), &[4]);
+        let b = pool.dispatch_to(0, a.free_us, 0.0, stages(), &[4]);
+        assert!((b.free_us - b.start_us) > (a.free_us - a.start_us));
     }
 }

@@ -8,9 +8,12 @@
 //! the pre/post-processing work the host must overlap with device
 //! execution to keep every accelerator fed.
 //!
-//! An [`Executor`] owns the host side of that split. The runtime submits
-//! one [`InferenceJob`] per request at dispatch time and collects every
-//! result once the virtual-time event loop has drained:
+//! An [`Executor`] owns the host side of that split. It is constructed
+//! over the run's model set — a single-model runtime passes one entry,
+//! the multi-model scheduler passes its whole registry — and each
+//! [`InferenceJob`] names the model it targets by index. The runtime
+//! submits one job per request at dispatch time and collects every result
+//! once the virtual-time event loop has drained:
 //!
 //! * [`InlineExecutor`] computes each job synchronously at submit, on the
 //!   event-loop thread — the deterministic reference, and exactly the
@@ -21,7 +24,7 @@
 //!   accounting is deterministic. Host inference for batch k+1 then
 //!   overlaps with event-loop work for batch k.
 //!
-//! Logits are a pure function of the frames (`f32` arithmetic, no
+//! Logits are a pure function of (model, frames) (`f32` arithmetic, no
 //! reductions across threads), so both executors produce **bit-identical**
 //! outputs; only wall-clock host time differs. Per-worker FFT activity is
 //! tracked exactly via the thread-local counters in [`ernn_fft::stats`].
@@ -50,6 +53,9 @@ pub struct InferenceJob {
     pub slot: usize,
     /// Device slot the batch ran on; doubles as the worker affinity key.
     pub device: usize,
+    /// Index into the executor's model set (always `0` for single-model
+    /// runtimes).
+    pub model: usize,
     /// The request's feature frames (moved in, consumed by inference).
     pub frames: Vec<Vec<f32>>,
 }
@@ -71,7 +77,7 @@ pub struct ExecutorReport {
 /// * every submitted job's logits appear exactly once in
 ///   [`ExecutorReport::outputs`], tagged with the job's `slot`;
 /// * logits are bit-identical to `CompiledModel::infer` on the same
-///   frames, whatever thread computes them;
+///   model and frames, whatever thread computes them;
 /// * [`Executor::finish`] blocks until all submitted work is done.
 pub trait Executor {
     /// Accepts one inference job. May compute it immediately (inline) or
@@ -80,10 +86,10 @@ pub trait Executor {
 
     /// Accepts every job of one dispatched batch at once, so the
     /// executor can batch-fuse host inference across them (the runtime
-    /// dispatches a formed batch to a single device, so batch members
-    /// share a `device`). The default degrades to per-job [`Self::submit`];
-    /// implementations that fuse must keep logits bit-identical to the
-    /// per-job path.
+    /// dispatches a formed batch to a single device with a single model,
+    /// so batch members share both). The default degrades to per-job
+    /// [`Self::submit`]; implementations that fuse must keep logits
+    /// bit-identical to the per-job path.
     fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
         for job in jobs {
             self.submit(job);
@@ -95,42 +101,82 @@ pub trait Executor {
     fn finish(&mut self) -> ExecutorReport;
 }
 
+/// Splits a job list into maximal contiguous runs sharing (device, model)
+/// — the fusable unit — and feeds each run to `consume`. Runtime batches
+/// arrive as a single run; arbitrary callers stay correct.
+fn for_each_fusable_run(jobs: Vec<InferenceJob>, mut consume: impl FnMut(Vec<InferenceJob>)) {
+    let mut jobs = jobs.into_iter().peekable();
+    while let Some(first) = jobs.next() {
+        let key = (first.device, first.model);
+        let mut run = vec![first];
+        while jobs.peek().is_some_and(|j| (j.device, j.model) == key) {
+            run.push(jobs.next().expect("peeked job exists"));
+        }
+        consume(run);
+    }
+}
+
+/// Computes one fusable run's logits with a single batch-fused inference
+/// call. All jobs must share a model (guaranteed by
+/// [`for_each_fusable_run`]).
+fn infer_run(
+    models: &[Arc<CompiledModel>],
+    jobs: &[InferenceJob],
+    scratch: &mut ExecScratch,
+) -> Vec<Vec<Vec<f32>>> {
+    let model = &models[jobs[0].model];
+    let frames: Vec<&[Vec<f32>]> = jobs.iter().map(|j| j.frames.as_slice()).collect();
+    model.infer_batch_with(&frames, scratch)
+}
+
 /// The deterministic reference executor: jobs run synchronously at submit
 /// on the caller's thread, in submission order, with one persistent
 /// [`ExecScratch`] so the FFT/matvec kernels stop allocating after the
 /// first job warms the buffers.
 #[derive(Debug)]
 pub struct InlineExecutor {
-    model: Arc<CompiledModel>,
+    models: Vec<Arc<CompiledModel>>,
     outputs: Vec<(usize, Vec<Vec<f32>>)>,
     scratch: ExecScratch,
     fft_start: FftStats,
 }
 
 impl InlineExecutor {
-    /// An executor computing on the calling thread.
-    pub fn new(model: Arc<CompiledModel>) -> Self {
+    /// An executor computing on the calling thread over the given model
+    /// set (jobs index into it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(models: Vec<Arc<CompiledModel>>) -> Self {
+        assert!(!models.is_empty(), "executor needs at least one model");
         InlineExecutor {
-            model,
+            models,
             outputs: Vec::new(),
             scratch: ExecScratch::new(),
             fft_start: stats::thread_snapshot(),
         }
     }
+
+    /// Convenience constructor for single-model runtimes.
+    pub fn single(model: Arc<CompiledModel>) -> Self {
+        Self::new(vec![model])
+    }
 }
 
 impl Executor for InlineExecutor {
     fn submit(&mut self, job: InferenceJob) {
-        let logits = self.model.infer_with(&job.frames, &mut self.scratch);
+        let logits = self.models[job.model].infer_with(&job.frames, &mut self.scratch);
         self.outputs.push((job.slot, logits));
     }
 
     fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
-        let frames: Vec<&[Vec<f32>]> = jobs.iter().map(|j| j.frames.as_slice()).collect();
-        let logits = self.model.infer_batch_with(&frames, &mut self.scratch);
-        for (job, l) in jobs.into_iter().zip(logits) {
-            self.outputs.push((job.slot, l));
-        }
+        for_each_fusable_run(jobs, |run| {
+            let logits = infer_run(&self.models, &run, &mut self.scratch);
+            for (job, l) in run.into_iter().zip(logits) {
+                self.outputs.push((job.slot, l));
+            }
+        });
     }
 
     fn finish(&mut self) -> ExecutorReport {
@@ -158,7 +204,9 @@ enum WorkerMessage {
 /// worker owns a persistent [`ExecScratch`] for its whole lifetime, so
 /// steady-state inference stops allocating in the FFT/matvec kernels, and
 /// batch submissions ([`Executor::submit_batch`]) are batch-fused: one
-/// pass over the cached weight spectra serves the whole batch.
+/// pass over the cached weight spectra serves the whole batch. Every
+/// worker shares the full model set read-only, so a heterogeneous pool
+/// can run any registered model on any device slot.
 #[derive(Debug)]
 pub struct ThreadPoolExecutor {
     /// Per-worker batch senders; `None` once `finish` closed the queues.
@@ -169,27 +217,27 @@ pub struct ThreadPoolExecutor {
 }
 
 impl ThreadPoolExecutor {
-    /// Spawns `workers` threads sharing `model` read-only.
+    /// Spawns `workers` threads sharing the model set read-only.
     ///
     /// # Panics
     ///
-    /// Panics if `workers == 0`.
-    pub fn new(model: Arc<CompiledModel>, workers: usize) -> Self {
+    /// Panics if `workers == 0` or `models` is empty.
+    pub fn new(models: Vec<Arc<CompiledModel>>, workers: usize) -> Self {
         assert!(workers > 0, "thread pool needs at least one worker");
+        assert!(!models.is_empty(), "executor needs at least one model");
+        let models = Arc::new(models);
         let (result_tx, result_rx) = mpsc::channel();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let (job_tx, job_rx) = mpsc::channel::<Vec<InferenceJob>>();
-            let model = Arc::clone(&model);
+            let models = Arc::clone(&models);
             let result_tx = result_tx.clone();
             handles.push(thread::spawn(move || {
                 let fft_start = stats::thread_snapshot();
                 let mut scratch = ExecScratch::new();
                 while let Ok(jobs) = job_rx.recv() {
-                    let frames: Vec<&[Vec<f32>]> =
-                        jobs.iter().map(|j| j.frames.as_slice()).collect();
-                    let logits = model.infer_batch_with(&frames, &mut scratch);
+                    let logits = infer_run(&models, &jobs, &mut scratch);
                     for (job, l) in jobs.iter().zip(logits) {
                         if result_tx.send(WorkerMessage::Output(job.slot, l)).is_err() {
                             // Receiver gone: the executor was dropped
@@ -211,9 +259,28 @@ impl ThreadPoolExecutor {
         }
     }
 
+    /// Convenience constructor for single-model runtimes.
+    pub fn single(model: Arc<CompiledModel>, workers: usize) -> Self {
+        Self::new(vec![model], workers)
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.job_txs.len()
+    }
+
+    /// Sends one fusable run to its pinned worker.
+    fn send_run(&mut self, run: Vec<InferenceJob>) {
+        let device = run[0].device;
+        self.submitted += run.len();
+        let w = device % self.job_txs.len();
+        let sent = self.job_txs[w]
+            .as_ref()
+            .expect("submit after finish")
+            .send(run);
+        if sent.is_err() {
+            self.propagate_worker_panic();
+        }
     }
 
     /// A closed channel means a worker died mid-run: close the remaining
@@ -238,37 +305,17 @@ impl ThreadPoolExecutor {
 
 impl Executor for ThreadPoolExecutor {
     fn submit(&mut self, job: InferenceJob) {
-        let w = job.device % self.job_txs.len();
-        let sent = self.job_txs[w]
-            .as_ref()
-            .expect("submit after finish")
-            .send(vec![job]);
-        if sent.is_err() {
-            self.propagate_worker_panic();
-        }
-        self.submitted += 1;
+        self.send_run(vec![job]);
     }
 
     fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
-        // Runtime batches share a device, but stay correct for arbitrary
-        // callers: split into runs of equal device so each run lands on
-        // its pinned worker as one fused batch.
-        let mut jobs = jobs.into_iter().peekable();
-        while let Some(first) = jobs.next() {
-            let device = first.device;
-            let mut run = vec![first];
-            while jobs.peek().is_some_and(|j| j.device == device) {
-                run.push(jobs.next().expect("peeked job exists"));
-            }
-            self.submitted += run.len();
-            let w = device % self.job_txs.len();
-            let sent = self.job_txs[w]
-                .as_ref()
-                .expect("submit after finish")
-                .send(run);
-            if sent.is_err() {
-                self.propagate_worker_panic();
-            }
+        // Runtime batches share (device, model), but stay correct for
+        // arbitrary callers: split into fusable runs so each lands on its
+        // pinned worker as one fused batch.
+        let mut runs = Vec::new();
+        for_each_fusable_run(jobs, |run| runs.push(run));
+        for run in runs {
+            self.send_run(run);
         }
     }
 
@@ -323,8 +370,8 @@ mod tests {
     use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
     use rand::SeedableRng;
 
-    fn model() -> Arc<CompiledModel> {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    fn model_seeded(seed: u64) -> Arc<CompiledModel> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let dense = NetworkBuilder::new(CellType::Gru, 8, 5)
             .layer_dims(&[16])
             .build(&mut rng);
@@ -336,11 +383,16 @@ mod tests {
         ))
     }
 
+    fn model() -> Arc<CompiledModel> {
+        model_seeded(17)
+    }
+
     fn jobs(n: usize, devices: usize) -> Vec<InferenceJob> {
         (0..n)
             .map(|i| InferenceJob {
                 slot: i,
                 device: i % devices,
+                model: 0,
                 frames: vec![vec![0.1 * (i as f32 + 1.0); 8]; 3 + i % 4],
             })
             .collect()
@@ -354,8 +406,8 @@ mod tests {
     #[test]
     fn inline_and_pool_outputs_are_bit_identical() {
         let m = model();
-        let mut inline = InlineExecutor::new(Arc::clone(&m));
-        let mut pool = ThreadPoolExecutor::new(Arc::clone(&m), 3);
+        let mut inline = InlineExecutor::single(Arc::clone(&m));
+        let mut pool = ThreadPoolExecutor::single(Arc::clone(&m), 3);
         for job in jobs(10, 3) {
             inline.submit(job);
         }
@@ -370,9 +422,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_model_jobs_route_to_their_model_on_both_executors() {
+        let models = vec![model_seeded(17), model_seeded(99)];
+        // Same frames against two different models must give different
+        // logits, and both executors must agree per slot.
+        let make_jobs = || {
+            (0..8)
+                .map(|i| InferenceJob {
+                    slot: i,
+                    device: i % 2,
+                    model: i % 2,
+                    frames: vec![vec![0.3; 8]; 4],
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut inline = InlineExecutor::new(models.clone());
+        inline.submit_batch(make_jobs());
+        let a = sorted_outputs(inline.finish());
+
+        let mut pool = ThreadPoolExecutor::new(models.clone(), 2);
+        pool.submit_batch(make_jobs());
+        let b = sorted_outputs(pool.finish());
+        assert_eq!(a, b);
+
+        // Model identity matters: slot 0 (model 0) differs from slot 1
+        // (model 1) on identical frames.
+        assert_ne!(a[0].1, a[1].1);
+        // And each matches direct inference through its own model.
+        let frames = vec![vec![0.3; 8]; 4];
+        assert_eq!(a[0].1, models[0].infer(&frames));
+        assert_eq!(a[1].1, models[1].infer(&frames));
+    }
+
+    #[test]
     fn pool_routes_by_device_and_accounts_fft_per_worker() {
         let m = model();
-        let mut pool = ThreadPoolExecutor::new(Arc::clone(&m), 2);
+        let mut pool = ThreadPoolExecutor::single(Arc::clone(&m), 2);
         assert_eq!(pool.workers(), 2);
         // Devices 0 and 1 → workers 0 and 1; both must show FFT activity.
         for job in jobs(8, 2) {
@@ -394,7 +479,7 @@ mod tests {
 
     #[test]
     fn pool_with_zero_jobs_finishes_cleanly() {
-        let mut pool = ThreadPoolExecutor::new(model(), 4);
+        let mut pool = ThreadPoolExecutor::single(model(), 4);
         let report = pool.finish();
         assert!(report.outputs.is_empty());
         assert_eq!(report.worker_fft.len(), 4);
@@ -404,7 +489,7 @@ mod tests {
     #[test]
     fn dropping_an_unfinished_pool_joins_workers() {
         let m = model();
-        let mut pool = ThreadPoolExecutor::new(m, 2);
+        let mut pool = ThreadPoolExecutor::single(m, 2);
         for job in jobs(4, 2) {
             pool.submit(job);
         }
@@ -414,7 +499,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
-        let _ = ThreadPoolExecutor::new(model(), 0);
+        let _ = ThreadPoolExecutor::single(model(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_model_set_is_rejected() {
+        let _ = InlineExecutor::new(Vec::new());
     }
 
     #[test]
@@ -424,10 +515,11 @@ mod tests {
         // validates at admission; raw executor use does not) and panics
         // inside the worker's matvec. finish() must re-raise that panic,
         // not a generic channel error.
-        let mut pool = ThreadPoolExecutor::new(model(), 2);
+        let mut pool = ThreadPoolExecutor::single(model(), 2);
         pool.submit(InferenceJob {
             slot: 0,
             device: 0,
+            model: 0,
             frames: vec![vec![0.0; 3]], // model expects dim 8
         });
         let _ = pool.finish();

@@ -38,6 +38,11 @@
 //!   [`ServeReport::host_us`] and the per-worker FFT ledger
 //!   ([`ServeReport::worker_fft`]) differ.
 //! * [`loadgen`] — open-loop Poisson and closed-loop traffic shapes.
+//! * [`sched`] — the SLO-aware multi-model scheduler on top of all of
+//!   the above: a [`sched::ModelRegistry`] with per-device BRAM
+//!   residency, heterogeneous pools placed by a per-(device, model) cost
+//!   model, EDF deadline-aware batching with a padding cost model, and
+//!   admission control that sheds predicted-late requests.
 //!
 //! # Example
 //!
@@ -71,14 +76,15 @@ pub mod loadgen;
 mod metrics;
 mod request;
 mod runtime;
+pub mod sched;
 
-pub use batcher::{BatchPolicy, DynamicBatcher};
+pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
 pub use cache::{CompiledModel, LoadStats};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
 pub use ernn_fpga::exec::ExecScratch;
 pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, ThreadPoolExecutor,
 };
-pub use metrics::{LatencySummary, ServeMetrics};
+pub use metrics::{LatencySummary, ModelMetrics, ServeMetrics};
 pub use request::{Request, Response};
 pub use runtime::{ServeReport, ServeRuntime};

@@ -1,5 +1,6 @@
-//! Serving metrics: latency percentiles, throughput, device occupancy
-//! and batch-size distribution.
+//! Serving metrics: latency percentiles (through p99.9), throughput,
+//! device occupancy, batch-size distribution, shed counts, and per-model
+//! breakdowns.
 
 use crate::request::Response;
 use std::collections::BTreeMap;
@@ -18,6 +19,9 @@ pub struct LatencySummary {
     pub p95_us: f64,
     /// 99th percentile.
     pub p99_us: f64,
+    /// 99.9th percentile — the tail the SLO-aware scheduler manages; with
+    /// fewer than 1000 samples this is the maximum (nearest rank).
+    pub p999_us: f64,
     /// Maximum.
     pub max_us: f64,
 }
@@ -32,6 +36,7 @@ impl LatencySummary {
                 p50_us: 0.0,
                 p95_us: 0.0,
                 p99_us: 0.0,
+                p999_us: 0.0,
                 max_us: 0.0,
             };
         }
@@ -44,6 +49,7 @@ impl LatencySummary {
             p50_us: percentile(&sorted, 0.50),
             p95_us: percentile(&sorted, 0.95),
             p99_us: percentile(&sorted, 0.99),
+            p999_us: percentile(&sorted, 0.999),
             max_us: *sorted.last().expect("non-empty"),
         }
     }
@@ -57,6 +63,21 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
+/// Per-model slice of a serving run: what one tenant of a shared pool
+/// experienced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMetrics {
+    /// Requests served (excludes shed).
+    pub completed: usize,
+    /// Requests rejected by admission control.
+    pub shed: usize,
+    /// End-to-end latency over served requests.
+    pub latency: LatencySummary,
+    /// Fraction of this model's deadline-carrying requests that missed
+    /// (shed requests count as misses — they returned an early miss).
+    pub deadline_miss_rate: f64,
+}
+
 /// Full metrics for one serving run.
 ///
 /// Every field here is derived from the *virtual* clock and is therefore
@@ -65,17 +86,25 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// that bit-identity). Wall-clock host time lives on
 /// [`ServeReport::host_us`](crate::ServeReport::host_us) instead, keeping
 /// nondeterminism out of this struct entirely.
+///
+/// Shed responses (admission-control rejections) are excluded from the
+/// latency/queue summaries, throughput and the batch histogram — no
+/// service happened — but count toward [`ServeMetrics::shed`], the
+/// deadline-miss rate, and the per-model breakdowns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeMetrics {
-    /// Requests completed.
+    /// Requests served to completion (excludes shed).
     pub completed: usize,
-    /// End-to-end latency (arrival → completion).
+    /// Requests rejected by admission control (early deadline-miss
+    /// returns; zero for runtimes without admission control).
+    pub shed: usize,
+    /// End-to-end latency (arrival → completion) over served requests.
     pub latency: LatencySummary,
-    /// Queueing component (arrival → batch start).
+    /// Queueing component (arrival → batch start) over served requests.
     pub queue: LatencySummary,
     /// Virtual-time horizon of the run: first arrival to last completion (µs).
     pub makespan_us: f64,
-    /// Completed requests per second of virtual time.
+    /// Served requests per second of virtual time.
     pub throughput_rps: f64,
     /// Frames per second of virtual time.
     pub throughput_fps: f64,
@@ -86,16 +115,24 @@ pub struct ServeMetrics {
     pub batch_histogram: BTreeMap<usize, usize>,
     /// Mean dispatched batch size.
     pub mean_batch_size: f64,
-    /// Fraction of deadline-carrying requests that missed.
+    /// Fraction of deadline-carrying requests that missed (served misses
+    /// plus shed).
     pub deadline_miss_rate: f64,
+    /// Per-model breakdown, keyed by model id. Single-model runtimes
+    /// report one entry under key `0`.
+    pub per_model: BTreeMap<usize, ModelMetrics>,
 }
 
 impl ServeMetrics {
     /// Aggregates responses plus per-device busy time (µs) into a
     /// metrics report; occupancy is busy time over the makespan.
     pub fn compute(responses: &[Response], device_busy_us: Vec<f64>) -> Self {
-        let latencies: Vec<f64> = responses.iter().map(Response::latency_us).collect();
-        let queues: Vec<f64> = responses.iter().map(Response::queue_us).collect();
+        let served: Vec<&Response> = responses.iter().filter(|r| !r.shed).collect();
+        let shed_total = responses.len() - served.len();
+        let latencies: Vec<f64> = served.iter().map(|r| r.latency_us()).collect();
+        let queues: Vec<f64> = served.iter().map(|r| r.queue_us()).collect();
+        // The horizon spans all arrivals (shed included — they were
+        // offered load) through the last served completion.
         let first_arrival = responses
             .iter()
             .map(|r| r.arrival_us)
@@ -106,12 +143,12 @@ impl ServeMetrics {
         } else {
             last_complete - first_arrival
         };
-        let total_frames: usize = responses.iter().map(|r| r.logits.len()).sum();
+        let total_frames: usize = served.iter().map(|r| r.logits.len()).sum();
 
         // Each batch appears once per member response; divide the member
         // count by the batch size to recover the batch count.
         let mut member_counts: BTreeMap<usize, usize> = BTreeMap::new();
-        for r in responses {
+        for r in &served {
             *member_counts.entry(r.batch_size).or_insert(0) += 1;
         }
         let batch_histogram: BTreeMap<usize, usize> = member_counts
@@ -120,16 +157,10 @@ impl ServeMetrics {
             .collect();
         let num_batches: usize = batch_histogram.values().sum();
         let mean_batch_size = if num_batches > 0 {
-            responses.len() as f64 / num_batches as f64
+            served.len() as f64 / num_batches as f64
         } else {
             0.0
         };
-
-        let with_deadline = responses.iter().filter(|r| r.deadline_tracked).count();
-        let missed = responses
-            .iter()
-            .filter(|r| r.deadline_tracked && !r.deadline_met)
-            .count();
 
         let device_occupancy = device_busy_us
             .iter()
@@ -142,22 +173,64 @@ impl ServeMetrics {
             })
             .collect();
 
+        let mut groups: BTreeMap<usize, Vec<&Response>> = BTreeMap::new();
+        for r in responses {
+            groups.entry(r.model).or_default().push(r);
+        }
+        let per_model: BTreeMap<usize, ModelMetrics> = groups
+            .into_iter()
+            .map(|(model, group)| {
+                let lats: Vec<f64> = group
+                    .iter()
+                    .filter(|r| !r.shed)
+                    .map(|r| r.latency_us())
+                    .collect();
+                let group_shed = group.iter().filter(|r| r.shed).count();
+                (
+                    model,
+                    ModelMetrics {
+                        completed: group.len() - group_shed,
+                        shed: group_shed,
+                        latency: LatencySummary::from_samples(&lats),
+                        deadline_miss_rate: miss_rate(group.iter().copied()),
+                    },
+                )
+            })
+            .collect();
+
         ServeMetrics {
-            completed: responses.len(),
+            completed: served.len(),
+            shed: shed_total,
             latency: LatencySummary::from_samples(&latencies),
             queue: LatencySummary::from_samples(&queues),
             makespan_us,
-            throughput_rps: rate_per_second(responses.len(), makespan_us),
+            throughput_rps: rate_per_second(served.len(), makespan_us),
             throughput_fps: rate_per_second(total_frames, makespan_us),
             device_occupancy,
             batch_histogram,
             mean_batch_size,
-            deadline_miss_rate: if with_deadline > 0 {
-                missed as f64 / with_deadline as f64
-            } else {
-                0.0
-            },
+            deadline_miss_rate: miss_rate(responses.iter()),
+            per_model,
         }
+    }
+}
+
+/// Miss fraction over the deadline-carrying responses in `responses`
+/// (shed responses carry `deadline_met == false`, so they count).
+fn miss_rate<'a>(responses: impl Iterator<Item = &'a Response>) -> f64 {
+    let (mut tracked, mut missed) = (0usize, 0usize);
+    for r in responses {
+        if r.deadline_tracked {
+            tracked += 1;
+            if !r.deadline_met {
+                missed += 1;
+            }
+        }
+    }
+    if tracked > 0 {
+        missed as f64 / tracked as f64
+    } else {
+        0.0
     }
 }
 
@@ -173,9 +246,14 @@ impl fmt::Display for ServeMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "completed {} requests in {:.1} ms of virtual time",
+            "completed {} requests in {:.1} ms of virtual time{}",
             self.completed,
-            self.makespan_us / 1e3
+            self.makespan_us / 1e3,
+            if self.shed > 0 {
+                format!(" ({} shed)", self.shed)
+            } else {
+                String::new()
+            }
         )?;
         writeln!(
             f,
@@ -184,10 +262,11 @@ impl fmt::Display for ServeMetrics {
         )?;
         writeln!(
             f,
-            "latency µs: p50 {:.1}  p95 {:.1}  p99 {:.1}  max {:.1}  (queue p50 {:.1})",
+            "latency µs: p50 {:.1}  p95 {:.1}  p99 {:.1}  p99.9 {:.1}  max {:.1}  (queue p50 {:.1})",
             self.latency.p50_us,
             self.latency.p95_us,
             self.latency.p99_us,
+            self.latency.p999_us,
             self.latency.max_us,
             self.queue.p50_us
         )?;
@@ -197,6 +276,18 @@ impl fmt::Display for ServeMetrics {
             .map(|o| format!("{:.0}%", o * 100.0))
             .collect();
         writeln!(f, "device occupancy: [{}]", occ.join(", "))?;
+        if self.per_model.len() > 1 {
+            for (model, m) in &self.per_model {
+                writeln!(
+                    f,
+                    "model {model}: {} served, {} shed, p99 {:.1} µs, miss {:.1}%",
+                    m.completed,
+                    m.shed,
+                    m.latency.p99_us,
+                    m.deadline_miss_rate * 100.0
+                )?;
+            }
+        }
         let hist: Vec<String> = self
             .batch_histogram
             .iter()
@@ -218,6 +309,7 @@ mod tests {
     fn resp(arrival: f64, dispatch: f64, complete: f64, batch: usize) -> Response {
         Response {
             id: 0,
+            model: 0,
             logits: vec![vec![0.0]; 3],
             arrival_us: arrival,
             dispatch_us: dispatch,
@@ -226,6 +318,23 @@ mod tests {
             batch_size: batch,
             deadline_met: true,
             deadline_tracked: false,
+            shed: false,
+        }
+    }
+
+    fn shed_resp(arrival: f64, model: usize) -> Response {
+        Response {
+            id: 0,
+            model,
+            logits: vec![],
+            arrival_us: arrival,
+            dispatch_us: arrival,
+            complete_us: arrival,
+            device: 0,
+            batch_size: 0,
+            deadline_met: false,
+            deadline_tracked: true,
+            shed: true,
         }
     }
 
@@ -236,8 +345,15 @@ mod tests {
         assert_eq!(s.p50_us, 50.0);
         assert_eq!(s.p95_us, 95.0);
         assert_eq!(s.p99_us, 99.0);
+        // With 100 samples the 99.9th nearest rank is the maximum.
+        assert_eq!(s.p999_us, 100.0);
         assert_eq!(s.max_us, 100.0);
         assert_eq!(s.count, 100);
+        // At 1000 samples p99.9 separates from the max.
+        let big: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&big);
+        assert_eq!(s.p999_us, 999.0);
+        assert_eq!(s.max_us, 1000.0);
     }
 
     #[test]
@@ -245,6 +361,7 @@ mod tests {
         let s = LatencySummary::from_samples(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.p99_us, 0.0);
+        assert_eq!(s.p999_us, 0.0);
     }
 
     #[test]
@@ -260,15 +377,46 @@ mod tests {
         assert_eq!(m.batch_histogram[&1], 1);
         assert!((m.mean_batch_size - 1.5).abs() < 1e-9);
         assert_eq!(m.completed, 3);
+        assert_eq!(m.shed, 0);
         // Horizon: first arrival 0.0 → last completion 9.0.
         assert!((m.makespan_us - 9.0).abs() < 1e-9);
+        // Single-model runs still get a per-model entry under key 0.
+        assert_eq!(m.per_model.len(), 1);
+        assert_eq!(m.per_model[&0].completed, 3);
+    }
+
+    #[test]
+    fn shed_responses_count_as_misses_but_not_service() {
+        let mut with_deadline = resp(0.0, 1.0, 5.0, 1);
+        with_deadline.deadline_tracked = true;
+        let responses = vec![with_deadline, shed_resp(2.0, 0), shed_resp(3.0, 1)];
+        let m = ServeMetrics::compute(&responses, vec![1.0]);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.shed, 2);
+        // Latency stats cover served responses only.
+        assert_eq!(m.latency.count, 1);
+        // Shed requests never batched: histogram has no zero-size entry.
+        assert!(!m.batch_histogram.contains_key(&0));
+        // 3 deadline-tracked, 2 missed (the sheds).
+        assert!((m.deadline_miss_rate - 2.0 / 3.0).abs() < 1e-9);
+        // Per-model: model 0 has 1 served + 1 shed; model 1 only shed.
+        assert_eq!(m.per_model[&0].completed, 1);
+        assert_eq!(m.per_model[&0].shed, 1);
+        assert_eq!(m.per_model[&1].completed, 0);
+        assert_eq!(m.per_model[&1].shed, 1);
+        assert!((m.per_model[&1].deadline_miss_rate - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn display_renders_without_panic() {
-        let m = ServeMetrics::compute(&[resp(0.0, 0.0, 10.0, 1)], vec![0.5, 0.25]);
+        let m = ServeMetrics::compute(
+            &[resp(0.0, 0.0, 10.0, 1), shed_resp(1.0, 1)],
+            vec![0.5, 0.25],
+        );
         let text = m.to_string();
         assert!(text.contains("p95"));
         assert!(text.contains("occupancy"));
+        assert!(text.contains("shed"));
+        assert!(text.contains("model 1"));
     }
 }

@@ -1,16 +1,23 @@
 //! Request/response model for the serving runtime.
 //!
 //! A [`Request`] is one ASR utterance — a sequence of feature frames —
-//! stamped with a (virtual) arrival time and an optional latency deadline.
-//! The runtime answers it with a [`Response`] carrying the per-frame
-//! logits plus the full timing breakdown, so callers can audit queueing,
-//! batching and device time separately.
+//! stamped with a (virtual) arrival time, an optional latency deadline,
+//! and the id of the model it targets (single-model runtimes serve model
+//! `0`; the multi-model scheduler resolves ids through its
+//! [`ModelRegistry`](crate::sched::ModelRegistry)). The runtime answers it
+//! with a [`Response`] carrying the per-frame logits plus the full timing
+//! breakdown, so callers can audit queueing, batching and device time
+//! separately — or a *shed* response when admission control rejected the
+//! request up front.
 
 /// One utterance-level inference request.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Caller-chosen identifier, echoed on the response.
     pub id: u64,
+    /// Which registered model this request targets (`0` for single-model
+    /// runtimes).
+    pub model: usize,
     /// Feature frames, each of the model's input dimension.
     pub frames: Vec<Vec<f32>>,
     /// Arrival time on the virtual clock, in microseconds.
@@ -20,10 +27,11 @@ pub struct Request {
 }
 
 impl Request {
-    /// A request with no deadline.
+    /// A request with no deadline, targeting model `0`.
     pub fn new(id: u64, frames: Vec<Vec<f32>>, arrival_us: f64) -> Self {
         Request {
             id,
+            model: 0,
             frames,
             arrival_us,
             deadline_us: None,
@@ -33,6 +41,12 @@ impl Request {
     /// Sets an absolute completion deadline.
     pub fn with_deadline(mut self, deadline_us: f64) -> Self {
         self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Targets a registered model by id.
+    pub fn with_model(mut self, model: usize) -> Self {
+        self.model = model;
         self
     }
 
@@ -51,22 +65,32 @@ impl Request {
 pub struct Response {
     /// The request's identifier.
     pub id: u64,
-    /// Per-frame class logits from the quantized datapath.
+    /// The model that served (or would have served) the request.
+    pub model: usize,
+    /// Per-frame class logits from the quantized datapath. Empty for shed
+    /// responses — no inference ran.
     pub logits: Vec<Vec<f32>>,
     /// When the request arrived (µs, virtual clock).
     pub arrival_us: f64,
-    /// When its batch started executing on a device (µs).
+    /// When its batch started executing on a device (µs). Equals
+    /// `arrival_us` for shed responses.
     pub dispatch_us: f64,
-    /// When its last frame left the pipeline (µs).
+    /// When its last frame left the pipeline (µs). Equals `arrival_us`
+    /// for shed responses (the early deadline-miss return).
     pub complete_us: f64,
-    /// Index of the device that executed it.
+    /// Index of the device that executed it (`0`, meaningless, when shed).
     pub device: usize,
-    /// Size of the batch it rode in.
+    /// Size of the batch it rode in (`0` when shed — it never batched).
     pub batch_size: usize,
     /// Whether the request carried a deadline.
     pub deadline_tracked: bool,
-    /// Whether the deadline (if any) was met; `true` when no deadline.
+    /// Whether the deadline (if any) was met; `true` when no deadline,
+    /// always `false` when shed.
     pub deadline_met: bool,
+    /// True when admission control rejected the request instead of
+    /// serving it: the caller got an immediate deadline-miss return and
+    /// no logits.
+    pub shed: bool,
 }
 
 impl Response {
@@ -94,6 +118,7 @@ mod tests {
     fn timing_breakdown_adds_up() {
         let r = Response {
             id: 7,
+            model: 0,
             logits: vec![],
             arrival_us: 10.0,
             dispatch_us: 25.0,
@@ -102,15 +127,20 @@ mod tests {
             batch_size: 4,
             deadline_tracked: false,
             deadline_met: true,
+            shed: false,
         };
         assert_eq!(r.latency_us(), 30.0);
         assert_eq!(r.queue_us() + r.service_us(), r.latency_us());
     }
 
     #[test]
-    fn deadline_builder_sets_field() {
-        let req = Request::new(1, vec![vec![0.0; 4]], 0.0).with_deadline(99.0);
+    fn builders_set_deadline_and_model() {
+        let req = Request::new(1, vec![vec![0.0; 4]], 0.0)
+            .with_deadline(99.0)
+            .with_model(3);
         assert_eq!(req.deadline_us, Some(99.0));
+        assert_eq!(req.model, 3);
         assert_eq!(req.num_frames(), 1);
+        assert_eq!(Request::new(2, vec![], 0.0).model, 0);
     }
 }

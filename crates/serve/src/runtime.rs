@@ -33,7 +33,7 @@
 //! metrics are computed, which is why both executors yield bit-identical
 //! reports apart from `host_us` and the per-worker FFT ledger.
 
-use crate::batcher::{BatchPolicy, DynamicBatcher};
+use crate::batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
 use crate::cache::CompiledModel;
 use crate::device::DevicePool;
 use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
@@ -223,6 +223,12 @@ impl ServeRuntime {
     }
 
     fn validate(&self, request: &Request) {
+        assert_eq!(
+            request.model, 0,
+            "request {}: ServeRuntime serves a single model (id 0); use \
+             sched::SchedRuntime for multi-model workloads",
+            request.id
+        );
         self.validate_frames(request.id, &request.frames);
     }
 
@@ -239,8 +245,8 @@ impl ServeRuntime {
     /// `ThreadPool` runtime spawns and joins its workers per run).
     fn make_executor(&self) -> Box<dyn Executor> {
         match self.executor {
-            ExecutorKind::Inline => Box::new(InlineExecutor::new(Arc::clone(&self.model))),
-            ExecutorKind::ThreadPool => Box::new(ThreadPoolExecutor::new(
+            ExecutorKind::Inline => Box::new(InlineExecutor::single(Arc::clone(&self.model))),
+            ExecutorKind::ThreadPool => Box::new(ThreadPoolExecutor::single(
                 Arc::clone(&self.model),
                 self.num_devices,
             )),
@@ -260,57 +266,56 @@ impl ServeRuntime {
         let mut now_us = 0.0f64;
 
         loop {
-            if batcher.is_empty() {
-                match arrivals.pop() {
+            // The batcher owns the dispatch policy; the loop matches on
+            // its total readiness state ([`BatchReadiness`]) and only
+            // decides whether the clock can reach an arrival first — no
+            // "non-empty implies deadline" invariant left to unwrap.
+            match batcher.readiness() {
+                BatchReadiness::Empty => match arrivals.pop() {
                     Some(a) => {
                         now_us = now_us.max(a.t_us);
                         batcher.push(a.request);
                         self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
                     }
                     None => break,
+                },
+                BatchReadiness::Full => {
+                    debug_assert!(batcher.ready(now_us));
+                    self.dispatch(
+                        now_us,
+                        &mut batcher,
+                        &mut pool,
+                        executor.as_mut(),
+                        &mut responses,
+                        &mut arrivals,
+                        &mut feedback,
+                    );
                 }
-                continue;
-            }
-
-            // The batcher owns the dispatch policy; the loop only decides
-            // whether the clock can reach an arrival before the flush.
-            let full = batcher.len() >= batcher.policy().max_batch;
-            let flush_at = batcher
-                .flush_deadline_us()
-                .expect("non-empty batcher has a flush deadline");
-            let next_arrival = arrivals.peek().map(|a| a.t_us);
-
-            if full {
-                debug_assert!(batcher.ready(now_us));
-                self.dispatch(
-                    now_us,
-                    &mut batcher,
-                    &mut pool,
-                    executor.as_mut(),
-                    &mut responses,
-                    &mut arrivals,
-                    &mut feedback,
-                );
-            } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
-                // The next arrival lands before the wait budget runs out:
-                // let it join the forming batch.
-                now_us = now_us.max(t);
-                let a = arrivals.pop().expect("peeked arrival exists");
-                batcher.push(a.request);
-                self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
-            } else {
-                // Wait budget exhausted before anything else can join.
-                now_us = now_us.max(flush_at);
-                debug_assert!(batcher.ready(now_us));
-                self.dispatch(
-                    now_us,
-                    &mut batcher,
-                    &mut pool,
-                    executor.as_mut(),
-                    &mut responses,
-                    &mut arrivals,
-                    &mut feedback,
-                );
+                BatchReadiness::Forming { flush_at_us } => {
+                    let next_arrival = arrivals.peek().map(|a| a.t_us);
+                    if let Some(t) = next_arrival.filter(|&t| t <= flush_at_us) {
+                        // The next arrival lands before the wait budget
+                        // runs out: let it join the forming batch.
+                        now_us = now_us.max(t);
+                        let a = arrivals.pop().expect("peeked arrival exists");
+                        batcher.push(a.request);
+                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
+                    } else {
+                        // Wait budget exhausted before anything else can
+                        // join.
+                        now_us = now_us.max(flush_at_us);
+                        debug_assert!(batcher.ready(now_us));
+                        self.dispatch(
+                            now_us,
+                            &mut batcher,
+                            &mut pool,
+                            executor.as_mut(),
+                            &mut responses,
+                            &mut arrivals,
+                            &mut feedback,
+                        );
+                    }
+                }
             }
         }
 
@@ -370,6 +375,7 @@ impl ServeRuntime {
         for (request, &complete_us) in batch.into_iter().zip(exec.complete_us.iter()) {
             let Request {
                 id,
+                model,
                 frames,
                 arrival_us,
                 deadline_us,
@@ -382,10 +388,12 @@ impl ServeRuntime {
             jobs.push(InferenceJob {
                 slot: responses.len(),
                 device: exec.device,
+                model,
                 frames,
             });
             responses.push(Response {
                 id,
+                model,
                 logits: Vec::new(),
                 arrival_us,
                 dispatch_us: exec.start_us,
@@ -394,6 +402,7 @@ impl ServeRuntime {
                 batch_size,
                 deadline_tracked: deadline_us.is_some(),
                 deadline_met,
+                shed: false,
             });
 
             if let Some(fb) = feedback.as_mut() {

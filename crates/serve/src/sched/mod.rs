@@ -1,0 +1,93 @@
+//! SLO-aware multi-model scheduling: heterogeneous pools, admission
+//! control, deadline-aware batching.
+//!
+//! E-RNN's design flow chooses compression and quantization *for* a
+//! timing/BRAM budget; this subsystem is the serving-side counterpart —
+//! it sits between request arrival and the device pool and decides, under
+//! live traffic, **what runs where and when** so deadline-carrying
+//! requests actually meet their SLOs on bounded hardware:
+//!
+//! * [`ModelRegistry`] — the model set a run serves. Registration
+//!   refreshes a model's FFT'd weight spectra once (the load into the
+//!   serving tier, observable via `spectrum_refresh_count`) and freezes
+//!   it behind an `Arc` for the executors.
+//! * [`DeviceResidency`] — per-device weight-cache residency against the
+//!   platform's BRAM budget ([`RnnSpec::weight_bytes`] vs Table IV).
+//!   Cold loads stall the device for the weight-streaming time and evict
+//!   LRU tenants; [`SchedStats`] counts loads and evictions.
+//! * [`CostModel`] — per-(device, model) [`StageCycles`] derived once per
+//!   run (the [`StageCycles::xcku060`]/[`StageCycles::virtex7_690t`]
+//!   presets name the paper's platforms), answering
+//!   [`CostModel::estimate_batch_us`] with a closed form that is exact
+//!   against the device simulation.
+//! * [`SchedQueue`] — EDF (or FIFO) ordering with per-model batch
+//!   formation, gated by a [`PaddingModel`] that closes a batch when
+//!   mixing unequal utterance lengths stops paying.
+//! * [`AdmissionPolicy`] — shed predicted-late arrivals with an immediate
+//!   deadline-miss response, and optionally degrade (cap batch size)
+//!   under overload; every decision is logged in an [`AdmissionRecord`].
+//! * [`SchedRuntime`] — the event loop combining all of the above, with
+//!   the same virtual-time determinism contract as the single-model
+//!   runtime: responses, [`ServeMetrics`](crate::ServeMetrics) and
+//!   [`SchedStats`] are bit-identical across
+//!   [`ExecutorKind`](crate::ExecutorKind)s.
+//!
+//! The `sched_sweep` bench bin compares [`SchedPolicy::edf_cost_model`]
+//! against [`SchedPolicy::fifo_earliest_free`] on a mixed two-model,
+//! two-platform workload and asserts the EDF + cost-model configuration
+//! misses fewer deadlines at the same offered load.
+//!
+//! [`RnnSpec::weight_bytes`]: ernn_fpga::RnnSpec::weight_bytes
+//! [`StageCycles`]: ernn_fpga::StageCycles
+//! [`StageCycles::xcku060`]: ernn_fpga::StageCycles::xcku060
+//! [`StageCycles::virtex7_690t`]: ernn_fpga::StageCycles::virtex7_690t
+//!
+//! # Example
+//!
+//! ```
+//! use ernn_serve::sched::{ModelRegistry, SchedPolicy, SchedRuntime};
+//! use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances, with_uniform_slo};
+//! use ernn_serve::CompiledModel;
+//! use ernn_fpga::exec::DatapathConfig;
+//! use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+//! use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+//! use rand::SeedableRng;
+//!
+//! // Two small models sharing a two-platform pool.
+//! let mut registry = ModelRegistry::new();
+//! for (seed, name) in [(1u64, "gru-a"), (2, "gru-b")] {
+//!     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+//!     let dense = NetworkBuilder::new(CellType::Gru, 8, 5).layer_dims(&[16]).build(&mut rng);
+//!     let net = compress_network(&dense, BlockPolicy::uniform(4));
+//!     registry.register(name, CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060));
+//! }
+//!
+//! let runtime = SchedRuntime::new(
+//!     registry,
+//!     vec![XCKU060, ADM_PCIE_7V3],
+//!     SchedPolicy::edf_cost_model(4, 100.0),
+//! );
+//! let utts = synthetic_utterances(4, (3, 8), 8, 7);
+//! let requests: Vec<_> = with_uniform_slo(open_loop_poisson(&utts, 16, 50_000.0, 9), 5_000.0)
+//!     .into_iter()
+//!     .enumerate()
+//!     .map(|(i, r)| r.with_model(i % 2))
+//!     .collect();
+//! let report = runtime.run(requests);
+//! assert_eq!(report.responses.len(), 16);
+//! println!("{}", report.metrics);
+//! ```
+
+mod admission;
+mod cost;
+mod queue;
+mod registry;
+mod residency;
+mod runtime;
+
+pub use admission::{AdmissionPolicy, AdmissionRecord};
+pub use cost::CostModel;
+pub use queue::{PaddingModel, QueueDiscipline, SchedQueue};
+pub use registry::{ModelId, ModelRegistry};
+pub use residency::{DeviceResidency, LoadEvent, WEIGHT_STREAM_BYTES_PER_US};
+pub use runtime::{Placement, SchedPolicy, SchedReport, SchedRuntime, SchedStats};

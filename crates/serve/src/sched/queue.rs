@@ -1,0 +1,317 @@
+//! The scheduler's request queue: deadline-ordered (EDF) or
+//! arrival-ordered (FIFO), with per-model batch formation gated by a
+//! padding cost model.
+//!
+//! Under EDF the queue key is the request's absolute deadline (requests
+//! without one sort last), so the head is always the most urgent work.
+//! Batches form *per model* — a dispatched batch runs one model on one
+//! device — by walking the queue in key order and taking the head
+//! model's requests until the batch fills, the padding model says mixing
+//! stops paying, or the same-model candidates run out. Because formation
+//! always takes a *prefix* of the same-model subsequence (it closes the
+//! batch at the first padding rejection instead of skipping past it),
+//! formed batches can never invert deadlines: every member's key is ≤
+//! every same-model key left behind. The property test in
+//! `tests/sched_edf.rs` pins that down.
+
+use super::registry::ModelId;
+use crate::request::Request;
+
+/// How the queue orders requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Arrival order — the classic dynamic batcher, blind to deadlines.
+    Fifo,
+    /// Earliest deadline first; deadline-free requests sort last.
+    #[default]
+    Edf,
+}
+
+/// When does mixing unequal utterance lengths into one batch stop
+/// paying?
+///
+/// Host-side inference is batch-fused: the kernels walk the batch in
+/// lockstep over the longest member's frames, so short utterances ride
+/// along as padding. The padded fraction `(B·max_len − Σlen) / B·max_len`
+/// is pure overhead; once adding the next candidate would push it past
+/// `max_pad_frac`, the batch closes instead of growing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaddingModel {
+    /// Maximum tolerated padded-work fraction in `[0, 1]`. `1.0` never
+    /// closes a batch (pure EDF/FIFO formation).
+    pub max_pad_frac: f64,
+}
+
+impl PaddingModel {
+    /// No padding limit: batches close on size alone.
+    pub fn none() -> Self {
+        PaddingModel { max_pad_frac: 1.0 }
+    }
+
+    /// Closes batches whose padded-work fraction would exceed
+    /// `max_pad_frac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pad_frac` is outside `[0, 1]`.
+    pub fn new(max_pad_frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_pad_frac),
+            "padding fraction must be in [0, 1], got {max_pad_frac}"
+        );
+        PaddingModel { max_pad_frac }
+    }
+
+    /// Whether a batch of `members` utterances (longest `max_len`, total
+    /// `sum_len` frames) should accept another of `next_len` frames.
+    /// A batch's first member is always accepted.
+    pub fn accepts(&self, members: usize, max_len: u64, sum_len: u64, next_len: u64) -> bool {
+        if members == 0 {
+            return true;
+        }
+        let new_members = (members + 1) as u64;
+        let new_max = max_len.max(next_len);
+        let new_sum = sum_len + next_len;
+        let padded = new_members * new_max;
+        let pad_frac = (padded - new_sum) as f64 / padded as f64;
+        pad_frac <= self.max_pad_frac
+    }
+}
+
+/// One queued request with its precomputed ordering key and the
+/// admission-time service estimate backing the backlog predictor.
+#[derive(Debug)]
+struct Queued {
+    /// EDF: deadline (∞ if none). FIFO: arrival time.
+    key: f64,
+    /// Admission order, breaking key ties deterministically.
+    seq: u64,
+    /// Best-device solo service estimate (µs), summed into
+    /// [`SchedQueue::backlog_us`].
+    est_solo_us: f64,
+    request: Request,
+}
+
+/// The scheduler's central queue, kept sorted by `(key, seq)`.
+#[derive(Debug)]
+pub struct SchedQueue {
+    discipline: QueueDiscipline,
+    items: Vec<Queued>,
+    backlog_us: f64,
+}
+
+impl SchedQueue {
+    /// An empty queue under the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        SchedQueue {
+            discipline,
+            items: Vec::new(),
+            backlog_us: 0.0,
+        }
+    }
+
+    /// The ordering discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sum of the queued requests' admission-time solo service estimates
+    /// (µs) — the backlog term of the admission predictor.
+    pub fn backlog_us(&self) -> f64 {
+        self.backlog_us
+    }
+
+    /// Enqueues an admitted request. `seq` must be unique and increasing
+    /// (admission order); `est_solo_us` is the request's best-device solo
+    /// service estimate.
+    pub fn push(&mut self, request: Request, seq: u64, est_solo_us: f64) {
+        let key = match self.discipline {
+            QueueDiscipline::Fifo => request.arrival_us,
+            QueueDiscipline::Edf => request.deadline_us.unwrap_or(f64::INFINITY),
+        };
+        let entry = Queued {
+            key,
+            seq,
+            est_solo_us,
+            request,
+        };
+        let pos = self
+            .items
+            .partition_point(|q| (q.key, q.seq) <= (entry.key, entry.seq));
+        self.items.insert(pos, entry);
+        self.backlog_us += est_solo_us;
+    }
+
+    /// The most urgent queued request (the next batch's model anchor).
+    pub fn head(&self) -> Option<&Request> {
+        self.items.first().map(|q| &q.request)
+    }
+
+    /// Earliest arrival among queued requests (µs) — the max-wait flush
+    /// clock is anchored to the longest-waiting request regardless of
+    /// discipline.
+    pub fn oldest_arrival_us(&self) -> Option<f64> {
+        self.items
+            .iter()
+            .map(|q| q.request.arrival_us)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Number of queued requests targeting `model`.
+    pub fn count_model(&self, model: ModelId) -> usize {
+        self.items
+            .iter()
+            .filter(|q| q.request.model == model)
+            .count()
+    }
+
+    /// Forms the next batch for `model`: up to `max_batch` requests in
+    /// key order, closing early when the padding model rejects the next
+    /// candidate. Always a prefix of the same-model subsequence, so
+    /// deadlines never invert (see module docs).
+    pub fn take_batch(
+        &mut self,
+        model: ModelId,
+        max_batch: usize,
+        padding: &PaddingModel,
+    ) -> Vec<Request> {
+        let mut take = Vec::new();
+        let (mut max_len, mut sum_len) = (0u64, 0u64);
+        for (i, q) in self.items.iter().enumerate() {
+            if q.request.model != model {
+                continue;
+            }
+            let len = q.request.num_frames() as u64;
+            if !padding.accepts(take.len(), max_len, sum_len, len) {
+                break;
+            }
+            max_len = max_len.max(len);
+            sum_len += len;
+            take.push(i);
+            if take.len() >= max_batch {
+                break;
+            }
+        }
+        let mut batch = Vec::with_capacity(take.len());
+        // Remove back-to-front so earlier indices stay valid.
+        for &i in take.iter().rev() {
+            let q = self.items.remove(i);
+            self.backlog_us -= q.est_solo_us;
+            batch.push(q.request);
+        }
+        batch.reverse();
+        // Rounding drift from the running sum cannot go negative.
+        if self.items.is_empty() {
+            self.backlog_us = 0.0;
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, model: usize, frames: usize, arrival: f64, deadline: Option<f64>) -> Request {
+        let mut r = Request::new(id, vec![vec![0.0; 2]; frames], arrival).with_model(model);
+        r.deadline_us = deadline;
+        r
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_with_deadline_free_last() {
+        let mut q = SchedQueue::new(QueueDiscipline::Edf);
+        q.push(req(0, 0, 3, 0.0, Some(500.0)), 0, 1.0);
+        q.push(req(1, 0, 3, 1.0, None), 1, 1.0);
+        q.push(req(2, 0, 3, 2.0, Some(100.0)), 2, 1.0);
+        assert_eq!(q.head().unwrap().id, 2);
+        let batch = q.take_batch(0, 8, &PaddingModel::none());
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 0, 1]);
+        assert!(q.is_empty());
+        assert_eq!(q.backlog_us(), 0.0);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_ignoring_deadlines() {
+        let mut q = SchedQueue::new(QueueDiscipline::Fifo);
+        q.push(req(0, 0, 3, 5.0, Some(10.0)), 0, 1.0);
+        q.push(req(1, 0, 3, 1.0, Some(9999.0)), 1, 1.0);
+        assert_eq!(q.head().unwrap().id, 1);
+        assert_eq!(q.oldest_arrival_us(), Some(1.0));
+    }
+
+    #[test]
+    fn batches_are_per_model_in_key_order() {
+        let mut q = SchedQueue::new(QueueDiscipline::Edf);
+        q.push(req(0, 1, 3, 0.0, Some(50.0)), 0, 1.0);
+        q.push(req(1, 0, 3, 0.0, Some(60.0)), 1, 1.0);
+        q.push(req(2, 1, 3, 0.0, Some(70.0)), 2, 1.0);
+        assert_eq!(q.count_model(1), 2);
+        let batch = q.take_batch(1, 8, &PaddingModel::none());
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // The other model's request stays queued.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.head().unwrap().id, 1);
+    }
+
+    #[test]
+    fn padding_model_closes_mixed_length_batches() {
+        // 2 short + 1 long: padded work (3 × 40 − 48) / 120 = 0.6.
+        let p = PaddingModel::new(0.5);
+        assert!(p.accepts(0, 0, 0, 4));
+        assert!(p.accepts(1, 4, 4, 4));
+        assert!(!p.accepts(2, 4, 8, 40));
+        // The no-op model accepts anything.
+        assert!(PaddingModel::none().accepts(2, 4, 8, 40_000));
+
+        let mut q = SchedQueue::new(QueueDiscipline::Edf);
+        q.push(req(0, 0, 4, 0.0, Some(10.0)), 0, 1.0);
+        q.push(req(1, 0, 4, 0.0, Some(20.0)), 1, 1.0);
+        q.push(req(2, 0, 40, 0.0, Some(30.0)), 2, 1.0);
+        q.push(req(3, 0, 4, 0.0, Some(40.0)), 3, 1.0);
+        let batch = q.take_batch(0, 8, &p);
+        // The long utterance closes the batch — and because formation
+        // stops (rather than skipping), request 3 is NOT pulled ahead of
+        // request 2's deadline.
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(q.head().unwrap().id, 2);
+    }
+
+    #[test]
+    fn ties_break_by_admission_seq() {
+        let mut q = SchedQueue::new(QueueDiscipline::Edf);
+        q.push(req(10, 0, 3, 0.0, Some(100.0)), 0, 1.0);
+        q.push(req(11, 0, 3, 0.0, Some(100.0)), 1, 1.0);
+        q.push(req(12, 0, 3, 0.0, None), 2, 1.0);
+        q.push(req(13, 0, 3, 0.0, None), 3, 1.0);
+        let ids: Vec<u64> = q
+            .take_batch(0, 8, &PaddingModel::none())
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn backlog_tracks_queued_estimates() {
+        let mut q = SchedQueue::new(QueueDiscipline::Edf);
+        q.push(req(0, 0, 3, 0.0, Some(1.0)), 0, 10.0);
+        q.push(req(1, 0, 3, 0.0, Some(2.0)), 1, 7.0);
+        assert!((q.backlog_us() - 17.0).abs() < 1e-12);
+        let _ = q.take_batch(0, 1, &PaddingModel::none());
+        assert!((q.backlog_us() - 7.0).abs() < 1e-12);
+    }
+}

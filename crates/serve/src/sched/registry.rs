@@ -1,0 +1,149 @@
+//! The multi-model registry: every model a scheduler run can serve.
+//!
+//! Registration is the moment a model enters the serving tier: the
+//! registry refreshes the model's block-circulant weight spectra exactly
+//! once — bumping every matrix's
+//! [`spectrum_refresh_count`](ernn_linalg::BlockCirculantMatrix::spectrum_refresh_count),
+//! the same cache-observability counter the single-model runtime uses —
+//! and then freezes it behind an `Arc` so executors and devices share it
+//! read-only. From that point on, device-level evict/reload cycles are a
+//! *virtual-time* affair tracked by
+//! [`DeviceResidency`](crate::sched::DeviceResidency): the host-side
+//! spectra stay cached (recomputing them per reload would be exactly the
+//! waste the FFT'd-weight cache exists to avoid); what a reload costs is
+//! the BRAM streaming time.
+
+use crate::cache::CompiledModel;
+use std::sync::Arc;
+
+/// Index of a registered model. Requests name their target model by id
+/// ([`Request::with_model`](crate::Request::with_model)), and the id
+/// doubles as the [`InferenceJob`](crate::InferenceJob) model index.
+pub type ModelId = usize;
+
+/// A named, registered model.
+#[derive(Debug)]
+struct ModelEntry {
+    name: String,
+    model: Arc<CompiledModel>,
+    weight_bytes: u64,
+}
+
+/// The set of models one scheduler run serves.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<ModelEntry>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a model, refreshing its weight spectra (the load into
+    /// the serving tier — every circulant matrix's refresh counter moves
+    /// by exactly one) and returning its id. Ids are dense and assigned
+    /// in registration order.
+    pub fn register(&mut self, name: impl Into<String>, mut model: CompiledModel) -> ModelId {
+        model.refresh_weight_spectra();
+        self.register_shared(name, Arc::new(model))
+    }
+
+    /// Registers an already-shared model without touching its spectra
+    /// (the caller warmed it — e.g. one compile shared across sweeps).
+    pub fn register_shared(
+        &mut self,
+        name: impl Into<String>,
+        model: Arc<CompiledModel>,
+    ) -> ModelId {
+        let weight_bytes = model.weight_bytes();
+        self.entries.push(ModelEntry {
+            name: name.into(),
+            model,
+            weight_bytes,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The model behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unregistered.
+    pub fn model(&self, id: ModelId) -> &Arc<CompiledModel> {
+        &self.entries[id].model
+    }
+
+    /// The model's registered name.
+    pub fn name(&self, id: ModelId) -> &str {
+        &self.entries[id].name
+    }
+
+    /// On-chip bytes the model's weight image occupies — what residency
+    /// tracking charges against a device's BRAM budget.
+    pub fn weight_bytes(&self, id: ModelId) -> u64 {
+        self.entries[id].weight_bytes
+    }
+
+    /// A snapshot of all models in id order — the executor's model set.
+    pub fn models(&self) -> Vec<Arc<CompiledModel>> {
+        self.entries.iter().map(|e| Arc::clone(&e.model)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ernn_fpga::exec::DatapathConfig;
+    use ernn_fpga::XCKU060;
+    use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> CompiledModel {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let dense = NetworkBuilder::new(CellType::Gru, 8, 5)
+            .layer_dims(&[16])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    }
+
+    #[test]
+    fn registration_assigns_dense_ids_and_bumps_spectra_once() {
+        let a = model(1);
+        let baseline = a.weight_spectrum_refreshes();
+        let mut reg = ModelRegistry::new();
+        let ia = reg.register("gru-a", a);
+        let ib = reg.register("gru-b", model(2));
+        assert_eq!((ia, ib), (0, 1));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(0), "gru-a");
+        assert!(reg.weight_bytes(0) > 0);
+        // Entering the serving tier refreshed every matrix exactly once.
+        let after = reg.model(0).weight_spectrum_refreshes();
+        for (x, y) in after.iter().zip(baseline.iter()) {
+            assert_eq!(*x, y + 1);
+        }
+        assert_eq!(reg.models().len(), 2);
+    }
+
+    #[test]
+    fn register_shared_leaves_spectra_alone() {
+        let m = Arc::new(model(3));
+        let baseline = m.weight_spectrum_refreshes();
+        let mut reg = ModelRegistry::new();
+        reg.register_shared("warm", Arc::clone(&m));
+        assert_eq!(m.weight_spectrum_refreshes(), baseline);
+    }
+}

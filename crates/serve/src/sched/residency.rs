@@ -1,0 +1,171 @@
+//! Per-device weight-cache residency: which models' spectra currently
+//! live in a device's BRAM, and what swapping one in costs.
+//!
+//! E-RNN's whole design revolves around fitting the FFT'd weight image in
+//! on-chip BRAM (`RnnSpec::weight_bytes` against the platform budget from
+//! Table IV). A multi-model pool therefore has a placement constraint the
+//! single-model runtime never saw: dispatching model *m* to device *d*
+//! requires *m*'s image resident on *d*, and making room may evict
+//! another tenant. Loading is charged in *virtual time* at a PCIe-class
+//! streaming rate — the device stalls for `bytes / bandwidth` before the
+//! batch computes — which is what makes residency-aware placement a real
+//! cost-model decision rather than bookkeeping.
+
+use super::registry::ModelId;
+
+/// Virtual weight-streaming bandwidth in bytes per microsecond (8 GB/s —
+/// a PCIe gen3 x8-class link, the interface both of the paper's boards
+/// expose). A full 4 MB image costs ~500 µs to swap in: tens of frame
+/// latencies, so thrashing residency visibly hurts the tail.
+pub const WEIGHT_STREAM_BYTES_PER_US: f64 = 8192.0;
+
+/// Outcome of [`DeviceResidency::ensure`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadEvent {
+    /// True when the model had to be streamed in (a residency miss).
+    pub loaded: bool,
+    /// Device stall charged before compute (µs); zero on a hit.
+    pub load_us: f64,
+    /// Models evicted to make room, coldest first.
+    pub evicted: Vec<ModelId>,
+}
+
+impl LoadEvent {
+    /// The no-op event: the model was already resident.
+    fn hit() -> Self {
+        LoadEvent {
+            loaded: false,
+            load_us: 0.0,
+            evicted: Vec::new(),
+        }
+    }
+}
+
+/// LRU set of model weight images resident in one device's BRAM.
+#[derive(Debug, Clone)]
+pub struct DeviceResidency {
+    budget_bytes: u64,
+    used_bytes: u64,
+    /// `(model, bytes)`, least recently used first.
+    resident: Vec<(ModelId, u64)>,
+}
+
+impl DeviceResidency {
+    /// An empty cache with the given BRAM byte budget.
+    pub fn new(budget_bytes: u64) -> Self {
+        DeviceResidency {
+            budget_bytes,
+            used_bytes: 0,
+            resident: Vec::new(),
+        }
+    }
+
+    /// The device's BRAM byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Whether a model of this size can ever be resident here.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.budget_bytes
+    }
+
+    /// Whether the model is resident right now.
+    pub fn is_resident(&self, model: ModelId) -> bool {
+        self.resident.iter().any(|&(m, _)| m == model)
+    }
+
+    /// Resident model ids, least recently used first.
+    pub fn resident_models(&self) -> Vec<ModelId> {
+        self.resident.iter().map(|&(m, _)| m).collect()
+    }
+
+    /// Virtual streaming cost of loading `bytes` of weight image.
+    pub fn load_us(bytes: u64) -> f64 {
+        bytes as f64 / WEIGHT_STREAM_BYTES_PER_US
+    }
+
+    /// Makes `model` (of `bytes`) resident: a hit refreshes its LRU
+    /// position for free; a miss evicts coldest-first until the image
+    /// fits and charges the streaming stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the budget — callers must keep such
+    /// models off this device (placement eligibility).
+    pub fn ensure(&mut self, model: ModelId, bytes: u64) -> LoadEvent {
+        assert!(
+            self.fits(bytes),
+            "model {model} ({bytes} B) exceeds the device budget ({} B)",
+            self.budget_bytes
+        );
+        if let Some(pos) = self.resident.iter().position(|&(m, _)| m == model) {
+            // Hit: bump to most-recently-used.
+            let entry = self.resident.remove(pos);
+            self.resident.push(entry);
+            return LoadEvent::hit();
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes + bytes > self.budget_bytes {
+            let (victim, victim_bytes) = self.resident.remove(0);
+            self.used_bytes -= victim_bytes;
+            evicted.push(victim);
+        }
+        self.resident.push((model, bytes));
+        self.used_bytes += bytes;
+        LoadEvent {
+            loaded: true,
+            load_us: Self::load_us(bytes),
+            evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_are_charged_and_hits_are_free() {
+        let mut r = DeviceResidency::new(1000);
+        let load = r.ensure(0, 400);
+        assert!(load.loaded);
+        assert!((load.load_us - 400.0 / WEIGHT_STREAM_BYTES_PER_US).abs() < 1e-12);
+        assert!(load.evicted.is_empty());
+        assert!(r.is_resident(0));
+        assert_eq!(r.used_bytes(), 400);
+        // Second touch is a hit.
+        let hit = r.ensure(0, 400);
+        assert!(!hit.loaded);
+        assert_eq!(hit.load_us, 0.0);
+    }
+
+    #[test]
+    fn eviction_is_lru_coldest_first() {
+        let mut r = DeviceResidency::new(1000);
+        r.ensure(0, 400);
+        r.ensure(1, 400);
+        // Touch 0 so 1 becomes coldest.
+        r.ensure(0, 400);
+        let load = r.ensure(2, 500);
+        assert_eq!(load.evicted, vec![1]);
+        assert!(r.is_resident(0) && r.is_resident(2) && !r.is_resident(1));
+        assert_eq!(r.used_bytes(), 900);
+        // A giant image evicts everyone.
+        let load = r.ensure(3, 1000);
+        assert_eq!(load.evicted, vec![0, 2]);
+        assert_eq!(r.resident_models(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device budget")]
+    fn oversized_models_are_rejected() {
+        let mut r = DeviceResidency::new(100);
+        let _ = r.ensure(0, 101);
+    }
+}

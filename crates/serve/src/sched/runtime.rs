@@ -1,0 +1,1026 @@
+//! The SLO-aware multi-model scheduling event loop.
+//!
+//! [`SchedRuntime`] is the multi-model, heterogeneous-pool counterpart of
+//! [`ServeRuntime`](crate::ServeRuntime). The event loop structure is the
+//! same — arrivals advance a virtual clock, formed batches land on
+//! simulated devices, host inference rides an [`Executor`] — but every
+//! decision point is replaced by a scheduler component:
+//!
+//! * the FIFO batcher becomes a [`SchedQueue`] (EDF or FIFO) with
+//!   per-model, padding-gated batch formation;
+//! * earliest-free placement becomes a choice between
+//!   [`Placement::EarliestFree`] and [`Placement::CostModel`], the latter
+//!   minimizing predicted finish time — device ready time, residency
+//!   load stalls, and per-(device, model) [`StageCycles`] included;
+//! * every dispatch goes through per-device [`DeviceResidency`]: a cold
+//!   model stalls the device for its weight-streaming time and may evict
+//!   colder tenants;
+//! * arrivals pass [`AdmissionPolicy`]: predicted-late requests can be
+//!   shed with an immediate deadline-miss response, and overload can
+//!   degrade the batch-size cap.
+//!
+//! # The admission predictor
+//!
+//! For an arrival targeting model *m* with *F* frames at time *t*:
+//!
+//! ```text
+//! ready(d)  = max(t, free_at(d)) + load_us(m) · [m not resident on d]
+//! predicted = min over eligible d of (ready(d) + est(d, m, F))
+//!             + queue_backlog_us / num_devices
+//! ```
+//!
+//! where `est` is the closed-form service estimate (exact against the
+//! device sim) and `queue_backlog_us` sums the queued requests'
+//! best-device solo estimates. Every decision lands in
+//! [`SchedStats::admission_log`], and `tests/sched_edf.rs` asserts the
+//! shed set is exactly the predicted-late set.
+//!
+//! Virtual-time determinism holds exactly as for the single-model
+//! runtime: all scheduling decisions live on the virtual clock, so
+//! responses, metrics, and [`SchedStats`] are bit-identical across
+//! [`ExecutorKind::Inline`] and [`ExecutorKind::ThreadPool`].
+
+use super::admission::{AdmissionPolicy, AdmissionRecord};
+use super::cost::CostModel;
+use super::queue::{PaddingModel, QueueDiscipline, SchedQueue};
+use super::registry::{ModelId, ModelRegistry};
+use super::residency::DeviceResidency;
+use crate::device::DevicePool;
+use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
+use crate::metrics::ServeMetrics;
+use crate::request::{Request, Response};
+use ernn_fft::stats::FftStats;
+use ernn_fpga::Device;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the scheduler places a formed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Lowest `free_at` wins (ties to the lowest index) — blind to
+    /// platform speed and residency; the single-model runtime's policy.
+    EarliestFree,
+    /// Minimize predicted finish: `max(now, free_at) + cold-load stall +
+    /// estimated service` per eligible device (ties to the lowest index).
+    #[default]
+    CostModel,
+}
+
+/// The scheduler's complete policy knob set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedPolicy {
+    /// Queue ordering.
+    pub discipline: QueueDiscipline,
+    /// Batch placement.
+    pub placement: Placement,
+    /// Admission control.
+    pub admission: AdmissionPolicy,
+    /// Dispatch as soon as this many same-model requests are queued.
+    pub max_batch: usize,
+    /// Flush the queue head once the longest-waiting request has waited
+    /// this long (µs).
+    pub max_wait_us: f64,
+    /// When mixing unequal utterance lengths stops paying.
+    pub padding: PaddingModel,
+    /// Fraction of each platform's BRAM available for weight images
+    /// (the remainder is reserved for I/O buffers, matching
+    /// `RnnSpec::fits_in_bram`).
+    pub bram_budget_frac: f64,
+    /// Optional absolute per-device cap (bytes) on the weight-image
+    /// budget, applied after the fraction — models a deployment that
+    /// reserves a fixed slice of BRAM for weights across heterogeneous
+    /// platforms. `None` leaves the fractional budget alone.
+    pub bram_budget_bytes: Option<u64>,
+}
+
+impl SchedPolicy {
+    /// The scheduling configuration this subsystem exists for: EDF
+    /// ordering, cost-model placement, no admission control (add it via
+    /// [`Self::with_admission`]).
+    pub fn edf_cost_model(max_batch: usize, max_wait_us: f64) -> Self {
+        SchedPolicy {
+            discipline: QueueDiscipline::Edf,
+            placement: Placement::CostModel,
+            admission: AdmissionPolicy::AdmitAll,
+            max_batch,
+            max_wait_us,
+            padding: PaddingModel::none(),
+            bram_budget_frac: 0.8,
+            bram_budget_bytes: None,
+        }
+    }
+
+    /// The naive baseline: FIFO ordering, earliest-free placement,
+    /// admit everything — what the pre-scheduler runtime did, lifted to
+    /// multi-model.
+    pub fn fifo_earliest_free(max_batch: usize, max_wait_us: f64) -> Self {
+        SchedPolicy {
+            discipline: QueueDiscipline::Fifo,
+            placement: Placement::EarliestFree,
+            ..Self::edf_cost_model(max_batch, max_wait_us)
+        }
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the padding model.
+    pub fn with_padding(mut self, padding: PaddingModel) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Replaces the BRAM budget fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `(0, 1]`.
+    pub fn with_bram_budget_frac(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0, "budget fraction in (0, 1]");
+        self.bram_budget_frac = frac;
+        self
+    }
+
+    /// Caps every device's weight-image budget at an absolute byte count.
+    pub fn with_bram_budget_bytes(mut self, bytes: u64) -> Self {
+        self.bram_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// The effective weight-image budget (bytes) on a platform.
+    pub fn device_budget_bytes(&self, platform: &Device) -> u64 {
+        let frac = (platform.bram_bytes() as f64 * self.bram_budget_frac) as u64;
+        match self.bram_budget_bytes {
+            Some(cap) => frac.min(cap),
+            None => frac,
+        }
+    }
+}
+
+/// Virtual-time scheduler accounting for one run. Deterministic and
+/// executor-independent, like [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedStats {
+    /// Requests that entered the queue.
+    pub admitted: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Cold model loads across all devices (residency misses).
+    pub model_loads: u64,
+    /// Models evicted to make room for a load.
+    pub model_evictions: u64,
+    /// Total virtual time devices spent streaming weight images (µs).
+    pub load_us_total: f64,
+    /// Batches dispatched under a degraded (capped) batch size.
+    pub degraded_batches: u64,
+    /// Every admission decision, in arrival order.
+    pub admission_log: Vec<AdmissionRecord>,
+}
+
+/// Outcome of one scheduler run.
+#[derive(Debug)]
+pub struct SchedReport {
+    /// All responses — served and shed — in completion order per batch
+    /// (shed responses appear at their arrival point).
+    pub responses: Vec<Response>,
+    /// Aggregated virtual-time metrics (per-model breakdowns included).
+    pub metrics: ServeMetrics,
+    /// Scheduler-specific virtual-time accounting.
+    pub sched: SchedStats,
+    /// Wall-clock host time for the whole run (µs) — the only
+    /// nondeterministic number here.
+    pub host_us: f64,
+    /// Host FFT activity per executor worker.
+    pub worker_fft: Vec<FftStats>,
+}
+
+/// A timed arrival in the event queue (min-heap by time, then sequence).
+struct Arrival {
+    t_us: f64,
+    seq: u64,
+    request: Request,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .t_us
+            .total_cmp(&self.t_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The SLO-aware multi-model scheduling runtime.
+#[derive(Debug)]
+pub struct SchedRuntime {
+    registry: ModelRegistry,
+    platforms: Vec<Device>,
+    policy: SchedPolicy,
+    executor: ExecutorKind,
+}
+
+impl SchedRuntime {
+    /// A scheduler serving the registry over one device per platform
+    /// entry, with the deterministic-reference inline executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry or platform list is empty, or if any
+    /// registered model fits no device's BRAM budget.
+    pub fn new(registry: ModelRegistry, platforms: Vec<Device>, policy: SchedPolicy) -> Self {
+        Self::with_executor(registry, platforms, policy, ExecutorKind::Inline)
+    }
+
+    /// A scheduler with an explicit host executor. Virtual-time results
+    /// (responses, metrics, [`SchedStats`]) are bit-identical across
+    /// executor kinds.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::new`].
+    pub fn with_executor(
+        registry: ModelRegistry,
+        platforms: Vec<Device>,
+        policy: SchedPolicy,
+        executor: ExecutorKind,
+    ) -> Self {
+        assert!(!registry.is_empty(), "registry needs at least one model");
+        assert!(!platforms.is_empty(), "need at least one device");
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(policy.max_wait_us >= 0.0, "max_wait_us must be ≥ 0");
+        let rt = SchedRuntime {
+            registry,
+            platforms,
+            policy,
+            executor,
+        };
+        for m in 0..rt.registry.len() {
+            assert!(
+                (0..rt.platforms.len()).any(|d| rt.eligible(d, m)),
+                "model {m} ({}) fits no device's BRAM budget",
+                rt.registry.name(m)
+            );
+        }
+        rt
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The pool's platforms, one device per entry.
+    pub fn platforms(&self) -> &[Device] {
+        &self.platforms
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Whether model `m`'s weight image can ever reside on device `d`.
+    fn eligible(&self, d: usize, m: ModelId) -> bool {
+        self.registry.weight_bytes(m) <= self.policy.device_budget_bytes(&self.platforms[d])
+    }
+
+    /// Serves a pre-generated (open-loop) request list to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request names an unregistered model, has no frames,
+    /// or disagrees with its model's input dimension.
+    pub fn run(&self, requests: Vec<Request>) -> SchedReport {
+        let mut heap = BinaryHeap::with_capacity(requests.len());
+        for (seq, request) in requests.into_iter().enumerate() {
+            self.validate(&request);
+            heap.push(Arrival {
+                t_us: request.arrival_us,
+                seq: seq as u64,
+                request,
+            });
+        }
+        self.run_events(heap, None)
+    }
+
+    /// Serves `total_requests` in a closed loop: `concurrency` clients
+    /// submit at time zero and replace their request the moment it
+    /// completes — or the moment it is shed, which is what makes a
+    /// saturating closed loop the admission-control stress test. Clients
+    /// cycle through `payloads` (`(model, utterance)` pairs); `slo_us`
+    /// attaches a relative deadline to every request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is empty, `concurrency == 0`, or any payload
+    /// fails request validation.
+    pub fn run_closed_loop(
+        &self,
+        payloads: &[(ModelId, Vec<Vec<f32>>)],
+        concurrency: usize,
+        total_requests: usize,
+        slo_us: Option<f64>,
+    ) -> SchedReport {
+        assert!(!payloads.is_empty(), "need at least one payload");
+        assert!(concurrency > 0, "need at least one client");
+        let feedback = ClosedLoop {
+            issued: 0,
+            total: total_requests,
+            slo_us,
+        };
+        // Validate the whole payload pool up front, through the same
+        // minting path replacements use mid-run — long past the
+        // admission point.
+        for i in 0..payloads.len() {
+            self.validate(&feedback.mint(payloads, i, 0.0));
+        }
+        let mut heap = BinaryHeap::new();
+        let initial = concurrency.min(total_requests);
+        for i in 0..initial {
+            heap.push(Arrival {
+                t_us: 0.0,
+                seq: i as u64,
+                request: feedback.mint(payloads, i, 0.0),
+            });
+        }
+        let feedback = ClosedLoop {
+            issued: initial,
+            ..feedback
+        };
+        self.run_events(heap, Some((feedback, payloads)))
+    }
+
+    fn validate(&self, request: &Request) {
+        assert!(
+            request.model < self.registry.len(),
+            "request {} targets unregistered model {}",
+            request.id,
+            request.model
+        );
+        let dim = self.registry.model(request.model).input_dim();
+        assert!(
+            !request.frames.is_empty(),
+            "request {} has no frames",
+            request.id
+        );
+        assert!(
+            request.frames.iter().all(|f| f.len() == dim),
+            "request {} frame dimension must be {dim} for model {}",
+            request.id,
+            self.registry.name(request.model)
+        );
+    }
+
+    /// The executor instance for one run, sharing the registry's model
+    /// snapshot (one worker per device slot for the thread pool).
+    fn make_executor(&self) -> Box<dyn Executor> {
+        let models: Vec<Arc<crate::CompiledModel>> = self.registry.models();
+        match self.executor {
+            ExecutorKind::Inline => Box::new(InlineExecutor::new(models)),
+            ExecutorKind::ThreadPool => {
+                Box::new(ThreadPoolExecutor::new(models, self.platforms.len()))
+            }
+        }
+    }
+
+    fn run_events(
+        &self,
+        arrivals: BinaryHeap<Arrival>,
+        feedback: Option<Feedback<'_>>,
+    ) -> SchedReport {
+        let host_start = Instant::now();
+        let mut executor = self.make_executor();
+        let cost = CostModel::build(&self.platforms, &self.registry);
+        // Per-device default timing: the first registered model's stages
+        // (only `dispatch_to` is ever used, so this is cosmetic
+        // bookkeeping).
+        let pool = DevicePool::heterogeneous(
+            (0..self.platforms.len())
+                .map(|d| cost.stages(d, 0))
+                .collect(),
+        );
+        let mut state = RunState {
+            cost,
+            pool,
+            residency: self
+                .platforms
+                .iter()
+                .map(|p| DeviceResidency::new(self.policy.device_budget_bytes(p)))
+                .collect(),
+            queue: SchedQueue::new(self.policy.discipline),
+            responses: Vec::new(),
+            stats: SchedStats::default(),
+            arrivals,
+            feedback,
+            now_us: 0.0,
+            admit_seq: 0,
+        };
+
+        loop {
+            if state.queue.is_empty() {
+                match state.arrivals.pop() {
+                    Some(a) => {
+                        state.now_us = state.now_us.max(a.t_us);
+                        self.admit(&mut state, a.request);
+                        self.drain_due_arrivals(&mut state);
+                    }
+                    None => break,
+                }
+                continue;
+            }
+
+            let head_model = state.queue.head().map(|r| r.model).unwrap_or_default();
+            let max_batch = self.effective_max_batch(&state);
+            let full = state.queue.count_model(head_model) >= max_batch;
+            // The flush clock anchors to the longest-waiting request, so
+            // no request outwaits the budget regardless of its deadline
+            // position.
+            let flush_at = state
+                .queue
+                .oldest_arrival_us()
+                .map(|t| t + self.policy.max_wait_us)
+                .unwrap_or(state.now_us);
+            let next_arrival = state.arrivals.peek().map(|a| a.t_us);
+
+            if full {
+                self.dispatch(&mut state, executor.as_mut());
+            } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
+                state.now_us = state.now_us.max(t);
+                let a = state.arrivals.pop().expect("peeked arrival exists");
+                self.admit(&mut state, a.request);
+                self.drain_due_arrivals(&mut state);
+            } else {
+                state.now_us = state.now_us.max(flush_at);
+                self.dispatch(&mut state, executor.as_mut());
+            }
+        }
+
+        // Stitch host-side logits into the served responses (shed
+        // responses own no job slots) before metrics, exactly like the
+        // single-model runtime.
+        let exec_report = executor.finish();
+        for (slot, logits) in exec_report.outputs {
+            debug_assert!(state.responses[slot].logits.is_empty(), "slot filled twice");
+            state.responses[slot].logits = logits;
+        }
+
+        let busy_us: Vec<f64> = state.pool.devices().iter().map(|d| d.busy_us()).collect();
+        let metrics = ServeMetrics::compute(&state.responses, busy_us);
+        SchedReport {
+            responses: state.responses,
+            metrics,
+            sched: state.stats,
+            host_us: host_start.elapsed().as_secs_f64() * 1e6,
+            worker_fft: exec_report.worker_fft,
+        }
+    }
+
+    /// Moves every arrival with `t ≤ now` through admission (the
+    /// scheduler queue is unbounded — admission control, not queue
+    /// capacity, is the back-pressure mechanism).
+    fn drain_due_arrivals(&self, state: &mut RunState<'_>) {
+        while state
+            .arrivals
+            .peek()
+            .is_some_and(|a| a.t_us <= state.now_us)
+        {
+            let a = state.arrivals.pop().expect("peeked arrival exists");
+            self.admit(state, a.request);
+        }
+    }
+
+    /// The batch-size cap right now: degraded when the policy says so and
+    /// the pool's best queue delay exceeds the budget.
+    fn effective_max_batch(&self, state: &RunState<'_>) -> usize {
+        if let AdmissionPolicy::DegradeThenShed {
+            degraded_max_batch,
+            queue_delay_budget_us,
+        } = self.policy.admission
+        {
+            let best_delay = (0..self.platforms.len())
+                .map(|d| (state.pool.free_at_us(d) - state.now_us).max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            if best_delay > queue_delay_budget_us {
+                return degraded_max_batch.min(self.policy.max_batch).max(1);
+            }
+        }
+        self.policy.max_batch
+    }
+
+    /// Predicted absolute finish time (µs) of dispatching `total_frames`
+    /// frames of `model` on `device` right now: device ready time, a
+    /// cold-load stall if the weight image is not resident, and the
+    /// closed-form service estimate. Shared by the admission predictor
+    /// and cost-model placement so the two can never de-calibrate.
+    fn predicted_finish_us(
+        &self,
+        state: &RunState<'_>,
+        device: usize,
+        model: ModelId,
+        total_frames: u64,
+    ) -> f64 {
+        let load_us = if state.residency[device].is_resident(model) {
+            0.0
+        } else {
+            DeviceResidency::load_us(self.registry.weight_bytes(model))
+        };
+        state.now_us.max(state.pool.free_at_us(device))
+            + load_us
+            + state.cost.estimate_frames_us(device, model, total_frames)
+    }
+
+    /// The admission predictor (see module docs for the formula).
+    /// Returns `(predicted_complete_us, best_solo_est_us)`.
+    fn predict(&self, state: &RunState<'_>, request: &Request) -> (f64, f64) {
+        let m = request.model;
+        let frames = request.num_frames() as u64;
+        let (mut best_finish, mut best_est) = (f64::INFINITY, f64::INFINITY);
+        for d in 0..self.platforms.len() {
+            if !self.eligible(d, m) {
+                continue;
+            }
+            best_finish = best_finish.min(self.predicted_finish_us(state, d, m, frames));
+            best_est = best_est.min(state.cost.estimate_frames_us(d, m, frames));
+        }
+        let backlog = state.queue.backlog_us() / self.platforms.len() as f64;
+        (best_finish + backlog, best_est)
+    }
+
+    /// Runs one arrival through admission control: into the queue, or an
+    /// immediate shed response.
+    fn admit(&self, state: &mut RunState<'_>, request: Request) {
+        let (predicted_us, best_est) = self.predict(state, &request);
+        let admitted =
+            !self.policy.admission.sheds() || request.deadline_us.is_none_or(|d| predicted_us <= d);
+        state.stats.admission_log.push(AdmissionRecord {
+            id: request.id,
+            model: request.model,
+            predicted_us,
+            deadline_us: request.deadline_us,
+            admitted,
+        });
+        if admitted {
+            state.stats.admitted += 1;
+            let seq = state.admit_seq;
+            state.admit_seq += 1;
+            state.queue.push(request, seq, best_est);
+        } else {
+            state.stats.shed += 1;
+            let arrival_us = request.arrival_us;
+            state.responses.push(Response {
+                id: request.id,
+                model: request.model,
+                logits: Vec::new(),
+                arrival_us,
+                dispatch_us: arrival_us,
+                complete_us: arrival_us,
+                device: 0,
+                batch_size: 0,
+                deadline_tracked: request.deadline_us.is_some(),
+                deadline_met: false,
+                shed: true,
+            });
+            // A shed completes instantly: its closed-loop client
+            // resubmits right away — which is exactly how shedding keeps
+            // a saturating loop saturating.
+            self.feedback_arrival(state, arrival_us);
+        }
+    }
+
+    /// Mints the next closed-loop replacement arriving at `t_us`.
+    fn feedback_arrival(&self, state: &mut RunState<'_>, t_us: f64) {
+        let Some((fb, payloads)) = state.feedback.as_mut() else {
+            return;
+        };
+        if fb.issued >= fb.total {
+            return;
+        }
+        let issued = fb.issued;
+        fb.issued += 1;
+        let request = fb.mint(payloads, issued, t_us);
+        state.arrivals.push(Arrival {
+            t_us,
+            seq: issued as u64,
+            request,
+        });
+    }
+
+    /// Forms and places the next batch (the queue must be non-empty).
+    fn dispatch(&self, state: &mut RunState<'_>, executor: &mut dyn Executor) {
+        let Some(head) = state.queue.head() else {
+            debug_assert!(false, "dispatch on an empty queue");
+            return;
+        };
+        let model = head.model;
+        let max_batch = self.effective_max_batch(state);
+        if max_batch < self.policy.max_batch {
+            state.stats.degraded_batches += 1;
+        }
+        let batch = state
+            .queue
+            .take_batch(model, max_batch, &self.policy.padding);
+        debug_assert!(!batch.is_empty(), "head model yields a non-empty batch");
+        let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
+        let bytes = self.registry.weight_bytes(model);
+
+        let device = match self.policy.placement {
+            Placement::EarliestFree => (0..self.platforms.len())
+                .filter(|&d| self.eligible(d, model))
+                .min_by(|&a, &b| {
+                    state
+                        .pool
+                        .free_at_us(a)
+                        .total_cmp(&state.pool.free_at_us(b))
+                })
+                .expect("every model has an eligible device"),
+            Placement::CostModel => {
+                let total_frames: u64 = frame_counts.iter().sum();
+                (0..self.platforms.len())
+                    .filter(|&d| self.eligible(d, model))
+                    .min_by(|&a, &b| {
+                        self.predicted_finish_us(state, a, model, total_frames)
+                            .total_cmp(&self.predicted_finish_us(state, b, model, total_frames))
+                    })
+                    .expect("every model has an eligible device")
+            }
+        };
+
+        let load = state.residency[device].ensure(model, bytes);
+        if load.loaded {
+            state.stats.model_loads += 1;
+            state.stats.load_us_total += load.load_us;
+        }
+        state.stats.model_evictions += load.evicted.len() as u64;
+        let stages = state.cost.stages(device, model);
+        let exec =
+            state
+                .pool
+                .dispatch_to(device, state.now_us, load.load_us, stages, &frame_counts);
+
+        let batch_size = batch.len();
+        let mut jobs = Vec::with_capacity(batch_size);
+        for (request, &complete_us) in batch.into_iter().zip(exec.complete_us.iter()) {
+            let Request {
+                id,
+                model,
+                frames,
+                arrival_us,
+                deadline_us,
+            } = request;
+            let deadline_met = deadline_us.is_none_or(|d| complete_us <= d);
+            jobs.push(InferenceJob {
+                slot: state.responses.len(),
+                device: exec.device,
+                model,
+                frames,
+            });
+            state.responses.push(Response {
+                id,
+                model,
+                logits: Vec::new(),
+                arrival_us,
+                dispatch_us: exec.start_us,
+                complete_us,
+                device: exec.device,
+                batch_size,
+                deadline_tracked: deadline_us.is_some(),
+                deadline_met,
+                shed: false,
+            });
+            self.feedback_arrival(state, complete_us);
+        }
+        executor.submit_batch(jobs);
+    }
+}
+
+/// Closed-loop client population state.
+struct ClosedLoop {
+    issued: usize,
+    total: usize,
+    slo_us: Option<f64>,
+}
+
+impl ClosedLoop {
+    /// Mints client request `issued` arriving at `t_us` from the payload
+    /// pool — the single construction path for closed-loop requests, so
+    /// up-front validation and mid-run replacements can never diverge.
+    fn mint(&self, payloads: &[(ModelId, Vec<Vec<f32>>)], issued: usize, t_us: f64) -> Request {
+        let (model, utterance) = &payloads[issued % payloads.len()];
+        let mut r = Request::new(issued as u64, utterance.clone(), t_us).with_model(*model);
+        if let Some(slo) = self.slo_us {
+            r = r.with_deadline(t_us + slo);
+        }
+        r
+    }
+}
+
+/// Closed-loop feedback: the client population plus the payload pool
+/// replacements are minted from.
+type Feedback<'p> = (ClosedLoop, &'p [(ModelId, Vec<Vec<f32>>)]);
+
+/// Everything one run mutates, bundled so the event-loop helpers stay
+/// readable.
+struct RunState<'p> {
+    cost: CostModel,
+    pool: DevicePool,
+    residency: Vec<DeviceResidency>,
+    queue: SchedQueue,
+    responses: Vec<Response>,
+    stats: SchedStats,
+    arrivals: BinaryHeap<Arrival>,
+    feedback: Option<Feedback<'p>>,
+    now_us: f64,
+    admit_seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{open_loop_poisson, synthetic_utterances};
+    use crate::CompiledModel;
+    use ernn_fpga::exec::DatapathConfig;
+    use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+    use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+    use rand::SeedableRng;
+
+    const DIM: usize = 8;
+
+    fn compiled(seed: u64, hidden: usize) -> CompiledModel {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let dense = NetworkBuilder::new(CellType::Gru, DIM, 5)
+            .layer_dims(&[hidden])
+            .build(&mut rng);
+        let net = compress_network(&dense, BlockPolicy::uniform(4));
+        CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    }
+
+    fn registry() -> ModelRegistry {
+        let mut reg = ModelRegistry::new();
+        reg.register("gru-16", compiled(21, 16));
+        reg.register("gru-32", compiled(22, 32));
+        reg
+    }
+
+    /// Mixed-model open-loop load: request i targets model i % 2.
+    fn load(n: usize, rate: f64) -> Vec<Request> {
+        let utts = synthetic_utterances(6, (10, 30), DIM, 33);
+        open_loop_poisson(&utts, n, rate, 44)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.with_model(i % 2))
+            .collect()
+    }
+
+    #[test]
+    fn mixed_model_load_completes_exactly_once() {
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060, ADM_PCIE_7V3],
+            SchedPolicy::edf_cost_model(4, 100.0),
+        );
+        let report = rt.run(load(48, 100_000.0));
+        assert_eq!(report.responses.len(), 48);
+        let mut ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..48).collect::<Vec<_>>());
+        for r in &report.responses {
+            assert!(!r.shed);
+            assert!(!r.logits.is_empty());
+            assert!(r.complete_us > r.arrival_us);
+        }
+        assert_eq!(report.sched.admitted, 48);
+        assert_eq!(report.sched.shed, 0);
+        assert_eq!(report.sched.admission_log.len(), 48);
+        // Both models served, both counted in the per-model breakdown.
+        assert_eq!(report.metrics.per_model.len(), 2);
+        assert_eq!(report.metrics.per_model[&0].completed, 24);
+        assert_eq!(report.metrics.per_model[&1].completed, 24);
+    }
+
+    #[test]
+    fn batches_never_mix_models() {
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(8, 400.0),
+        );
+        let report = rt.run(load(64, 400_000.0));
+        // Group responses by (device, dispatch time): one dispatched
+        // batch each. All members must share a model.
+        use std::collections::BTreeMap;
+        let mut batches: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+        for r in &report.responses {
+            batches
+                .entry((r.device, r.dispatch_us.to_bits()))
+                .or_default()
+                .push(r.model);
+        }
+        let mut saw_real_batch = false;
+        for members in batches.values() {
+            assert!(members.windows(2).all(|w| w[0] == w[1]), "{members:?}");
+            saw_real_batch |= members.len() > 1;
+        }
+        assert!(saw_real_batch, "load must actually form multi-batches");
+    }
+
+    #[test]
+    fn scheduler_logits_match_direct_inference_per_model() {
+        let reg = registry();
+        let models = reg.models();
+        let rt = SchedRuntime::new(
+            reg,
+            vec![XCKU060, ADM_PCIE_7V3],
+            SchedPolicy::edf_cost_model(4, 100.0),
+        );
+        let requests = load(16, 50_000.0);
+        let expected: Vec<Vec<Vec<f32>>> = requests
+            .iter()
+            .map(|r| models[r.model].infer(&r.frames))
+            .collect();
+        let report = rt.run(requests);
+        for r in &report.responses {
+            assert_eq!(r.logits, expected[r.id as usize], "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let make = || {
+            SchedRuntime::new(
+                registry(),
+                vec![XCKU060, ADM_PCIE_7V3],
+                SchedPolicy::edf_cost_model(4, 50.0),
+            )
+        };
+        let a = make().run(load(40, 200_000.0));
+        let b = make().run(load(40, 200_000.0));
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.sched, b.sched);
+    }
+
+    #[test]
+    fn residency_loads_are_counted_and_charged() {
+        // Single device with a budget that holds exactly one model:
+        // alternating models must thrash the weight cache.
+        let reg = registry();
+        let total_bytes: u64 = (0..reg.len()).map(|m| reg.weight_bytes(m)).sum();
+        // 90% of the combined footprint: each model fits alone, both
+        // together never do.
+        let frac = (total_bytes as f64 * 0.9) / XCKU060.bram_bytes() as f64;
+        let rt = SchedRuntime::new(
+            reg,
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0).with_bram_budget_frac(frac),
+        );
+        let report = rt.run(load(12, 50_000.0));
+        assert_eq!(report.responses.len(), 12);
+        assert!(
+            report.sched.model_loads >= 4,
+            "alternating models must reload: {:?}",
+            report.sched
+        );
+        assert!(report.sched.model_evictions >= 3, "{:?}", report.sched);
+        assert!(report.sched.load_us_total > 0.0);
+        // With the full default budget both models stay resident: exactly
+        // one load each, no evictions.
+        let roomy = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+        );
+        let report = roomy.run(load(12, 50_000.0));
+        assert_eq!(report.sched.model_loads, 2);
+        assert_eq!(report.sched.model_evictions, 0);
+    }
+
+    #[test]
+    fn edf_serves_urgent_requests_first_under_backlog() {
+        // All requests arrive at t=0 on one device. Under EDF the tight
+        // deadlines run first regardless of submission order; under FIFO
+        // they run last (they were submitted last) and miss.
+        let utts = synthetic_utterances(1, (40, 40), DIM, 7);
+        let mk_requests = || {
+            let mut reqs = Vec::new();
+            for i in 0..6u64 {
+                // Submitted first: loose deadlines.
+                reqs.push(Request::new(i, utts[0].clone(), 0.0).with_deadline(1e9));
+            }
+            for i in 6..12u64 {
+                // Submitted last: deadlines only the head of the line can
+                // make.
+                reqs.push(Request::new(i, utts[0].clone(), 0.0).with_deadline(40.0));
+            }
+            reqs
+        };
+        let edf = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+        )
+        .run(mk_requests());
+        let fifo = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::fifo_earliest_free(1, 0.0),
+        )
+        .run(mk_requests());
+        assert!(
+            edf.metrics.deadline_miss_rate < fifo.metrics.deadline_miss_rate,
+            "EDF {} vs FIFO {}",
+            edf.metrics.deadline_miss_rate,
+            fifo.metrics.deadline_miss_rate
+        );
+    }
+
+    #[test]
+    fn degrade_caps_batches_under_overload() {
+        let policy = SchedPolicy::edf_cost_model(8, 1_000.0).with_admission(
+            AdmissionPolicy::DegradeThenShed {
+                degraded_max_batch: 2,
+                queue_delay_budget_us: 1.0,
+            },
+        );
+        let rt = SchedRuntime::new(registry(), vec![XCKU060], policy);
+        // Saturating load with deadlines generous enough not to shed.
+        let requests: Vec<Request> = load(48, 2_000_000.0)
+            .into_iter()
+            .map(|r| {
+                let arrival = r.arrival_us;
+                r.with_deadline(arrival + 1e9)
+            })
+            .collect();
+        let report = rt.run(requests);
+        assert!(report.sched.degraded_batches > 0);
+        // Once degraded, batches respect the cap.
+        let max_batch = report.responses.iter().map(|r| r.batch_size).max().unwrap();
+        assert!(max_batch <= 8);
+        assert!(
+            report.metrics.batch_histogram.keys().any(|&s| s <= 2),
+            "{:?}",
+            report.metrics.batch_histogram
+        );
+        assert_eq!(report.sched.shed + report.metrics.completed, 48);
+    }
+
+    #[test]
+    fn closed_loop_respects_budget_and_mints_on_completion() {
+        let utts = synthetic_utterances(4, (3, 6), DIM, 11);
+        let payloads: Vec<(ModelId, Vec<Vec<f32>>)> = utts
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| (i % 2, u))
+            .collect();
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060, ADM_PCIE_7V3],
+            SchedPolicy::edf_cost_model(4, 30.0),
+        );
+        let report = rt.run_closed_loop(&payloads, 3, 30, None);
+        assert_eq!(report.responses.len(), 30);
+        for r in &report.responses {
+            assert!(r.batch_size <= 3, "concurrency bounds in-flight work");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered model")]
+    fn rejects_unknown_model_ids() {
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+        );
+        let _ = rt.run(vec![
+            Request::new(0, vec![vec![0.0; DIM]], 0.0).with_model(7)
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame dimension")]
+    fn rejects_wrong_dimension_for_target_model() {
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+        );
+        let _ = rt.run(vec![Request::new(0, vec![vec![0.0; 3]], 0.0)]);
+    }
+}
