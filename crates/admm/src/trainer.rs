@@ -262,6 +262,27 @@ impl AdmmTrainer {
         report
     }
 
+    /// The whole Fig.-6 compression recipe in one call: ADMM iterations
+    /// ([`Self::run`]), hard projection onto the constraint sets
+    /// ([`Self::finalize`]), then `retrain_epochs` of constrained
+    /// fine-tuning ([`Self::retrain_constrained`]) with `retrain_opt`.
+    /// Exactly the sequence the flow oracle, the quickstart and the
+    /// lifecycle pipeline previously re-chained by hand — results are
+    /// bit-identical to calling the three steps yourself.
+    pub fn fit(
+        &mut self,
+        net: &mut RnnNetwork<Matrix>,
+        data: &[Sequence],
+        optimizer: &mut dyn Optimizer,
+        retrain_opt: &mut dyn Optimizer,
+        rng: &mut impl Rng,
+    ) -> AdmmReport {
+        let report = self.run(net, data, optimizer, rng);
+        self.finalize(net);
+        self.retrain_constrained(net, data, self.config.retrain_epochs, retrain_opt, rng);
+        report
+    }
+
     /// Constrained fine-tuning after [`Self::finalize`]: trains with
     /// gradients projected onto each constraint's tangent subspace so the
     /// weights remain exactly structured — the "retrain to obtain the

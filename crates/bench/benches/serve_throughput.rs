@@ -4,9 +4,8 @@
 //! bench tracks the *host-side* cost of simulating a serving run.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ernn_fpga::exec::DatapathConfig;
-use ernn_fpga::XCKU060;
-use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_core::pipeline::Pipeline;
+use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn_serve::{BatchPolicy, CompiledModel, Request, ServeRuntime};
 use rand::SeedableRng;
@@ -14,11 +13,16 @@ use std::time::Duration;
 
 fn compiled() -> CompiledModel {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let dense = NetworkBuilder::new(CellType::Gru, 16, 8)
-        .layer_dims(&[32])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
-    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    Pipeline::paper(ModelSpec::new(CellType::Gru, 16, 8).layer_dims(&[32]))
+        .expect("valid spec")
+        .init(&mut rng)
+        .project()
+        .expect("paper block policy")
+        .quantize()
+        .expect("paper datapath")
+        .compile()
+        .expect("paper platform")
+        .into_model()
 }
 
 fn load() -> Vec<Request> {

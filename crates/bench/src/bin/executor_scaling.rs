@@ -8,11 +8,10 @@
 //! rows as a bench artifact for CI trend tracking).
 
 use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
-use ernn_fpga::exec::DatapathConfig;
-use ernn_fpga::XCKU060;
-use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_core::pipeline::Pipeline;
+use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
-use ernn_serve::{BatchPolicy, CompiledModel, ExecutorKind, ServeRuntime};
+use ernn_serve::{BatchPolicy, ExecutorKind, ServeRuntime};
 use rand::SeedableRng;
 
 fn main() {
@@ -21,19 +20,22 @@ fn main() {
     let json_path = json_path_arg(&args);
     let num_requests = if quick { 64 } else { 256 };
 
-    // The serve_sweep acoustic model: GRU-64 compressed at block 8.
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let dense = NetworkBuilder::new(CellType::Gru, 52, 40)
-        .layer_dims(&[64])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
+    // The serve_sweep acoustic model (GRU-64 under the paper preset).
     // One Arc'd compile: every runtime in the sweep shares the cached
     // weight spectra instead of deep-cloning them per run.
-    let model = std::sync::Arc::new(CompiledModel::compile(
-        &net,
-        &DatapathConfig::paper_12bit(),
-        XCKU060,
-    ));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let model = std::sync::Arc::new(
+        Pipeline::paper(ModelSpec::new(CellType::Gru, 52, 40).layer_dims(&[64]))
+            .expect("valid spec")
+            .init(&mut rng)
+            .project()
+            .expect("paper block policy")
+            .quantize()
+            .expect("paper datapath")
+            .compile()
+            .expect("paper platform")
+            .into_model(),
+    );
 
     // CPU-bound load: long utterances so host inference dominates the
     // event-loop bookkeeping, offered well above one device's capacity.

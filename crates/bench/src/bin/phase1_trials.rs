@@ -4,7 +4,7 @@
 //! Runs the full flow (Phase I with real ADMM training on the synthetic
 //! corpus, then Phase II) and prints the trial log.
 
-use ernn_core::flow::{run_flow, FlowConfig};
+use ernn_core::flow::{run_flow_to_artifact, FlowConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -17,7 +17,7 @@ fn main() {
         "running the E-RNN flow{} ...",
         if quick { " [quick]" } else { "" }
     );
-    let report = run_flow(config);
+    let (report, built) = run_flow_to_artifact(config).expect("flow pipelines");
     println!("{}", report.render());
     println!("Phase-I trial log:");
     for (i, t) in report.phase1.trials.iter().enumerate() {
@@ -38,5 +38,9 @@ fn main() {
     println!(
         "block-size bounds used: [{}, {}] ({} candidates)",
         report.phase1.bounds.lower, report.phase1.bounds.upper, report.phase1.bounds.candidates
+    );
+    println!(
+        "deployable artifact: {} bytes (trial log travels as provenance)",
+        built.save_bytes().len()
     );
 }

@@ -21,9 +21,9 @@
 //! rows as a bench artifact for CI trend tracking).
 
 use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
-use ernn_fpga::exec::DatapathConfig;
+use ernn_core::pipeline::Pipeline;
 use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
-use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn_serve::sched::{
     AdmissionPolicy, ModelRegistry, PaddingModel, SchedPolicy, SchedReport, SchedRuntime,
@@ -37,13 +37,20 @@ const INTERACTIVE_SLO_US: f64 = 60.0;
 /// Batch tenant: model 1, long utterances, loose SLO.
 const BATCH_SLO_US: f64 = 20_000.0;
 
+/// Compiles a tenant model under the paper preset (block 8, 12-bit
+/// datapath, XCKU060) via the lifecycle pipeline.
 fn compile(seed: u64, hidden: usize) -> CompiledModel {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let dense = NetworkBuilder::new(CellType::Gru, INPUT_DIM, 40)
-        .layer_dims(&[hidden])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
-    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    Pipeline::paper(ModelSpec::new(CellType::Gru, INPUT_DIM, 40).layer_dims(&[hidden]))
+        .expect("valid spec")
+        .init(&mut rng)
+        .project()
+        .expect("paper block policy")
+        .quantize()
+        .expect("paper datapath")
+        .compile()
+        .expect("paper platform")
+        .into_model()
 }
 
 fn registry() -> ModelRegistry {

@@ -7,11 +7,10 @@
 //! writes the rows as a bench artifact for CI trend tracking).
 
 use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
-use ernn_fpga::exec::DatapathConfig;
-use ernn_fpga::XCKU060;
-use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_core::pipeline::Pipeline;
+use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
-use ernn_serve::{BatchPolicy, CompiledModel, ServeRuntime};
+use ernn_serve::{BatchPolicy, ServeRuntime};
 use rand::SeedableRng;
 
 fn main() {
@@ -20,13 +19,19 @@ fn main() {
     let json_path = json_path_arg(&args);
     let num_requests = if quick { 200 } else { 400 };
 
-    // A GRU-64 acoustic model compressed at block 8, the Table II shape.
+    // A GRU-64 acoustic model under the paper preset (block 8, 12-bit
+    // datapath, XCKU060) — configuration lives in the pipeline, not here.
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let dense = NetworkBuilder::new(CellType::Gru, 52, 40)
-        .layer_dims(&[64])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
-    let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+    let model = Pipeline::paper(ModelSpec::new(CellType::Gru, 52, 40).layer_dims(&[64]))
+        .expect("valid spec")
+        .init(&mut rng)
+        .project()
+        .expect("paper block policy")
+        .quantize()
+        .expect("paper datapath")
+        .compile()
+        .expect("paper platform")
+        .into_model();
     println!(
         "model: GRU-64 block 8, II {} cycles, {} cached weight spectra\n",
         model.stage_cycles().ii(),

@@ -45,7 +45,7 @@ impl JsonObject {
         self
     }
 
-    /// Adds a pre-rendered JSON value (e.g. an [`array`]).
+    /// Adds a pre-rendered JSON value (e.g. an [`array()`]).
     pub fn raw(mut self, key: &str, rendered_json: String) -> Self {
         self.fields.push((key.to_string(), rendered_json));
         self
@@ -98,7 +98,7 @@ fn escape(s: &str) -> String {
 
 impl JsonObject {
     /// Adds the standard latency-quantile fields (`<prefix>p50_us` …
-    /// `<prefix>p999_us`) from a serving [`LatencySummary`] — the one
+    /// `<prefix>p999_us`) from a serving [`LatencySummary`](ernn_serve::LatencySummary) — the one
     /// place the bench artifacts' quantile schema is defined, so every
     /// sweep stays in sync with `ServeMetrics` (adding a quantile there
     /// means adding it here, and every artifact picks it up).

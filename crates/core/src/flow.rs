@@ -9,8 +9,10 @@
 
 use crate::phase1::{run_phase1, CandidateSpec, Phase1Config, Phase1Result, TrainOracle};
 use crate::phase2::{run_phase2, Phase2Config, Phase2Result};
-use ernn_admm::{AdmmConfig, AdmmTrainer};
+use crate::pipeline::{PipelineError, PipelineModel};
+use ernn_admm::{AdmmConfig, AdmmReport, AdmmTrainer};
 use ernn_asr::{evaluate_per, SynthCorpus, SynthCorpusConfig};
+use ernn_fpga::artifact::AdmmProvenance;
 use ernn_fpga::exec::{DatapathConfig, QuantizedNetwork};
 use ernn_fpga::{Device, HwCell, RnnSpec};
 use ernn_model::trainer::{train, TrainOptions};
@@ -113,9 +115,10 @@ pub struct AsrOracle {
     config: FlowConfig,
     rng: ChaCha8Rng,
     baselines: HashMap<&'static str, (RnnNetwork<Matrix>, f64)>,
-    /// Trained compressed models, keyed by candidate identity, so Phase II
-    /// can reuse the Phase-I winner.
-    trained: HashMap<String, RnnNetwork<WeightMatrix>>,
+    /// Trained compressed models with their ADMM reports, keyed by
+    /// candidate identity, so Phase II can reuse the Phase-I winner and
+    /// the artifact can carry its compression provenance.
+    trained: HashMap<String, (RnnNetwork<WeightMatrix>, AdmmReport)>,
 }
 
 fn cell_key(cell: CellType) -> &'static str {
@@ -185,7 +188,13 @@ impl AsrOracle {
     /// The trained compressed network for a candidate, if Phase I
     /// evaluated it.
     pub fn trained_network(&self, spec: &CandidateSpec) -> Option<&RnnNetwork<WeightMatrix>> {
-        self.trained.get(&spec_key(spec))
+        self.trained.get(&spec_key(spec)).map(|(net, _)| net)
+    }
+
+    /// The ADMM report of a candidate's compression training, if Phase I
+    /// evaluated it.
+    pub fn admm_report(&self, spec: &CandidateSpec) -> Option<&AdmmReport> {
+        self.trained.get(&spec_key(spec)).map(|(_, report)| report)
     }
 }
 
@@ -203,22 +212,14 @@ impl TrainOracle for AsrOracle {
         };
         let mut trainer = AdmmTrainer::new(&net, policy, self.config.admm);
         let mut opt = Sgd::new(self.config.admm_lr).momentum(0.9).clip_norm(2.0);
-        let data = self.corpus.train_sequences();
-        trainer.run(&mut net, &data, &mut opt, &mut self.rng);
-        trainer.finalize(&mut net);
-        let mut opt2 = Sgd::new(self.config.admm_lr * 0.75)
+        let mut retrain_opt = Sgd::new(self.config.admm_lr * 0.75)
             .momentum(0.9)
             .clip_norm(2.0);
-        trainer.retrain_constrained(
-            &mut net,
-            &data,
-            self.config.admm.retrain_epochs,
-            &mut opt2,
-            &mut self.rng,
-        );
+        let data = self.corpus.train_sequences();
+        let report = trainer.fit(&mut net, &data, &mut opt, &mut retrain_opt, &mut self.rng);
         let compressed = compress_network(&net, policy);
         let per = evaluate_per(&compressed, &self.corpus.test);
-        self.trained.insert(spec_key(spec), compressed);
+        self.trained.insert(spec_key(spec), (compressed, report));
         per
     }
 }
@@ -265,9 +266,47 @@ impl FlowReport {
     }
 }
 
-/// Runs the complete E-RNN methodology: Phase I over the ASR oracle, then
-/// Phase II with a real quantized-execution oracle on the winning model.
-pub fn run_flow(config: FlowConfig) -> FlowReport {
+/// Runs the complete E-RNN methodology — Phase I over the ASR oracle,
+/// Phase II with a real quantized-execution oracle on the winning model —
+/// and then carries the result through the lifecycle pipeline
+/// ([`crate::pipeline`]) into a deployable [`PipelineModel`]: the
+/// Phase-I winner's trained weights, quantized for the Phase-II
+/// datapath, compiled for the target device, with the full trial log
+/// and ADMM residual as artifact provenance. The report is bit-identical
+/// to what [`run_flow`] produced.
+pub fn run_flow_to_artifact(
+    config: FlowConfig,
+) -> Result<(FlowReport, PipelineModel), PipelineError> {
+    let device = config.device;
+    let (report, winner, admm, input_dim, classes) = flow_phases(config);
+    let choice = report.phase2.into_pipeline();
+    let stage = report
+        .phase1
+        .into_pipeline(input_dim, classes)?
+        // The oracle pre-trains with peepholes on (ignored for GRU).
+        .peephole(report.phase1.chosen.cell == CellType::Lstm)
+        .device(device)
+        .source("ernn_core::flow::run_flow_to_artifact");
+    let out = stage
+        .with_compressed(winner)?
+        .admm_provenance(admm)
+        .quantize_chosen(choice)?
+        .compile()?;
+    Ok((report, out))
+}
+
+/// Runs Phase I + Phase II only, returning the report and the winning
+/// trained model (the shared core of [`run_flow`] and
+/// [`run_flow_to_artifact`]).
+fn flow_phases(
+    config: FlowConfig,
+) -> (
+    FlowReport,
+    RnnNetwork<WeightMatrix>,
+    AdmmProvenance,
+    usize,
+    usize,
+) {
     let device = config.device;
     let deploy_hidden = config.deploy_hidden;
     let accuracy_budget = config.accuracy_budget;
@@ -291,6 +330,18 @@ pub fn run_flow(config: FlowConfig) -> FlowReport {
         .trained_network(&phase1.chosen)
         .cloned()
         .expect("phase 1 trained its winner");
+    let admm = {
+        let report = oracle
+            .admm_report(&phase1.chosen)
+            .expect("phase 1 trained its winner");
+        AdmmProvenance {
+            final_residual: report.final_residual(),
+            iterations: report.iterations.len(),
+            converged: report.converged,
+        }
+    };
+    let input_dim = oracle.corpus().feature_dim;
+    let classes = oracle.corpus().num_classes();
     let test = oracle.corpus().test.clone();
     let quant_oracle = |bits: u8| -> f64 {
         let q = QuantizedNetwork::new(
@@ -336,7 +387,28 @@ pub fn run_flow(config: FlowConfig) -> FlowReport {
         },
     );
 
-    FlowReport { phase1, phase2 }
+    (
+        FlowReport { phase1, phase2 },
+        winner,
+        admm,
+        input_dim,
+        classes,
+    )
+}
+
+/// Runs the complete E-RNN methodology and returns the report alone.
+///
+/// Thin compatibility wrapper over the same Phase I/II core that
+/// [`run_flow_to_artifact`] uses — results are bit-identical — but it
+/// discards the trained winner instead of producing a deployable
+/// artifact.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_flow_to_artifact (or the ernn::pipeline builder) so the flow \
+            produces a deployable ModelArtifact instead of a report-only dead end"
+)]
+pub fn run_flow(config: FlowConfig) -> FlowReport {
+    flow_phases(config).0
 }
 
 #[cfg(test)]
@@ -345,7 +417,7 @@ mod tests {
 
     #[test]
     fn quick_flow_runs_end_to_end() {
-        let report = run_flow(FlowConfig::quick(11));
+        let (report, out) = run_flow_to_artifact(FlowConfig::quick(11)).expect("flow pipelines");
         // Phase I stayed within the paper's trial bound.
         assert!(
             report.phase1.trial_count() <= 6,
@@ -366,5 +438,34 @@ mod tests {
         let text = report.render();
         assert!(text.contains("Phase I"));
         assert!(text.contains("Phase II"));
+
+        // The flow produced a deployable artifact carrying its own
+        // provenance: the Phase-I trial log, the ADMM residual and the
+        // Phase-II quantization scan.
+        let artifact = out.artifact();
+        let p1 = artifact.provenance.phase1.as_ref().expect("phase 1 ran");
+        assert_eq!(p1.trials.len(), report.phase1.trial_count());
+        assert!(artifact.provenance.admm.is_some());
+        assert_eq!(artifact.provenance.quant_trials, report.phase2.quant_trials);
+        assert_eq!(artifact.datapath, report.phase2.datapath);
+        // And it round-trips through bytes into a working model.
+        let bytes = out.save_bytes();
+        let loaded = ernn_fpga::artifact::ModelArtifact::load_bytes(&bytes).expect("decodes");
+        let reloaded = ernn_serve::CompiledModel::from_artifact(&loaded);
+        let frames = vec![vec![0.1f32; artifact.spec.input_dim]; 3];
+        assert_eq!(reloaded.infer(&frames), out.model().infer(&frames));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_flow_wrapper_matches_the_artifact_flow() {
+        // The deprecated wrapper must stay bit-identical to the new
+        // entry point's report.
+        let report = run_flow(FlowConfig::quick(5));
+        let (report2, _) = run_flow_to_artifact(FlowConfig::quick(5)).expect("flow pipelines");
+        assert_eq!(report.phase1.chosen, report2.phase1.chosen);
+        assert_eq!(report.phase1.trials, report2.phase1.trials);
+        assert_eq!(report.phase2.datapath, report2.phase2.datapath);
+        assert_eq!(report.phase2.quant_trials, report2.phase2.quant_trials);
     }
 }

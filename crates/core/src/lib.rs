@@ -15,7 +15,10 @@
 //!
 //! [`flow`] wires both phases to the synthetic ASR corpus for end-to-end
 //! runs; [`explore`] hosts the two design-exploration analyses that bound
-//! the search.
+//! the search; [`pipeline`] is the typed model-lifecycle builder that
+//! carries a Phase I/II outcome (or any spec) through train → compress →
+//! quantize → compile into a deployable, byte-serializable
+//! [`ModelArtifact`](ernn_fpga::artifact::ModelArtifact).
 //!
 //! ```
 //! use ernn_core::explore::{block_size_bounds, Fig8Curve};
@@ -33,7 +36,9 @@ pub mod explore;
 pub mod flow;
 pub mod phase1;
 pub mod phase2;
+pub mod pipeline;
 
 pub use explore::{block_size_bounds, BlockSizeBounds, Fig8Curve};
 pub use phase1::{run_phase1, CandidateSpec, Phase1Config, Phase1Result, TrainOracle, Trial};
 pub use phase2::{run_phase2, Phase2Config, Phase2Result};
+pub use pipeline::{Pipeline, PipelineError, PipelineModel, PipelineSettings};

@@ -16,8 +16,10 @@
 //! ADMM/ASR pipeline in [`crate::flow`].
 
 use crate::explore::{block_size_bounds, BlockSizeBounds};
+use crate::pipeline::{Pipeline, PipelineError, SpecStage};
+use ernn_fpga::artifact::{Phase1Provenance, TrialRecord};
 use ernn_fpga::Device;
-use ernn_model::CellType;
+use ernn_model::{BlockPolicy, CellType, ModelSpec};
 
 /// A candidate model configuration Phase I may train.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +109,47 @@ impl Phase1Result {
     /// PER degradation of the chosen model versus the baseline.
     pub fn degradation(&self) -> f64 {
         self.chosen_per - self.baseline_per
+    }
+
+    /// The trial log as artifact provenance.
+    pub fn provenance(&self) -> Phase1Provenance {
+        Phase1Provenance {
+            baseline_per: self.baseline_per,
+            chosen_per: self.chosen_per,
+            trials: self
+                .trials
+                .iter()
+                .map(|t| TrialRecord {
+                    cell: t.spec.cell,
+                    block: t.spec.block,
+                    io_block: t.spec.io_block,
+                    per: t.per,
+                    accepted: t.accepted,
+                })
+                .collect(),
+        }
+    }
+
+    /// Carries the Phase-I decision into the lifecycle pipeline: a
+    /// [`SpecStage`] whose model spec is the chosen candidate, whose
+    /// block policy is the chosen (recurrent, io) block sizes, and whose
+    /// provenance records the full trial log — so the design-optimization
+    /// flow *produces* deployable artifacts instead of dead-ending in a
+    /// report. `input_dim`/`classes` come from the corpus the oracle
+    /// trained on (the candidate spec does not carry them).
+    pub fn into_pipeline(
+        &self,
+        input_dim: usize,
+        classes: usize,
+    ) -> Result<SpecStage, PipelineError> {
+        let spec = ModelSpec::new(self.chosen.cell, input_dim, classes)
+            .layer_dims(&self.chosen.layer_dims);
+        Ok(Pipeline::spec(spec)?
+            .block_policy(BlockPolicy::with_io_block(
+                self.chosen.block,
+                self.chosen.io_block,
+            ))
+            .phase1_provenance(self.provenance()))
     }
 }
 

@@ -7,6 +7,7 @@
 //! quantization step so the PWL units are never the precision
 //! bottleneck), and the PE/CU structure from the resource model.
 
+use crate::pipeline::DatapathChoice;
 use ernn_fpga::exec::DatapathConfig;
 use ernn_fpga::power::{board_power, energy_efficiency};
 use ernn_fpga::{AccelReport, Accelerator, Device, RnnSpec};
@@ -50,6 +51,18 @@ pub struct Phase2Result {
     pub fps_per_w: f64,
     /// Quantization PERs measured per candidate bit width.
     pub quant_trials: Vec<(u8, f64)>,
+}
+
+impl Phase2Result {
+    /// Carries the Phase-II decision into the lifecycle pipeline: the
+    /// chosen datapath plus the quantization scan as provenance, ready
+    /// for [`CompressedStage::quantize_chosen`](crate::pipeline::CompressedStage::quantize_chosen).
+    pub fn into_pipeline(&self) -> DatapathChoice {
+        DatapathChoice {
+            datapath: self.datapath.clone(),
+            quant_trials: self.quant_trials.clone(),
+        }
+    }
 }
 
 /// Runs Phase II.

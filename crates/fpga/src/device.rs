@@ -40,7 +40,17 @@ pub const XCKU060: Device = Device {
     process_nm: 20,
 };
 
+/// The platforms the reproduction knows by name — the set a serialized
+/// [`ModelArtifact`](crate::artifact::ModelArtifact) can target, since
+/// artifacts store the platform as its Table-IV name.
+pub const KNOWN_DEVICES: &[Device] = &[ADM_PCIE_7V3, XCKU060];
+
 impl Device {
+    /// Looks a platform up by its Table-IV name (see [`KNOWN_DEVICES`]).
+    pub fn by_name(name: &str) -> Option<Device> {
+        KNOWN_DEVICES.iter().copied().find(|d| d.name == name)
+    }
+
     /// Total on-chip BRAM capacity in bytes (36 Kb per block).
     pub fn bram_bytes(&self) -> u64 {
         self.bram_blocks as u64 * 36 * 1024 / 8

@@ -61,7 +61,7 @@ impl ExecScratch {
 }
 
 /// Hardware datapath configuration for functional simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatapathConfig {
     /// Weight word length in bits.
     pub weight_bits: u8,
@@ -203,6 +203,29 @@ impl QuantizedNetwork {
             activation_format,
             sigmoid,
             tanh,
+            report,
+        }
+    }
+
+    /// Rebuilds the functional twin around weights that are **already
+    /// quantized** for `config` — the artifact-loading path
+    /// ([`crate::artifact::ModelArtifact`]): no quantization pass runs,
+    /// the PWL units and activation format are re-derived from `config`
+    /// exactly as [`Self::new`] derives them, and `report` restores the
+    /// statistics recorded when the weights were first quantized. Feeding
+    /// weights quantized for a *different* datapath silently produces a
+    /// network that disagrees with the hardware; callers own that
+    /// invariant.
+    pub fn from_quantized(
+        net: RnnNetwork<WeightMatrix>,
+        config: &DatapathConfig,
+        report: QuantizationReport,
+    ) -> Self {
+        QuantizedNetwork {
+            net,
+            activation_format: FixedFormat::for_range(config.activation_bits, 8.0),
+            sigmoid: PiecewiseLinear::sigmoid(config.pwl_segments),
+            tanh: PiecewiseLinear::tanh(config.pwl_segments),
             report,
         }
     }

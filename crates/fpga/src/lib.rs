@@ -20,6 +20,10 @@
 //! * [`exec`] — functional fixed-point execution of a compressed network
 //!   (quantized weights + PWL activations), the accuracy oracle Phase II
 //!   uses for quantization decisions.
+//! * [`artifact`] — the versioned [`ModelArtifact`]: a quantized model
+//!   plus its datapath, platform and design provenance, byte-serialized
+//!   deterministically so the serving tier can load it without
+//!   retraining, and the pipeline-wide [`PipelineError`] type.
 //! * [`baseline`] — hardware models of ESE (sparse, irregular) and C-LSTM
 //!   (circulant without E-RNN's PE optimizations) for the Table III
 //!   comparison.
@@ -30,6 +34,7 @@
 //! resource budgets rather than calibration.
 
 mod accelerator;
+pub mod artifact;
 pub mod baseline;
 mod device;
 pub mod exec;
@@ -38,5 +43,6 @@ pub mod power;
 pub mod sim;
 
 pub use accelerator::{AccelReport, Accelerator, HwCell, RnnSpec, StageCycles, RESOURCE_BUDGET};
-pub use device::{Device, ADM_PCIE_7V3, XCKU060};
+pub use artifact::{ModelArtifact, PipelineError};
+pub use device::{Device, ADM_PCIE_7V3, KNOWN_DEVICES, XCKU060};
 pub use pe::PeDesign;

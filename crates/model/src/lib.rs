@@ -39,6 +39,7 @@ mod loss;
 mod lstm;
 mod network;
 mod optim;
+mod spec;
 pub mod trainer;
 
 pub use activation::Act;
@@ -49,5 +50,6 @@ pub use loss::softmax_cross_entropy;
 pub use lstm::{LstmCache, LstmConfig, LstmGrads, LstmLayer, LstmScratch, LstmState, ParamCount};
 pub use network::{CellType, NetworkBuilder, NetworkGrads, RnnNetwork, WeightRole};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use spec::ModelSpec;
 
 pub use ernn_linalg::{BlockCirculantMatrix, MatVec, Matrix, WeightMatrix};

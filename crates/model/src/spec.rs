@@ -1,0 +1,304 @@
+//! A declarative model-shape description shared by the pipeline builder
+//! and the serialized model artifact.
+//!
+//! [`ModelSpec`] is the "what" of a model — cell type, dimensions, layer
+//! stack, structural options — separated from the "how" (training
+//! hyperparameters, block policy, datapath), so the same value can seed a
+//! [`NetworkBuilder`], validate an externally trained network, and travel
+//! inside a serialized artifact as provenance of the deployed shape.
+
+use crate::layer::RnnLayer;
+use crate::network::{CellType, NetworkBuilder, RnnNetwork};
+use crate::Act;
+use ernn_linalg::MatVec;
+
+/// The declarative shape of an acoustic model: everything
+/// [`NetworkBuilder`] needs, as plain data.
+///
+/// ```
+/// use ernn_model::{CellType, ModelSpec};
+/// let spec = ModelSpec::new(CellType::Gru, 26, 40).layer_dims(&[64, 64]);
+/// assert!(spec.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Recurrent cell type.
+    pub cell: CellType,
+    /// Input feature dimension per frame.
+    pub input_dim: usize,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Hidden dimension of each stacked layer.
+    pub layer_dims: Vec<usize>,
+    /// LSTM peephole connections (ignored for GRU).
+    pub peephole: bool,
+    /// LSTM recurrent projection dimension (ignored for GRU).
+    pub projection: Option<usize>,
+    /// Cell-input activation (Eqn. 1c).
+    pub cell_activation: Act,
+}
+
+impl ModelSpec {
+    /// A spec with the [`NetworkBuilder`] defaults: one 128-wide layer,
+    /// no peepholes, no projection, tanh cell input.
+    pub fn new(cell: CellType, input_dim: usize, classes: usize) -> Self {
+        ModelSpec {
+            cell,
+            input_dim,
+            classes,
+            layer_dims: vec![128],
+            peephole: false,
+            projection: None,
+            cell_activation: Act::Tanh,
+        }
+    }
+
+    /// Replaces the stacked layer dimensions.
+    pub fn layer_dims(mut self, dims: &[usize]) -> Self {
+        self.layer_dims = dims.to_vec();
+        self
+    }
+
+    /// Enables LSTM peephole connections.
+    pub fn peephole(mut self, on: bool) -> Self {
+        self.peephole = on;
+        self
+    }
+
+    /// Enables an LSTM recurrent projection of the given dimension.
+    pub fn projection(mut self, dim: usize) -> Self {
+        self.projection = Some(dim);
+        self
+    }
+
+    /// Sets the cell-input activation.
+    pub fn cell_activation(mut self, act: Act) -> Self {
+        self.cell_activation = act;
+        self
+    }
+
+    /// Checks the spec is instantiable (non-empty layer stack, non-zero
+    /// dimensions). Returns a human-readable reason on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_dim == 0 {
+            return Err("input dimension must be non-zero".into());
+        }
+        if self.classes == 0 {
+            return Err("class count must be non-zero".into());
+        }
+        if self.layer_dims.is_empty() {
+            return Err("need at least one layer".into());
+        }
+        if let Some(&bad) = self.layer_dims.iter().find(|&&d| d == 0) {
+            return Err(format!("layer dimension must be non-zero, got {bad}"));
+        }
+        if self.projection == Some(0) {
+            return Err("projection dimension must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// The [`NetworkBuilder`] configured exactly as this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`Self::validate`]).
+    pub fn builder(&self) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new(self.cell, self.input_dim, self.classes)
+            .layer_dims(&self.layer_dims)
+            .peephole(self.peephole)
+            .cell_activation(self.cell_activation);
+        if let Some(p) = self.projection {
+            b = b.projection(p);
+        }
+        b
+    }
+
+    /// The output dimension of stacked layer `i` under this spec
+    /// (projection-aware for LSTM).
+    fn layer_output_dim(&self, i: usize) -> usize {
+        let h = self.layer_dims[i];
+        match (self.cell, self.projection) {
+            (CellType::Lstm, Some(p)) => p.min(h),
+            _ => h,
+        }
+    }
+
+    /// Checks that `net` has exactly the shape this spec describes —
+    /// cell types, dimensions, peepholes, projection, classifier shape.
+    /// Returns a human-readable mismatch description on failure.
+    pub fn matches<M: MatVec>(&self, net: &RnnNetwork<M>) -> Result<(), String> {
+        self.validate()?;
+        if net.num_layers() != self.layer_dims.len() {
+            return Err(format!(
+                "layer count mismatch: spec {} vs network {}",
+                self.layer_dims.len(),
+                net.num_layers()
+            ));
+        }
+        if net.input_dim() != self.input_dim {
+            return Err(format!(
+                "input dim mismatch: spec {} vs network {}",
+                self.input_dim,
+                net.input_dim()
+            ));
+        }
+        if net.num_classes() != self.classes {
+            return Err(format!(
+                "class count mismatch: spec {} vs network {}",
+                self.classes,
+                net.num_classes()
+            ));
+        }
+        for (i, layer) in net.layers().iter().enumerate() {
+            // Inter-layer chaining: layer i must consume exactly what the
+            // previous layer (or the input) produces. Individually
+            // well-shaped layers can still disagree here, and a chained
+            // mismatch only surfaces as a matvec panic at inference time.
+            let expect_in = if i == 0 {
+                self.input_dim
+            } else {
+                self.layer_output_dim(i - 1)
+            };
+            if layer.input_dim() != expect_in {
+                return Err(format!(
+                    "layer {i} input dim mismatch: expected {expect_in} from the previous \
+                     layer, network has {}",
+                    layer.input_dim()
+                ));
+            }
+            match (self.cell, layer) {
+                (CellType::Lstm, RnnLayer::Lstm(l)) => {
+                    let cfg = l.config();
+                    if cfg.hidden_dim != self.layer_dims[i] {
+                        return Err(format!(
+                            "layer {i} hidden dim mismatch: spec {} vs network {}",
+                            self.layer_dims[i], cfg.hidden_dim
+                        ));
+                    }
+                    if cfg.output_dim != self.layer_output_dim(i) {
+                        return Err(format!(
+                            "layer {i} output dim mismatch: spec {} vs network {}",
+                            self.layer_output_dim(i),
+                            cfg.output_dim
+                        ));
+                    }
+                    if cfg.peephole != self.peephole {
+                        return Err(format!("layer {i} peephole presence mismatch"));
+                    }
+                    if cfg.cell_activation != self.cell_activation {
+                        return Err(format!("layer {i} cell activation mismatch"));
+                    }
+                }
+                (CellType::Gru, RnnLayer::Gru(g)) => {
+                    if g.hidden_dim() != self.layer_dims[i] {
+                        return Err(format!(
+                            "layer {i} hidden dim mismatch: spec {} vs network {}",
+                            self.layer_dims[i],
+                            g.hidden_dim()
+                        ));
+                    }
+                }
+                _ => return Err(format!("layer {i} cell type mismatch")),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_round_trips_the_spec() {
+        for cell in [CellType::Lstm, CellType::Gru] {
+            let spec = ModelSpec::new(cell, 6, 4)
+                .layer_dims(&[8, 8])
+                .peephole(true);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+            let net = spec.builder().build(&mut rng);
+            assert_eq!(spec.matches(&net), Ok(()), "{cell}");
+        }
+    }
+
+    #[test]
+    fn builder_matches_hand_rolled_construction_bit_for_bit() {
+        // The spec path must be a pure re-packaging of NetworkBuilder:
+        // identical RNG stream, identical weights.
+        let spec = ModelSpec::new(CellType::Gru, 5, 3).layer_dims(&[8]);
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let via_spec = spec.builder().build(&mut a);
+        let by_hand = NetworkBuilder::new(CellType::Gru, 5, 3)
+            .layer_dims(&[8])
+            .build(&mut b);
+        assert_eq!(via_spec, by_hand);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_shapes() {
+        assert!(ModelSpec::new(CellType::Gru, 0, 4).validate().is_err());
+        assert!(ModelSpec::new(CellType::Gru, 4, 0).validate().is_err());
+        assert!(ModelSpec::new(CellType::Gru, 4, 4)
+            .layer_dims(&[])
+            .validate()
+            .is_err());
+        assert!(ModelSpec::new(CellType::Gru, 4, 4)
+            .layer_dims(&[8, 0])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn matches_rejects_shape_drift() {
+        let spec = ModelSpec::new(CellType::Gru, 6, 4).layer_dims(&[8]);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let net = spec.builder().build(&mut rng);
+        assert!(spec.matches(&net).is_ok());
+        let wrong_dims = spec.clone().layer_dims(&[16]);
+        assert!(wrong_dims.matches(&net).is_err());
+        let wrong_cell = ModelSpec::new(CellType::Lstm, 6, 4).layer_dims(&[8]);
+        assert!(wrong_cell.matches(&net).is_err());
+    }
+
+    #[test]
+    fn matches_rejects_broken_inter_layer_chaining() {
+        use crate::{GruLayer, Matrix, RnnLayer};
+        // Two GRU layers, each internally consistent, but layer 1 reads a
+        // 12-wide input while layer 0 outputs 8 — only the chaining check
+        // can catch this before an inference-time matvec panic.
+        let gru = |in_dim: usize, h: usize| {
+            GruLayer::from_parts(
+                in_dim,
+                h,
+                Act::Tanh,
+                Matrix::zeros(2 * h, in_dim),
+                Matrix::zeros(2 * h, h),
+                vec![0.0; 2 * h],
+                Matrix::zeros(h, in_dim),
+                Matrix::zeros(h, h),
+                vec![0.0; h],
+            )
+        };
+        let net = RnnNetwork::from_parts(
+            vec![RnnLayer::Gru(gru(6, 8)), RnnLayer::Gru(gru(12, 16))],
+            Matrix::zeros(5, 16),
+            vec![0.0; 5],
+        );
+        let spec = ModelSpec::new(CellType::Gru, 6, 5).layer_dims(&[8, 16]);
+        let err = spec.matches(&net).unwrap_err();
+        assert!(err.contains("layer 1 input dim"), "{err}");
+    }
+
+    #[test]
+    fn projection_aware_output_dims() {
+        let spec = ModelSpec::new(CellType::Lstm, 6, 4)
+            .layer_dims(&[16, 16])
+            .projection(8);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let net = spec.builder().build(&mut rng);
+        assert_eq!(spec.matches(&net), Ok(()));
+    }
+}

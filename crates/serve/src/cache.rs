@@ -12,6 +12,7 @@
 //! the counts must not move between requests.
 
 use ernn_fft::stats::{self, FftStats};
+use ernn_fpga::artifact::ModelArtifact;
 use ernn_fpga::exec::{DatapathConfig, ExecScratch, QuantizedNetwork};
 use ernn_fpga::{Accelerator, Device, HwCell, RnnSpec, StageCycles};
 use ernn_linalg::WeightMatrix;
@@ -76,7 +77,42 @@ impl CompiledModel {
     ) -> Self {
         let before = stats::snapshot();
         let qnet = QuantizedNetwork::new(net, datapath);
-        let spec = derive_spec(qnet.network(), datapath.weight_bits);
+        Self::finish_load(qnet, datapath.weight_bits, device, before)
+    }
+
+    /// Wraps an **already quantized** functional model for serving —
+    /// the artifact-loading path: no quantization pass runs and no
+    /// weight spectra are recomputed beyond what constructing `qnet`
+    /// already did. The accelerator timing model is derived exactly as
+    /// [`Self::compile`] derives it, so a model loaded from a
+    /// [`ModelArtifact`] reports the same [`StageCycles`] as its
+    /// in-process twin.
+    pub fn from_quantized(qnet: QuantizedNetwork, weight_bits: u8, device: Device) -> Self {
+        let before = stats::snapshot();
+        Self::finish_load(qnet, weight_bits, device, before)
+    }
+
+    /// Loads a deserialized [`ModelArtifact`] into serving form. The
+    /// artifact's weights are already quantized; reconstructing their
+    /// block-circulant matrices (done while decoding the artifact) was
+    /// the load event of the FFT'd-weight cache, so this adds **zero**
+    /// spectrum refreshes — `tests/pipeline_artifact.rs` and the
+    /// `pipeline_smoke` bench pin that down.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Self {
+        Self::from_quantized(
+            artifact.to_quantized(),
+            artifact.datapath.weight_bits,
+            artifact.device,
+        )
+    }
+
+    fn finish_load(
+        qnet: QuantizedNetwork,
+        weight_bits: u8,
+        device: Device,
+        before: FftStats,
+    ) -> Self {
+        let spec = derive_spec(qnet.network(), weight_bits);
         let accel = Accelerator::new(spec, device);
         let stages = accel.stage_cycles();
         let (circulant_matrices, cached_spectra) =

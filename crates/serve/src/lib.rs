@@ -2,7 +2,7 @@
 //! models.
 //!
 //! The rest of the workspace reproduces the paper's compress-then-map
-//! flow: ADMM training ([`ernn_admm`]), block-circulant kernels
+//! flow: ADMM training (`ernn_admm`), block-circulant kernels
 //! ([`ernn_linalg`]/[`ernn_fft`]), and the CGPipe accelerator model
 //! ([`ernn_fpga`]). This crate adds the *serving* layer on top — the part
 //! a production deployment needs to turn one accelerator's µs-scale frame
@@ -81,6 +81,7 @@ pub mod sched;
 pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
 pub use cache::{CompiledModel, LoadStats};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
+pub use ernn_fpga::artifact::{ModelArtifact, PipelineError};
 pub use ernn_fpga::exec::ExecScratch;
 pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, ThreadPoolExecutor,

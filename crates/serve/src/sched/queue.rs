@@ -16,6 +16,7 @@
 
 use super::registry::ModelId;
 use crate::request::Request;
+use std::collections::BTreeMap;
 
 /// How the queue orders requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,25 +79,53 @@ impl PaddingModel {
     }
 }
 
-/// One queued request with its precomputed ordering key and the
-/// admission-time service estimate backing the backlog predictor.
+/// One queued request with the admission-time service estimate backing
+/// the backlog predictor.
 #[derive(Debug)]
 struct Queued {
-    /// EDF: deadline (∞ if none). FIFO: arrival time.
-    key: f64,
-    /// Admission order, breaking key ties deterministically.
-    seq: u64,
     /// Best-device solo service estimate (µs), summed into
     /// [`SchedQueue::backlog_us`].
     est_solo_us: f64,
     request: Request,
 }
 
-/// The scheduler's central queue, kept sorted by `(key, seq)`.
+/// Maps an `f64` ordering key onto `u64` such that unsigned comparison
+/// agrees with [`f64::total_cmp`] — the standard order-preserving bit
+/// trick, so the B-tree can index float keys without a wrapper type.
+#[inline]
+fn key_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The scheduler's central queue, ordered by `(key, seq)` where the key
+/// is the deadline (EDF) or arrival time (FIFO).
+///
+/// Indexed for deep backlogs (the ROADMAP's overload item): the order is
+/// a B-tree keyed on the order-preserving bits of the `f64` key plus the
+/// admission sequence, so [`Self::push`] and per-item removal are
+/// O(log n); per-model counts and an arrival multiset are maintained
+/// incrementally, so [`Self::count_model`] and
+/// [`Self::oldest_arrival_us`] are O(1) lookups instead of O(n) scans —
+/// the pieces that made an event-loop pass O(n²) under a deep backlog.
+/// Batch formation semantics are unchanged from the scan implementation
+/// (the deep-backlog regression test below proves formation-sequence
+/// equality against a reference scan).
 #[derive(Debug)]
 pub struct SchedQueue {
     discipline: QueueDiscipline,
-    items: Vec<Queued>,
+    /// `(key_bits, seq) → request`; iteration order is exactly the old
+    /// sorted-vec order because `(key, seq)` is unique per entry.
+    items: BTreeMap<(u64, u64), Queued>,
+    /// Queued request count per model id (dense, grown on demand).
+    model_counts: Vec<usize>,
+    /// Multiset of queued arrival times: `arrival key bits →
+    /// (representative arrival, count)`.
+    arrivals: BTreeMap<u64, (f64, usize)>,
     backlog_us: f64,
 }
 
@@ -105,7 +134,9 @@ impl SchedQueue {
     pub fn new(discipline: QueueDiscipline) -> Self {
         SchedQueue {
             discipline,
-            items: Vec::new(),
+            items: BTreeMap::new(),
+            model_counts: Vec::new(),
+            arrivals: BTreeMap::new(),
             backlog_us: 0.0,
         }
     }
@@ -133,46 +164,63 @@ impl SchedQueue {
 
     /// Enqueues an admitted request. `seq` must be unique and increasing
     /// (admission order); `est_solo_us` is the request's best-device solo
-    /// service estimate.
+    /// service estimate. O(log n).
     pub fn push(&mut self, request: Request, seq: u64, est_solo_us: f64) {
         let key = match self.discipline {
             QueueDiscipline::Fifo => request.arrival_us,
             QueueDiscipline::Edf => request.deadline_us.unwrap_or(f64::INFINITY),
         };
-        let entry = Queued {
-            key,
-            seq,
-            est_solo_us,
-            request,
-        };
-        let pos = self
-            .items
-            .partition_point(|q| (q.key, q.seq) <= (entry.key, entry.seq));
-        self.items.insert(pos, entry);
+        if request.model >= self.model_counts.len() {
+            self.model_counts.resize(request.model + 1, 0);
+        }
+        self.model_counts[request.model] += 1;
+        self.arrivals
+            .entry(key_bits(request.arrival_us))
+            .or_insert((request.arrival_us, 0))
+            .1 += 1;
+        self.items.insert(
+            (key_bits(key), seq),
+            Queued {
+                est_solo_us,
+                request,
+            },
+        );
         self.backlog_us += est_solo_us;
     }
 
     /// The most urgent queued request (the next batch's model anchor).
     pub fn head(&self) -> Option<&Request> {
-        self.items.first().map(|q| &q.request)
+        self.items.values().next().map(|q| &q.request)
     }
 
     /// Earliest arrival among queued requests (µs) — the max-wait flush
     /// clock is anchored to the longest-waiting request regardless of
-    /// discipline.
+    /// discipline. O(1) via the incrementally maintained arrival
+    /// multiset.
     pub fn oldest_arrival_us(&self) -> Option<f64> {
-        self.items
-            .iter()
-            .map(|q| q.request.arrival_us)
-            .min_by(f64::total_cmp)
+        self.arrivals.values().next().map(|&(arrival, _)| arrival)
     }
 
-    /// Number of queued requests targeting `model`.
+    /// Number of queued requests targeting `model`. O(1) via the
+    /// incrementally maintained per-model counts.
     pub fn count_model(&self, model: ModelId) -> usize {
-        self.items
-            .iter()
-            .filter(|q| q.request.model == model)
-            .count()
+        self.model_counts.get(model).copied().unwrap_or(0)
+    }
+
+    /// Removes one entry's bookkeeping (model count, arrival multiset,
+    /// backlog estimate).
+    fn forget(&mut self, q: &Queued) {
+        self.model_counts[q.request.model] -= 1;
+        let bits = key_bits(q.request.arrival_us);
+        let slot = self
+            .arrivals
+            .get_mut(&bits)
+            .expect("queued arrival is in the multiset");
+        slot.1 -= 1;
+        if slot.1 == 0 {
+            self.arrivals.remove(&bits);
+        }
+        self.backlog_us -= q.est_solo_us;
     }
 
     /// Forms the next batch for `model`: up to `max_batch` requests in
@@ -185,9 +233,9 @@ impl SchedQueue {
         max_batch: usize,
         padding: &PaddingModel,
     ) -> Vec<Request> {
-        let mut take = Vec::new();
+        let mut take: Vec<(u64, u64)> = Vec::new();
         let (mut max_len, mut sum_len) = (0u64, 0u64);
-        for (i, q) in self.items.iter().enumerate() {
+        for (&key, q) in self.items.iter() {
             if q.request.model != model {
                 continue;
             }
@@ -197,19 +245,17 @@ impl SchedQueue {
             }
             max_len = max_len.max(len);
             sum_len += len;
-            take.push(i);
+            take.push(key);
             if take.len() >= max_batch {
                 break;
             }
         }
         let mut batch = Vec::with_capacity(take.len());
-        // Remove back-to-front so earlier indices stay valid.
-        for &i in take.iter().rev() {
-            let q = self.items.remove(i);
-            self.backlog_us -= q.est_solo_us;
+        for key in take {
+            let q = self.items.remove(&key).expect("key was just observed");
+            self.forget(&q);
             batch.push(q.request);
         }
-        batch.reverse();
         // Rounding drift from the running sum cannot go negative.
         if self.items.is_empty() {
             self.backlog_us = 0.0;
@@ -303,6 +349,144 @@ mod tests {
             .map(|r| r.id)
             .collect();
         assert_eq!(ids, vec![10, 11, 12, 13]);
+    }
+
+    /// The pre-index implementation, verbatim: a `(key, seq)`-sorted vec
+    /// with O(n) scans — the reference the indexed queue must match
+    /// batch for batch.
+    struct ScanQueue {
+        discipline: QueueDiscipline,
+        items: Vec<(f64, u64, Request)>,
+    }
+
+    impl ScanQueue {
+        fn new(discipline: QueueDiscipline) -> Self {
+            ScanQueue {
+                discipline,
+                items: Vec::new(),
+            }
+        }
+
+        fn push(&mut self, request: Request, seq: u64) {
+            let key = match self.discipline {
+                QueueDiscipline::Fifo => request.arrival_us,
+                QueueDiscipline::Edf => request.deadline_us.unwrap_or(f64::INFINITY),
+            };
+            let pos = self
+                .items
+                .partition_point(|(k, s, _)| (*k, *s) <= (key, seq));
+            self.items.insert(pos, (key, seq, request));
+        }
+
+        fn oldest_arrival_us(&self) -> Option<f64> {
+            self.items
+                .iter()
+                .map(|(_, _, r)| r.arrival_us)
+                .min_by(f64::total_cmp)
+        }
+
+        fn count_model(&self, model: usize) -> usize {
+            self.items
+                .iter()
+                .filter(|(_, _, r)| r.model == model)
+                .count()
+        }
+
+        fn take_batch(
+            &mut self,
+            model: usize,
+            max_batch: usize,
+            padding: &PaddingModel,
+        ) -> Vec<Request> {
+            let mut take = Vec::new();
+            let (mut max_len, mut sum_len) = (0u64, 0u64);
+            for (i, (_, _, r)) in self.items.iter().enumerate() {
+                if r.model != model {
+                    continue;
+                }
+                let len = r.num_frames() as u64;
+                if !padding.accepts(take.len(), max_len, sum_len, len) {
+                    break;
+                }
+                max_len = max_len.max(len);
+                sum_len += len;
+                take.push(i);
+                if take.len() >= max_batch {
+                    break;
+                }
+            }
+            let mut batch = Vec::with_capacity(take.len());
+            for &i in take.iter().rev() {
+                batch.push(self.items.remove(i).2);
+            }
+            batch.reverse();
+            batch
+        }
+    }
+
+    #[test]
+    fn deep_backlog_formation_matches_the_scan_implementation() {
+        // A deep overload backlog (thousands queued, duplicate deadlines,
+        // deadline-free stragglers, several models) drained by interleaved
+        // pushes and take_batch calls: the indexed queue must form exactly
+        // the batches the O(n²) scan implementation formed, in the same
+        // order, for both disciplines.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rand = move || {
+            // SplitMix64 — deterministic, no external dependency.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for discipline in [QueueDiscipline::Edf, QueueDiscipline::Fifo] {
+            let mut indexed = SchedQueue::new(discipline);
+            let mut scan = ScanQueue::new(discipline);
+            let padding = PaddingModel::new(0.5);
+            let mut seq = 0u64;
+            // Phase 1: build a deep backlog.
+            for _ in 0..4_000 {
+                let model = (rand() % 3) as usize;
+                let frames = 1 + (rand() % 50) as usize;
+                // Coarse buckets force duplicate keys and arrivals so the
+                // (key, seq) tie-break is exercised heavily.
+                let arrival = (rand() % 400) as f64 * 5.0;
+                let deadline = match rand() % 4 {
+                    0 => None,
+                    _ => Some(arrival + (rand() % 200) as f64 * 10.0),
+                };
+                let r = req(seq, model, frames, arrival, deadline);
+                indexed.push(r.clone(), seq, 1.0);
+                scan.push(r, seq);
+                seq += 1;
+            }
+            // Phase 2: drain with interleaved pushes, checking every
+            // observable along the way.
+            while !scan.items.is_empty() {
+                let model = (rand() % 3) as usize;
+                assert_eq!(indexed.count_model(model), scan.count_model(model));
+                assert_eq!(indexed.oldest_arrival_us(), scan.oldest_arrival_us());
+                let max_batch = 1 + (rand() % 16) as usize;
+                let a = indexed.take_batch(model, max_batch, &padding);
+                let b = scan.take_batch(model, max_batch, &padding);
+                assert_eq!(
+                    a.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    b.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    "{discipline:?} batch diverged at {} remaining",
+                    scan.items.len()
+                );
+                if rand() % 3 == 0 {
+                    let r = req(seq, (rand() % 3) as usize, 4, (rand() % 100) as f64, None);
+                    indexed.push(r.clone(), seq, 1.0);
+                    scan.push(r, seq);
+                    seq += 1;
+                }
+            }
+            assert!(indexed.is_empty());
+            assert_eq!(indexed.backlog_us(), 0.0);
+            assert_eq!(indexed.oldest_arrival_us(), None);
+        }
     }
 
     #[test]

@@ -50,6 +50,23 @@ impl ModelRegistry {
         self.register_shared(name, Arc::new(model))
     }
 
+    /// Registers a model loaded from a serialized
+    /// [`ModelArtifact`](ernn_fpga::artifact::ModelArtifact) — the
+    /// deployment path: no recompression, no requantization, and **zero
+    /// additional spectrum refreshes**. Decoding the artifact already
+    /// computed every weight spectrum once (that construction *was* the
+    /// load into the serving tier), so unlike [`Self::register`] this
+    /// does not refresh again; each matrix's
+    /// [`spectrum_refresh_count`](ernn_linalg::BlockCirculantMatrix::spectrum_refresh_count)
+    /// stays exactly where artifact decoding left it.
+    pub fn register_artifact(
+        &mut self,
+        name: impl Into<String>,
+        artifact: &ernn_fpga::artifact::ModelArtifact,
+    ) -> ModelId {
+        self.register_shared(name, Arc::new(CompiledModel::from_artifact(artifact)))
+    }
+
     /// Registers an already-shared model without touching its spectra
     /// (the caller warmed it — e.g. one compile shared across sweeps).
     pub fn register_shared(
@@ -136,6 +153,47 @@ mod tests {
             assert_eq!(*x, y + 1);
         }
         assert_eq!(reg.models().len(), 2);
+    }
+
+    #[test]
+    fn register_artifact_adds_zero_spectrum_refreshes() {
+        use ernn_fpga::artifact::{ModelArtifact, Provenance};
+        use ernn_model::ModelSpec;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let spec = ModelSpec::new(CellType::Gru, 8, 5).layer_dims(&[16]);
+        let dense = spec.builder().build(&mut rng);
+        let policy = BlockPolicy::uniform(4);
+        let net = compress_network(&dense, policy);
+        let datapath = DatapathConfig::paper_12bit();
+        let compiled = CompiledModel::compile(&net, &datapath, XCKU060);
+        let artifact = ModelArtifact::from_quantized(
+            spec,
+            policy,
+            datapath,
+            XCKU060,
+            compiled.quantized(),
+            Provenance::default(),
+        )
+        .expect("valid artifact");
+        let bytes = artifact.save_bytes();
+
+        // Decoding is the load: every spectrum is computed exactly once.
+        let loaded = ModelArtifact::load_bytes(&bytes).expect("decodes");
+        let model = CompiledModel::from_artifact(&loaded);
+        let at_load = model.weight_spectrum_refreshes();
+        assert!(at_load.iter().all(|&c| c == 1), "{at_load:?}");
+
+        // Registration adds zero further refreshes — unlike `register`,
+        // which refreshes once for models that skipped the artifact path.
+        let mut reg = ModelRegistry::new();
+        let id = reg.register_artifact("from-bytes", &loaded);
+        assert_eq!(reg.model(id).weight_spectrum_refreshes(), at_load);
+
+        // And the loaded model is functionally the compiled one, bit for
+        // bit.
+        let frames = vec![vec![0.2f32; 8]; 5];
+        assert_eq!(reg.model(id).infer(&frames), compiled.infer(&frames));
+        assert_eq!(reg.model(id).stage_cycles(), compiled.stage_cycles());
     }
 
     #[test]

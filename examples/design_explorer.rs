@@ -7,7 +7,7 @@
 //! (add `--full` for the experiment-scale configuration)
 
 use ernn::core::explore::{block_size_bounds, Fig8Curve};
-use ernn::core::flow::{run_flow, FlowConfig};
+use ernn::core::flow::{run_flow_to_artifact, FlowConfig};
 use ernn::fpga::XCKU060;
 
 fn main() {
@@ -22,13 +22,14 @@ fn main() {
     println!("{}", Fig8Curve::paper(1024).render());
 
     // The full flow: Phase I (real ADMM training trials on the synthetic
-    // corpus) + Phase II (quantization scan + hardware report).
+    // corpus) + Phase II (quantization scan + hardware report), carried
+    // through the lifecycle pipeline into a deployable artifact.
     let config = if full {
         FlowConfig::standard(11)
     } else {
         FlowConfig::quick(11)
     };
-    let report = run_flow(config);
+    let (report, built) = run_flow_to_artifact(config).expect("flow pipelines");
     println!("{}", report.render());
     println!("Phase-I trials:");
     for (i, t) in report.phase1.trials.iter().enumerate() {
@@ -46,4 +47,23 @@ fn main() {
     for (bits, per) in &report.phase2.quant_trials {
         println!("  {bits:>2}-bit fixed point -> PER {per:.2}%");
     }
+
+    // The flow's output is no longer just a report: the winning trained
+    // model left as a versioned, loadable artifact.
+    let bytes = built.save_bytes();
+    println!(
+        "deployable artifact: {} bytes ({} {:?} on {}, provenance: {} Phase-I trials, \
+         {} quantization trials)",
+        bytes.len(),
+        built.artifact().spec.cell,
+        built.artifact().spec.layer_dims,
+        built.artifact().device.name,
+        built
+            .artifact()
+            .provenance
+            .phase1
+            .as_ref()
+            .map_or(0, |p| p.trials.len()),
+        built.artifact().provenance.quant_trials.len(),
+    );
 }

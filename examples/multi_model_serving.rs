@@ -12,31 +12,49 @@
 //! 3. the same plus admission control (predicted-late requests get an
 //!    immediate deadline-miss response instead of poisoning the queue).
 //!
+//! Both tenants are built through the `ernn::pipeline` lifecycle and
+//! deployed as serialized `ModelArtifact` bytes — the registry loads
+//! them with `register_artifact`, i.e. without retraining, recompressing
+//! or refreshing weight spectra beyond the decode itself.
+//!
 //! Run with: `cargo run --release --example multi_model_serving`
 
-use ernn::fpga::exec::DatapathConfig;
 use ernn::fpga::{ADM_PCIE_7V3, XCKU060};
-use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn::model::{CellType, ModelSpec};
+use ernn::pipeline::Pipeline;
 use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn::serve::sched::{AdmissionPolicy, ModelRegistry, SchedPolicy, SchedRuntime};
-use ernn::serve::{CompiledModel, Request};
+use ernn::serve::{ModelArtifact, Request};
 use rand::SeedableRng;
 
 const DIM: usize = 52;
 
-fn compile(seed: u64, hidden: usize) -> CompiledModel {
+/// Builds a tenant model through the lifecycle pipeline (the paper
+/// preset: block 8, 12-bit datapath, XCKU060) and serializes it — the
+/// production shape, where models are built once and deployed as bytes.
+fn build_artifact(seed: u64, hidden: usize) -> Vec<u8> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let dense = NetworkBuilder::new(CellType::Gru, DIM, 40)
-        .layer_dims(&[hidden])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
-    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+    Pipeline::paper(ModelSpec::new(CellType::Gru, DIM, 40).layer_dims(&[hidden]))
+        .expect("valid spec")
+        .source("examples/multi_model_serving")
+        .init(&mut rng)
+        .project()
+        .expect("paper block policy")
+        .quantize()
+        .expect("paper datapath")
+        .compile()
+        .expect("paper platform")
+        .save_bytes()
 }
 
-fn registry() -> ModelRegistry {
+/// Loads the serialized tenants into a registry — no retraining, no
+/// recompression, zero extra weight-spectrum refreshes.
+fn registry(tenants: &[(&str, &[u8])]) -> ModelRegistry {
     let mut reg = ModelRegistry::new();
-    reg.register("interactive-gru64", compile(3, 64));
-    reg.register("batch-gru256", compile(4, 256));
+    for (name, bytes) in tenants {
+        let artifact = ModelArtifact::load_bytes(bytes).expect("artifact decodes");
+        reg.register_artifact(*name, &artifact);
+    }
     reg
 }
 
@@ -61,12 +79,20 @@ fn mixed_load(n: usize) -> Vec<Request> {
 }
 
 fn main() {
-    let reg = registry();
+    let interactive = build_artifact(3, 64);
+    let batch = build_artifact(4, 256);
+    let tenants: Vec<(&str, &[u8])> = vec![
+        ("interactive-gru64", &interactive),
+        ("batch-gru256", &batch),
+    ];
+    let reg = registry(&tenants);
     println!(
-        "registry: {} ({} KiB) + {} ({} KiB)",
+        "registry: {} ({} KiB artifact, {} KiB on-chip) + {} ({} KiB artifact, {} KiB on-chip)",
         reg.name(0),
+        interactive.len() / 1024,
         reg.weight_bytes(0) / 1024,
         reg.name(1),
+        batch.len() / 1024,
         reg.weight_bytes(1) / 1024,
     );
     // Weight budget per device: one image at a time — residency matters.
@@ -92,7 +118,7 @@ fn main() {
     ];
 
     for (label, policy) in configs {
-        let runtime = SchedRuntime::new(registry(), platforms.clone(), policy);
+        let runtime = SchedRuntime::new(registry(&tenants), platforms.clone(), policy);
         let report = runtime.run(mixed_load(400));
         println!("\n=== {label} ===");
         println!("{}", report.metrics);

@@ -1,17 +1,19 @@
-//! Quickstart: train a dense LSTM acoustic model on the synthetic speech
-//! corpus, compress it into block-circulant form with ADMM, and compare
-//! accuracy and model size before/after — the core E-RNN story in ~60
-//! lines.
+//! Quickstart: the model lifecycle as one typed pipeline — train a dense
+//! LSTM acoustic model on the synthetic speech corpus, compress it into
+//! block-circulant form with ADMM, quantize it for the paper's 12-bit
+//! datapath, and compile it into a deployable, byte-serializable
+//! `ModelArtifact` — the core E-RNN story in ~60 lines.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ernn::admm::{AdmmConfig, AdmmTrainer};
+use ernn::admm::AdmmConfig;
 use ernn::asr::{evaluate_per, SynthCorpus, SynthCorpusConfig};
-use ernn::model::trainer::{train, TrainOptions};
-use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder, Sgd};
+use ernn::model::{CellType, ModelSpec};
+use ernn::pipeline::{CompressSettings, Pipeline, PipelineError, TrainSettings};
+use ernn::serve::{CompiledModel, ModelArtifact};
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), PipelineError> {
     // 1. A reproducible synthetic speech corpus (the TIMIT stand-in).
     let corpus = SynthCorpus::generate(&SynthCorpusConfig::standard(42));
     println!(
@@ -20,61 +22,65 @@ fn main() {
         corpus.test.len(),
         corpus.num_classes()
     );
-
-    // 2. Dense pre-training (the paper's Fig. 6 starts from a pretrained
-    //    model).
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    let mut net = NetworkBuilder::new(CellType::Lstm, corpus.feature_dim, corpus.num_classes())
-        .layer_dims(&[64, 64])
-        .peephole(true)
-        .build(&mut rng);
     let data = corpus.train_sequences();
-    let mut opt = Sgd::new(0.08).momentum(0.9).clip_norm(2.0);
-    train(
-        &mut net,
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+
+    // 2. The lifecycle pipeline under the paper's deployment defaults
+    //    (block 8, 12-bit datapath, XCKU060): dense pre-training, then
+    //    the full ADMM recipe of Fig. 6 (ADMM iterations, projection,
+    //    constrained retraining).
+    let spec = ModelSpec::new(CellType::Lstm, corpus.feature_dim, corpus.num_classes())
+        .layer_dims(&[64, 64])
+        .peephole(true);
+    let trained = Pipeline::paper(spec)?.source("examples/quickstart").train(
         &data,
-        TrainOptions {
+        TrainSettings {
             epochs: 16,
-            lr_decay: 0.92,
-            shuffle: true,
+            ..TrainSettings::default()
         },
-        &mut opt,
         &mut rng,
-    );
-    let dense_per = evaluate_per(&net, &corpus.test);
-    println!(
-        "dense LSTM: {} params, test PER {dense_per:.2}%",
-        net.param_count()
-    );
+    )?;
+    let dense_per = evaluate_per(trained.network(), &corpus.test);
+    let dense_params = trained.network().param_count();
+    println!("dense LSTM: {dense_params} params, test PER {dense_per:.2}%");
 
-    // 3. ADMM training onto the block-circulant manifold (block size 8).
-    let policy = BlockPolicy::uniform(8);
-    let cfg = AdmmConfig::default();
-    let mut trainer = AdmmTrainer::new(&net, policy, cfg);
-    let mut admm_opt = Sgd::new(0.02).momentum(0.9).clip_norm(2.0);
-    let report = trainer.run(&mut net, &data, &mut admm_opt, &mut rng);
-    trainer.finalize(&mut net);
-    let mut retrain_opt = Sgd::new(0.015).momentum(0.9).clip_norm(2.0);
-    trainer.retrain_constrained(
-        &mut net,
+    let compressed = trained.compress(
         &data,
-        cfg.retrain_epochs,
-        &mut retrain_opt,
+        CompressSettings {
+            admm: AdmmConfig::default(),
+            lr: 0.02,
+        },
         &mut rng,
-    );
+    )?;
+    let compressed_per = evaluate_per(compressed.network(), &corpus.test);
+    let compressed_params = compressed.network().param_count();
     println!(
-        "ADMM: {} iterations, final residual {:.4}",
-        report.iterations.len(),
-        report.final_residual()
-    );
-
-    // 4. Lossless extraction into the compressed representation.
-    let compressed = compress_network(&net, policy);
-    let compressed_per = evaluate_per(&compressed, &corpus.test);
-    println!(
-        "block-circulant LSTM (L_b=8): {} params ({}x smaller), test PER {compressed_per:.2}% (Δ {:+.2})",
-        compressed.param_count(),
-        net.param_count() / compressed.param_count(),
+        "block-circulant LSTM (L_b=8): {compressed_params} params ({}x smaller), \
+         test PER {compressed_per:.2}% (Δ {:+.2})",
+        dense_params / compressed_params,
         compressed_per - dense_per
     );
+
+    // 3. Quantize + compile: the terminal stage is both a servable model
+    //    and a persistable artifact carrying its own provenance.
+    let built = compressed.quantize()?.compile()?;
+    let admm = built.artifact().provenance.admm.expect("ADMM ran");
+    println!(
+        "ADMM provenance: {} iterations, final residual {:.4} (converged: {})",
+        admm.iterations, admm.final_residual, admm.converged
+    );
+
+    // 4. Round-trip through bytes: the loaded model is bit-identical.
+    let bytes = built.save_bytes();
+    let loaded = CompiledModel::from_artifact(&ModelArtifact::load_bytes(&bytes)?);
+    let frames = &corpus.test[0].features;
+    assert_eq!(loaded.infer(frames), built.model().infer(frames));
+    assert_eq!(loaded.stage_cycles(), built.model().stage_cycles());
+    println!(
+        "artifact: {} bytes, loads back bit-identically ({} circulant matrices, II {} cycles)",
+        bytes.len(),
+        loaded.load_stats.circulant_matrices,
+        loaded.stage_cycles().ii()
+    );
+    Ok(())
 }

@@ -10,11 +10,10 @@
 
 use ernn::asr::{SynthCorpus, SynthCorpusConfig};
 use ernn::fft::stats;
-use ernn::fpga::exec::DatapathConfig;
-use ernn::fpga::XCKU060;
-use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn::model::{CellType, ModelSpec};
+use ernn::pipeline::Pipeline;
 use ernn::serve::loadgen::{open_loop_poisson, with_uniform_slo};
-use ernn::serve::{BatchPolicy, CompiledModel, ExecutorKind, ServeRuntime};
+use ernn::serve::{BatchPolicy, ExecutorKind, ServeRuntime};
 use rand::SeedableRng;
 
 fn main() {
@@ -29,15 +28,22 @@ fn main() {
         corpus.feature_dim
     );
 
+    // 2. Build through the lifecycle pipeline under the paper preset
+    //    (block 8, 12-bit datapath, XCKU060): compress, quantize,
+    //    compile — the FFT'd-weight cache is filled here, once.
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    let dense = NetworkBuilder::new(CellType::Gru, corpus.feature_dim, corpus.num_classes())
-        .layer_dims(&[64])
-        .build(&mut rng);
-    let net = compress_network(&dense, BlockPolicy::uniform(8));
-
-    // 2. Compile: quantize for the 12-bit datapath and fill the
-    //    FFT'd-weight cache (spectra are computed here, once).
-    let model = CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060);
+    let spec =
+        ModelSpec::new(CellType::Gru, corpus.feature_dim, corpus.num_classes()).layer_dims(&[64]);
+    let model = Pipeline::paper(spec)
+        .expect("valid spec")
+        .init(&mut rng)
+        .project()
+        .expect("paper block policy")
+        .quantize()
+        .expect("paper datapath")
+        .compile()
+        .expect("paper platform")
+        .into_model();
     println!(
         "compiled: {} circulant matrices, {} cached weight spectra, \
          {} weight FFTs at load",

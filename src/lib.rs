@@ -14,43 +14,89 @@
 //! * [`fft`] — FFT kernels, circular convolution, multiplication-cost model.
 //! * [`linalg`] — dense kernels and the block-circulant matrix type.
 //! * [`quant`] — fixed-point arithmetic and piecewise-linear activations.
-//! * [`model`] — LSTM/GRU cells, stacked networks, BPTT training.
+//! * [`model`] — LSTM/GRU cells, stacked networks, BPTT training, and the
+//!   declarative [`model::ModelSpec`].
 //! * [`admm`] — ADMM-based structured training (the paper's Sec. III-B).
 //! * [`asr`] — synthetic speech corpus, DSP front end, PER scoring.
 //! * [`baselines`] — ESE-style pruned LSTM and C-LSTM-style training.
-//! * [`fpga`] — device models, PE/CU designs, cycle simulator, power model.
+//! * [`fpga`] — device models, PE/CU designs, cycle simulator, power model,
+//!   and the versioned [`fpga::artifact::ModelArtifact`].
 //! * [`hls`] — operation graphs, scheduling and C-like code generation.
 //! * [`core`] — the Phase I / Phase II E-RNN framework itself.
+//! * [`pipeline`] — the typed model-lifecycle builder (see below).
 //! * [`serve`] — batched multi-accelerator inference serving: dynamic
-//!   request batching, a virtual device pool driven by the CGPipe cycle
-//!   simulation, an FFT'd-weight cache filled once per model load, and
-//!   latency/throughput/occupancy metrics under open- and closed-loop
-//!   traffic. Host inference runs on a zero-allocation, batch-fused
-//!   kernel stack: every FFT/matvec has an in-place `_into` form fed by
-//!   per-worker scratch buffers, and a dispatched batch streams the
-//!   cached weight spectra once per batch (see the `_into`/scratch
-//!   conventions in [`fft`] and [`linalg`], and `tests/kernel_alloc.rs`
-//!   for the counting-allocator proof).
+//!   batching, the SLO-aware multi-model scheduler, heterogeneous device
+//!   pools, and the zero-allocation batch-fused kernel stack.
 //!
-//! ## Quickstart
+//! ## Quickstart: spec → artifact → registry → serve
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour: train a dense LSTM
-//! on synthetic speech, compress it with ADMM into block-circulant form, and
-//! estimate the resulting FPGA implementation.
+//! The model lifecycle is one typed path ([`pipeline`]): declare a spec,
+//! give it weights (train, or adopt/initialize), compress, quantize,
+//! compile. The result is simultaneously a servable
+//! [`serve::CompiledModel`] and a versioned, byte-serializable
+//! [`fpga::artifact::ModelArtifact`] that the serving registry loads
+//! *without retraining or recompressing* — logits and stage cycles are
+//! bit-identical to the in-process build:
 //!
-//! ## Serving
+//! ```
+//! use ernn::model::{CellType, ModelSpec};
+//! use ernn::pipeline::Pipeline;
+//! use ernn::serve::sched::{ModelRegistry, SchedPolicy, SchedRuntime};
+//! use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances, with_uniform_slo};
+//! use ernn::serve::ModelArtifact;
+//! use rand::SeedableRng;
 //!
-//! See `examples/serving_demo.rs` for the serving path: load → compress →
-//! compile → serve a Poisson request stream across a device pool, with
-//! printed latency percentiles and per-device occupancy. The knobs are
-//! [`serve::BatchPolicy`] (max batch size / max wait) and the device
-//! count; `cargo run --release -p ernn-bench --bin serve_sweep` sweeps
-//! both and prints the resulting throughput/latency frontier.
+//! // 1. Specify and build under the paper's deployment defaults
+//! //    (block 8, 12-bit datapath, XCKU060). `init` skips training —
+//! //    random weights exercise the same lifecycle; use `.train(..)` /
+//! //    `.compress(..)` for the real Fig.-6 recipe.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let spec = ModelSpec::new(CellType::Gru, 8, 5).layer_dims(&[16]);
+//! let built = Pipeline::paper(spec)?
+//!     .init(&mut rng)
+//!     .project()?
+//!     .quantize()?
+//!     .compile()?;
+//!
+//! // 2. Persist: a deterministic, versioned byte image.
+//! let bytes = built.save_bytes();
+//!
+//! // 3. Deploy: decode and register — zero requantization, zero extra
+//! //    weight-spectrum refreshes.
+//! let artifact = ModelArtifact::load_bytes(&bytes)?;
+//! let mut registry = ModelRegistry::new();
+//! registry.register_artifact("gru-16", &artifact);
+//!
+//! // 4. Serve under the SLO-aware scheduler.
+//! let runtime = SchedRuntime::new(
+//!     registry,
+//!     vec![ernn::fpga::XCKU060],
+//!     SchedPolicy::edf_cost_model(4, 100.0),
+//! );
+//! let utts = synthetic_utterances(4, (3, 8), 8, 7);
+//! let report = runtime.run(with_uniform_slo(open_loop_poisson(&utts, 16, 50_000.0, 9), 5_000.0));
+//! assert_eq!(report.responses.len(), 16);
+//! # Ok::<(), ernn::pipeline::PipelineError>(())
+//! ```
+//!
+//! The design-optimization flow feeds the same pipeline:
+//! [`core::flow::run_flow_to_artifact`] runs Phase I/II and hands the
+//! winning trained model through
+//! [`core::Phase1Result::into_pipeline`] /
+//! [`core::Phase2Result::into_pipeline`], so the artifact carries the
+//! trial log, ADMM residual and quantization scan as provenance.
+//!
+//! `examples/quickstart.rs` walks the trained version of this path;
+//! `examples/multi_model_serving.rs` serves two artifact-built tenants
+//! under the scheduler. The pre-pipeline free-function entry points
+//! remain as thin deprecated wrappers (see ROADMAP for the removal
+//! horizon).
 
 pub use ernn_admm as admm;
 pub use ernn_asr as asr;
 pub use ernn_baselines as baselines;
 pub use ernn_core as core;
+pub use ernn_core::pipeline;
 pub use ernn_fft as fft;
 pub use ernn_fpga as fpga;
 pub use ernn_hls as hls;
