@@ -114,7 +114,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let doc = JsonObject::new()
-            .str("bench", "executor_scaling")
+            .bench_header("executor_scaling")
             .int("requests", num_requests as i64)
             .int(
                 "host_cores",

@@ -159,7 +159,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let doc = JsonObject::new()
-            .str("bench", "kernel_sweep")
+            .bench_header("kernel_sweep")
             .int("dim", dim as i64)
             .int("fft_forward_allocs", fwd_allocs as i64)
             .int("fft_into_allocs", into_allocs as i64)

@@ -157,7 +157,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let doc = JsonObject::new()
-            .str("bench", "pipeline_smoke")
+            .bench_header("pipeline_smoke")
             .int("artifact_bytes", bytes.len() as i64)
             .num("build_us", build_us)
             .num("load_us", load_us)

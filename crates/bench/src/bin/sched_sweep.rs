@@ -13,14 +13,18 @@
 //!
 //! * EDF + cost-model misses strictly fewer deadlines than FIFO +
 //!   earliest-free at the same load, and
-//! * virtual-time results (responses, metrics, scheduler stats) are
-//!   bit-identical across the `Inline` and `ThreadPool` executors.
+//! * virtual-time results (responses, metrics, scheduler stats, and the
+//!   flight-recorder trace — including its Chrome trace-event rendering,
+//!   byte for byte) are bit-identical across the `Inline` and
+//!   `ThreadPool` executors.
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin sched_sweep`
 //! (`--quick` shrinks the load for smoke runs, `--json PATH` writes the
-//! rows as a bench artifact for CI trend tracking).
+//! rows as a bench artifact for CI trend tracking, `--trace-out PATH`
+//! writes the shed config's flight-recorder journal as Perfetto-loadable
+//! Chrome trace JSON plus a Prometheus text snapshot at `PATH.prom`).
 
-use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, JsonObject};
 use ernn_core::pipeline::Pipeline;
 use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
 use ernn_model::{CellType, ModelSpec};
@@ -28,7 +32,9 @@ use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn_serve::sched::{
     AdmissionPolicy, ModelRegistry, PaddingModel, SchedPolicy, SchedReport, SchedRuntime,
 };
-use ernn_serve::{CompiledModel, ExecutorKind, Request};
+use ernn_serve::{
+    chrome_trace_json, prometheus_snapshot, CompiledModel, ExecutorKind, Request, TraceConfig,
+};
 use rand::SeedableRng;
 
 const INPUT_DIM: usize = 52;
@@ -91,10 +97,16 @@ struct Config {
     policy: SchedPolicy,
 }
 
+/// Flight-recorder capacity: comfortably above the event count of the
+/// full 600-request run, so the exported journal is complete
+/// (`dropped_events: 0`).
+const TRACE_CAPACITY: usize = 1 << 16;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = json_path_arg(&args);
+    let trace_path = trace_path_arg(&args);
     let num_requests = if quick { 200 } else { 600 };
 
     let reg = registry();
@@ -146,6 +158,7 @@ fn main() {
     for config in &configs {
         let run = |kind| {
             SchedRuntime::with_executor(registry(), platforms.clone(), config.policy, kind)
+                .with_tracing(TraceConfig::enabled(TRACE_CAPACITY))
                 .run(load(num_requests))
         };
         let report = run(ExecutorKind::Inline);
@@ -168,6 +181,30 @@ fn main() {
             "{}: executor changed scheduler stats",
             config.label
         );
+        assert_eq!(
+            report.trace, pool_report.trace,
+            "{}: executor changed the flight-recorder trace",
+            config.label
+        );
+        let chrome = chrome_trace_json(&report.trace);
+        assert_eq!(
+            chrome,
+            chrome_trace_json(&pool_report.trace),
+            "{}: executor changed the Chrome trace rendering",
+            config.label
+        );
+        assert_eq!(
+            report.trace.journal.dropped, 0,
+            "{}: trace overflow",
+            config.label
+        );
+        if config.label == "edf+cost+shed" {
+            if let Some(path) = &trace_path {
+                write_artifact(path, chrome);
+                let prom = prometheus_snapshot(&report.metrics, &report.trace);
+                write_artifact(&format!("{path}.prom"), prom);
+            }
+        }
 
         let m = &report.metrics;
         println!(
@@ -192,6 +229,34 @@ fn main() {
                 .latency("", &pm.latency)
                 .render()
         }));
+        // The predictor's audit trail: every shed decision with the
+        // prediction that justified it, so calibration is inspectable
+        // per run straight from the artifact.
+        let log = &report.sched.admission_log;
+        let admitted = log.iter().filter(|r| r.admitted).count();
+        let admission_shed = array(log.iter().filter(|r| !r.admitted).map(|r| {
+            JsonObject::new()
+                .int("id", r.id as i64)
+                .int("model", r.model as i64)
+                .num("predicted_us", r.predicted_us)
+                .num("deadline_us", r.deadline_us.unwrap_or(f64::INFINITY))
+                .render()
+        }));
+        // Per-(device, model) stage-time attribution from the trace:
+        // where each cell's µs went (queueing, weight loads, compute,
+        // batch padding).
+        let attribution = array(report.trace.attribution.iter().map(|(device, model, c)| {
+            JsonObject::new()
+                .int("device", device as i64)
+                .int("model", model as i64)
+                .int("requests", c.requests as i64)
+                .int("batches", c.batches as i64)
+                .num("queue_us", c.queue_us)
+                .num("load_us", c.load_us)
+                .num("compute_us", c.compute_us)
+                .num("padding_us", c.padding_us)
+                .render()
+        }));
         rows.push(
             JsonObject::new()
                 .str("config", config.label)
@@ -205,6 +270,11 @@ fn main() {
                 .int("model_evictions", report.sched.model_evictions as i64)
                 .num("load_us_total", report.sched.load_us_total)
                 .num("host_us", report.host_us)
+                .int("admission_decisions", log.len() as i64)
+                .int("admission_admitted", admitted as i64)
+                .raw("admission_shed", admission_shed)
+                .raw("attribution", attribution)
+                .int("trace_events", report.trace.journal.events.len() as i64)
                 .raw("per_model", per_model)
                 .render(),
         );
@@ -233,7 +303,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let doc = JsonObject::new()
-            .str("bench", "sched_sweep")
+            .bench_header("sched_sweep")
             .int("requests", num_requests as i64)
             .num("interactive_slo_us", INTERACTIVE_SLO_US)
             .num("batch_slo_us", BATCH_SLO_US)

@@ -4,19 +4,23 @@
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin serve_sweep`
 //! (`--quick` halves the request count for smoke runs, `--json PATH`
-//! writes the rows as a bench artifact for CI trend tracking).
+//! writes the rows as a bench artifact for CI trend tracking,
+//! `--trace-out PATH` writes one configuration's flight-recorder journal
+//! as Perfetto-loadable Chrome trace JSON plus a Prometheus snapshot at
+//! `PATH.prom`).
 
-use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, JsonObject};
 use ernn_core::pipeline::Pipeline;
 use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
-use ernn_serve::{BatchPolicy, ServeRuntime};
+use ernn_serve::{chrome_trace_json, prometheus_snapshot, BatchPolicy, ServeRuntime, TraceConfig};
 use rand::SeedableRng;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = json_path_arg(&args);
+    let trace_path = trace_path_arg(&args);
     let num_requests = if quick { 200 } else { 400 };
 
     // A GRU-64 acoustic model under the paper preset (block 8, 12-bit
@@ -55,8 +59,20 @@ fn main() {
             (BatchPolicy::new(8, 200.0), "b8/w200"),
             (BatchPolicy::new(16, 400.0), "b16/w400"),
         ] {
-            let runtime = ServeRuntime::new(model.clone(), devices, policy);
+            // Trace the middle-of-the-frontier config (4 devices,
+            // b8/w200) when an export path was given.
+            let traced = devices == 4 && label == "b8/w200" && trace_path.is_some();
+            let mut runtime = ServeRuntime::new(model.clone(), devices, policy);
+            if traced {
+                runtime = runtime.with_tracing(TraceConfig::enabled(1 << 14));
+            }
             let report = runtime.run(requests.clone());
+            if traced {
+                let path = trace_path.as_deref().expect("checked above");
+                write_artifact(path, chrome_trace_json(&report.trace));
+                let prom = prometheus_snapshot(&report.metrics, &report.trace);
+                write_artifact(&format!("{path}.prom"), prom);
+            }
             let m = &report.metrics;
             let mean_occ =
                 m.device_occupancy.iter().sum::<f64>() / m.device_occupancy.len().max(1) as f64;
@@ -91,7 +107,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let doc = JsonObject::new()
-            .str("bench", "serve_sweep")
+            .bench_header("serve_sweep")
             .int("requests", num_requests as i64)
             .raw("rows", array(rows))
             .render();

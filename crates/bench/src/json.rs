@@ -8,6 +8,16 @@
 
 use std::fmt::Write as _;
 
+/// Version of the bench-artifact schema, stamped into every `BENCH_*.json`
+/// document (see [`JsonObject::bench_header`]). Bump it whenever a field
+/// is renamed, removed, or changes meaning, so downstream consumers of
+/// the CI artifacts can dispatch on it instead of sniffing fields.
+///
+/// History: 1 = pre-versioning artifacts (no `schema_version` field);
+/// 2 = adds `schema_version`, stage-time attribution, and the admission
+/// audit export.
+pub const BENCH_SCHEMA_VERSION: i64 = 2;
+
 /// A flat JSON object built field by field, rendered in insertion order.
 #[derive(Debug, Default, Clone)]
 pub struct JsonObject {
@@ -97,6 +107,15 @@ fn escape(s: &str) -> String {
 }
 
 impl JsonObject {
+    /// Starts a bench artifact with the standard header fields: the
+    /// bench name plus [`BENCH_SCHEMA_VERSION`]. Every `BENCH_*.json`
+    /// emitter opens with this so all artifacts carry the same
+    /// `schema_version`.
+    pub fn bench_header(self, bench: &str) -> Self {
+        self.str("bench", bench)
+            .int("schema_version", BENCH_SCHEMA_VERSION)
+    }
+
     /// Adds the standard latency-quantile fields (`<prefix>p50_us` …
     /// `<prefix>p999_us`) from a serving [`LatencySummary`](ernn_serve::LatencySummary) — the one
     /// place the bench artifacts' quantile schema is defined, so every
@@ -112,8 +131,19 @@ impl JsonObject {
 
 /// Pulls the value following a `--json` flag out of an argument list.
 pub fn json_path_arg(args: &[String]) -> Option<String> {
+    flag_value(args, "--json")
+}
+
+/// Pulls the value following a `--trace-out` flag out of an argument
+/// list — the path the sweeps write their Chrome trace-event JSON to
+/// (with a Prometheus text snapshot beside it at `<path>.prom`).
+pub fn trace_path_arg(args: &[String]) -> Option<String> {
+    flag_value(args, "--trace-out")
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
-        .position(|a| a == "--json")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
 }
@@ -184,5 +214,21 @@ mod tests {
             .collect();
         assert_eq!(json_path_arg(&args).as_deref(), Some("out.json"));
         assert_eq!(json_path_arg(&args[..2]), None);
+    }
+
+    #[test]
+    fn trace_path_arg_finds_the_flag_value() {
+        let args: Vec<String> = ["x", "--trace-out", "TRACE_sched.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(trace_path_arg(&args).as_deref(), Some("TRACE_sched.json"));
+        assert_eq!(trace_path_arg(&args[..1]), None);
+    }
+
+    #[test]
+    fn bench_header_stamps_the_schema_version() {
+        let doc = JsonObject::new().bench_header("sched_sweep").render();
+        assert_eq!(doc, r#"{"bench":"sched_sweep","schema_version":2}"#);
     }
 }

@@ -63,6 +63,16 @@ impl Device {
     pub fn clock_period_us() -> f64 {
         1e6 / Self::CLOCK_HZ
     }
+
+    /// Device clock cycles covering a `us`-microsecond interval, rounded
+    /// up to whole cycles. This is how virtual-time stalls that originate
+    /// off-chip — e.g. weight-image residency loads charged in µs — are
+    /// expressed on the accelerator's own clock (the serve-layer trace
+    /// reports residency stalls in cycles through this hook).
+    pub fn cycles_for_us(us: f64) -> u64 {
+        assert!(us >= 0.0 && us.is_finite(), "stall must be finite: {us}");
+        (us / Self::clock_period_us()).ceil() as u64
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +105,16 @@ mod tests {
     #[test]
     fn clock_period_is_5ns() {
         assert!((Device::clock_period_us() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_cycles_round_up_to_whole_cycles() {
+        assert_eq!(Device::cycles_for_us(0.0), 0);
+        // One period is exactly one cycle at 200 MHz.
+        assert_eq!(Device::cycles_for_us(0.005), 1);
+        // A fractional extra period still occupies a full cycle.
+        assert_eq!(Device::cycles_for_us(0.0051), 2);
+        // A 4 MB image at 8 GB/s ≈ 512 µs ≈ 102 400 cycles.
+        assert_eq!(Device::cycles_for_us(512.0), 102_400);
     }
 }

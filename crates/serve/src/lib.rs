@@ -37,6 +37,14 @@
 //!   -time results are bit-identical either way; only the wall-clock
 //!   [`ServeReport::host_us`] and the per-worker FFT ledger
 //!   ([`ServeReport::worker_fft`]) differ.
+//! * [`trace`] — the observability layer: a zero-steady-state-allocation
+//!   flight recorder ([`FlightRecorder`]) capturing the full request
+//!   lifecycle ([`TraceEvent`]) on the virtual clock, streaming
+//!   log-linear latency histograms ([`LatencyHistogram`]), per-(device,
+//!   model) stage-time attribution ([`StageAttribution`]), and exporters
+//!   to Chrome trace-event JSON ([`chrome_trace_json`], loadable in
+//!   Perfetto) and Prometheus text ([`prometheus_snapshot`]). Journals
+//!   are bit-identical across executors.
 //! * [`loadgen`] — open-loop Poisson and closed-loop traffic shapes.
 //! * [`sched`] — the SLO-aware multi-model scheduler on top of all of
 //!   the above: a [`sched::ModelRegistry`] with per-device BRAM
@@ -77,6 +85,7 @@ mod metrics;
 mod request;
 mod runtime;
 pub mod sched;
+pub mod trace;
 
 pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
 pub use cache::{CompiledModel, LoadStats};
@@ -89,3 +98,7 @@ pub use executor::{
 pub use metrics::{LatencySummary, ModelMetrics, ServeMetrics};
 pub use request::{Request, Response};
 pub use runtime::{ServeReport, ServeRuntime};
+pub use trace::{
+    chrome_trace_json, prometheus_snapshot, FlightRecorder, LatencyHistogram, RunTrace,
+    StageAttribution, StageBreakdown, TraceConfig, TraceEvent, TraceJournal,
+};

@@ -1,8 +1,18 @@
 //! Serving metrics: latency percentiles (through p99.9), throughput,
 //! device occupancy, batch-size distribution, shed counts, and per-model
 //! breakdowns.
+//!
+//! Latency and queue summaries are computed by streaming samples into
+//! fixed-bucket [`LatencyHistogram`]s rather than storing every sample:
+//! memory stays O(1) in the request count, count/mean/max are exact, and
+//! quantiles carry the histogram's documented error bound (they never
+//! underestimate; see [`LatencyHistogram::RELATIVE_ERROR_BOUND`]). The
+//! histograms themselves ride along on [`ServeMetrics`] so exporters can
+//! render full distributions. [`LatencySummary::from_samples`] remains
+//! the exact store-every-sample path for external callers.
 
 use crate::request::Response;
+use crate::trace::LatencyHistogram;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -41,7 +51,9 @@ impl LatencySummary {
             };
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // total_cmp: a stray NaN sorts to the end instead of panicking
+        // the metrics path mid-run.
+        sorted.sort_by(f64::total_cmp);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         LatencySummary {
             count: sorted.len(),
@@ -98,10 +110,17 @@ pub struct ServeMetrics {
     /// Requests rejected by admission control (early deadline-miss
     /// returns; zero for runtimes without admission control).
     pub shed: usize,
-    /// End-to-end latency (arrival → completion) over served requests.
+    /// End-to-end latency (arrival → completion) over served requests,
+    /// summarized from [`ServeMetrics::latency_hist`].
     pub latency: LatencySummary,
-    /// Queueing component (arrival → batch start) over served requests.
+    /// Queueing component (arrival → batch start) over served requests,
+    /// summarized from [`ServeMetrics::queue_hist`].
     pub queue: LatencySummary,
+    /// Full end-to-end latency distribution (streaming log-linear
+    /// histogram; exporters render its buckets).
+    pub latency_hist: LatencyHistogram,
+    /// Full queueing-delay distribution.
+    pub queue_hist: LatencyHistogram,
     /// Virtual-time horizon of the run: first arrival to last completion (µs).
     pub makespan_us: f64,
     /// Served requests per second of virtual time.
@@ -129,8 +148,14 @@ impl ServeMetrics {
     pub fn compute(responses: &[Response], device_busy_us: Vec<f64>) -> Self {
         let served: Vec<&Response> = responses.iter().filter(|r| !r.shed).collect();
         let shed_total = responses.len() - served.len();
-        let latencies: Vec<f64> = served.iter().map(|r| r.latency_us()).collect();
-        let queues: Vec<f64> = served.iter().map(|r| r.queue_us()).collect();
+        // Stream samples into fixed-bucket histograms instead of storing
+        // them: O(1) memory at million-request scale.
+        let mut latency_hist = LatencyHistogram::new();
+        let mut queue_hist = LatencyHistogram::new();
+        for r in &served {
+            latency_hist.record(r.latency_us());
+            queue_hist.record(r.queue_us());
+        }
         // The horizon spans all arrivals (shed included — they were
         // offered load) through the last served completion.
         let first_arrival = responses
@@ -180,18 +205,17 @@ impl ServeMetrics {
         let per_model: BTreeMap<usize, ModelMetrics> = groups
             .into_iter()
             .map(|(model, group)| {
-                let lats: Vec<f64> = group
-                    .iter()
-                    .filter(|r| !r.shed)
-                    .map(|r| r.latency_us())
-                    .collect();
+                let mut hist = LatencyHistogram::new();
+                for r in group.iter().filter(|r| !r.shed) {
+                    hist.record(r.latency_us());
+                }
                 let group_shed = group.iter().filter(|r| r.shed).count();
                 (
                     model,
                     ModelMetrics {
                         completed: group.len() - group_shed,
                         shed: group_shed,
-                        latency: LatencySummary::from_samples(&lats),
+                        latency: hist.summary(),
                         deadline_miss_rate: miss_rate(group.iter().copied()),
                     },
                 )
@@ -201,8 +225,10 @@ impl ServeMetrics {
         ServeMetrics {
             completed: served.len(),
             shed: shed_total,
-            latency: LatencySummary::from_samples(&latencies),
-            queue: LatencySummary::from_samples(&queues),
+            latency: latency_hist.summary(),
+            queue: queue_hist.summary(),
+            latency_hist,
+            queue_hist,
             makespan_us,
             throughput_rps: rate_per_second(served.len(), makespan_us),
             throughput_fps: rate_per_second(total_frames, makespan_us),
@@ -354,6 +380,23 @@ mod tests {
         let s = LatencySummary::from_samples(&big);
         assert_eq!(s.p999_us, 999.0);
         assert_eq!(s.max_us, 1000.0);
+    }
+
+    #[test]
+    fn hostile_samples_never_panic_the_summary() {
+        // A NaN or infinite sample must degrade gracefully, not panic
+        // (the old partial_cmp sort aborted the whole metrics path).
+        let s = LatencySummary::from_samples(&[3.0, f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(s.count, 5);
+        // total_cmp sorts NaN above +∞: finite quantiles stay sensible.
+        assert_eq!(s.p50_us, 3.0);
+        // The tail reports the non-finite stragglers rather than lying.
+        assert!(s.max_us.is_nan());
+        assert!(s.p999_us.is_nan() || s.p999_us.is_infinite());
+        // All-NaN input survives too.
+        let s = LatencySummary::from_samples(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.count, 2);
+        assert!(s.p50_us.is_nan());
     }
 
     #[test]

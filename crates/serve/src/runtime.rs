@@ -39,6 +39,7 @@ use crate::device::DevicePool;
 use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
 use crate::metrics::ServeMetrics;
 use crate::request::{Request, Response};
+use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -90,6 +91,11 @@ pub struct ServeReport {
     /// ([`ExecutorKind::Inline`] reports a single entry). The entries sum
     /// to the run's total inference FFT work.
     pub worker_fft: Vec<FftStats>,
+    /// Observability capture: the virtual-time event journal (when the
+    /// runtime was built [`ServeRuntime::with_tracing`]) plus the
+    /// always-on per-(device, model) stage-time attribution. Entirely
+    /// virtual-time-derived, so bit-identical across executors.
+    pub trace: RunTrace,
 }
 
 impl ServeReport {
@@ -108,6 +114,7 @@ pub struct ServeRuntime {
     num_devices: usize,
     policy: BatchPolicy,
     executor: ExecutorKind,
+    trace: TraceConfig,
 }
 
 impl ServeRuntime {
@@ -153,7 +160,22 @@ impl ServeRuntime {
             num_devices,
             policy,
             executor,
+            trace: TraceConfig::disabled(),
         }
+    }
+
+    /// Enables (or disables) flight-recorder tracing for every run this
+    /// runtime performs; see [`TraceConfig`]. Tracing never changes
+    /// virtual-time results — it only fills
+    /// [`ServeReport::trace`]'s journal.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The tracing configuration runs execute under.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace
     }
 
     /// The compiled model being served.
@@ -263,6 +285,7 @@ impl ServeRuntime {
         let mut pool = DevicePool::new(self.num_devices, self.model.stage_cycles());
         let mut batcher = DynamicBatcher::new(self.policy);
         let mut responses: Vec<Response> = Vec::new();
+        let mut obs = Observer::new(self.trace);
         let mut now_us = 0.0f64;
 
         loop {
@@ -274,8 +297,9 @@ impl ServeRuntime {
                 BatchReadiness::Empty => match arrivals.pop() {
                     Some(a) => {
                         now_us = now_us.max(a.t_us);
+                        obs.enqueued(now_us, &a.request, batcher.len() + 1);
                         batcher.push(a.request);
-                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
+                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher, &mut obs);
                     }
                     None => break,
                 },
@@ -289,6 +313,7 @@ impl ServeRuntime {
                         &mut responses,
                         &mut arrivals,
                         &mut feedback,
+                        &mut obs,
                     );
                 }
                 BatchReadiness::Forming { flush_at_us } => {
@@ -298,8 +323,9 @@ impl ServeRuntime {
                         // runs out: let it join the forming batch.
                         now_us = now_us.max(t);
                         let a = arrivals.pop().expect("peeked arrival exists");
+                        obs.enqueued(now_us, &a.request, batcher.len() + 1);
                         batcher.push(a.request);
-                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher);
+                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher, &mut obs);
                     } else {
                         // Wait budget exhausted before anything else can
                         // join.
@@ -313,6 +339,7 @@ impl ServeRuntime {
                             &mut responses,
                             &mut arrivals,
                             &mut feedback,
+                            &mut obs,
                         );
                     }
                 }
@@ -335,6 +362,7 @@ impl ServeRuntime {
             metrics,
             host_us: host_start.elapsed().as_secs_f64() * 1e6,
             worker_fft: exec_report.worker_fft,
+            trace: obs.into_trace(),
         }
     }
 
@@ -345,11 +373,13 @@ impl ServeRuntime {
         arrivals: &mut BinaryHeap<Arrival>,
         now_us: f64,
         batcher: &mut DynamicBatcher,
+        obs: &mut Observer,
     ) {
         while arrivals.peek().is_some_and(|a| a.t_us <= now_us)
             && batcher.len() < batcher.policy().max_batch
         {
             let a = arrivals.pop().expect("peeked arrival exists");
+            obs.enqueued(now_us, &a.request, batcher.len() + 1);
             batcher.push(a.request);
         }
     }
@@ -364,12 +394,22 @@ impl ServeRuntime {
         responses: &mut Vec<Response>,
         arrivals: &mut BinaryHeap<Arrival>,
         feedback: &mut Option<ClosedLoop<'_>>,
+        obs: &mut Observer,
     ) {
         let batch = batcher.take_batch();
         debug_assert!(!batch.is_empty(), "dispatch requires a formed batch");
         let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
         let exec = pool.dispatch(now_us, &frame_counts);
         let batch_size = batch.len();
+        obs.batch_dispatched(
+            now_us,
+            0,
+            &batch,
+            &frame_counts,
+            &exec,
+            0.0,
+            self.model.stage_cycles().ii(),
+        );
 
         let mut jobs = Vec::with_capacity(batch_size);
         for (request, &complete_us) in batch.into_iter().zip(exec.complete_us.iter()) {
@@ -404,6 +444,7 @@ impl ServeRuntime {
                 deadline_met,
                 shed: false,
             });
+            obs.completed(responses.last().expect("just pushed"));
 
             if let Some(fb) = feedback.as_mut() {
                 if let Some(next) = fb.next(complete_us) {
@@ -576,6 +617,41 @@ mod tests {
     fn assert_reports_identical(a: &ServeReport, b: &ServeReport) {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.responses, b.responses);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn tracing_journal_is_bit_identical_across_executors() {
+        use crate::trace::{TraceConfig, TraceEvent};
+        let policy = BatchPolicy::new(4, 100.0);
+        let make = |kind| {
+            ServeRuntime::with_executor(model(), 2, policy, kind)
+                .with_tracing(TraceConfig::enabled(2048))
+        };
+        let inline = make(ExecutorKind::Inline).run(load(32, 200_000.0));
+        let pool = make(ExecutorKind::ThreadPool).run(load(32, 200_000.0));
+        assert_reports_identical(&inline, &pool);
+        let events = &inline.trace.journal.events;
+        assert!(!events.is_empty());
+        assert_eq!(inline.trace.journal.dropped, 0);
+        let n = |pred: fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+        assert_eq!(n(|e| matches!(e, TraceEvent::Enqueue { .. })), 32);
+        assert_eq!(n(|e| matches!(e, TraceEvent::Dequeue { .. })), 32);
+        assert_eq!(n(|e| matches!(e, TraceEvent::Complete { .. })), 32);
+        // Attribution covers every request on the single-model runtime.
+        let requests: u64 = inline
+            .trace
+            .attribution
+            .iter()
+            .map(|(_, _, c)| c.requests)
+            .sum();
+        assert_eq!(requests, 32);
+        // Disabled tracing yields identical virtual-time results.
+        let off = ServeRuntime::with_executor(model(), 2, policy, ExecutorKind::Inline)
+            .run(load(32, 200_000.0));
+        assert_eq!(off.metrics, inline.metrics);
+        assert_eq!(off.responses, inline.responses);
+        assert!(off.trace.journal.events.is_empty());
     }
 
     #[test]

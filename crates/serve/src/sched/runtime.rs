@@ -49,6 +49,7 @@ use crate::device::DevicePool;
 use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
 use crate::metrics::ServeMetrics;
 use crate::request::{Request, Response};
+use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use ernn_fpga::Device;
 use std::cmp::Ordering;
@@ -197,6 +198,11 @@ pub struct SchedReport {
     pub host_us: f64,
     /// Host FFT activity per executor worker.
     pub worker_fft: Vec<FftStats>,
+    /// Observability capture: the virtual-time event journal (when the
+    /// runtime was built [`SchedRuntime::with_tracing`]) plus the
+    /// always-on per-(device, model) stage-time attribution. Entirely
+    /// virtual-time-derived, so bit-identical across executors.
+    pub trace: RunTrace,
 }
 
 /// A timed arrival in the event queue (min-heap by time, then sequence).
@@ -234,6 +240,7 @@ pub struct SchedRuntime {
     platforms: Vec<Device>,
     policy: SchedPolicy,
     executor: ExecutorKind,
+    trace: TraceConfig,
 }
 
 impl SchedRuntime {
@@ -270,6 +277,7 @@ impl SchedRuntime {
             platforms,
             policy,
             executor,
+            trace: TraceConfig::disabled(),
         };
         for m in 0..rt.registry.len() {
             assert!(
@@ -279,6 +287,21 @@ impl SchedRuntime {
             );
         }
         rt
+    }
+
+    /// Enables (or disables) flight-recorder tracing for every run this
+    /// runtime performs; see [`TraceConfig`]. Tracing never changes
+    /// virtual-time results — it only fills
+    /// [`SchedReport::trace`]'s journal, which is itself bit-identical
+    /// across executor kinds.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The tracing configuration runs execute under.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace
     }
 
     /// The model registry.
@@ -431,6 +454,7 @@ impl SchedRuntime {
             feedback,
             now_us: 0.0,
             admit_seq: 0,
+            obs: Observer::new(self.trace),
         };
 
         loop {
@@ -489,6 +513,7 @@ impl SchedRuntime {
             sched: state.stats,
             host_us: host_start.elapsed().as_secs_f64() * 1e6,
             worker_fft: exec_report.worker_fft,
+            trace: state.obs.into_trace(),
         }
     }
 
@@ -578,11 +603,16 @@ impl SchedRuntime {
         });
         if admitted {
             state.stats.admitted += 1;
+            state.obs.admitted(state.now_us, &request, predicted_us);
+            state
+                .obs
+                .enqueued(state.now_us, &request, state.queue.len() + 1);
             let seq = state.admit_seq;
             state.admit_seq += 1;
             state.queue.push(request, seq, best_est);
         } else {
             state.stats.shed += 1;
+            state.obs.shed(state.now_us, &request, predicted_us);
             let arrival_us = request.arrival_us;
             state.responses.push(Response {
                 id: request.id,
@@ -673,6 +703,24 @@ impl SchedRuntime {
             state
                 .pool
                 .dispatch_to(device, state.now_us, load.load_us, stages, &frame_counts);
+        state.obs.batch_dispatched(
+            state.now_us,
+            model,
+            &batch,
+            &frame_counts,
+            &exec,
+            load.load_us,
+            stages.ii(),
+        );
+        if load.loaded {
+            state.obs.residency_load(
+                exec.start_us,
+                device,
+                model,
+                load.load_us,
+                load.evicted.len(),
+            );
+        }
 
         let batch_size = batch.len();
         let mut jobs = Vec::with_capacity(batch_size);
@@ -704,6 +752,9 @@ impl SchedRuntime {
                 deadline_met,
                 shed: false,
             });
+            state
+                .obs
+                .completed(state.responses.last().expect("just pushed"));
             self.feedback_arrival(state, complete_us);
         }
         executor.submit_batch(jobs);
@@ -748,6 +799,7 @@ struct RunState<'p> {
     feedback: Option<Feedback<'p>>,
     now_us: f64,
     admit_seq: u64,
+    obs: Observer,
 }
 
 #[cfg(test)]
@@ -874,6 +926,105 @@ mod tests {
         assert_eq!(a.responses, b.responses);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.sched, b.sched);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn tracing_captures_the_request_lifecycle() {
+        use crate::trace::{TraceConfig, TraceEvent};
+        let rt = SchedRuntime::new(
+            registry(),
+            vec![XCKU060, ADM_PCIE_7V3],
+            SchedPolicy::edf_cost_model(4, 100.0),
+        )
+        .with_tracing(TraceConfig::enabled(4096));
+        assert!(rt.trace_config().is_enabled());
+        let report = rt.run(load(24, 100_000.0));
+        let events = &report.trace.journal.events;
+        assert_eq!(report.trace.journal.dropped, 0);
+        let count = |pred: fn(&TraceEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+        // Every request is admitted, enqueued, dequeued, and completed
+        // exactly once.
+        for (pred, label) in [
+            (
+                (|e| matches!(e, TraceEvent::Admit { .. })) as fn(&TraceEvent) -> bool,
+                "admit",
+            ),
+            (|e| matches!(e, TraceEvent::Enqueue { .. }), "enqueue"),
+            (|e| matches!(e, TraceEvent::Dequeue { .. }), "dequeue"),
+            (|e| matches!(e, TraceEvent::Complete { .. }), "complete"),
+        ] {
+            assert_eq!(count(pred), 24, "{label} events");
+        }
+        // Each dispatched batch shows formation + placement, and each
+        // cold model load appears with its stall in device cycles.
+        let batches = count(|e| matches!(e, TraceEvent::BatchFormed { .. }));
+        assert_eq!(count(|e| matches!(e, TraceEvent::Dispatch { .. })), batches);
+        let loads: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ResidencyLoad { .. }))
+            .collect();
+        assert_eq!(loads.len() as u64, report.sched.model_loads);
+        for e in loads {
+            if let TraceEvent::ResidencyLoad {
+                load_us,
+                stall_cycles,
+                ..
+            } = e
+            {
+                assert!(*load_us > 0.0);
+                assert!(*stall_cycles > 0);
+            }
+        }
+        // Attribution covers every served request and its device time.
+        let attributed_requests: u64 = report
+            .trace
+            .attribution
+            .iter()
+            .map(|(_, _, c)| c.requests)
+            .sum();
+        assert_eq!(attributed_requests, 24);
+        let attributed_load: f64 = report
+            .trace
+            .attribution
+            .iter()
+            .map(|(_, _, c)| c.load_us)
+            .sum();
+        assert!((attributed_load - report.sched.load_us_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracing_never_changes_virtual_time_results() {
+        use crate::trace::TraceConfig;
+        let make = |cfg: TraceConfig| {
+            SchedRuntime::new(
+                registry(),
+                vec![XCKU060, ADM_PCIE_7V3],
+                SchedPolicy::edf_cost_model(4, 50.0)
+                    .with_admission(AdmissionPolicy::ShedPredictedLate),
+            )
+            .with_tracing(cfg)
+        };
+        let slo = |reqs: Vec<Request>| -> Vec<Request> {
+            reqs.into_iter()
+                .map(|r| {
+                    let arrival = r.arrival_us;
+                    r.with_deadline(arrival + 300.0)
+                })
+                .collect()
+        };
+        let off = make(TraceConfig::disabled()).run(slo(load(32, 300_000.0)));
+        let on = make(TraceConfig::enabled(64)).run(slo(load(32, 300_000.0)));
+        assert_eq!(off.responses, on.responses);
+        assert_eq!(off.metrics, on.metrics);
+        assert_eq!(off.sched, on.sched);
+        // Attribution is collected either way; only the journal differs.
+        assert_eq!(off.trace.attribution, on.trace.attribution);
+        assert!(off.trace.journal.events.is_empty());
+        assert!(!on.trace.journal.events.is_empty());
+        // The tiny capacity forced flight-recorder overwrite.
+        assert!(on.trace.journal.dropped > 0);
+        assert_eq!(on.trace.journal.events.len(), 64);
     }
 
     #[test]

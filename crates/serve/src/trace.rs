@@ -1,0 +1,1373 @@
+//! Flight-recorder tracing and streaming telemetry for the serving stack.
+//!
+//! End-of-run aggregates ([`ServeMetrics`]) say *that* a p99.9 deadline
+//! was missed; this module records *why*: every request-lifecycle event —
+//! admission, queueing, batch formation, residency loads, device
+//! dispatch, completion — is stamped on the **virtual clock** and kept in
+//! a bounded [`FlightRecorder`] ring buffer. Because every timestamp is
+//! virtual, the journal inherits the executor-determinism contract: the
+//! same run traced under [`ExecutorKind::Inline`](crate::ExecutorKind) and
+//! [`ExecutorKind::ThreadPool`](crate::ExecutorKind) produces a
+//! bit-identical event sequence (asserted by `sched_sweep` and the
+//! `trace_journal` proptests).
+//!
+//! Three layers, cheapest first:
+//!
+//! * [`LatencyHistogram`] — fixed-bucket log-linear histogram replacing
+//!   store-every-sample latency vectors: O(1) memory at million-request
+//!   scale, quantiles that never underestimate and overestimate by at
+//!   most 1/16 (see [`LatencyHistogram::RELATIVE_ERROR_BOUND`]).
+//! * [`StageAttribution`] — per-(device, model) totals of where virtual
+//!   time went: queue wait, weight-load stalls, compute, padding waste.
+//! * [`FlightRecorder`] — the bounded event journal proper, enabled per
+//!   run via [`TraceConfig`]. Recording is a branch plus a `Copy` store
+//!   into a pre-sized buffer: **zero steady-state heap allocations**
+//!   (enforced by `tests/kernel_alloc.rs`), and the disabled mode is a
+//!   single predictable branch.
+//!
+//! Exporters turn a captured [`RunTrace`] into standard tooling formats:
+//! [`chrome_trace_json`] renders a Chrome trace-event document loadable
+//! in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`, and
+//! [`prometheus_snapshot`] renders a Prometheus text-exposition snapshot.
+//! See `docs/observability.md` for the event schema and a Perfetto
+//! walkthrough.
+
+use crate::device::BatchExecution;
+use crate::metrics::{LatencySummary, ServeMetrics};
+use crate::request::{Request, Response};
+use ernn_fpga::Device;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Per-run tracing configuration: disabled, or enabled with a journal
+/// capacity.
+///
+/// The capacity bounds memory *and* allocation behavior: the recorder
+/// buffer is pre-sized at construction, and once full the journal keeps
+/// the most recent events (flight-recorder semantics) rather than
+/// growing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing off (the default): recording is a single branch, the
+    /// journal stays empty, and nothing is allocated.
+    pub fn disabled() -> Self {
+        TraceConfig { capacity: 0 }
+    }
+
+    /// Tracing on, keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — use [`TraceConfig::disabled`].
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "an enabled trace needs a nonzero capacity");
+        TraceConfig { capacity }
+    }
+
+    /// Whether events will be recorded.
+    pub fn is_enabled(self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Journal capacity in events (0 when disabled).
+    pub fn capacity(self) -> usize {
+        self.capacity
+    }
+}
+
+/// One request-lifecycle event, stamped on the virtual clock.
+///
+/// Events are `Copy` with fixed-size payloads — recording one is a plain
+/// store, never an allocation — so list-shaped facts are carried as
+/// counts (e.g. [`TraceEvent::ResidencyLoad::evicted`] is how *many*
+/// models were evicted; the eviction set itself lives in
+/// [`SchedStats`](crate::sched::SchedStats)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An arrival passed admission control into the queue.
+    Admit {
+        /// Virtual time of the decision (µs).
+        t_us: f64,
+        /// Request id.
+        id: u64,
+        /// Target model.
+        model: usize,
+        /// The admission predictor's completion estimate (µs).
+        predicted_us: f64,
+    },
+    /// An arrival was rejected by admission control (predicted late).
+    Shed {
+        /// Virtual time of the decision (µs).
+        t_us: f64,
+        /// Request id.
+        id: u64,
+        /// Target model.
+        model: usize,
+        /// The admission predictor's completion estimate (µs).
+        predicted_us: f64,
+        /// The deadline the estimate overshot (µs).
+        deadline_us: f64,
+    },
+    /// A request entered the scheduling queue (or single-model batcher).
+    Enqueue {
+        /// Virtual time (µs).
+        t_us: f64,
+        /// Request id.
+        id: u64,
+        /// Target model.
+        model: usize,
+        /// Queue depth including this request.
+        depth: usize,
+    },
+    /// A request left the queue into a forming batch.
+    Dequeue {
+        /// Virtual time (µs).
+        t_us: f64,
+        /// Request id.
+        id: u64,
+        /// Target model.
+        model: usize,
+        /// Time spent queued, arrival → batch formation (µs).
+        queued_us: f64,
+    },
+    /// A batch was formed, with the padding waste batching accepted.
+    BatchFormed {
+        /// Virtual time (µs).
+        t_us: f64,
+        /// The batch's (single) model.
+        model: usize,
+        /// Member count.
+        size: usize,
+        /// Longest member utterance (frames) — the padded length.
+        max_frames: u64,
+        /// Sum of member utterance lengths (frames); padding waste is
+        /// `size · max_frames − total_frames` frames.
+        total_frames: u64,
+    },
+    /// A cold weight image was streamed onto a device (residency miss).
+    ResidencyLoad {
+        /// Virtual time the stall begins on the device (µs).
+        t_us: f64,
+        /// Stalled device.
+        device: usize,
+        /// Model being loaded.
+        model: usize,
+        /// Stall length (µs).
+        load_us: f64,
+        /// The same stall in device clock cycles
+        /// ([`Device::cycles_for_us`](ernn_fpga::Device::cycles_for_us)).
+        stall_cycles: u64,
+        /// Number of models evicted to make room.
+        evicted: usize,
+    },
+    /// A formed batch started occupying a device.
+    Dispatch {
+        /// Virtual time of the placement decision (µs).
+        t_us: f64,
+        /// Chosen device.
+        device: usize,
+        /// The batch's model.
+        model: usize,
+        /// Member count.
+        size: usize,
+        /// When the batch starts occupying the device (µs).
+        start_us: f64,
+        /// Device occupancy, load stall included (µs).
+        busy_us: f64,
+    },
+    /// One request's frames finished streaming through the device.
+    Complete {
+        /// Virtual completion time (µs).
+        t_us: f64,
+        /// Request id.
+        id: u64,
+        /// Serving device.
+        device: usize,
+        /// Served model.
+        model: usize,
+        /// The request's arrival time (µs) — `t_us − arrival_us` is the
+        /// end-to-end latency.
+        arrival_us: f64,
+        /// When the request's batch started on the device (µs).
+        dispatch_us: f64,
+        /// Whether the deadline (if any) was met.
+        deadline_met: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's virtual timestamp (µs).
+    pub fn t_us(&self) -> f64 {
+        match *self {
+            TraceEvent::Admit { t_us, .. }
+            | TraceEvent::Shed { t_us, .. }
+            | TraceEvent::Enqueue { t_us, .. }
+            | TraceEvent::Dequeue { t_us, .. }
+            | TraceEvent::BatchFormed { t_us, .. }
+            | TraceEvent::ResidencyLoad { t_us, .. }
+            | TraceEvent::Dispatch { t_us, .. }
+            | TraceEvent::Complete { t_us, .. } => t_us,
+        }
+    }
+
+    /// A short stable name for the event kind (used by exporters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Admit { .. } => "admit",
+            TraceEvent::Shed { .. } => "shed",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::BatchFormed { .. } => "batch_formed",
+            TraceEvent::ResidencyLoad { .. } => "residency_load",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::Complete { .. } => "complete",
+        }
+    }
+}
+
+/// Bounded virtual-time event journal with flight-recorder semantics:
+/// once full, the oldest event is overwritten, so the buffer always
+/// holds the most recent `capacity` events.
+///
+/// The buffer is pre-sized at construction; [`FlightRecorder::record`]
+/// on the steady state is a branch plus a `Copy` store and performs no
+/// heap allocation (proved by `tests/kernel_alloc.rs`). A disabled
+/// recorder ([`TraceConfig::disabled`]) reduces `record` to one
+/// predictable branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    buf: Vec<TraceEvent>,
+    /// Overwrite cursor once the buffer is saturated: index of the
+    /// *oldest* retained event.
+    head: usize,
+    /// Total events offered (recorded + overwritten).
+    offered: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder for one run; allocates the full buffer up front when
+    /// the config is enabled, nothing otherwise.
+    pub fn new(config: TraceConfig) -> Self {
+        FlightRecorder {
+            buf: Vec::with_capacity(config.capacity()),
+            head: 0,
+            offered: 0,
+            capacity: config.capacity(),
+        }
+    }
+
+    /// A recorder that drops everything (tracing off).
+    pub fn disabled() -> Self {
+        Self::new(TraceConfig::disabled())
+    }
+
+    /// Whether this recorder keeps events.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Journal capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events offered over the run, including overwritten ones.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Events lost to ring-buffer overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.offered - self.buf.len() as u64
+    }
+
+    /// Records one event. Steady state performs no heap allocation; a
+    /// disabled recorder returns after one branch.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.offered += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Consumes the recorder into the journal a report carries.
+    pub fn into_journal(self) -> TraceJournal {
+        TraceJournal {
+            events: self.events(),
+            dropped: self.dropped(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The captured event journal of one run, oldest event first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceJournal {
+    /// Retained events in virtual-time order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring-buffer overwrite (0 unless the run outgrew
+    /// the configured capacity).
+    pub dropped: u64,
+    /// The capacity the run was traced with (0 = tracing was off).
+    pub capacity: usize,
+}
+
+/// Number of sub-buckets per power-of-two octave in
+/// [`LatencyHistogram`]: the bucket layout is fixed at compile time, so
+/// histograms from different runs always merge and compare.
+pub const HIST_SUB_BUCKETS: usize = 16;
+/// Octaves covered: values in `[1 µs, 2^40 µs)` land in a log-linear
+/// bucket; below is one underflow bucket, above one overflow bucket.
+const HIST_OCTAVES: usize = 40;
+const HIST_BUCKETS: usize = 1 + HIST_OCTAVES * HIST_SUB_BUCKETS + 1;
+
+/// Streaming fixed-bucket log-linear latency histogram (µs).
+///
+/// Replaces store-every-sample latency vectors in [`ServeMetrics`]:
+/// memory is a fixed 642-bucket array regardless of sample count, and
+/// [`LatencyHistogram::record`] is O(1) with no allocation. Count, sum
+/// (→ mean), and max are tracked exactly; quantiles come from the
+/// containing bucket's **upper** bound (clamped to the exact max), so a
+/// reported quantile **never underestimates** the exact nearest-rank
+/// sample and overestimates it by at most
+/// [`LatencyHistogram::RELATIVE_ERROR_BOUND`] (plus an absolute 1 µs for
+/// sub-µs samples, which share one underflow bucket).
+///
+/// Bucket indexing is pure bit arithmetic on the IEEE-754 exponent and
+/// top mantissa bits — no `log2`, so results are deterministic across
+/// platforms. Non-finite or negative samples are counted (in the
+/// underflow/overflow buckets) without poisoning the exact sum, so a NaN
+/// can never panic or corrupt the metrics path.
+#[derive(Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; HIST_BUCKETS]>,
+    count: u64,
+    sum_us: f64,
+    max_us: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Worst-case relative overestimate of a quantile for samples ≥ 1 µs:
+    /// one bucket width over the bucket's lower edge, `1/HIST_SUB_BUCKETS`.
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / HIST_SUB_BUCKETS as f64;
+
+    /// An empty histogram (one fixed-size allocation).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; HIST_BUCKETS]),
+            count: 0,
+            sum_us: 0.0,
+            max_us: 0.0,
+        }
+    }
+
+    /// Records one sample (µs). O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, v_us: f64) {
+        self.count += 1;
+        if v_us.is_finite() {
+            self.sum_us += v_us;
+            if v_us > self.max_us {
+                self.max_us = v_us;
+            }
+        }
+        self.buckets[Self::bucket_index(v_us)] += 1;
+    }
+
+    /// Total samples recorded (non-finite samples included).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of the finite samples (µs).
+    pub fn sum_us(&self) -> f64 {
+        self.sum_us
+    }
+
+    /// Exact mean of the finite samples (µs); 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.count > 0 {
+            self.sum_us / self.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact maximum finite sample (µs); 0 when empty.
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Nearest-rank quantile from the bucket boundaries: the upper bound
+    /// of the bucket containing the rank-`⌈q·count⌉` sample, clamped to
+    /// the exact max. Never underestimates the exact nearest-rank value;
+    /// overestimates by ≤ [`Self::RELATIVE_ERROR_BOUND`] relative (for
+    /// samples ≥ 1 µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile rank {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The standard summary derived from the histogram: count, exact
+    /// mean and max, bucket-bound p50/p95/p99/p99.9.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count as usize,
+            mean_us: self.mean_us(),
+            p50_us: self.quantile(0.50),
+            p95_us: self.quantile(0.95),
+            p99_us: self.quantile(0.99),
+            p999_us: self.quantile(0.999),
+            max_us: self.max_us,
+        }
+    }
+
+    /// Merges another histogram into this one (bucket layouts are fixed,
+    /// so merging is element-wise).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        if other.max_us > self.max_us {
+            self.max_us = other.max_us;
+        }
+    }
+
+    /// Cumulative non-empty buckets as `(upper_bound_us, cumulative
+    /// count)`, ending with `(∞, count)` — the Prometheus histogram
+    /// exposition shape.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                seen += n;
+                out.push((Self::bucket_upper_us(i), seen));
+            }
+        }
+        if out.last().is_none_or(|&(le, _)| le.is_finite()) {
+            out.push((f64::INFINITY, self.count));
+        }
+        out
+    }
+
+    /// Bucket index for a sample: 0 for anything below 1 µs (or
+    /// non-orderable), the last bucket for ≥ 2^40 µs (or +∞), otherwise
+    /// log-linear from the IEEE-754 exponent and top mantissa bits.
+    #[inline]
+    fn bucket_index(v_us: f64) -> usize {
+        if v_us.is_nan() || v_us < 1.0 {
+            // NaN, negative, and sub-µs samples share the underflow
+            // bucket.
+            return 0;
+        }
+        let bits = v_us.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        if exp >= HIST_OCTAVES as i64 {
+            return HIST_BUCKETS - 1;
+        }
+        let sub = ((bits >> 48) & 0xf) as usize;
+        1 + exp as usize * HIST_SUB_BUCKETS + sub
+    }
+
+    /// Upper (inclusive-reporting) bound of a bucket in µs.
+    fn bucket_upper_us(index: usize) -> f64 {
+        if index == 0 {
+            return 1.0;
+        }
+        if index == HIST_BUCKETS - 1 {
+            return f64::INFINITY;
+        }
+        let i = index - 1;
+        let exp = (i / HIST_SUB_BUCKETS) as i32;
+        let sub = (i % HIST_SUB_BUCKETS) as f64;
+        f64::powi(2.0, exp) * (1.0 + (sub + 1.0) / HIST_SUB_BUCKETS as f64)
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // 642 raw buckets would drown assertion diffs; show the summary
+        // plus the non-empty buckets only.
+        let nonzero: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("sum_us", &self.sum_us)
+            .field("max_us", &self.max_us)
+            .field("nonzero_buckets", &nonzero)
+            .finish()
+    }
+}
+
+/// Where one (device, model) pair's virtual time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBreakdown {
+    /// Requests served through this cell.
+    pub requests: u64,
+    /// Batches dispatched through this cell.
+    pub batches: u64,
+    /// Total queue wait across member requests, arrival → device start
+    /// (µs).
+    pub queue_us: f64,
+    /// Weight-image streaming stalls charged to this cell (µs).
+    pub load_us: f64,
+    /// Device compute occupancy, load stalls excluded (µs).
+    pub compute_us: f64,
+    /// Padding waste: the padded frames' worth of steady-state frame
+    /// time the batch shape implies — the cost
+    /// [`PaddingModel`](crate::sched::PaddingModel) gates on (µs).
+    pub padding_us: f64,
+}
+
+impl StageBreakdown {
+    /// Device occupancy attributed to this cell: load stalls + compute.
+    pub fn busy_us(&self) -> f64 {
+        self.load_us + self.compute_us
+    }
+}
+
+/// Per-(device, model) stage-time attribution for one run.
+///
+/// Charged once per dispatched batch; after a cell's first batch
+/// (warmup), further charges mutate the existing entry without
+/// allocating.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageAttribution {
+    cells: BTreeMap<(usize, usize), StageBreakdown>,
+}
+
+impl StageAttribution {
+    /// An empty attribution table.
+    pub fn new() -> Self {
+        StageAttribution::default()
+    }
+
+    /// Adds one batch's stage times to the `(device, model)` cell.
+    pub fn charge(&mut self, device: usize, model: usize, delta: StageBreakdown) {
+        let cell = self.cells.entry((device, model)).or_default();
+        cell.requests += delta.requests;
+        cell.batches += delta.batches;
+        cell.queue_us += delta.queue_us;
+        cell.load_us += delta.load_us;
+        cell.compute_us += delta.compute_us;
+        cell.padding_us += delta.padding_us;
+    }
+
+    /// The accumulated breakdown for a cell (zeroes if it never served).
+    pub fn get(&self, device: usize, model: usize) -> StageBreakdown {
+        self.cells
+            .get(&(device, model))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Iterates cells as `(device, model, breakdown)`, ordered by device
+    /// then model.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &StageBreakdown)> {
+        self.cells.iter().map(|(&(d, m), b)| (d, m, b))
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether any cell was charged.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Everything observability captured for one run: the event journal plus
+/// the stage-time attribution table. Carried on
+/// [`ServeReport`](crate::ServeReport) and
+/// [`SchedReport`](crate::sched::SchedReport); derived `PartialEq` is
+/// what the executor bit-identity assertions compare.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTrace {
+    /// The captured event journal (empty when tracing was disabled).
+    pub journal: TraceJournal,
+    /// Per-(device, model) stage-time totals (always collected — the
+    /// cost is one table update per batch).
+    pub attribution: StageAttribution,
+}
+
+/// The event-loop side of observability: owns one run's recorder and
+/// attribution table and translates lifecycle moments into
+/// [`TraceEvent`]s, so both runtimes emit an identical event vocabulary
+/// from one code path.
+pub(crate) struct Observer {
+    recorder: FlightRecorder,
+    attribution: StageAttribution,
+}
+
+impl Observer {
+    pub(crate) fn new(config: TraceConfig) -> Self {
+        Observer {
+            recorder: FlightRecorder::new(config),
+            attribution: StageAttribution::new(),
+        }
+    }
+
+    /// An arrival passed admission control.
+    #[inline]
+    pub(crate) fn admitted(&mut self, t_us: f64, request: &Request, predicted_us: f64) {
+        self.recorder.record(TraceEvent::Admit {
+            t_us,
+            id: request.id,
+            model: request.model,
+            predicted_us,
+        });
+    }
+
+    /// An arrival was shed by admission control.
+    #[inline]
+    pub(crate) fn shed(&mut self, t_us: f64, request: &Request, predicted_us: f64) {
+        self.recorder.record(TraceEvent::Shed {
+            t_us,
+            id: request.id,
+            model: request.model,
+            predicted_us,
+            deadline_us: request.deadline_us.unwrap_or(f64::INFINITY),
+        });
+    }
+
+    /// A request entered the queue/batcher at the given resulting depth.
+    #[inline]
+    pub(crate) fn enqueued(&mut self, t_us: f64, request: &Request, depth: usize) {
+        self.recorder.record(TraceEvent::Enqueue {
+            t_us,
+            id: request.id,
+            model: request.model,
+            depth,
+        });
+    }
+
+    /// A cold weight image is streaming onto `device` starting at
+    /// `start_us`; translates the stall into device cycles via the
+    /// [`Device::cycles_for_us`] hook.
+    #[inline]
+    pub(crate) fn residency_load(
+        &mut self,
+        start_us: f64,
+        device: usize,
+        model: usize,
+        load_us: f64,
+        evicted: usize,
+    ) {
+        self.recorder.record(TraceEvent::ResidencyLoad {
+            t_us: start_us,
+            device,
+            model,
+            load_us,
+            stall_cycles: Device::cycles_for_us(load_us),
+            evicted,
+        });
+    }
+
+    /// A formed batch landed on a device: records per-member dequeues,
+    /// the batch-formation and dispatch events, and charges the
+    /// (device, model) attribution cell — queue wait from arrivals,
+    /// load/compute split of the device occupancy, and padding waste at
+    /// the model's steady-state frame time (`ii_cycles` per frame).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn batch_dispatched(
+        &mut self,
+        t_us: f64,
+        model: usize,
+        batch: &[Request],
+        frame_counts: &[u64],
+        exec: &BatchExecution,
+        load_us: f64,
+        ii_cycles: u64,
+    ) {
+        let size = batch.len();
+        let max_frames = frame_counts.iter().copied().max().unwrap_or(0);
+        let total_frames: u64 = frame_counts.iter().sum();
+        let mut queue_us = 0.0;
+        for r in batch {
+            self.recorder.record(TraceEvent::Dequeue {
+                t_us,
+                id: r.id,
+                model: r.model,
+                queued_us: t_us - r.arrival_us,
+            });
+            queue_us += exec.start_us - r.arrival_us;
+        }
+        self.recorder.record(TraceEvent::BatchFormed {
+            t_us,
+            model,
+            size,
+            max_frames,
+            total_frames,
+        });
+        self.recorder.record(TraceEvent::Dispatch {
+            t_us,
+            device: exec.device,
+            model,
+            size,
+            start_us: exec.start_us,
+            busy_us: exec.free_us - exec.start_us,
+        });
+        let padded_frames = size as u64 * max_frames - total_frames;
+        self.attribution.charge(
+            exec.device,
+            model,
+            StageBreakdown {
+                requests: size as u64,
+                batches: 1,
+                queue_us,
+                load_us,
+                compute_us: exec.free_us - exec.start_us - load_us,
+                padding_us: padded_frames as f64 * ii_cycles as f64 * Device::clock_period_us(),
+            },
+        );
+    }
+
+    /// A served response's frames finished streaming through its device.
+    #[inline]
+    pub(crate) fn completed(&mut self, r: &Response) {
+        self.recorder.record(TraceEvent::Complete {
+            t_us: r.complete_us,
+            id: r.id,
+            device: r.device,
+            model: r.model,
+            arrival_us: r.arrival_us,
+            dispatch_us: r.dispatch_us,
+            deadline_met: r.deadline_met,
+        });
+    }
+
+    /// Finalizes the capture into the report-carried [`RunTrace`].
+    pub(crate) fn into_trace(self) -> RunTrace {
+        RunTrace {
+            journal: self.recorder.into_journal(),
+            attribution: self.attribution,
+        }
+    }
+}
+
+/// Formats a float the way both exporters need it: shortest-round-trip
+/// via `Display`, which is deterministic for a given bit pattern.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a [`RunTrace`] as a Chrome trace-event JSON document, loadable
+/// in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+///
+/// Layout: process 0 is the scheduler (one track per model: queue spans
+/// and request spans), process 1 is the device pool (one track per
+/// device: batch and weight-load spans). Timestamps are virtual
+/// microseconds, so the rendering is byte-identical across executors
+/// whenever the journals are.
+pub fn chrome_trace_json(trace: &RunTrace) -> String {
+    let mut models: Vec<usize> = Vec::new();
+    let mut devices: Vec<usize> = Vec::new();
+    let note = |list: &mut Vec<usize>, v: usize| {
+        if !list.contains(&v) {
+            list.push(v);
+        }
+    };
+    for e in &trace.journal.events {
+        match *e {
+            TraceEvent::Admit { model, .. }
+            | TraceEvent::Shed { model, .. }
+            | TraceEvent::Enqueue { model, .. }
+            | TraceEvent::Dequeue { model, .. }
+            | TraceEvent::BatchFormed { model, .. } => note(&mut models, model),
+            TraceEvent::ResidencyLoad { device, model, .. }
+            | TraceEvent::Dispatch { device, model, .. }
+            | TraceEvent::Complete { device, model, .. } => {
+                note(&mut models, model);
+                note(&mut devices, device);
+            }
+        }
+    }
+    models.sort_unstable();
+    devices.sort_unstable();
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&ev);
+    };
+
+    // Metadata: name the two processes and their tracks.
+    push(
+        &mut out,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"scheduler\"}}"
+            .to_string(),
+    );
+    push(
+        &mut out,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"devices\"}}"
+            .to_string(),
+    );
+    for &m in &models {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{m},\
+                 \"args\":{{\"name\":\"model {m}\"}}}}"
+            ),
+        );
+    }
+    for &d in &devices {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{d},\
+                 \"args\":{{\"name\":\"device {d}\"}}}}"
+            ),
+        );
+    }
+
+    for e in &trace.journal.events {
+        let ev = match *e {
+            TraceEvent::Admit {
+                t_us,
+                id,
+                model,
+                predicted_us,
+            } => format!(
+                "{{\"name\":\"admit\",\"cat\":\"admission\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"id\":{id},\"predicted_us\":{}}}}}",
+                num(t_us),
+                num(predicted_us)
+            ),
+            TraceEvent::Shed {
+                t_us,
+                id,
+                model,
+                predicted_us,
+                deadline_us,
+            } => format!(
+                "{{\"name\":\"shed\",\"cat\":\"admission\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"id\":{id},\"predicted_us\":{},\"deadline_us\":{}}}}}",
+                num(t_us),
+                num(predicted_us),
+                num(deadline_us)
+            ),
+            TraceEvent::Enqueue {
+                t_us,
+                id,
+                model,
+                depth,
+            } => format!(
+                "{{\"name\":\"enqueue\",\"cat\":\"queue\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"id\":{id},\"depth\":{depth}}}}}",
+                num(t_us)
+            ),
+            TraceEvent::Dequeue {
+                t_us,
+                id,
+                model,
+                queued_us,
+            } => format!(
+                // The queue wait rendered as a span ending at dequeue.
+                "{{\"name\":\"queued\",\"cat\":\"queue\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"id\":{id}}}}}",
+                num(t_us - queued_us),
+                num(queued_us)
+            ),
+            TraceEvent::BatchFormed {
+                t_us,
+                model,
+                size,
+                max_frames,
+                total_frames,
+            } => format!(
+                "{{\"name\":\"batch_formed\",\"cat\":\"batch\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"size\":{size},\"max_frames\":{max_frames},\
+                 \"padded_frames\":{}}}}}",
+                num(t_us),
+                size as u64 * max_frames - total_frames
+            ),
+            TraceEvent::ResidencyLoad {
+                t_us,
+                device,
+                model,
+                load_us,
+                stall_cycles,
+                evicted,
+            } => format!(
+                "{{\"name\":\"load model {model}\",\"cat\":\"residency\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{device},\
+                 \"args\":{{\"stall_cycles\":{stall_cycles},\"evicted\":{evicted}}}}}",
+                num(t_us),
+                num(load_us)
+            ),
+            TraceEvent::Dispatch {
+                t_us: _,
+                device,
+                model,
+                size,
+                start_us,
+                busy_us,
+            } => format!(
+                "{{\"name\":\"batch model {model} ×{size}\",\"cat\":\"device\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{device},\
+                 \"args\":{{\"model\":{model},\"size\":{size}}}}}",
+                num(start_us),
+                num(busy_us)
+            ),
+            TraceEvent::Complete {
+                t_us,
+                id,
+                device,
+                model,
+                arrival_us,
+                dispatch_us: _,
+                deadline_met,
+            } => format!(
+                "{{\"name\":\"request {id}\",\"cat\":\"request\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{model},\
+                 \"args\":{{\"device\":{device},\"deadline_met\":{deadline_met}}}}}",
+                num(arrival_us),
+                num(t_us - arrival_us)
+            ),
+        };
+        push(&mut out, ev);
+    }
+    let _ = write!(
+        out,
+        "],\"otherData\":{{\"dropped_events\":{},\"capacity\":{}}}}}",
+        trace.journal.dropped, trace.journal.capacity
+    );
+    out
+}
+
+/// Renders run metrics plus attribution as a Prometheus text-exposition
+/// snapshot (counters, two histograms, per-cell stage gauges).
+pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
+    let mut out = String::new();
+    let counter = |out: &mut String, name: &str, help: &str, v: String| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    counter(
+        &mut out,
+        "ernn_requests_completed_total",
+        "Requests served to completion.",
+        metrics.completed.to_string(),
+    );
+    counter(
+        &mut out,
+        "ernn_requests_shed_total",
+        "Requests rejected by admission control.",
+        metrics.shed.to_string(),
+    );
+    counter(
+        &mut out,
+        "ernn_trace_events_total",
+        "Trace events offered to the flight recorder.",
+        (trace.journal.events.len() as u64 + trace.journal.dropped).to_string(),
+    );
+    counter(
+        &mut out,
+        "ernn_trace_events_dropped_total",
+        "Trace events lost to ring-buffer overwrite.",
+        trace.journal.dropped.to_string(),
+    );
+
+    for (name, help, hist) in [
+        (
+            "ernn_latency_us",
+            "End-to-end request latency (virtual µs).",
+            &metrics.latency_hist,
+        ),
+        (
+            "ernn_queue_us",
+            "Queueing delay, arrival to device start (virtual µs).",
+            &metrics.queue_hist,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (le, cum) in hist.cumulative_buckets() {
+            let le = if le.is_finite() {
+                format!("{le}")
+            } else {
+                "+Inf".to_string()
+            };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", num(hist.sum_us()));
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP ernn_stage_us Virtual time attributed per (device, model, stage)."
+    );
+    let _ = writeln!(out, "# TYPE ernn_stage_us gauge");
+    for (device, model, cell) in trace.attribution.iter() {
+        for (stage, v) in [
+            ("queue", cell.queue_us),
+            ("load", cell.load_us),
+            ("compute", cell.compute_us),
+            ("padding", cell.padding_us),
+        ] {
+            let _ = writeln!(
+                out,
+                "ernn_stage_us{{device=\"{device}\",model=\"{model}\",stage=\"{stage}\"}} {}",
+                num(v)
+            );
+        }
+    }
+    for (device, model, cell) in trace.attribution.iter() {
+        let _ = writeln!(
+            out,
+            "ernn_stage_requests_total{{device=\"{device}\",model=\"{model}\"}} {}",
+            cell.requests
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> TraceEvent {
+        TraceEvent::Enqueue {
+            t_us: t,
+            id: t as u64,
+            model: 0,
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::disabled();
+        assert!(!r.is_enabled());
+        for i in 0..100 {
+            r.record(ev(i as f64));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.offered(), 0);
+        assert_eq!(r.dropped(), 0);
+        assert!(r.into_journal().events.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_most_recent_events() {
+        let mut r = FlightRecorder::new(TraceConfig::enabled(4));
+        for i in 0..10 {
+            r.record(ev(i as f64));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.offered(), 10);
+        assert_eq!(r.dropped(), 6);
+        let times: Vec<f64> = r.events().iter().map(|e| e.t_us()).collect();
+        assert_eq!(times, vec![6.0, 7.0, 8.0, 9.0]);
+        let journal = r.into_journal();
+        assert_eq!(journal.dropped, 6);
+        assert_eq!(journal.capacity, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn enabled_config_rejects_zero_capacity() {
+        let _ = TraceConfig::enabled(0);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_mean_max() {
+        let mut h = LatencyHistogram::new();
+        for v in [2.0, 4.0, 10.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_us() - 29.0).abs() < 1e-12);
+        assert_eq!(h.max_us(), 100.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_never_underestimate() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 3.7).collect();
+        let mut h = LatencyHistogram::new();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for &v in &samples {
+            h.record(v);
+        }
+        for q in [0.5, 0.95, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact - 1e-9, "q={q}: {est} < exact {exact}");
+            assert!(
+                est <= exact * (1.0 + LatencyHistogram::RELATIVE_ERROR_BOUND) + 1e-9,
+                "q={q}: {est} overshoots exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_swallows_hostile_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 0.5, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // Only the finite samples reach the exact stats.
+        assert_eq!(h.max_us(), 2.0);
+        assert!(h.sum_us().is_finite());
+        // Quantiles stay finite and ordered.
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let (mut a, mut b, mut c) = (
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+            LatencyHistogram::new(),
+        );
+        for i in 0..50 {
+            let v = (i * 17 % 900) as f64 + 0.5;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..200 {
+            h.record((i % 37) as f64 + 0.25);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.last().unwrap().1, 200);
+        assert!(buckets.last().unwrap().0.is_infinite());
+    }
+
+    #[test]
+    fn attribution_accumulates_per_cell() {
+        let mut a = StageAttribution::new();
+        let delta = StageBreakdown {
+            requests: 2,
+            batches: 1,
+            queue_us: 3.0,
+            load_us: 1.0,
+            compute_us: 5.0,
+            padding_us: 0.5,
+        };
+        a.charge(0, 1, delta);
+        a.charge(0, 1, delta);
+        a.charge(1, 0, delta);
+        assert_eq!(a.len(), 2);
+        let cell = a.get(0, 1);
+        assert_eq!(cell.requests, 4);
+        assert_eq!(cell.batches, 2);
+        assert!((cell.queue_us - 6.0).abs() < 1e-12);
+        assert!((cell.busy_us() - 12.0).abs() < 1e-12);
+        assert_eq!(a.get(3, 3), StageBreakdown::default());
+        let cells: Vec<(usize, usize)> = a.iter().map(|(d, m, _)| (d, m)).collect();
+        assert_eq!(cells, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn chrome_export_is_structurally_sound() {
+        let mut r = FlightRecorder::new(TraceConfig::enabled(64));
+        r.record(TraceEvent::Admit {
+            t_us: 0.0,
+            id: 7,
+            model: 1,
+            predicted_us: 12.5,
+        });
+        r.record(TraceEvent::Dequeue {
+            t_us: 4.0,
+            id: 7,
+            model: 1,
+            queued_us: 4.0,
+        });
+        r.record(TraceEvent::ResidencyLoad {
+            t_us: 4.0,
+            device: 0,
+            model: 1,
+            load_us: 2.0,
+            stall_cycles: 400,
+            evicted: 1,
+        });
+        r.record(TraceEvent::Dispatch {
+            t_us: 4.0,
+            device: 0,
+            model: 1,
+            size: 1,
+            start_us: 4.0,
+            busy_us: 8.0,
+        });
+        r.record(TraceEvent::Complete {
+            t_us: 12.0,
+            id: 7,
+            device: 0,
+            model: 1,
+            arrival_us: 0.0,
+            dispatch_us: 4.0,
+            deadline_met: true,
+        });
+        let mut trace = RunTrace {
+            journal: r.into_journal(),
+            attribution: StageAttribution::new(),
+        };
+        trace.attribution.charge(0, 1, StageBreakdown::default());
+        let doc = chrome_trace_json(&trace);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with('}'));
+        // Braces and brackets balance (no string in the doc contains
+        // them, so plain counting is sound).
+        let depth = doc.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON nesting");
+        for needle in [
+            "\"admit\"",
+            "\"queued\"",
+            "\"load model 1\"",
+            "\"batch model 1 ×1\"",
+            "\"request 7\"",
+            "\"process_name\"",
+            "\"dropped_events\":0",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
+    }
+
+    #[test]
+    fn prometheus_export_has_counters_histograms_and_stages() {
+        use crate::request::Response;
+        let responses = vec![Response {
+            id: 0,
+            model: 0,
+            logits: vec![vec![0.0]; 2],
+            arrival_us: 0.0,
+            dispatch_us: 1.0,
+            complete_us: 5.0,
+            device: 0,
+            batch_size: 1,
+            deadline_tracked: false,
+            deadline_met: true,
+            shed: false,
+        }];
+        let metrics = ServeMetrics::compute(&responses, vec![4.0]);
+        let mut trace = RunTrace::default();
+        trace.attribution.charge(
+            0,
+            0,
+            StageBreakdown {
+                requests: 1,
+                batches: 1,
+                queue_us: 1.0,
+                load_us: 0.0,
+                compute_us: 4.0,
+                padding_us: 0.0,
+            },
+        );
+        let text = prometheus_snapshot(&metrics, &trace);
+        assert!(text.contains("ernn_requests_completed_total 1"));
+        assert!(text.contains("ernn_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ernn_latency_us_count 1"));
+        assert!(text.contains("ernn_stage_us{device=\"0\",model=\"0\",stage=\"compute\"} 4"));
+        assert!(text.contains("ernn_stage_requests_total{device=\"0\",model=\"0\"} 1"));
+        // Every exposition line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -17,6 +17,12 @@
 //! them with `register_artifact`, i.e. without retraining, recompressing
 //! or refreshing weight spectra beyond the decode itself.
 //!
+//! Each run has the flight recorder on, and the per-config summary
+//! breaks down where each (device, model) cell's virtual time went —
+//! queue wait, weight-load stalls, compute, padding waste. Pass
+//! `--trace-out PATH` to dump the last config's journal as Chrome trace
+//! JSON for `ui.perfetto.dev` (see `docs/observability.md`).
+//!
 //! Run with: `cargo run --release --example multi_model_serving`
 
 use ernn::fpga::{ADM_PCIE_7V3, XCKU060};
@@ -24,7 +30,7 @@ use ernn::model::{CellType, ModelSpec};
 use ernn::pipeline::Pipeline;
 use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn::serve::sched::{AdmissionPolicy, ModelRegistry, SchedPolicy, SchedRuntime};
-use ernn::serve::{ModelArtifact, Request};
+use ernn::serve::{chrome_trace_json, ModelArtifact, Request, TraceConfig};
 use rand::SeedableRng;
 
 const DIM: usize = 52;
@@ -117,8 +123,17 @@ fn main() {
         ),
     ];
 
-    for (label, policy) in configs {
-        let runtime = SchedRuntime::new(registry(&tenants), platforms.clone(), policy);
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let last = configs.len() - 1;
+    for (c, (label, policy)) in configs.into_iter().enumerate() {
+        let runtime = SchedRuntime::new(registry(&tenants), platforms.clone(), policy)
+            .with_tracing(TraceConfig::enabled(1 << 14));
         let report = runtime.run(mixed_load(400));
         println!("\n=== {label} ===");
         println!("{}", report.metrics);
@@ -129,5 +144,32 @@ fn main() {
             report.sched.load_us_total,
             report.sched.shed
         );
+        println!("stage attribution (virtual µs):");
+        println!(
+            "  {:<22} {:>5} {:>7} {:>9} {:>8} {:>9} {:>9}",
+            "device / model", "reqs", "batches", "queue", "load", "compute", "padding"
+        );
+        for (device, model, cell) in report.trace.attribution.iter() {
+            println!(
+                "  {:<22} {:>5} {:>7} {:>9.1} {:>8.1} {:>9.1} {:>9.1}",
+                format!("dev{device} · model {model}"),
+                cell.requests,
+                cell.batches,
+                cell.queue_us,
+                cell.load_us,
+                cell.compute_us,
+                cell.padding_us
+            );
+        }
+        if c == last {
+            if let Some(path) = &trace_out {
+                let json = chrome_trace_json(&report.trace);
+                std::fs::write(path, json).expect("write trace");
+                println!(
+                    "\nwrote {path} ({} events) — drop into ui.perfetto.dev",
+                    report.trace.journal.events.len()
+                );
+            }
+        }
     }
 }

@@ -12,10 +12,19 @@
 //! buffers themselves — performs **zero** heap allocations when shapes
 //! repeat, because every intermediate lives in a persistent
 //! [`ExecScratch`] and outputs are written shape-reusingly in place.
+//!
+//! ISSUE 6 extends the claim to the observability layer: the same
+//! measured window also drives the flight recorder past its ring
+//! capacity (wraparound overwrite), streams samples into a
+//! [`LatencyHistogram`], and charges warm [`StageAttribution`] cells —
+//! still at zero allocations, so tracing can stay on in production.
 
 use ernn::fpga::exec::{DatapathConfig, ExecScratch};
 use ernn::fpga::XCKU060;
 use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn::serve::trace::{
+    FlightRecorder, LatencyHistogram, StageAttribution, StageBreakdown, TraceConfig, TraceEvent,
+};
 use ernn::serve::CompiledModel;
 use ernn_bench::alloc::{allocation_count, CountingAllocator};
 use rand::{Rng, SeedableRng};
@@ -48,13 +57,46 @@ fn steady_state_batched_inference_performs_zero_allocations() {
         // Warmup grows every scratch buffer and the output shape.
         model.infer_batch_into(&batch, &mut out, &mut scratch);
 
+        // Tracing state, pre-sized at construction: a flight recorder
+        // whose ring we will deliberately overflow, a histogram (fixed
+        // bucket array), and an attribution table with its cell warmed.
+        let mut recorder = FlightRecorder::new(TraceConfig::enabled(4096));
+        let mut hist = LatencyHistogram::new();
+        let mut attribution = StageAttribution::new();
+        attribution.charge(0, 0, StageBreakdown::default());
+
         let before = allocation_count();
         model.infer_batch_into(&batch, &mut out, &mut scratch);
+        // 2× ring capacity exercises both the fill and the wraparound
+        // overwrite paths of the recorder.
+        for i in 0..8192u64 {
+            recorder.record(TraceEvent::Enqueue {
+                t_us: i as f64,
+                id: i,
+                model: 0,
+                depth: 1,
+            });
+            hist.record(1.0 + i as f64);
+        }
+        attribution.charge(
+            0,
+            0,
+            StageBreakdown {
+                requests: 4,
+                batches: 1,
+                queue_us: 12.5,
+                load_us: 0.0,
+                compute_us: 90.0,
+                padding_us: 3.0,
+            },
+        );
         let delta = allocation_count() - before;
         assert_eq!(
             delta, 0,
-            "{cell}: steady-state batched inference allocated {delta} times"
+            "{cell}: steady-state batched inference + tracing allocated {delta} times"
         );
+        assert_eq!(recorder.dropped(), 8192 - 4096);
+        assert_eq!(hist.summary().count, 8192);
 
         // And the in-place results are still bit-identical to the plain
         // allocating path, per utterance.
