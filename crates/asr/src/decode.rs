@@ -43,6 +43,129 @@ pub fn decode_frames(logits: &[Vec<f32>], silence_id: usize, min_run: usize) -> 
     out
 }
 
+/// Streaming counterpart of [`decode_frames`]: feed logits chunk by
+/// chunk as they come off a streaming session and read partial
+/// hypotheses between chunks.
+///
+/// The batch decoder smooths each frame over a centered 3-frame window,
+/// so the incremental decoder holds exactly one frame of lookahead: a
+/// frame's smoothed value is emitted when its successor arrives (or at
+/// [`IncrementalDecoder::finish`], where the window is clamped at the
+/// utterance edge just like the batch path). That makes the equality
+/// exact, not approximate:
+/// `finish()` over any chunking of an utterance returns bit-identically
+/// what `decode_frames` returns on the whole utterance — the property
+/// `tests` checks over randomized chunkings.
+///
+/// [`IncrementalDecoder::hypothesis`] is the partial transcript the
+/// committed frames support; it never includes the lookahead frame or
+/// the still-open run (either could change with more audio).
+#[derive(Debug, Clone)]
+pub struct IncrementalDecoder {
+    silence_id: usize,
+    min_run: usize,
+    /// Raw frame t-1 (already consumed into a smoothed emission).
+    prev: Option<Vec<f32>>,
+    /// Raw frame t: the lookahead, not yet smoothed.
+    pending: Option<Vec<f32>>,
+    /// The open argmax run `(phone, length)`.
+    current: Option<(usize, usize)>,
+    /// Committed phones (dedup applied on push).
+    out: Vec<usize>,
+}
+
+impl IncrementalDecoder {
+    /// A fresh decoder with the same knobs as [`decode_frames`].
+    pub fn new(silence_id: usize, min_run: usize) -> Self {
+        IncrementalDecoder {
+            silence_id,
+            min_run,
+            prev: None,
+            pending: None,
+            current: None,
+            out: Vec::new(),
+        }
+    }
+
+    /// Feeds one chunk of framewise logits.
+    pub fn push_chunk(&mut self, logits: &[Vec<f32>]) {
+        for frame in logits {
+            self.push_frame(frame.clone());
+        }
+    }
+
+    /// Feeds a single frame of logits.
+    pub fn push_frame(&mut self, frame: Vec<f32>) {
+        if let Some(mid) = self.pending.take() {
+            let smoothed = average(self.prev.as_deref(), &mid, Some(&frame));
+            self.consume(&smoothed);
+            self.prev = Some(mid);
+        }
+        self.pending = Some(frame);
+    }
+
+    /// The partial hypothesis committed so far (closed, qualifying runs
+    /// only). Cheap: clones the committed phone list.
+    pub fn hypothesis(&self) -> Vec<usize> {
+        self.out.clone()
+    }
+
+    /// Consumes the decoder at end of utterance: smooths the lookahead
+    /// frame against the clamped window edge, closes the final run, and
+    /// returns the complete phone sequence — bit-identical to
+    /// [`decode_frames`] over the concatenated frames.
+    pub fn finish(mut self) -> Vec<usize> {
+        if let Some(last) = self.pending.take() {
+            let smoothed = average(self.prev.as_deref(), &last, None);
+            self.consume(&smoothed);
+        }
+        let (current, silence_id, min_run) = (self.current.take(), self.silence_id, self.min_run);
+        Self::flush(current, silence_id, min_run, &mut self.out);
+        self.out
+    }
+
+    /// Advances the run-collapse state machine by one smoothed frame.
+    fn consume(&mut self, smoothed: &[f32]) {
+        let p = argmax(smoothed);
+        match self.current {
+            Some((cp, run)) if cp == p => self.current = Some((cp, run + 1)),
+            other => {
+                Self::flush(other, self.silence_id, self.min_run, &mut self.out);
+                self.current = Some((p, 1));
+            }
+        }
+    }
+
+    /// Commits a closed run, applying the silence / `min_run` / adjacent
+    /// -dedup rules (dedup on push is equivalent to the batch decoder's
+    /// final `dedup()`).
+    fn flush(cur: Option<(usize, usize)>, silence_id: usize, min_run: usize, out: &mut Vec<usize>) {
+        if let Some((p, run)) = cur {
+            if p != silence_id && run >= min_run && out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// The centered moving average of `mid` over whichever of its neighbors
+/// exist — the streaming form of [`smooth_logits`]'s clamped window.
+fn average(before: Option<&[f32]>, mid: &[f32], after: Option<&[f32]>) -> Vec<f32> {
+    let span = 1 + usize::from(before.is_some()) + usize::from(after.is_some());
+    (0..mid.len())
+        .map(|d| {
+            let mut s = mid[d];
+            if let Some(b) = before {
+                s += b[d];
+            }
+            if let Some(a) = after {
+                s += a[d];
+            }
+            s / span as f32
+        })
+        .collect()
+}
+
 /// Three-frame moving average over logits — suppresses single-frame
 /// glitches at phone boundaries before the argmax.
 fn smooth_logits(logits: &[Vec<f32>]) -> Vec<Vec<f32>> {
@@ -145,6 +268,80 @@ mod tests {
             .collect();
         // The single-frame /2/ glitch is dropped and the 1-runs merge.
         assert_eq!(decode_frames(&frames, 0, 2), vec![1]);
+    }
+
+    #[test]
+    fn incremental_decode_matches_batch_on_simple_runs() {
+        let frames: Vec<Vec<f32>> = [0, 0, 1, 1, 1, 0, 2, 2, 3, 3, 0, 0]
+            .iter()
+            .map(|&p| one_hot(p, 4, 5.0))
+            .collect();
+        let mut dec = IncrementalDecoder::new(0, 2);
+        dec.push_chunk(&frames[..5]);
+        dec.push_chunk(&frames[5..]);
+        assert_eq!(dec.finish(), decode_frames(&frames, 0, 2));
+    }
+
+    #[test]
+    fn incremental_decode_is_chunking_invariant() {
+        // Randomized logits and randomized chunk boundaries (including
+        // empty chunks and single frames): every chunking must finish
+        // with exactly the batch decode of the whole utterance.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..50 {
+            let n = 1 + (rng() % 40) as usize;
+            let dim = 3 + (rng() % 4) as usize;
+            let frames: Vec<Vec<f32>> = (0..n)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| (rng() % 1000) as f32 / 100.0 - 5.0)
+                        .collect()
+                })
+                .collect();
+            let expected = decode_frames(&frames, 0, 2);
+            let mut dec = IncrementalDecoder::new(0, 2);
+            let mut at = 0;
+            while at < n {
+                let take = ((rng() % 5) as usize).min(n - at);
+                dec.push_chunk(&frames[at..at + take]);
+                at += take;
+            }
+            assert_eq!(dec.finish(), expected, "trial {trial} (n = {n})");
+        }
+    }
+
+    #[test]
+    fn incremental_hypothesis_grows_and_never_includes_open_runs() {
+        let frames: Vec<Vec<f32>> = [1, 1, 1, 0, 0, 2, 2, 2, 0, 0, 3, 3, 3]
+            .iter()
+            .map(|&p| one_hot(p, 4, 5.0))
+            .collect();
+        let mut dec = IncrementalDecoder::new(0, 2);
+        assert_eq!(dec.hypothesis(), Vec::<usize>::new());
+        dec.push_chunk(&frames[..5]);
+        // The /1/ run is closed by silence and committed.
+        assert_eq!(dec.hypothesis(), vec![1]);
+        dec.push_chunk(&frames[5..8]);
+        // The /2/ run is still open (lookahead pending) — not committed.
+        assert_eq!(dec.hypothesis(), vec![1]);
+        dec.push_chunk(&frames[8..]);
+        assert_eq!(dec.hypothesis(), vec![1, 2]);
+        assert_eq!(dec.finish(), decode_frames(&frames, 0, 2));
+    }
+
+    #[test]
+    fn incremental_decode_handles_empty_and_single_frame_utterances() {
+        assert_eq!(IncrementalDecoder::new(0, 1).finish(), Vec::<usize>::new());
+        let frames = vec![one_hot(2, 3, 5.0)];
+        let mut dec = IncrementalDecoder::new(0, 1);
+        dec.push_chunk(&frames);
+        assert_eq!(dec.finish(), decode_frames(&frames, 0, 1));
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod phones;
 pub mod synth;
 
 pub use dataset::{SynthCorpus, SynthCorpusConfig, Utterance};
-pub use decode::{decode_frames, edit_distance, evaluate_per, phone_error_rate};
+pub use decode::{
+    decode_frames, edit_distance, evaluate_per, phone_error_rate, IncrementalDecoder,
+};
 pub use features::FrontEnd;
 pub use phones::{Phone, PhoneClass, PhoneSet};

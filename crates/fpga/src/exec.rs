@@ -91,6 +91,35 @@ impl DatapathConfig {
     }
 }
 
+/// Persistent recurrent state of one streaming session.
+///
+/// Holds, per stacked layer, the cell state `c` and — for LSTM layers
+/// with an output/projection dimension — the output state `y` (empty for
+/// GRU layers, whose cell state doubles as the output). A fresh state is
+/// all zeros, so running a sequence through
+/// [`QuantizedNetwork::forward_logits_batch_states_into`] with a fresh
+/// state is bit-identical to the stateless entry points; carrying the
+/// state across chunk boundaries continues the recurrence exactly where
+/// the previous chunk left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkState {
+    layers: Vec<LayerState>,
+}
+
+/// Recurrent state of a single stacked layer.
+#[derive(Debug, Clone, PartialEq)]
+struct LayerState {
+    c: Vec<f32>,
+    y: Vec<f32>,
+}
+
+impl NetworkState {
+    /// Number of `f32` state elements across all layers.
+    pub fn num_elements(&self) -> usize {
+        self.layers.iter().map(|l| l.c.len() + l.y.len()).sum()
+    }
+}
+
 /// Statistics of the weight quantization pass.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QuantizationReport {
@@ -249,6 +278,44 @@ impl QuantizedNetwork {
         self.activation_format.quantize_f32(x)
     }
 
+    /// A zero-initialized [`NetworkState`] sized for this network — the
+    /// state of a streaming session before its first chunk.
+    pub fn fresh_state(&self) -> NetworkState {
+        let layers = self
+            .net
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                RnnLayer::Lstm(l) => LayerState {
+                    c: vec![0.0; l.config().hidden_dim],
+                    y: vec![0.0; l.config().output_dim],
+                },
+                RnnLayer::Gru(g) => LayerState {
+                    c: vec![0.0; g.hidden_dim()],
+                    y: Vec::new(),
+                },
+            })
+            .collect();
+        NetworkState { layers }
+    }
+
+    /// On-device footprint of one session's [`NetworkState`] in bytes, at
+    /// the datapath's activation word length (each state element is one
+    /// activation word, rounded up to whole bytes).
+    pub fn state_bytes(&self) -> u64 {
+        let word = self.activation_format.word_bits().div_ceil(8) as u64;
+        let elems: u64 = self
+            .net
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                RnnLayer::Lstm(l) => (l.config().hidden_dim + l.config().output_dim) as u64,
+                RnnLayer::Gru(g) => g.hidden_dim() as u64,
+            })
+            .sum();
+        elems * word
+    }
+
     /// Forward pass the way the hardware computes it: quantized inputs,
     /// quantized intermediate vectors after every matvec/point-wise
     /// operator, and piecewise-linear sigmoid/tanh units.
@@ -300,6 +367,43 @@ impl QuantizedNetwork {
         out: &mut Vec<Vec<Vec<f32>>>,
         scratch: &mut ExecScratch,
     ) {
+        self.forward_batch_core(utterances, None, out, scratch);
+    }
+
+    /// [`Self::forward_logits_batch_into`] with per-lane recurrent state:
+    /// lane `s` starts from `states[s]` (a fresh state behaves exactly
+    /// like the stateless kernel) and, on return, `states[s]` holds the
+    /// state after the lane's final frame, ready for the session's next
+    /// chunk. `None` lanes run stateless (zero initial state, nothing
+    /// written back), so mixed batches of streaming chunks and whole
+    /// utterances fuse into one lockstep pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != utterances.len()`, if a state's shape
+    /// disagrees with the network, or on a frame-dimension mismatch.
+    pub fn forward_logits_batch_states_into(
+        &self,
+        utterances: &[&[Vec<f32>]],
+        states: &mut [Option<NetworkState>],
+        out: &mut Vec<Vec<Vec<f32>>>,
+        scratch: &mut ExecScratch,
+    ) {
+        assert_eq!(
+            states.len(),
+            utterances.len(),
+            "one state slot per utterance"
+        );
+        self.forward_batch_core(utterances, Some(states), out, scratch);
+    }
+
+    fn forward_batch_core(
+        &self,
+        utterances: &[&[Vec<f32>]],
+        mut states: Option<&mut [Option<NetworkState>]>,
+        out: &mut Vec<Vec<Vec<f32>>>,
+        scratch: &mut ExecScratch,
+    ) {
         let n = utterances.len();
         let in_dim = self.net.input_dim();
 
@@ -325,10 +429,11 @@ impl QuantizedNetwork {
         }
 
         // Through the stack: each layer consumes `a`, produces `b`, swap.
-        for layer in self.net.layers() {
+        for (li, layer) in self.net.layers().iter().enumerate() {
+            let st = states.as_deref_mut();
             match layer {
-                RnnLayer::Lstm(l) => self.lstm_seq_batch(l, n, scratch),
-                RnnLayer::Gru(g) => self.gru_seq_batch(g, n, scratch),
+                RnnLayer::Lstm(l) => self.lstm_seq_batch(l, li, n, st, scratch),
+                RnnLayer::Gru(g) => self.gru_seq_batch(g, li, n, st, scratch),
             }
             std::mem::swap(&mut scratch.a, &mut scratch.b);
         }
@@ -358,8 +463,17 @@ impl QuantizedNetwork {
     /// Batched LSTM lockstep with the hardware datapath (mirrors
     /// `ernn_model::LstmLayer::step` with quantization and PWL injected —
     /// kept in sync by the agreement tests below). Reads activations from
-    /// `scratch.a`, writes to `scratch.b`.
-    fn lstm_seq_batch(&self, l: &LstmLayer<WeightMatrix>, n: usize, scratch: &mut ExecScratch) {
+    /// `scratch.a`, writes to `scratch.b`. Lane `s` starts from layer
+    /// `li` of `states[s]` when present (zeros otherwise) and writes its
+    /// final recurrent state back there.
+    fn lstm_seq_batch(
+        &self,
+        l: &LstmLayer<WeightMatrix>,
+        li: usize,
+        n: usize,
+        states: Option<&mut [Option<NetworkState>]>,
+        scratch: &mut ExecScratch,
+    ) {
         let cfg = l.config();
         let h = cfg.hidden_dim;
         let r = cfg.output_dim;
@@ -386,9 +500,21 @@ impl QuantizedNetwork {
         let max_t = (0..n).map(len_of).max().unwrap_or(0);
         b.resize(off[n] * r, 0.0);
         c_state.resize(n * h, 0.0);
-        c_state.iter_mut().for_each(|v| *v = 0.0);
         y_state.resize(n * r, 0.0);
-        y_state.iter_mut().for_each(|v| *v = 0.0);
+        for s in 0..n {
+            let cs = &mut c_state[s * h..(s + 1) * h];
+            let ys = &mut y_state[s * r..(s + 1) * r];
+            match states.as_ref().and_then(|st| st[s].as_ref()) {
+                Some(ns) => {
+                    cs.copy_from_slice(&ns.layers[li].c);
+                    ys.copy_from_slice(&ns.layers[li].y);
+                }
+                None => {
+                    cs.iter_mut().for_each(|v| *v = 0.0);
+                    ys.iter_mut().for_each(|v| *v = 0.0);
+                }
+            }
+        }
 
         for t in 0..max_t {
             active.clear();
@@ -458,12 +584,33 @@ impl QuantizedNetwork {
                 b[(off[s] + t) * r..][..r].copy_from_slice(&yn[bi * r..(bi + 1) * r]);
             }
         }
+        if let Some(st) = states {
+            for s in 0..n {
+                if let Some(ns) = st[s].as_mut() {
+                    ns.layers[li]
+                        .c
+                        .copy_from_slice(&c_state[s * h..(s + 1) * h]);
+                    ns.layers[li]
+                        .y
+                        .copy_from_slice(&y_state[s * r..(s + 1) * r]);
+                }
+            }
+        }
     }
 
     /// Batched GRU lockstep with the hardware datapath (mirrors
     /// `ernn_model::GruLayer::step`). Reads activations from `scratch.a`,
-    /// writes to `scratch.b`.
-    fn gru_seq_batch(&self, g: &GruLayer<WeightMatrix>, n: usize, scratch: &mut ExecScratch) {
+    /// writes to `scratch.b`. Lane `s` starts from layer `li` of
+    /// `states[s]` when present (zeros otherwise) and writes its final
+    /// cell state back there.
+    fn gru_seq_batch(
+        &self,
+        g: &GruLayer<WeightMatrix>,
+        li: usize,
+        n: usize,
+        states: Option<&mut [Option<NetworkState>]>,
+        scratch: &mut ExecScratch,
+    ) {
         let h = g.hidden_dim();
         let in_dim = g.input_dim();
         let ExecScratch {
@@ -488,7 +635,13 @@ impl QuantizedNetwork {
         let max_t = (0..n).map(len_of).max().unwrap_or(0);
         b.resize(off[n] * h, 0.0);
         c_state.resize(n * h, 0.0);
-        c_state.iter_mut().for_each(|v| *v = 0.0);
+        for s in 0..n {
+            let cs = &mut c_state[s * h..(s + 1) * h];
+            match states.as_ref().and_then(|st| st[s].as_ref()) {
+                Some(ns) => cs.copy_from_slice(&ns.layers[li].c),
+                None => cs.iter_mut().for_each(|v| *v = 0.0),
+            }
+        }
 
         for t in 0..max_t {
             active.clear();
@@ -542,6 +695,15 @@ impl QuantizedNetwork {
             for (bi, &s) in active.iter().enumerate() {
                 c_state[s * h..(s + 1) * h].copy_from_slice(&cn[bi * h..(bi + 1) * h]);
                 b[(off[s] + t) * h..][..h].copy_from_slice(&cn[bi * h..(bi + 1) * h]);
+            }
+        }
+        if let Some(st) = states {
+            for s in 0..n {
+                if let Some(ns) = st[s].as_mut() {
+                    ns.layers[li]
+                        .c
+                        .copy_from_slice(&c_state[s * h..(s + 1) * h]);
+                }
             }
         }
     }
@@ -665,6 +827,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chunked_stateful_forward_matches_whole_utterance() {
+        for cell in [CellType::Lstm, CellType::Gru] {
+            let net = compressed_net(cell);
+            let q = QuantizedNetwork::new(&net, &DatapathConfig::paper_12bit());
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(19);
+            use rand::Rng;
+            let utt: Vec<Vec<f32>> = (0..13)
+                .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect();
+            let whole = q.forward_logits(&utt);
+            // Uneven chunk sizes, state carried across every boundary.
+            let mut scratch = ExecScratch::new();
+            let mut states = vec![Some(q.fresh_state())];
+            let mut got: Vec<Vec<f32>> = Vec::new();
+            for chunk in [&utt[..4], &utt[4..5], &utt[5..11], &utt[11..]] {
+                let mut out = Vec::new();
+                q.forward_logits_batch_states_into(&[chunk], &mut states, &mut out, &mut scratch);
+                got.extend(out.pop().expect("one lane out"));
+            }
+            assert_eq!(got, whole, "{cell}: chunked != whole");
+        }
+    }
+
+    #[test]
+    fn fresh_state_lane_matches_stateless_lane_in_a_mixed_batch() {
+        let net = compressed_net(CellType::Lstm);
+        let q = QuantizedNetwork::new(&net, &DatapathConfig::paper_12bit());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        use rand::Rng;
+        let utts: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|s| {
+                (0..4 + s)
+                    .map(|_| (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = utts.iter().map(Vec::as_slice).collect();
+        let stateless = q.forward_logits_batch(&refs);
+        // Middle lane stateful, outer lanes stateless: identical logits,
+        // and only the stateful lane's state is written back.
+        let mut states = vec![None, Some(q.fresh_state()), None];
+        let mut out = Vec::new();
+        q.forward_logits_batch_states_into(&refs, &mut states, &mut out, &mut ExecScratch::new());
+        assert_eq!(out, stateless);
+        assert!(states[0].is_none() && states[2].is_none());
+        let advanced = states[1].take().expect("state written back");
+        assert_ne!(advanced, q.fresh_state(), "state should have advanced");
+    }
+
+    #[test]
+    fn state_bytes_counts_activation_words() {
+        let net = compressed_net(CellType::Gru);
+        let q = QuantizedNetwork::new(&net, &DatapathConfig::paper_12bit());
+        // One GRU layer of hidden 16 at 12-bit activations → 16 × 2 bytes.
+        assert_eq!(q.state_bytes(), 32);
+        assert_eq!(q.fresh_state().num_elements(), 16);
     }
 
     #[test]

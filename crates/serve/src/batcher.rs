@@ -6,8 +6,18 @@
 //! the CGPipe fill and scheduling overhead, longer waits add queueing
 //! latency. [`BatchPolicy`] expresses the dial; [`DynamicBatcher`] is the
 //! deterministic queue the runtime's event loop drives.
+//!
+//! With streaming sessions, batches form **across sessions at the same
+//! chunk boundary**: several sessions' chunks ride one lockstep batch,
+//! each lane resuming its own recurrent state. Two formation rules keep
+//! that sound (shared with the scheduler's EDF queue): a batch closes
+//! before a second chunk of a session already in it (two lanes of one
+//! session would double-apply state), and before a chunk whose session
+//! is bound to a different device than the batch (state never migrates).
+//! Both rules *close* the batch rather than skip the request, preserving
+//! the queue-order prefix property the no-deadline-inversion tests pin.
 
-use crate::request::Request;
+use crate::request::{Request, Workload};
 use std::collections::VecDeque;
 
 /// When to close a forming batch.
@@ -133,12 +143,45 @@ impl DynamicBatcher {
         }
     }
 
-    /// Removes and returns the next batch (up to `max_batch` requests,
-    /// FIFO). Returns an empty vec when nothing is queued.
-    pub fn take_batch(&mut self) -> Vec<Request> {
-        let n = self.queue.len().min(self.policy.max_batch);
-        self.queue.drain(..n).collect()
+    /// Removes and returns the next batch: up to `max_batch` requests in
+    /// FIFO order, closing early at a streaming-session conflict (a
+    /// second chunk of a session already in the batch, or a chunk whose
+    /// `affinity` device disagrees with the batch's pinned device).
+    /// Returns the batch plus the device it is pinned to, if any member's
+    /// session was bound. Returns an empty batch only when nothing is
+    /// queued.
+    pub fn take_batch(&mut self, affinity: &dyn Fn(u64) -> Option<usize>) -> TakenBatch {
+        let mut batch: Vec<Request> = Vec::new();
+        let mut pinned = None;
+        while batch.len() < self.policy.max_batch {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if let Workload::Chunk { session, .. } = front.workload {
+                if batch.iter().any(|r| r.session() == Some(session)) {
+                    break;
+                }
+                if let Some(d) = affinity(session) {
+                    if pinned.is_some_and(|p| p != d) {
+                        break;
+                    }
+                    pinned = Some(d);
+                }
+            }
+            batch.push(self.queue.pop_front().expect("front exists"));
+        }
+        TakenBatch { batch, pinned }
     }
+}
+
+/// A formed batch plus its device constraint.
+#[derive(Debug)]
+pub struct TakenBatch {
+    /// The batch members, in queue order.
+    pub batch: Vec<Request>,
+    /// Device the batch must run on (some member's session is bound
+    /// there), or `None` when placement is free.
+    pub pinned: Option<usize>,
 }
 
 #[cfg(test)]
@@ -149,6 +192,15 @@ mod tests {
         Request::new(id, vec![vec![0.0; 2]], arrival)
     }
 
+    fn chunk(id: u64, session: u64, index: u32, arrival: f64) -> Request {
+        Request::chunk(id, session, index, false, vec![vec![0.0; 2]], arrival)
+    }
+
+    /// No sessions bound anywhere: formation is unconstrained.
+    fn unbound(_session: u64) -> Option<usize> {
+        None
+    }
+
     #[test]
     fn full_queue_is_ready_immediately() {
         let mut b = DynamicBatcher::new(BatchPolicy::new(2, 1000.0));
@@ -156,7 +208,7 @@ mod tests {
         assert!(!b.ready(0.0));
         b.push(req(1, 1.0));
         assert!(b.ready(1.0));
-        let batch = b.take_batch();
+        let batch = b.take_batch(&unbound).batch;
         assert_eq!(batch.len(), 2);
         assert!(b.is_empty());
     }
@@ -168,7 +220,7 @@ mod tests {
         assert!(!b.ready(59.0));
         assert!(b.ready(60.0));
         assert_eq!(b.flush_deadline_us(), Some(60.0));
-        assert_eq!(b.take_batch().len(), 1);
+        assert_eq!(b.take_batch(&unbound).batch.len(), 1);
     }
 
     #[test]
@@ -177,8 +229,10 @@ mod tests {
         for i in 0..5 {
             b.push(req(i, i as f64));
         }
-        let ids: Vec<u64> = b.take_batch().iter().map(|r| r.id).collect();
+        let taken = b.take_batch(&unbound);
+        let ids: Vec<u64> = taken.batch.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(taken.pinned, None);
         assert_eq!(b.len(), 2);
     }
 
@@ -187,7 +241,7 @@ mod tests {
         let mut b = DynamicBatcher::new(BatchPolicy::immediate());
         b.push(req(0, 5.0));
         assert!(b.ready(5.0));
-        assert_eq!(b.take_batch().len(), 1);
+        assert_eq!(b.take_batch(&unbound).batch.len(), 1);
     }
 
     #[test]
@@ -198,7 +252,44 @@ mod tests {
         assert_eq!(b.readiness(), BatchReadiness::Forming { flush_at_us: 60.0 });
         b.push(req(1, 11.0));
         assert_eq!(b.readiness(), BatchReadiness::Full);
-        let _ = b.take_batch();
+        let _ = b.take_batch(&unbound);
         assert_eq!(b.readiness(), BatchReadiness::Empty);
+    }
+
+    #[test]
+    fn batch_closes_before_a_second_chunk_of_one_session() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(4, 0.0));
+        b.push(chunk(0, 7, 0, 0.0));
+        b.push(chunk(1, 8, 0, 1.0)); // different session: batches fine
+        b.push(chunk(2, 7, 1, 2.0)); // same session again: closes batch
+        b.push(req(3, 3.0));
+        let first = b.take_batch(&unbound);
+        assert_eq!(
+            first.batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let second = b.take_batch(&unbound);
+        assert_eq!(
+            second.batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn batch_closes_at_an_affinity_conflict_and_reports_the_pin() {
+        let mut b = DynamicBatcher::new(BatchPolicy::new(4, 0.0));
+        b.push(chunk(0, 7, 0, 0.0)); // bound to device 1
+        b.push(req(1, 0.5)); // utterances ride along freely
+        b.push(chunk(2, 8, 0, 1.0)); // bound to device 0: conflict
+        let bind = |s: u64| Some(if s == 7 { 1 } else { 0 });
+        let first = b.take_batch(&bind);
+        assert_eq!(
+            first.batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(first.pinned, Some(1));
+        let second = b.take_batch(&bind);
+        assert_eq!(second.batch.len(), 1);
+        assert_eq!(second.pinned, Some(0));
     }
 }

@@ -13,7 +13,7 @@
 
 use ernn_fft::stats::{self, FftStats};
 use ernn_fpga::artifact::ModelArtifact;
-use ernn_fpga::exec::{DatapathConfig, ExecScratch, QuantizedNetwork};
+use ernn_fpga::exec::{DatapathConfig, ExecScratch, NetworkState, QuantizedNetwork};
 use ernn_fpga::{Accelerator, Device, HwCell, RnnSpec, StageCycles};
 use ernn_linalg::WeightMatrix;
 use ernn_model::{RnnLayer, RnnNetwork};
@@ -201,6 +201,34 @@ impl CompiledModel {
         scratch: &mut ExecScratch,
     ) {
         self.qnet.forward_logits_batch_into(batch, out, scratch);
+    }
+
+    /// [`Self::infer_batch_into`] with per-lane recurrent state for
+    /// streaming sessions: lane `s` resumes from `states[s]` (fresh state
+    /// ≡ stateless) and leaves its post-chunk state there for the
+    /// session's next chunk; `None` lanes run the stateless path. See
+    /// [`QuantizedNetwork::forward_logits_batch_states_into`].
+    pub fn infer_batch_states_into(
+        &self,
+        batch: &[&[Vec<f32>]],
+        states: &mut [Option<NetworkState>],
+        out: &mut Vec<Vec<Vec<f32>>>,
+        scratch: &mut ExecScratch,
+    ) {
+        self.qnet
+            .forward_logits_batch_states_into(batch, states, out, scratch);
+    }
+
+    /// A zero-initialized per-session recurrent state for this model.
+    pub fn fresh_state(&self) -> NetworkState {
+        self.qnet.fresh_state()
+    }
+
+    /// On-device footprint of one session's recurrent state in bytes —
+    /// the quantity the scheduler's residency tracking charges for state
+    /// images, alongside [`Self::weight_bytes`] for weight images.
+    pub fn state_bytes(&self) -> u64 {
+        self.qnet.state_bytes()
     }
 
     /// Lifetime spectrum-refresh count of every block-circulant weight

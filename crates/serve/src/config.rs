@@ -1,0 +1,88 @@
+//! Shared runtime configuration for both serving runtimes.
+//!
+//! [`ServeRuntime`](crate::ServeRuntime) and
+//! [`SchedRuntime`](crate::sched::SchedRuntime) used to each grow their
+//! own `new`/`with_executor`/`with_tracing` constructor ladder; every new
+//! option meant touching both. [`RuntimeConfig`] is the one place those
+//! options are declared: build it once with the builder methods and hand
+//! it to either runtime's `with_config` constructor (the legacy
+//! constructors now delegate here).
+
+use crate::executor::ExecutorKind;
+use crate::trace::TraceConfig;
+
+/// Builder-style options shared by both runtimes: executor choice,
+/// tracing, and streaming-session limits.
+///
+/// `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and the
+/// builder methods so future options don't break callers.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct RuntimeConfig {
+    /// Where host-side inference executes.
+    pub executor: ExecutorKind,
+    /// Flight-recorder tracing; disabled by default.
+    pub trace: TraceConfig,
+    /// Maximum concurrently-live streaming sessions, if bounded. The
+    /// scheduler sheds the first chunk of a session that would exceed it
+    /// (cancelling the session); the single-model runtime rejects such
+    /// loads at validation.
+    pub max_live_sessions: Option<usize>,
+}
+
+impl RuntimeConfig {
+    /// The default configuration: inline executor, tracing disabled, no
+    /// session limit.
+    pub fn new() -> Self {
+        RuntimeConfig::default()
+    }
+
+    /// Selects the executor.
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Enables (or reconfigures) flight-recorder tracing.
+    pub fn tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Bounds the number of concurrently-live streaming sessions.
+    pub fn max_live_sessions(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "session limit must be at least 1");
+        self.max_live_sessions = Some(limit);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_options() {
+        let cfg = RuntimeConfig::new()
+            .executor(ExecutorKind::ThreadPool)
+            .tracing(TraceConfig::enabled(64))
+            .max_live_sessions(8);
+        assert_eq!(cfg.executor, ExecutorKind::ThreadPool);
+        assert!(cfg.trace.is_enabled());
+        assert_eq!(cfg.max_live_sessions, Some(8));
+    }
+
+    #[test]
+    fn defaults_are_inline_untraced_unbounded() {
+        let cfg = RuntimeConfig::new();
+        assert_eq!(cfg.executor, ExecutorKind::Inline);
+        assert!(!cfg.trace.is_enabled());
+        assert_eq!(cfg.max_live_sessions, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_session_limit_is_rejected() {
+        let _ = RuntimeConfig::new().max_live_sessions(0);
+    }
+}

@@ -31,7 +31,8 @@
 
 use crate::cache::CompiledModel;
 use ernn_fft::stats::{self, FftStats};
-use ernn_fpga::exec::ExecScratch;
+use ernn_fpga::exec::{ExecScratch, NetworkState};
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -46,6 +47,21 @@ pub enum ExecutorKind {
     ThreadPool,
 }
 
+/// Session identity of one streaming-chunk job.
+///
+/// Executors keep per-worker `session id → NetworkState` tables; because
+/// the runtimes pin every chunk of a session to one device (and jobs
+/// route to workers by device), a session's state lives on exactly one
+/// worker and chunk jobs arrive there in dispatch order — which is what
+/// makes streaming results bit-identical across executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSlot {
+    /// The streaming session this chunk belongs to.
+    pub id: u64,
+    /// Final chunk: the worker drops the session's state after it.
+    pub last: bool,
+}
+
 /// One unit of host-side inference work.
 #[derive(Debug)]
 pub struct InferenceJob {
@@ -58,6 +74,11 @@ pub struct InferenceJob {
     pub model: usize,
     /// The request's feature frames (moved in, consumed by inference).
     pub frames: Vec<Vec<f32>>,
+    /// Streaming-session identity, or `None` for a whole utterance. A
+    /// single fusable run must not contain two chunks of one session
+    /// (lockstep lanes would double-apply the state); the runtimes'
+    /// batch formation guarantees this.
+    pub session: Option<SessionSlot>,
 }
 
 /// Everything an executor hands back when a run drains.
@@ -118,15 +139,53 @@ fn for_each_fusable_run(jobs: Vec<InferenceJob>, mut consume: impl FnMut(Vec<Inf
 
 /// Computes one fusable run's logits with a single batch-fused inference
 /// call. All jobs must share a model (guaranteed by
-/// [`for_each_fusable_run`]).
+/// [`for_each_fusable_run`]). Runs with no session chunks take the
+/// zero-allocation stateless path unchanged; runs with chunks pull each
+/// session's [`NetworkState`] out of `sessions` (materializing a fresh
+/// one on first touch), thread it through the lockstep kernel, and store
+/// it back unless the chunk was the session's last.
 fn infer_run(
     models: &[Arc<CompiledModel>],
     jobs: &[InferenceJob],
     scratch: &mut ExecScratch,
+    sessions: &mut HashMap<u64, NetworkState>,
 ) -> Vec<Vec<Vec<f32>>> {
     let model = &models[jobs[0].model];
     let frames: Vec<&[Vec<f32>]> = jobs.iter().map(|j| j.frames.as_slice()).collect();
-    model.infer_batch_with(&frames, scratch)
+    if jobs.iter().all(|j| j.session.is_none()) {
+        return model.infer_batch_with(&frames, scratch);
+    }
+    debug_assert!(
+        {
+            let mut ids: Vec<u64> = jobs
+                .iter()
+                .filter_map(|j| j.session.map(|s| s.id))
+                .collect();
+            ids.sort_unstable();
+            ids.windows(2).all(|w| w[0] != w[1])
+        },
+        "a fusable run must not carry two chunks of one session"
+    );
+    let mut states: Vec<Option<NetworkState>> = jobs
+        .iter()
+        .map(|j| {
+            j.session.map(|s| {
+                sessions
+                    .remove(&s.id)
+                    .unwrap_or_else(|| model.fresh_state())
+            })
+        })
+        .collect();
+    let mut out = Vec::with_capacity(jobs.len());
+    model.infer_batch_states_into(&frames, &mut states, &mut out, scratch);
+    for (job, state) in jobs.iter().zip(states) {
+        if let (Some(slot), Some(state)) = (job.session, state) {
+            if !slot.last {
+                sessions.insert(slot.id, state);
+            }
+        }
+    }
+    out
 }
 
 /// The deterministic reference executor: jobs run synchronously at submit
@@ -138,6 +197,7 @@ pub struct InlineExecutor {
     models: Vec<Arc<CompiledModel>>,
     outputs: Vec<(usize, Vec<Vec<f32>>)>,
     scratch: ExecScratch,
+    sessions: HashMap<u64, NetworkState>,
     fft_start: FftStats,
 }
 
@@ -154,6 +214,7 @@ impl InlineExecutor {
             models,
             outputs: Vec::new(),
             scratch: ExecScratch::new(),
+            sessions: HashMap::new(),
             fft_start: stats::thread_snapshot(),
         }
     }
@@ -166,13 +227,12 @@ impl InlineExecutor {
 
 impl Executor for InlineExecutor {
     fn submit(&mut self, job: InferenceJob) {
-        let logits = self.models[job.model].infer_with(&job.frames, &mut self.scratch);
-        self.outputs.push((job.slot, logits));
+        self.submit_batch(vec![job]);
     }
 
     fn submit_batch(&mut self, jobs: Vec<InferenceJob>) {
         for_each_fusable_run(jobs, |run| {
-            let logits = infer_run(&self.models, &run, &mut self.scratch);
+            let logits = infer_run(&self.models, &run, &mut self.scratch, &mut self.sessions);
             for (job, l) in run.into_iter().zip(logits) {
                 self.outputs.push((job.slot, l));
             }
@@ -236,8 +296,9 @@ impl ThreadPoolExecutor {
             handles.push(thread::spawn(move || {
                 let fft_start = stats::thread_snapshot();
                 let mut scratch = ExecScratch::new();
+                let mut sessions = HashMap::new();
                 while let Ok(jobs) = job_rx.recv() {
-                    let logits = infer_run(&models, &jobs, &mut scratch);
+                    let logits = infer_run(&models, &jobs, &mut scratch, &mut sessions);
                     for (job, l) in jobs.iter().zip(logits) {
                         if result_tx.send(WorkerMessage::Output(job.slot, l)).is_err() {
                             // Receiver gone: the executor was dropped
@@ -394,6 +455,7 @@ mod tests {
                 device: i % devices,
                 model: 0,
                 frames: vec![vec![0.1 * (i as f32 + 1.0); 8]; 3 + i % 4],
+                session: None,
             })
             .collect()
     }
@@ -433,6 +495,7 @@ mod tests {
                     device: i % 2,
                     model: i % 2,
                     frames: vec![vec![0.3; 8]; 4],
+                    session: None,
                 })
                 .collect::<Vec<_>>()
         };
@@ -474,6 +537,62 @@ mod tests {
             // Workers only infer; they never build plans (spectra and
             // plans are baked into the shared model at compile time).
             assert_eq!(fft.plans_created, 0, "worker {w}: {fft:?}");
+        }
+    }
+
+    #[test]
+    fn session_chunks_chain_state_identically_on_both_executors() {
+        let m = model();
+        let utt: Vec<Vec<f32>> = (0..12).map(|t| vec![0.05 * t as f32; 8]).collect();
+        let whole = m.infer(&utt);
+        // Two interleaved sessions, chunked 4+4+4, mixed with a stateless
+        // utterance lane in the same submissions.
+        let chunk_jobs = |base_slot: usize| -> Vec<Vec<InferenceJob>> {
+            (0..3)
+                .map(|k| {
+                    let mut batch: Vec<InferenceJob> = (0..2u64)
+                        .map(|sess| InferenceJob {
+                            slot: base_slot + (k * 2) + sess as usize,
+                            device: sess as usize,
+                            model: 0,
+                            frames: utt[k * 4..(k + 1) * 4].to_vec(),
+                            session: Some(SessionSlot {
+                                id: sess,
+                                last: k == 2,
+                            }),
+                        })
+                        .collect();
+                    batch.push(InferenceJob {
+                        slot: base_slot + 6 + k,
+                        device: 0,
+                        model: 0,
+                        frames: utt.clone(),
+                        session: None,
+                    });
+                    batch
+                })
+                .collect()
+        };
+        let run = |mut exec: Box<dyn Executor>| -> Vec<(usize, Vec<Vec<f32>>)> {
+            for batch in chunk_jobs(0) {
+                exec.submit_batch(batch);
+            }
+            sorted_outputs(exec.finish())
+        };
+        let inline = run(Box::new(InlineExecutor::single(Arc::clone(&m))));
+        let pool = run(Box::new(ThreadPoolExecutor::single(Arc::clone(&m), 2)));
+        assert_eq!(inline, pool, "executors must agree bit for bit");
+        // Each session's chunk logits concatenate to the whole utterance.
+        for sess in 0..2 {
+            let chunks: Vec<Vec<f32>> = (0..3)
+                .flat_map(|k| inline[k * 2 + sess].1.clone())
+                .collect();
+            assert_eq!(chunks, whole, "session {sess}: chunked != whole");
+        }
+        // The stateless lanes are unaffected by sharing batches with
+        // streaming chunks.
+        for k in 0..3 {
+            assert_eq!(inline[6 + k].1, whole, "stateless lane {k}");
         }
     }
 
@@ -521,6 +640,7 @@ mod tests {
             device: 0,
             model: 0,
             frames: vec![vec![0.0; 3]], // model expects dim 8
+            session: None,
         });
         let _ = pool.finish();
     }

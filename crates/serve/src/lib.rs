@@ -8,8 +8,21 @@
 //! a production deployment needs to turn one accelerator's µs-scale frame
 //! latency into sustained utterance throughput under live traffic:
 //!
-//! * [`Request`]/[`Response`] — utterance-level requests with virtual
-//!   arrival times, optional deadlines, and full timing breakdowns.
+//! * [`Request`]/[`Response`] — requests with virtual arrival times,
+//!   optional deadlines, full timing breakdowns, and an explicit
+//!   [`Workload`] shape: whole utterances ([`Request::new`]) or chunks
+//!   of a streaming session ([`Request::chunk`]). All three types are
+//!   `#[non_exhaustive]`; construct through the provided constructors.
+//! * **Streaming stateful sessions** — a session's chunks carry its
+//!   recurrent [`NetworkState`] between arrivals on the device the
+//!   session is pinned to (state never migrates), so stitched per-chunk
+//!   logits are bit-identical to whole-utterance inference. Session
+//!   state is a residency class next to weight images in the
+//!   scheduler's BRAM LRU; evictions charge traced state-load stalls on
+//!   the virtual clock. Batches form across sessions at chunk
+//!   boundaries, giving EDF a preemption point every chunk. Session
+//!   limits, executor kind, and tracing are declared once via
+//!   [`RuntimeConfig`]. See `docs/streaming.md`.
 //! * [`DynamicBatcher`] — groups requests under a max-batch / max-wait
 //!   [`BatchPolicy`], the classic throughput-vs-latency dial.
 //! * [`DevicePool`] — shards batches across N simulated accelerators;
@@ -78,6 +91,7 @@
 
 mod batcher;
 mod cache;
+mod config;
 mod device;
 mod executor;
 pub mod loadgen;
@@ -87,16 +101,18 @@ mod runtime;
 pub mod sched;
 pub mod trace;
 
-pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
+pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher, TakenBatch};
 pub use cache::{CompiledModel, LoadStats};
+pub use config::RuntimeConfig;
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
 pub use ernn_fpga::artifact::{ModelArtifact, PipelineError};
-pub use ernn_fpga::exec::ExecScratch;
+pub use ernn_fpga::exec::{ExecScratch, NetworkState};
 pub use executor::{
-    Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, ThreadPoolExecutor,
+    Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, SessionSlot,
+    ThreadPoolExecutor,
 };
 pub use metrics::{LatencySummary, ModelMetrics, ServeMetrics};
-pub use request::{Request, Response};
+pub use request::{Request, Response, Workload};
 pub use runtime::{ServeReport, ServeRuntime};
 pub use trace::{
     chrome_trace_json, prometheus_snapshot, FlightRecorder, LatencyHistogram, RunTrace,

@@ -18,6 +18,22 @@ use crate::request::Request;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Shape of an open-loop streaming-session load: how sessions start, how
+/// their utterances are chunked, and what per-chunk deadline they carry.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionLoad {
+    /// Poisson session-start rate (sessions/second).
+    pub session_rate_sps: f64,
+    /// Frames per chunk (the last chunk of an utterance may be shorter).
+    pub chunk_frames: usize,
+    /// Real-time cadence between a session's chunk arrivals (µs) — a
+    /// microphone delivering `chunk_frames` of audio per interval.
+    pub chunk_gap_us: f64,
+    /// Per-chunk deadline, relative to each chunk's arrival (µs);
+    /// `None` leaves chunks deadline-free.
+    pub chunk_slo_us: Option<f64>,
+}
+
 /// Draws an exponential inter-arrival gap (µs) for the given rate.
 fn exp_gap_us(rate_rps: f64, rng: &mut ChaCha8Rng) -> f64 {
     // Inverse-CDF sampling; clamp the uniform away from 0 so ln stays finite.
@@ -48,6 +64,69 @@ pub fn open_loop_poisson(
             Request::new(i as u64, utterances[i % utterances.len()].clone(), now_us)
         })
         .collect()
+}
+
+/// Generates `num_sessions` open-loop streaming sessions: session starts
+/// follow a Poisson process at `shape.session_rate_sps`, each session
+/// streams one utterance from the pool (cycled) as
+/// `shape.chunk_frames`-frame chunks arriving every `shape.chunk_gap_us`,
+/// and every chunk carries session id, chunk index, a `last` mark on the
+/// final chunk, and (optionally) a per-chunk deadline. Request ids are
+/// globally unique and the returned list is sorted by arrival time, so
+/// concurrent sessions interleave exactly as a runtime would see them.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `utterances` is empty, the rate is not positive,
+/// `chunk_frames` is zero, or `chunk_gap_us` is not positive.
+pub fn open_loop_sessions(
+    utterances: &[Vec<Vec<f32>>],
+    num_sessions: usize,
+    shape: SessionLoad,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(!utterances.is_empty(), "need at least one utterance");
+    assert!(
+        shape.session_rate_sps > 0.0,
+        "session rate must be positive, got {}",
+        shape.session_rate_sps
+    );
+    assert!(shape.chunk_frames >= 1, "chunks need at least one frame");
+    assert!(
+        shape.chunk_gap_us > 0.0,
+        "chunk cadence must be positive, got {}",
+        shape.chunk_gap_us
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut start_us = 0.0f64;
+    let mut requests = Vec::new();
+    let mut next_id = 0u64;
+    for session in 0..num_sessions {
+        start_us += exp_gap_us(shape.session_rate_sps, &mut rng);
+        let utt = &utterances[session % utterances.len()];
+        let num_chunks = utt.len().div_ceil(shape.chunk_frames);
+        for i in 0..num_chunks {
+            let frames =
+                utt[i * shape.chunk_frames..((i + 1) * shape.chunk_frames).min(utt.len())].to_vec();
+            let arrival = start_us + i as f64 * shape.chunk_gap_us;
+            let mut r = Request::chunk(
+                next_id,
+                session as u64,
+                i as u32,
+                i == num_chunks - 1,
+                frames,
+                arrival,
+            );
+            if let Some(slo) = shape.chunk_slo_us {
+                r = r.with_deadline(arrival + slo);
+            }
+            requests.push(r);
+            next_id += 1;
+        }
+    }
+    requests.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us).then(a.id.cmp(&b.id)));
+    requests
 }
 
 /// Attaches a uniform latency deadline (`slo_us` after arrival) to every
@@ -123,6 +202,51 @@ mod tests {
         for r in &reqs {
             assert_eq!(r.deadline_us, Some(r.arrival_us + 500.0));
         }
+    }
+
+    #[test]
+    fn session_loads_are_valid_interleaved_streams() {
+        let utts = synthetic_utterances(3, (7, 13), 8, 5);
+        let shape = SessionLoad {
+            session_rate_sps: 20_000.0,
+            chunk_frames: 4,
+            chunk_gap_us: 40.0,
+            chunk_slo_us: Some(500.0),
+        };
+        let reqs = open_loop_sessions(&utts, 6, shape, 11);
+        // Globally sorted, unique ids.
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_us <= w[1].arrival_us);
+        }
+        let mut ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reqs.len());
+        // Per session: contiguous indices, strict cadence, a final
+        // `last`, per-chunk deadlines, frames re-assembling the
+        // utterance.
+        for s in 0..6u64 {
+            let mut chunks: Vec<&Request> =
+                reqs.iter().filter(|r| r.session() == Some(s)).collect();
+            chunks.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+            let frames: usize = chunks.iter().map(|c| c.num_frames()).sum();
+            assert_eq!(frames, utts[s as usize % 3].len());
+            for (i, c) in chunks.iter().enumerate() {
+                let crate::request::Workload::Chunk { index, last, .. } = c.workload else {
+                    panic!("session loads are all chunks");
+                };
+                assert_eq!(index as usize, i);
+                assert_eq!(last, i == chunks.len() - 1);
+                assert_eq!(c.deadline_us, Some(c.arrival_us + 500.0));
+            }
+        }
+        // Sessions at this rate overlap: some interleaving must occur.
+        let sessions_in_order: Vec<_> = reqs.iter().map(|r| r.session().unwrap()).collect();
+        let mut changes = 0;
+        for w in sessions_in_order.windows(2) {
+            changes += usize::from(w[0] != w[1]);
+        }
+        assert!(changes + 1 > 6, "sessions interleave: {changes} switches");
     }
 
     #[test]

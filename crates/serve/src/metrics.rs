@@ -11,7 +11,7 @@
 //! render full distributions. [`LatencySummary::from_samples`] remains
 //! the exact store-every-sample path for external callers.
 
-use crate::request::Response;
+use crate::request::{Response, Workload};
 use crate::trace::LatencyHistogram;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -110,6 +110,11 @@ pub struct ServeMetrics {
     /// Requests rejected by admission control (early deadline-miss
     /// returns; zero for runtimes without admission control).
     pub shed: usize,
+    /// Streaming chunks among the served requests (zero for pure
+    /// utterance loads).
+    pub chunks: usize,
+    /// Distinct streaming sessions across all responses, shed included.
+    pub sessions: usize,
     /// End-to-end latency (arrival → completion) over served requests,
     /// summarized from [`ServeMetrics::latency_hist`].
     pub latency: LatencySummary,
@@ -222,9 +227,25 @@ impl ServeMetrics {
             })
             .collect();
 
+        let chunks = served
+            .iter()
+            .filter(|r| matches!(r.workload, Workload::Chunk { .. }))
+            .count();
+        let sessions = {
+            let mut ids: Vec<u64> = responses
+                .iter()
+                .filter_map(|r| r.workload.session())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+
         ServeMetrics {
             completed: served.len(),
             shed: shed_total,
+            chunks,
+            sessions,
             latency: latency_hist.summary(),
             queue: queue_hist.summary(),
             latency_hist,
@@ -286,6 +307,13 @@ impl fmt::Display for ServeMetrics {
             "throughput: {:.0} req/s, {:.0} frames/s",
             self.throughput_rps, self.throughput_fps
         )?;
+        if self.sessions > 0 {
+            writeln!(
+                f,
+                "streaming: {} chunks across {} sessions",
+                self.chunks, self.sessions
+            )?;
+        }
         writeln!(
             f,
             "latency µs: p50 {:.1}  p95 {:.1}  p99 {:.1}  p99.9 {:.1}  max {:.1}  (queue p50 {:.1})",
@@ -333,35 +361,23 @@ mod tests {
     use super::*;
 
     fn resp(arrival: f64, dispatch: f64, complete: f64, batch: usize) -> Response {
-        Response {
-            id: 0,
-            model: 0,
-            logits: vec![vec![0.0]; 3],
-            arrival_us: arrival,
-            dispatch_us: dispatch,
-            complete_us: complete,
-            device: 0,
-            batch_size: batch,
-            deadline_met: true,
-            deadline_tracked: false,
-            shed: false,
-        }
+        let mut r = Response::served(
+            0,
+            0,
+            Workload::Utterance,
+            arrival,
+            dispatch,
+            complete,
+            0,
+            batch,
+            None,
+        );
+        r.logits = vec![vec![0.0]; 3];
+        r
     }
 
     fn shed_resp(arrival: f64, model: usize) -> Response {
-        Response {
-            id: 0,
-            model,
-            logits: vec![],
-            arrival_us: arrival,
-            dispatch_us: arrival,
-            complete_us: arrival,
-            device: 0,
-            batch_size: 0,
-            deadline_met: false,
-            deadline_tracked: true,
-            shed: true,
-        }
+        Response::shed(0, model, Workload::Utterance, arrival, Some(arrival + 1.0))
     }
 
     #[test]

@@ -35,10 +35,13 @@
 
 use crate::batcher::{BatchPolicy, BatchReadiness, DynamicBatcher};
 use crate::cache::CompiledModel;
+use crate::config::RuntimeConfig;
 use crate::device::DevicePool;
-use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
+use crate::executor::{
+    Executor, ExecutorKind, InferenceJob, InlineExecutor, SessionSlot, ThreadPoolExecutor,
+};
 use crate::metrics::ServeMetrics;
-use crate::request::{Request, Response};
+use crate::request::{peak_live_sessions, validate_sessions, Request, Response, Workload};
 use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use std::cmp::Ordering;
@@ -113,14 +116,15 @@ pub struct ServeRuntime {
     model: Arc<CompiledModel>,
     num_devices: usize,
     policy: BatchPolicy,
-    executor: ExecutorKind,
-    trace: TraceConfig,
+    config: RuntimeConfig,
 }
 
 impl ServeRuntime {
     /// A runtime serving `model` on `num_devices` identical virtual
-    /// accelerators under the given batching policy, with the
-    /// deterministic-reference [`ExecutorKind::Inline`] host executor.
+    /// accelerators under the given batching policy, with the default
+    /// [`RuntimeConfig`] (deterministic-reference
+    /// [`ExecutorKind::Inline`] host executor, tracing off, no session
+    /// limit).
     ///
     /// # Panics
     ///
@@ -130,20 +134,15 @@ impl ServeRuntime {
         num_devices: usize,
         policy: BatchPolicy,
     ) -> Self {
-        Self::with_executor(model, num_devices, policy, ExecutorKind::Inline)
+        Self::with_config(model, num_devices, policy, RuntimeConfig::new())
     }
 
-    /// A runtime with an explicit host executor. [`ExecutorKind::ThreadPool`]
-    /// spawns one worker per device slot for each run, overlapping host
-    /// inference across devices; reports stay bit-identical to
-    /// [`ExecutorKind::Inline`] apart from [`ServeReport::host_us`] and
-    /// [`ServeReport::worker_fft`].
-    ///
-    /// Both constructors take `impl Into<Arc<CompiledModel>>`: pass a
-    /// `CompiledModel` by value for convenience, or an
-    /// `Arc<CompiledModel>` to share one set of cached weight spectra
-    /// across many runtimes (sweeps, A/B comparisons) without deep
-    /// clones.
+    /// A runtime with an explicit host executor — shorthand for
+    /// [`Self::with_config`] with [`RuntimeConfig::executor`].
+    /// [`ExecutorKind::ThreadPool`] spawns one worker per device slot for
+    /// each run, overlapping host inference across devices; reports stay
+    /// bit-identical to [`ExecutorKind::Inline`] apart from
+    /// [`ServeReport::host_us`] and [`ServeReport::worker_fft`].
     ///
     /// # Panics
     ///
@@ -154,13 +153,40 @@ impl ServeRuntime {
         policy: BatchPolicy,
         executor: ExecutorKind,
     ) -> Self {
+        Self::with_config(
+            model,
+            num_devices,
+            policy,
+            RuntimeConfig::new().executor(executor),
+        )
+    }
+
+    /// A runtime under one shared [`RuntimeConfig`] — the executor,
+    /// tracing, and session limits declared once and interpreted
+    /// identically by this runtime and
+    /// [`SchedRuntime`](crate::sched::SchedRuntime).
+    ///
+    /// All constructors take `impl Into<Arc<CompiledModel>>`: pass a
+    /// `CompiledModel` by value for convenience, or an
+    /// `Arc<CompiledModel>` to share one set of cached weight spectra
+    /// across many runtimes (sweeps, A/B comparisons) without deep
+    /// clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices == 0`.
+    pub fn with_config(
+        model: impl Into<Arc<CompiledModel>>,
+        num_devices: usize,
+        policy: BatchPolicy,
+        config: RuntimeConfig,
+    ) -> Self {
         assert!(num_devices > 0, "need at least one device");
         ServeRuntime {
             model: model.into(),
             num_devices,
             policy,
-            executor,
-            trace: TraceConfig::disabled(),
+            config,
         }
     }
 
@@ -169,13 +195,18 @@ impl ServeRuntime {
     /// virtual-time results — it only fills
     /// [`ServeReport::trace`]'s journal.
     pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
-        self.trace = trace;
+        self.config = self.config.tracing(trace);
         self
+    }
+
+    /// The shared runtime configuration runs execute under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// The tracing configuration runs execute under.
     pub fn trace_config(&self) -> TraceConfig {
-        self.trace
+        self.config.trace
     }
 
     /// The compiled model being served.
@@ -185,15 +216,27 @@ impl ServeRuntime {
 
     /// The host executor strategy this runtime uses.
     pub fn executor_kind(&self) -> ExecutorKind {
-        self.executor
+        self.config.executor
     }
 
     /// Serves a pre-generated (open-loop) request list to completion.
     ///
     /// # Panics
     ///
-    /// Panics if any request's frame dimension disagrees with the model.
+    /// Panics if any request's frame dimension disagrees with the model,
+    /// if a streaming session violates the chunk invariants (see
+    /// [`Request::chunk`]), or if the load's peak live-session count
+    /// exceeds a configured [`RuntimeConfig::max_live_sessions`].
     pub fn run(&self, requests: Vec<Request>) -> ServeReport {
+        validate_sessions(&requests);
+        if let Some(limit) = self.config.max_live_sessions {
+            let peak = peak_live_sessions(&requests);
+            assert!(
+                peak <= limit,
+                "load peaks at {peak} live sessions, over the configured \
+                 limit of {limit}"
+            );
+        }
         let mut heap = BinaryHeap::with_capacity(requests.len());
         for (seq, request) in requests.into_iter().enumerate() {
             self.validate(&request);
@@ -266,7 +309,7 @@ impl ServeRuntime {
     /// The executor instance for one run (each run gets a fresh one, so a
     /// `ThreadPool` runtime spawns and joins its workers per run).
     fn make_executor(&self) -> Box<dyn Executor> {
-        match self.executor {
+        match self.config.executor {
             ExecutorKind::Inline => Box::new(InlineExecutor::single(Arc::clone(&self.model))),
             ExecutorKind::ThreadPool => Box::new(ThreadPoolExecutor::single(
                 Arc::clone(&self.model),
@@ -285,7 +328,7 @@ impl ServeRuntime {
         let mut pool = DevicePool::new(self.num_devices, self.model.stage_cycles());
         let mut batcher = DynamicBatcher::new(self.policy);
         let mut responses: Vec<Response> = Vec::new();
-        let mut obs = Observer::new(self.trace);
+        let mut obs = Observer::new(self.config.trace);
         let mut now_us = 0.0f64;
 
         loop {
@@ -396,10 +439,25 @@ impl ServeRuntime {
         feedback: &mut Option<ClosedLoop<'_>>,
         obs: &mut Observer,
     ) {
-        let batch = batcher.take_batch();
+        // Sessions stay pinned to one device (`session % num_devices`), so
+        // their recurrent state never migrates; the batcher closes a batch
+        // rather than mix sessions bound to different devices.
+        let num_devices = self.num_devices as u64;
+        let affinity = |session: u64| Some((session % num_devices) as usize);
+        let taken = batcher.take_batch(&affinity);
+        let batch = taken.batch;
         debug_assert!(!batch.is_empty(), "dispatch requires a formed batch");
         let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
-        let exec = pool.dispatch(now_us, &frame_counts);
+        let exec = match taken.pinned {
+            Some(device) => pool.dispatch_to(
+                device,
+                now_us,
+                0.0,
+                self.model.stage_cycles(),
+                &frame_counts,
+            ),
+            None => pool.dispatch(now_us, &frame_counts),
+        };
         let batch_size = batch.len();
         obs.batch_dispatched(
             now_us,
@@ -407,6 +465,7 @@ impl ServeRuntime {
             &batch,
             &frame_counts,
             &exec,
+            0.0,
             0.0,
             self.model.stage_cycles().ii(),
         );
@@ -419,8 +478,8 @@ impl ServeRuntime {
                 frames,
                 arrival_us,
                 deadline_us,
+                workload,
             } = request;
-            let deadline_met = deadline_us.is_none_or(|d| complete_us <= d);
             // Timing is settled here on the virtual clock; the logits are
             // the executor's job and land in this slot at run end. The
             // whole batch is handed over at once so the executor can fuse
@@ -430,20 +489,24 @@ impl ServeRuntime {
                 device: exec.device,
                 model,
                 frames,
+                session: match workload {
+                    Workload::Chunk { session, last, .. } => {
+                        Some(SessionSlot { id: session, last })
+                    }
+                    _ => None,
+                },
             });
-            responses.push(Response {
+            responses.push(Response::served(
                 id,
                 model,
-                logits: Vec::new(),
+                workload,
                 arrival_us,
-                dispatch_us: exec.start_us,
+                exec.start_us,
                 complete_us,
-                device: exec.device,
+                exec.device,
                 batch_size,
-                deadline_tracked: deadline_us.is_some(),
-                deadline_met,
-                shed: false,
-            });
+                deadline_us,
+            ));
             obs.completed(responses.last().expect("just pushed"));
 
             if let Some(fb) = feedback.as_mut() {
@@ -682,6 +745,89 @@ mod tests {
         let pool = ServeRuntime::with_executor(model(), 2, policy, ExecutorKind::ThreadPool)
             .run_closed_loop(&utts, 4, 40);
         assert_reports_identical(&inline, &pool);
+    }
+
+    #[test]
+    fn streaming_sessions_reassemble_bit_identically_across_executors() {
+        let m = Arc::new(model());
+        let utts = synthetic_utterances(3, (12, 20), 8, 77);
+        // Whole-utterance baseline: the logits streaming must reproduce.
+        let whole = ServeRuntime::new(Arc::clone(&m), 2, BatchPolicy::immediate()).run(
+            utts.iter()
+                .enumerate()
+                .map(|(i, u)| Request::new(i as u64, u.clone(), i as f64))
+                .collect(),
+        );
+        // The same audio as streaming sessions: 5-frame chunks, sessions
+        // interleaved in arrival order so batches form across sessions.
+        let mut reqs = Vec::new();
+        let (mut id, mut t) = (0u64, 0.0f64);
+        for (s, u) in utts.iter().enumerate() {
+            let chunks: Vec<&[Vec<f32>]> = u.chunks(5).collect();
+            for (ci, c) in chunks.iter().enumerate() {
+                reqs.push(Request::chunk(
+                    id,
+                    s as u64,
+                    ci as u32,
+                    ci == chunks.len() - 1,
+                    c.to_vec(),
+                    t,
+                ));
+                id += 1;
+                t += 7.0;
+            }
+        }
+        let run = |kind| {
+            ServeRuntime::with_config(
+                Arc::clone(&m),
+                2,
+                BatchPolicy::new(4, 50.0),
+                RuntimeConfig::new().executor(kind).max_live_sessions(8),
+            )
+            .run(reqs.clone())
+        };
+        let inline = run(ExecutorKind::Inline);
+        let pool = run(ExecutorKind::ThreadPool);
+        assert_eq!(inline.responses, pool.responses);
+        assert_eq!(inline.metrics, pool.metrics);
+        // Each session's stitched chunk logits equal the whole utterance,
+        // and its chunks never left the session-affine device.
+        for (s, u) in utts.iter().enumerate() {
+            let mut rs: Vec<&Response> = inline
+                .responses
+                .iter()
+                .filter(|r| r.workload.session() == Some(s as u64))
+                .collect();
+            rs.sort_by_key(|r| r.id);
+            assert!(
+                rs.iter().all(|r| r.device == Some(s % 2)),
+                "session {s} state migrated across devices"
+            );
+            let stitched: Vec<Vec<f32>> =
+                rs.iter().flat_map(|r| r.logits.iter().cloned()).collect();
+            let whole_r = whole.responses.iter().find(|r| r.id == s as u64).unwrap();
+            assert_eq!(stitched.len(), u.len());
+            assert_eq!(stitched, whole_r.logits, "session {s} logits diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "live sessions")]
+    fn session_limit_rejects_overcommitted_loads() {
+        let frames = || vec![vec![0.0f32; 8]; 2];
+        let reqs = vec![
+            Request::chunk(0, 0, 0, false, frames(), 0.0),
+            Request::chunk(1, 1, 0, false, frames(), 1.0),
+            Request::chunk(2, 0, 1, true, frames(), 2.0),
+            Request::chunk(3, 1, 1, true, frames(), 3.0),
+        ];
+        let rt = ServeRuntime::with_config(
+            model(),
+            1,
+            BatchPolicy::immediate(),
+            RuntimeConfig::new().max_live_sessions(1),
+        );
+        let _ = rt.run(reqs);
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //!   refreshes a model's FFT'd weight spectra once (the load into the
 //!   serving tier, observable via `spectrum_refresh_count`) and freezes
 //!   it behind an `Arc` for the executors.
-//! * [`DeviceResidency`] — per-device weight-cache residency against the
-//!   platform's BRAM budget ([`RnnSpec::weight_bytes`] vs Table IV).
-//!   Cold loads stall the device for the weight-streaming time and evict
-//!   LRU tenants; [`SchedStats`] counts loads and evictions.
+//! * [`DeviceResidency`] — per-device image residency against the
+//!   platform's BRAM budget ([`RnnSpec::weight_bytes`] vs Table IV),
+//!   holding two [`ImageKey`] classes behind one LRU: **weight images**
+//!   per model and **state images** per streaming session. Cold loads
+//!   stall the device for the streaming time and evict LRU tenants;
+//!   a session's first state materialization is free (the zero state is
+//!   fabricated on-device) but a reload after eviction is charged and
+//!   traced; [`SchedStats`] counts both classes.
 //! * [`CostModel`] — per-(device, model) [`StageCycles`] derived once per
 //!   run (the [`StageCycles::xcku060`]/[`StageCycles::virtex7_690t`]
 //!   presets name the paper's platforms), answering
@@ -32,10 +36,22 @@
 //!   [`SchedStats`] are bit-identical across
 //!   [`ExecutorKind`](crate::ExecutorKind)s.
 //!
+//! Streaming sessions ([`Workload::Chunk`](crate::Workload) requests)
+//! get session-affinity placement: the first dispatched chunk pins the
+//! session's device, every later chunk runs there (state never
+//! migrates), admission predicts on the pinned device only, shedding
+//! any chunk cancels the whole session, and
+//! [`RuntimeConfig::max_live_sessions`](crate::RuntimeConfig) caps
+//! concurrency by shedding excess sessions whole. Batches close at
+//! chunk boundaries, so EDF preempts per chunk — see
+//! `docs/streaming.md`.
+//!
 //! The `sched_sweep` bench bin compares [`SchedPolicy::edf_cost_model`]
 //! against [`SchedPolicy::fifo_earliest_free`] on a mixed two-model,
 //! two-platform workload and asserts the EDF + cost-model configuration
-//! misses fewer deadlines at the same offered load.
+//! misses fewer deadlines at the same offered load; `stream_sweep`
+//! asserts chunked streaming strictly cuts tight-SLO deadline misses vs
+//! utterance-level serving.
 //!
 //! [`RnnSpec::weight_bytes`]: ernn_fpga::RnnSpec::weight_bytes
 //! [`StageCycles`]: ernn_fpga::StageCycles
@@ -89,5 +105,5 @@ pub use admission::{AdmissionPolicy, AdmissionRecord};
 pub use cost::CostModel;
 pub use queue::{PaddingModel, QueueDiscipline, SchedQueue};
 pub use registry::{ModelId, ModelRegistry};
-pub use residency::{DeviceResidency, LoadEvent, WEIGHT_STREAM_BYTES_PER_US};
+pub use residency::{DeviceResidency, ImageKey, LoadEvent, WEIGHT_STREAM_BYTES_PER_US};
 pub use runtime::{Placement, SchedPolicy, SchedReport, SchedRuntime, SchedStats};

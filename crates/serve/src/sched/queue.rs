@@ -13,8 +13,19 @@
 //! formed batches can never invert deadlines: every member's key is ≤
 //! every same-model key left behind. The property test in
 //! `tests/sched_edf.rs` pins that down.
+//!
+//! Streaming chunks add two more *closing* rules (shared with
+//! [`DynamicBatcher`](crate::DynamicBatcher), see its module docs): a
+//! batch closes before a second chunk of a session already in it, and
+//! before a chunk whose session is bound to a different device than the
+//! batch is pinned to. Both stop formation rather than skip, so the
+//! prefix/no-inversion property is untouched — and because session
+//! validation requires per-session deadlines to be non-decreasing, a
+//! chunk's predecessor always sorts ahead of it, so these rules are also
+//! what serialize a session's chunks into distinct batches in order.
 
 use super::registry::ModelId;
+use crate::batcher::TakenBatch;
 use crate::request::Request;
 use std::collections::BTreeMap;
 
@@ -225,26 +236,50 @@ impl SchedQueue {
 
     /// Forms the next batch for `model`: up to `max_batch` requests in
     /// key order, closing early when the padding model rejects the next
-    /// candidate. Always a prefix of the same-model subsequence, so
-    /// deadlines never invert (see module docs).
+    /// candidate or at a streaming-session conflict (a second chunk of a
+    /// session already taken, or a chunk whose `affinity` device
+    /// disagrees with the batch's pin — see module docs). Always a prefix
+    /// of the same-model subsequence, so deadlines never invert.
     pub fn take_batch(
         &mut self,
         model: ModelId,
         max_batch: usize,
         padding: &PaddingModel,
-    ) -> Vec<Request> {
+        affinity: &dyn Fn(u64) -> Option<usize>,
+    ) -> TakenBatch {
         let mut take: Vec<(u64, u64)> = Vec::new();
+        let mut sessions_in: Vec<u64> = Vec::new();
+        let mut pinned: Option<usize> = None;
         let (mut max_len, mut sum_len) = (0u64, 0u64);
         for (&key, q) in self.items.iter() {
             if q.request.model != model {
                 continue;
             }
+            let bound = match q.request.session() {
+                Some(session) if sessions_in.contains(&session) => break,
+                Some(session) => {
+                    let bound = affinity(session);
+                    if let (Some(d), Some(p)) = (bound, pinned) {
+                        if d != p {
+                            break;
+                        }
+                    }
+                    bound
+                }
+                None => None,
+            };
             let len = q.request.num_frames() as u64;
             if !padding.accepts(take.len(), max_len, sum_len, len) {
                 break;
             }
             max_len = max_len.max(len);
             sum_len += len;
+            if let Some(session) = q.request.session() {
+                sessions_in.push(session);
+            }
+            if bound.is_some() {
+                pinned = bound;
+            }
             take.push(key);
             if take.len() >= max_batch {
                 break;
@@ -260,18 +295,24 @@ impl SchedQueue {
         if self.items.is_empty() {
             self.backlog_us = 0.0;
         }
-        batch
+        TakenBatch { batch, pinned }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::Workload;
 
     fn req(id: u64, model: usize, frames: usize, arrival: f64, deadline: Option<f64>) -> Request {
         let mut r = Request::new(id, vec![vec![0.0; 2]; frames], arrival).with_model(model);
         r.deadline_us = deadline;
         r
+    }
+
+    /// No sessions bound anywhere: formation is unconstrained.
+    fn unbound(_session: u64) -> Option<usize> {
+        None
     }
 
     #[test]
@@ -281,7 +322,7 @@ mod tests {
         q.push(req(1, 0, 3, 1.0, None), 1, 1.0);
         q.push(req(2, 0, 3, 2.0, Some(100.0)), 2, 1.0);
         assert_eq!(q.head().unwrap().id, 2);
-        let batch = q.take_batch(0, 8, &PaddingModel::none());
+        let batch = q.take_batch(0, 8, &PaddingModel::none(), &unbound).batch;
         let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![2, 0, 1]);
         assert!(q.is_empty());
@@ -304,7 +345,7 @@ mod tests {
         q.push(req(1, 0, 3, 0.0, Some(60.0)), 1, 1.0);
         q.push(req(2, 1, 3, 0.0, Some(70.0)), 2, 1.0);
         assert_eq!(q.count_model(1), 2);
-        let batch = q.take_batch(1, 8, &PaddingModel::none());
+        let batch = q.take_batch(1, 8, &PaddingModel::none(), &unbound).batch;
         let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
         assert_eq!(ids, vec![0, 2]);
         // The other model's request stays queued.
@@ -327,7 +368,7 @@ mod tests {
         q.push(req(1, 0, 4, 0.0, Some(20.0)), 1, 1.0);
         q.push(req(2, 0, 40, 0.0, Some(30.0)), 2, 1.0);
         q.push(req(3, 0, 4, 0.0, Some(40.0)), 3, 1.0);
-        let batch = q.take_batch(0, 8, &p);
+        let batch = q.take_batch(0, 8, &p, &unbound).batch;
         // The long utterance closes the batch — and because formation
         // stops (rather than skipping), request 3 is NOT pulled ahead of
         // request 2's deadline.
@@ -344,7 +385,8 @@ mod tests {
         q.push(req(12, 0, 3, 0.0, None), 2, 1.0);
         q.push(req(13, 0, 3, 0.0, None), 3, 1.0);
         let ids: Vec<u64> = q
-            .take_batch(0, 8, &PaddingModel::none())
+            .take_batch(0, 8, &PaddingModel::none(), &unbound)
+            .batch
             .iter()
             .map(|r| r.id)
             .collect();
@@ -397,19 +439,41 @@ mod tests {
             model: usize,
             max_batch: usize,
             padding: &PaddingModel,
-        ) -> Vec<Request> {
+            affinity: &dyn Fn(u64) -> Option<usize>,
+        ) -> (Vec<Request>, Option<usize>) {
             let mut take = Vec::new();
+            let mut sessions_in: Vec<u64> = Vec::new();
+            let mut pinned: Option<usize> = None;
             let (mut max_len, mut sum_len) = (0u64, 0u64);
             for (i, (_, _, r)) in self.items.iter().enumerate() {
                 if r.model != model {
                     continue;
                 }
+                let bound = match r.session() {
+                    Some(session) if sessions_in.contains(&session) => break,
+                    Some(session) => {
+                        let bound = affinity(session);
+                        if let (Some(d), Some(p)) = (bound, pinned) {
+                            if d != p {
+                                break;
+                            }
+                        }
+                        bound
+                    }
+                    None => None,
+                };
                 let len = r.num_frames() as u64;
                 if !padding.accepts(take.len(), max_len, sum_len, len) {
                     break;
                 }
                 max_len = max_len.max(len);
                 sum_len += len;
+                if let Some(session) = r.session() {
+                    sessions_in.push(session);
+                }
+                if bound.is_some() {
+                    pinned = bound;
+                }
                 take.push(i);
                 if take.len() >= max_batch {
                     break;
@@ -420,7 +484,7 @@ mod tests {
                 batch.push(self.items.remove(i).2);
             }
             batch.reverse();
-            batch
+            (batch, pinned)
         }
     }
 
@@ -440,6 +504,14 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
+        // A third of sessions are bound to a device; formation in both
+        // implementations must respect the same pins.
+        let affinity = |s: u64| -> Option<usize> {
+            match s % 3 {
+                0 => None,
+                m => Some((m - 1) as usize),
+            }
+        };
         for discipline in [QueueDiscipline::Edf, QueueDiscipline::Fifo] {
             let mut indexed = SchedQueue::new(discipline);
             let mut scan = ScanQueue::new(discipline);
@@ -456,7 +528,18 @@ mod tests {
                     0 => None,
                     _ => Some(arrival + (rand() % 200) as f64 * 10.0),
                 };
-                let r = req(seq, model, frames, arrival, deadline);
+                let mut r = req(seq, model, frames, arrival, deadline);
+                // A quarter of the load is streaming chunks drawn from a
+                // small session pool, so both closing rules fire often.
+                // (The queue orders and forms; it does not validate
+                // session shape, so arbitrary chunks are fine here.)
+                if rand() % 4 == 0 {
+                    r.workload = Workload::Chunk {
+                        session: rand() % 12,
+                        index: 0,
+                        last: false,
+                    };
+                }
                 indexed.push(r.clone(), seq, 1.0);
                 scan.push(r, seq);
                 seq += 1;
@@ -468,14 +551,15 @@ mod tests {
                 assert_eq!(indexed.count_model(model), scan.count_model(model));
                 assert_eq!(indexed.oldest_arrival_us(), scan.oldest_arrival_us());
                 let max_batch = 1 + (rand() % 16) as usize;
-                let a = indexed.take_batch(model, max_batch, &padding);
-                let b = scan.take_batch(model, max_batch, &padding);
+                let a = indexed.take_batch(model, max_batch, &padding, &affinity);
+                let (b_batch, b_pinned) = scan.take_batch(model, max_batch, &padding, &affinity);
                 assert_eq!(
-                    a.iter().map(|r| r.id).collect::<Vec<_>>(),
-                    b.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    a.batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+                    b_batch.iter().map(|r| r.id).collect::<Vec<_>>(),
                     "{discipline:?} batch diverged at {} remaining",
                     scan.items.len()
                 );
+                assert_eq!(a.pinned, b_pinned);
                 if rand() % 3 == 0 {
                     let r = req(seq, (rand() % 3) as usize, 4, (rand() % 100) as f64, None);
                     indexed.push(r.clone(), seq, 1.0);
@@ -495,7 +579,7 @@ mod tests {
         q.push(req(0, 0, 3, 0.0, Some(1.0)), 0, 10.0);
         q.push(req(1, 0, 3, 0.0, Some(2.0)), 1, 7.0);
         assert!((q.backlog_us() - 17.0).abs() < 1e-12);
-        let _ = q.take_batch(0, 1, &PaddingModel::none());
+        let _ = q.take_batch(0, 1, &PaddingModel::none(), &unbound);
         assert!((q.backlog_us() - 7.0).abs() < 1e-12);
     }
 }

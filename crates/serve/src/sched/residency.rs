@@ -1,5 +1,5 @@
-//! Per-device weight-cache residency: which models' spectra currently
-//! live in a device's BRAM, and what swapping one in costs.
+//! Per-device BRAM residency: which images currently live in a device's
+//! BRAM, and what swapping one in costs.
 //!
 //! E-RNN's whole design revolves around fitting the FFT'd weight image in
 //! on-chip BRAM (`RnnSpec::weight_bytes` against the platform budget from
@@ -10,6 +10,15 @@
 //! streaming rate — the device stalls for `bytes / bandwidth` before the
 //! batch computes — which is what makes residency-aware placement a real
 //! cost-model decision rather than bookkeeping.
+//!
+//! Streaming sessions add a second residency class: the per-session
+//! recurrent state image ([`ImageKey::State`]), the `(c, y)` vectors a
+//! chunk resumes from. State images share the same LRU budget as weight
+//! images — a weight load can evict a session's state and vice versa.
+//! The asymmetry is in the charging: the *first* materialization of a
+//! session's state is free (the device fabricates the zero state
+//! locally), while re-materializing after an eviction streams the saved
+//! state back over the link and stalls the device like a weight load.
 
 use super::registry::ModelId;
 
@@ -19,19 +28,32 @@ use super::registry::ModelId;
 /// latencies, so thrashing residency visibly hurts the tail.
 pub const WEIGHT_STREAM_BYTES_PER_US: f64 = 8192.0;
 
-/// Outcome of [`DeviceResidency::ensure`].
+/// Identity of one resident BRAM image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKey {
+    /// A model's FFT'd weight image.
+    Weights(ModelId),
+    /// A streaming session's saved recurrent state.
+    State(u64),
+}
+
+/// Outcome of [`DeviceResidency::ensure`] /
+/// [`DeviceResidency::ensure_state`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadEvent {
-    /// True when the model had to be streamed in (a residency miss).
+    /// True when the image had to be streamed in (a charged miss). A
+    /// session state's first materialization is a miss that inserts the
+    /// image but reports `loaded: false` — nothing streams.
     pub loaded: bool,
-    /// Device stall charged before compute (µs); zero on a hit.
+    /// Device stall charged before compute (µs); zero on a hit and on a
+    /// first state materialization.
     pub load_us: f64,
-    /// Models evicted to make room, coldest first.
-    pub evicted: Vec<ModelId>,
+    /// Images evicted to make room, coldest first.
+    pub evicted: Vec<ImageKey>,
 }
 
 impl LoadEvent {
-    /// The no-op event: the model was already resident.
+    /// The no-op event: the image was already resident.
     fn hit() -> Self {
         LoadEvent {
             loaded: false,
@@ -39,15 +61,32 @@ impl LoadEvent {
             evicted: Vec::new(),
         }
     }
+
+    /// How many evicted images were weight images.
+    pub fn evicted_weights(&self) -> u64 {
+        self.evicted
+            .iter()
+            .filter(|k| matches!(k, ImageKey::Weights(_)))
+            .count() as u64
+    }
+
+    /// How many evicted images were session state images.
+    pub fn evicted_states(&self) -> u64 {
+        self.evicted
+            .iter()
+            .filter(|k| matches!(k, ImageKey::State(_)))
+            .count() as u64
+    }
 }
 
-/// LRU set of model weight images resident in one device's BRAM.
+/// LRU set of images (model weights + session states) resident in one
+/// device's BRAM.
 #[derive(Debug, Clone)]
 pub struct DeviceResidency {
     budget_bytes: u64,
     used_bytes: u64,
-    /// `(model, bytes)`, least recently used first.
-    resident: Vec<(ModelId, u64)>,
+    /// `(image, bytes)`, least recently used first.
+    resident: Vec<(ImageKey, u64)>,
 }
 
 impl DeviceResidency {
@@ -70,41 +109,88 @@ impl DeviceResidency {
         self.used_bytes
     }
 
-    /// Whether a model of this size can ever be resident here.
+    /// Whether an image of this size can ever be resident here.
     pub fn fits(&self, bytes: u64) -> bool {
         bytes <= self.budget_bytes
     }
 
-    /// Whether the model is resident right now.
+    /// Whether the model's weight image is resident right now.
     pub fn is_resident(&self, model: ModelId) -> bool {
-        self.resident.iter().any(|&(m, _)| m == model)
+        self.resident
+            .iter()
+            .any(|&(k, _)| k == ImageKey::Weights(model))
     }
 
-    /// Resident model ids, least recently used first.
+    /// Whether the session's state image is resident right now.
+    pub fn is_state_resident(&self, session: u64) -> bool {
+        self.resident
+            .iter()
+            .any(|&(k, _)| k == ImageKey::State(session))
+    }
+
+    /// Resident model ids (weight images only), least recently used
+    /// first.
     pub fn resident_models(&self) -> Vec<ModelId> {
-        self.resident.iter().map(|&(m, _)| m).collect()
+        self.resident
+            .iter()
+            .filter_map(|&(k, _)| match k {
+                ImageKey::Weights(m) => Some(m),
+                ImageKey::State(_) => None,
+            })
+            .collect()
     }
 
-    /// Virtual streaming cost of loading `bytes` of weight image.
+    /// Virtual streaming cost of loading `bytes` of image.
     pub fn load_us(bytes: u64) -> f64 {
         bytes as f64 / WEIGHT_STREAM_BYTES_PER_US
     }
 
-    /// Makes `model` (of `bytes`) resident: a hit refreshes its LRU
-    /// position for free; a miss evicts coldest-first until the image
-    /// fits and charges the streaming stall.
+    /// Makes `model`'s weight image (of `bytes`) resident: a hit
+    /// refreshes its LRU position for free; a miss evicts coldest-first
+    /// until the image fits and charges the streaming stall.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` exceeds the budget — callers must keep such
     /// models off this device (placement eligibility).
     pub fn ensure(&mut self, model: ModelId, bytes: u64) -> LoadEvent {
+        self.ensure_image(ImageKey::Weights(model), bytes, true)
+    }
+
+    /// Makes `session`'s recurrent-state image (of `bytes`) resident.
+    /// A hit refreshes LRU for free. A miss inserts the image, evicting
+    /// coldest-first; the streaming stall is charged only when `reload`
+    /// is true (the state existed before and was evicted) — a session's
+    /// first materialization fabricates the zero state on-device for
+    /// free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the budget.
+    pub fn ensure_state(&mut self, session: u64, bytes: u64, reload: bool) -> LoadEvent {
+        self.ensure_image(ImageKey::State(session), bytes, reload)
+    }
+
+    /// Drops `session`'s state image (the session ended); a no-op when
+    /// it was already evicted.
+    pub fn release_state(&mut self, session: u64) {
+        if let Some(pos) = self
+            .resident
+            .iter()
+            .position(|&(k, _)| k == ImageKey::State(session))
+        {
+            let (_, bytes) = self.resident.remove(pos);
+            self.used_bytes -= bytes;
+        }
+    }
+
+    fn ensure_image(&mut self, key: ImageKey, bytes: u64, charge: bool) -> LoadEvent {
         assert!(
             self.fits(bytes),
-            "model {model} ({bytes} B) exceeds the device budget ({} B)",
+            "image {key:?} ({bytes} B) exceeds the device budget ({} B)",
             self.budget_bytes
         );
-        if let Some(pos) = self.resident.iter().position(|&(m, _)| m == model) {
+        if let Some(pos) = self.resident.iter().position(|&(k, _)| k == key) {
             // Hit: bump to most-recently-used.
             let entry = self.resident.remove(pos);
             self.resident.push(entry);
@@ -116,11 +202,11 @@ impl DeviceResidency {
             self.used_bytes -= victim_bytes;
             evicted.push(victim);
         }
-        self.resident.push((model, bytes));
+        self.resident.push((key, bytes));
         self.used_bytes += bytes;
         LoadEvent {
-            loaded: true,
-            load_us: Self::load_us(bytes),
+            loaded: charge,
+            load_us: if charge { Self::load_us(bytes) } else { 0.0 },
             evicted,
         }
     }
@@ -153,13 +239,54 @@ mod tests {
         // Touch 0 so 1 becomes coldest.
         r.ensure(0, 400);
         let load = r.ensure(2, 500);
-        assert_eq!(load.evicted, vec![1]);
+        assert_eq!(load.evicted, vec![ImageKey::Weights(1)]);
         assert!(r.is_resident(0) && r.is_resident(2) && !r.is_resident(1));
         assert_eq!(r.used_bytes(), 900);
         // A giant image evicts everyone.
         let load = r.ensure(3, 1000);
-        assert_eq!(load.evicted, vec![0, 2]);
+        assert_eq!(
+            load.evicted,
+            vec![ImageKey::Weights(0), ImageKey::Weights(2)]
+        );
         assert_eq!(r.resident_models(), vec![3]);
+    }
+
+    #[test]
+    fn first_state_materialization_is_free_and_reloads_are_charged() {
+        let mut r = DeviceResidency::new(1000);
+        let first = r.ensure_state(7, 200, false);
+        assert!(!first.loaded);
+        assert_eq!(first.load_us, 0.0);
+        assert!(r.is_state_resident(7));
+        assert_eq!(r.used_bytes(), 200);
+        // Resident: a hit, free, regardless of the reload flag.
+        let hit = r.ensure_state(7, 200, true);
+        assert!(!hit.loaded);
+        assert_eq!(r.used_bytes(), 200);
+        // Evict it with a big weight image, then re-materialize: charged.
+        let big = r.ensure(0, 900);
+        assert_eq!(big.evicted, vec![ImageKey::State(7)]);
+        assert_eq!(big.evicted_states(), 1);
+        assert_eq!(big.evicted_weights(), 0);
+        assert!(!r.is_state_resident(7));
+        let reload = r.ensure_state(7, 200, true);
+        assert!(reload.loaded);
+        assert!((reload.load_us - 200.0 / WEIGHT_STREAM_BYTES_PER_US).abs() < 1e-12);
+        assert_eq!(reload.evicted, vec![ImageKey::Weights(0)]);
+    }
+
+    #[test]
+    fn release_state_frees_budget_and_tolerates_absence() {
+        let mut r = DeviceResidency::new(1000);
+        r.ensure_state(3, 300, false);
+        assert_eq!(r.used_bytes(), 300);
+        r.release_state(3);
+        assert_eq!(r.used_bytes(), 0);
+        assert!(!r.is_state_resident(3));
+        // Releasing again (or a never-resident session) is a no-op.
+        r.release_state(3);
+        r.release_state(99);
+        assert_eq!(r.used_bytes(), 0);
     }
 
     #[test]

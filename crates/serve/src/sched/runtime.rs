@@ -45,15 +45,18 @@ use super::cost::CostModel;
 use super::queue::{PaddingModel, QueueDiscipline, SchedQueue};
 use super::registry::{ModelId, ModelRegistry};
 use super::residency::DeviceResidency;
+use crate::config::RuntimeConfig;
 use crate::device::DevicePool;
-use crate::executor::{Executor, ExecutorKind, InferenceJob, InlineExecutor, ThreadPoolExecutor};
+use crate::executor::{
+    Executor, ExecutorKind, InferenceJob, InlineExecutor, SessionSlot, ThreadPoolExecutor,
+};
 use crate::metrics::ServeMetrics;
-use crate::request::{Request, Response};
+use crate::request::{validate_sessions, Request, Response, Workload};
 use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use ernn_fpga::Device;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -179,6 +182,13 @@ pub struct SchedStats {
     pub load_us_total: f64,
     /// Batches dispatched under a degraded (capped) batch size.
     pub degraded_batches: u64,
+    /// Session state images streamed back after an eviction (reloads;
+    /// first materializations are free and uncounted).
+    pub state_loads: u64,
+    /// Session state images evicted to make room for another image.
+    pub state_evictions: u64,
+    /// Total virtual time devices spent re-streaming session state (µs).
+    pub state_load_us_total: f64,
     /// Every admission decision, in arrival order.
     pub admission_log: Vec<AdmissionRecord>,
 }
@@ -239,20 +249,20 @@ pub struct SchedRuntime {
     registry: ModelRegistry,
     platforms: Vec<Device>,
     policy: SchedPolicy,
-    executor: ExecutorKind,
-    trace: TraceConfig,
+    config: RuntimeConfig,
 }
 
 impl SchedRuntime {
     /// A scheduler serving the registry over one device per platform
-    /// entry, with the deterministic-reference inline executor.
+    /// entry, with the default [`RuntimeConfig`] (deterministic-reference
+    /// inline executor, tracing off, no session cap).
     ///
     /// # Panics
     ///
     /// Panics if the registry or platform list is empty, or if any
     /// registered model fits no device's BRAM budget.
     pub fn new(registry: ModelRegistry, platforms: Vec<Device>, policy: SchedPolicy) -> Self {
-        Self::with_executor(registry, platforms, policy, ExecutorKind::Inline)
+        Self::with_config(registry, platforms, policy, RuntimeConfig::new())
     }
 
     /// A scheduler with an explicit host executor. Virtual-time results
@@ -268,6 +278,30 @@ impl SchedRuntime {
         policy: SchedPolicy,
         executor: ExecutorKind,
     ) -> Self {
+        Self::with_config(
+            registry,
+            platforms,
+            policy,
+            RuntimeConfig::new().executor(executor),
+        )
+    }
+
+    /// A scheduler with a full [`RuntimeConfig`] — the one constructor
+    /// the others delegate to, shared in shape with
+    /// [`ServeRuntime::with_config`](crate::ServeRuntime::with_config).
+    /// Unlike the single-model runtime, an over-cap streaming load does
+    /// not panic here: first chunks beyond
+    /// [`RuntimeConfig::max_live_sessions`] are shed at admission.
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::new`].
+    pub fn with_config(
+        registry: ModelRegistry,
+        platforms: Vec<Device>,
+        policy: SchedPolicy,
+        config: RuntimeConfig,
+    ) -> Self {
         assert!(!registry.is_empty(), "registry needs at least one model");
         assert!(!platforms.is_empty(), "need at least one device");
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
@@ -276,8 +310,7 @@ impl SchedRuntime {
             registry,
             platforms,
             policy,
-            executor,
-            trace: TraceConfig::disabled(),
+            config,
         };
         for m in 0..rt.registry.len() {
             assert!(
@@ -295,13 +328,23 @@ impl SchedRuntime {
     /// [`SchedReport::trace`]'s journal, which is itself bit-identical
     /// across executor kinds.
     pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
-        self.trace = trace;
+        self.config = self.config.tracing(trace);
         self
+    }
+
+    /// The runtime configuration runs execute under.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
     }
 
     /// The tracing configuration runs execute under.
     pub fn trace_config(&self) -> TraceConfig {
-        self.trace
+        self.config.trace
+    }
+
+    /// The host executor strategy this runtime uses.
+    pub fn executor_kind(&self) -> ExecutorKind {
+        self.config.executor
     }
 
     /// The model registry.
@@ -331,6 +374,7 @@ impl SchedRuntime {
     /// Panics if any request names an unregistered model, has no frames,
     /// or disagrees with its model's input dimension.
     pub fn run(&self, requests: Vec<Request>) -> SchedReport {
+        validate_sessions(&requests);
         let mut heap = BinaryHeap::with_capacity(requests.len());
         for (seq, request) in requests.into_iter().enumerate() {
             self.validate(&request);
@@ -415,7 +459,7 @@ impl SchedRuntime {
     /// snapshot (one worker per device slot for the thread pool).
     fn make_executor(&self) -> Box<dyn Executor> {
         let models: Vec<Arc<crate::CompiledModel>> = self.registry.models();
-        match self.executor {
+        match self.config.executor {
             ExecutorKind::Inline => Box::new(InlineExecutor::new(models)),
             ExecutorKind::ThreadPool => {
                 Box::new(ThreadPoolExecutor::new(models, self.platforms.len()))
@@ -454,7 +498,9 @@ impl SchedRuntime {
             feedback,
             now_us: 0.0,
             admit_seq: 0,
-            obs: Observer::new(self.trace),
+            sessions: HashMap::new(),
+            live_sessions: 0,
+            obs: Observer::new(self.config.trace),
         };
 
         loop {
@@ -572,13 +618,19 @@ impl SchedRuntime {
     }
 
     /// The admission predictor (see module docs for the formula).
-    /// Returns `(predicted_complete_us, best_solo_est_us)`.
+    /// Returns `(predicted_complete_us, best_solo_est_us)`. A chunk of a
+    /// device-bound session predicts over its pinned device only —
+    /// session affinity means no other device can serve it.
     fn predict(&self, state: &RunState<'_>, request: &Request) -> (f64, f64) {
         let m = request.model;
         let frames = request.num_frames() as u64;
+        let bound = request
+            .session()
+            .and_then(|s| state.sessions.get(&s))
+            .and_then(|e| e.device);
         let (mut best_finish, mut best_est) = (f64::INFINITY, f64::INFINITY);
         for d in 0..self.platforms.len() {
-            if !self.eligible(d, m) {
+            if !self.eligible(d, m) || bound.is_some_and(|b| b != d) {
                 continue;
             }
             best_finish = best_finish.min(self.predicted_finish_us(state, d, m, frames));
@@ -588,12 +640,50 @@ impl SchedRuntime {
         (best_finish + backlog, best_est)
     }
 
+    /// Cancels a streaming session: later chunks shed at admission and
+    /// the session stops counting against the live cap. The state image
+    /// (if any) stays in its device's LRU until evicted or until an
+    /// already-queued chunk of the session dispatches.
+    fn cancel_session(&self, state: &mut RunState<'_>, session: u64) {
+        let entry = state.sessions.entry(session).or_insert(SessionEntry {
+            device: None,
+            materialized: false,
+            cancelled: true,
+            counted: false,
+        });
+        if entry.counted {
+            state.live_sessions -= 1;
+            entry.counted = false;
+        }
+        entry.cancelled = true;
+    }
+
     /// Runs one arrival through admission control: into the queue, or an
     /// immediate shed response.
+    ///
+    /// Streaming chunks add two shed conditions ahead of the latency
+    /// predictor: a chunk of a cancelled session (an earlier chunk was
+    /// shed — serving the rest would produce an incoherent transcript),
+    /// and a first chunk arriving while
+    /// [`RuntimeConfig::max_live_sessions`] sessions are already live.
+    /// Shedding *any* chunk cancels its whole session.
     fn admit(&self, state: &mut RunState<'_>, request: Request) {
         let (predicted_us, best_est) = self.predict(state, &request);
-        let admitted =
-            !self.policy.admission.sheds() || request.deadline_us.is_none_or(|d| predicted_us <= d);
+        let session_blocked = match request.workload {
+            Workload::Chunk { session, index, .. } => {
+                let cancelled = state.sessions.get(&session).is_some_and(|e| e.cancelled);
+                let over_cap = index == 0
+                    && self
+                        .config
+                        .max_live_sessions
+                        .is_some_and(|cap| state.live_sessions >= cap);
+                cancelled || over_cap
+            }
+            _ => false,
+        };
+        let admitted = !session_blocked
+            && (!self.policy.admission.sheds()
+                || request.deadline_us.is_none_or(|d| predicted_us <= d));
         state.stats.admission_log.push(AdmissionRecord {
             id: request.id,
             model: request.model,
@@ -602,6 +692,20 @@ impl SchedRuntime {
             admitted,
         });
         if admitted {
+            if let Workload::Chunk { session, index, .. } = request.workload {
+                if index == 0 {
+                    state.sessions.insert(
+                        session,
+                        SessionEntry {
+                            device: None,
+                            materialized: false,
+                            cancelled: false,
+                            counted: true,
+                        },
+                    );
+                    state.live_sessions += 1;
+                }
+            }
             state.stats.admitted += 1;
             state.obs.admitted(state.now_us, &request, predicted_us);
             state
@@ -611,22 +715,19 @@ impl SchedRuntime {
             state.admit_seq += 1;
             state.queue.push(request, seq, best_est);
         } else {
+            if let Some(session) = request.session() {
+                self.cancel_session(state, session);
+            }
             state.stats.shed += 1;
             state.obs.shed(state.now_us, &request, predicted_us);
             let arrival_us = request.arrival_us;
-            state.responses.push(Response {
-                id: request.id,
-                model: request.model,
-                logits: Vec::new(),
+            state.responses.push(Response::shed(
+                request.id,
+                request.model,
+                request.workload,
                 arrival_us,
-                dispatch_us: arrival_us,
-                complete_us: arrival_us,
-                device: 0,
-                batch_size: 0,
-                deadline_tracked: request.deadline_us.is_some(),
-                deadline_met: false,
-                shed: true,
-            });
+                request.deadline_us,
+            ));
             // A shed completes instantly: its closed-loop client
             // resubmits right away — which is exactly how shedding keeps
             // a saturating loop saturating.
@@ -663,14 +764,23 @@ impl SchedRuntime {
         if max_batch < self.policy.max_batch {
             state.stats.degraded_batches += 1;
         }
-        let batch = state
-            .queue
-            .take_batch(model, max_batch, &self.policy.padding);
+        let taken = {
+            // Disjoint field borrows: formation mutates the queue while
+            // the affinity closure reads the session table.
+            let sessions = &state.sessions;
+            let affinity = |s: u64| sessions.get(&s).and_then(|e| e.device);
+            state
+                .queue
+                .take_batch(model, max_batch, &self.policy.padding, &affinity)
+        };
+        let batch = taken.batch;
         debug_assert!(!batch.is_empty(), "head model yields a non-empty batch");
         let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
         let bytes = self.registry.weight_bytes(model);
 
-        let device = match self.policy.placement {
+        // Session affinity beats placement policy: a batch carrying a
+        // bound session must run where that session's state lives.
+        let device = taken.pinned.unwrap_or_else(|| match self.policy.placement {
             Placement::EarliestFree => (0..self.platforms.len())
                 .filter(|&d| self.eligible(d, model))
                 .min_by(|&a, &b| {
@@ -690,19 +800,54 @@ impl SchedRuntime {
                     })
                     .expect("every model has an eligible device")
             }
-        };
+        });
 
         let load = state.residency[device].ensure(model, bytes);
         if load.loaded {
             state.stats.model_loads += 1;
             state.stats.load_us_total += load.load_us;
         }
-        state.stats.model_evictions += load.evicted.len() as u64;
+        state.stats.model_evictions += load.evicted_weights();
+        state.stats.state_evictions += load.evicted_states();
+
+        // Bind first chunks to this device and make every member
+        // session's state image resident. First materialization is free
+        // (the zero state is fabricated on-device); re-materializing an
+        // evicted state streams it back and stalls the device like a
+        // weight load. Stalls queue after the weight load.
+        let state_bytes = self.registry.model(model).state_bytes();
+        let mut state_us = 0.0;
+        let mut state_loads: Vec<(u64, f64, usize)> = Vec::new();
+        for r in &batch {
+            let Some(session) = r.session() else { continue };
+            let entry = state
+                .sessions
+                .get_mut(&session)
+                .expect("admitted chunk has a session entry");
+            if entry.device.is_none() {
+                entry.device = Some(device);
+            }
+            let reload = entry.materialized;
+            entry.materialized = true;
+            let ev = state.residency[device].ensure_state(session, state_bytes, reload);
+            if ev.loaded {
+                state.stats.state_loads += 1;
+                state.stats.state_load_us_total += ev.load_us;
+                state_loads.push((session, ev.load_us, ev.evicted.len()));
+                state_us += ev.load_us;
+            }
+            state.stats.model_evictions += ev.evicted_weights();
+            state.stats.state_evictions += ev.evicted_states();
+        }
+
         let stages = state.cost.stages(device, model);
-        let exec =
-            state
-                .pool
-                .dispatch_to(device, state.now_us, load.load_us, stages, &frame_counts);
+        let exec = state.pool.dispatch_to(
+            device,
+            state.now_us,
+            load.load_us + state_us,
+            stages,
+            &frame_counts,
+        );
         state.obs.batch_dispatched(
             state.now_us,
             model,
@@ -710,6 +855,7 @@ impl SchedRuntime {
             &frame_counts,
             &exec,
             load.load_us,
+            state_us,
             stages.ii(),
         );
         if load.loaded {
@@ -721,6 +867,13 @@ impl SchedRuntime {
                 load.evicted.len(),
             );
         }
+        let mut stall_at = exec.start_us + load.load_us;
+        for (session, load_us, evicted) in state_loads {
+            state
+                .obs
+                .session_state_load(stall_at, device, session, load_us, evicted);
+            stall_at += load_us;
+        }
 
         let batch_size = batch.len();
         let mut jobs = Vec::with_capacity(batch_size);
@@ -731,27 +884,46 @@ impl SchedRuntime {
                 frames,
                 arrival_us,
                 deadline_us,
+                workload,
             } = request;
-            let deadline_met = deadline_us.is_none_or(|d| complete_us <= d);
+            let session = match workload {
+                Workload::Chunk { session, last, .. } => {
+                    if last {
+                        // The session ends here: free its state image and
+                        // its live slot (validation guarantees no chunk
+                        // follows one marked `last`).
+                        state.residency[device].release_state(session);
+                        let entry = state
+                            .sessions
+                            .get_mut(&session)
+                            .expect("dispatched chunk has a session entry");
+                        if entry.counted {
+                            state.live_sessions -= 1;
+                            entry.counted = false;
+                        }
+                    }
+                    Some(SessionSlot { id: session, last })
+                }
+                _ => None,
+            };
             jobs.push(InferenceJob {
                 slot: state.responses.len(),
                 device: exec.device,
                 model,
                 frames,
+                session,
             });
-            state.responses.push(Response {
+            state.responses.push(Response::served(
                 id,
                 model,
-                logits: Vec::new(),
+                workload,
                 arrival_us,
-                dispatch_us: exec.start_us,
+                exec.start_us,
                 complete_us,
-                device: exec.device,
+                exec.device,
                 batch_size,
-                deadline_tracked: deadline_us.is_some(),
-                deadline_met,
-                shed: false,
-            });
+                deadline_us,
+            ));
             state
                 .obs
                 .completed(state.responses.last().expect("just pushed"));
@@ -759,6 +931,22 @@ impl SchedRuntime {
         }
         executor.submit_batch(jobs);
     }
+}
+
+/// Scheduler-side view of one streaming session.
+struct SessionEntry {
+    /// Device every chunk runs on, bound at first-chunk dispatch.
+    device: Option<usize>,
+    /// Whether the session's state image has ever been materialized — a
+    /// later residency miss is a charged reload, not a free zero-state
+    /// fabrication.
+    materialized: bool,
+    /// A chunk was shed (or the session hit the live cap at its first
+    /// chunk): every later chunk sheds at admission.
+    cancelled: bool,
+    /// Whether the session currently counts against
+    /// [`RuntimeConfig::max_live_sessions`].
+    counted: bool,
 }
 
 /// Closed-loop client population state.
@@ -799,6 +987,11 @@ struct RunState<'p> {
     feedback: Option<Feedback<'p>>,
     now_us: f64,
     admit_seq: u64,
+    /// Streaming-session table: affinity binding, materialization, and
+    /// cancellation per session id.
+    sessions: HashMap<u64, SessionEntry>,
+    /// Sessions currently counting against the live cap.
+    live_sessions: usize,
     obs: Observer,
 }
 
@@ -880,7 +1073,7 @@ mod tests {
         let mut batches: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
         for r in &report.responses {
             batches
-                .entry((r.device, r.dispatch_us.to_bits()))
+                .entry((r.device.expect("served"), r.dispatch_us.to_bits()))
                 .or_default()
                 .push(r.model);
         }
@@ -1149,6 +1342,214 @@ mod tests {
         for r in &report.responses {
             assert!(r.batch_size <= 3, "concurrency bounds in-flight work");
         }
+    }
+
+    /// Splits one utterance into `chunk_frames`-sized session chunks with
+    /// ids starting at `base_id`, arriving every `gap_us` from `t0_us`.
+    fn chunked(
+        session: u64,
+        base_id: u64,
+        utt: &[Vec<f32>],
+        chunk_frames: usize,
+        t0_us: f64,
+        gap_us: f64,
+    ) -> Vec<Request> {
+        let n = utt.len().div_ceil(chunk_frames);
+        (0..n)
+            .map(|i| {
+                let frames =
+                    utt[i * chunk_frames..((i + 1) * chunk_frames).min(utt.len())].to_vec();
+                Request::chunk(
+                    base_id + i as u64,
+                    session,
+                    i as u32,
+                    i == n - 1,
+                    frames,
+                    t0_us + gap_us * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_sessions_pin_one_device_and_match_whole_utterances() {
+        let reg = registry();
+        let models = reg.models();
+        let utts = synthetic_utterances(3, (12, 20), DIM, 55);
+        let mut requests = Vec::new();
+        let mut next_id = 0u64;
+        for (s, utt) in utts.iter().enumerate() {
+            let chunks = chunked(s as u64, next_id, utt, 5, s as f64 * 40.0, 300.0);
+            next_id += chunks.len() as u64;
+            requests.extend(chunks);
+        }
+        let run = |exec: ExecutorKind| {
+            SchedRuntime::with_executor(
+                registry(),
+                vec![XCKU060, ADM_PCIE_7V3],
+                SchedPolicy::edf_cost_model(4, 50.0),
+                exec,
+            )
+            .with_tracing(TraceConfig::enabled(4096))
+            .run(requests.clone())
+        };
+        let inline = run(ExecutorKind::Inline);
+        let pooled = run(ExecutorKind::ThreadPool);
+        // Virtual-time results and the trace journal are bit-identical
+        // across executors, streaming state included.
+        assert_eq!(inline.responses, pooled.responses);
+        assert_eq!(inline.metrics, pooled.metrics);
+        assert_eq!(inline.sched, pooled.sched);
+        assert_eq!(inline.trace, pooled.trace);
+        // Every chunk of a session ran on that session's one device, and
+        // stitching the per-chunk logits reproduces the whole-utterance
+        // inference bit-exactly.
+        for (s, utt) in utts.iter().enumerate() {
+            let mut on: Vec<&Response> = inline
+                .responses
+                .iter()
+                .filter(|r| r.workload.session() == Some(s as u64))
+                .collect();
+            on.sort_by_key(|r| r.id);
+            let device = on[0].device.expect("served");
+            assert!(on.iter().all(|r| r.device == Some(device)), "session {s}");
+            let stitched: Vec<Vec<f32>> =
+                on.iter().flat_map(|r| r.logits.iter().cloned()).collect();
+            assert_eq!(stitched, models[0].infer(utt), "session {s}");
+        }
+        assert_eq!(inline.metrics.sessions, 3);
+    }
+
+    #[test]
+    fn live_session_cap_sheds_excess_sessions_whole() {
+        let utts = synthetic_utterances(2, (12, 12), DIM, 77);
+        let mut requests = chunked(0, 0, &utts[0], 4, 0.0, 500.0);
+        // Session 1 starts while session 0 is still live.
+        requests.extend(chunked(1, 100, &utts[1], 4, 10.0, 500.0));
+        let rt = SchedRuntime::with_config(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(2, 50.0),
+            RuntimeConfig::new().max_live_sessions(1),
+        );
+        assert_eq!(rt.config().max_live_sessions, Some(1));
+        let report = rt.run(requests);
+        // Session 0 is served completely; session 1 is shed whole — its
+        // first chunk hit the cap and cancellation covers the rest.
+        for r in &report.responses {
+            match r.workload.session() {
+                Some(0) => assert!(!r.shed, "chunk {} of session 0", r.id),
+                Some(1) => {
+                    assert!(r.shed, "chunk {} of session 1", r.id);
+                    assert_eq!(r.device, None);
+                }
+                _ => unreachable!("only chunks in this load"),
+            }
+        }
+        assert_eq!(report.sched.shed, 3);
+        // Shed chunks are logged as rejected admissions.
+        let rejected = report
+            .sched
+            .admission_log
+            .iter()
+            .filter(|a| !a.admitted)
+            .count();
+        assert_eq!(rejected, 3);
+    }
+
+    #[test]
+    fn evicted_session_state_is_reloaded_charged_and_traced() {
+        // One device whose budget holds both weight images only barely:
+        // alternating the session's model with the other model evicts the
+        // session's state image, forcing charged reloads.
+        let reg = registry();
+        let w: u64 = (0..reg.len()).map(|m| reg.weight_bytes(m)).sum();
+        let rt = SchedRuntime::new(
+            reg,
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0).with_bram_budget_bytes(w - 1),
+        )
+        .with_tracing(TraceConfig::enabled(4096));
+        let utts = synthetic_utterances(2, (12, 12), DIM, 88);
+        let mut requests = chunked(9, 0, &utts[0], 3, 0.0, 1000.0);
+        for i in 0..3u64 {
+            requests.push(
+                Request::new(50 + i, utts[1].clone(), 500.0 + 1000.0 * i as f64).with_model(1),
+            );
+        }
+        let report = rt.run(requests);
+        assert!(report.responses.iter().all(|r| !r.shed));
+        assert!(
+            report.sched.state_loads >= 1,
+            "interleaved models must thrash session state: {:?}",
+            report.sched
+        );
+        assert!(report.sched.state_evictions >= 1, "{:?}", report.sched);
+        assert!(report.sched.state_load_us_total > 0.0);
+        // Each charged reload appears in the journal with its stall.
+        let loads: Vec<_> = report
+            .trace
+            .journal
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                crate::trace::TraceEvent::SessionStateLoad {
+                    session,
+                    load_us,
+                    stall_cycles,
+                    ..
+                } => Some((*session, *load_us, *stall_cycles)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads.len() as u64, report.sched.state_loads);
+        for (session, load_us, stall_cycles) in loads {
+            assert_eq!(session, 9);
+            assert!(load_us > 0.0);
+            assert!(stall_cycles > 0);
+        }
+        // The stalls land in the attribution's state lane.
+        let attributed_state: f64 = report
+            .trace
+            .attribution
+            .iter()
+            .map(|(_, _, c)| c.state_us)
+            .sum();
+        assert!((attributed_state - report.sched.state_load_us_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shedding_one_chunk_cancels_the_rest_of_its_session() {
+        // All chunks share one absolute deadline (non-decreasing, as
+        // validation requires), sized to fit the cold load plus about two
+        // chunks of service. The first chunk makes it; a later chunk
+        // predicts late under ShedPredictedLate, and from that point the
+        // whole session sheds — served prefixes never interleave with
+        // holes.
+        let reg = registry();
+        let cost = CostModel::build(&[XCKU060], &reg);
+        let est = cost.estimate_frames_us(0, 0, 3);
+        let deadline = DeviceResidency::load_us(reg.weight_bytes(0)) + 2.5 * est;
+        let utts = synthetic_utterances(1, (30, 30), DIM, 99);
+        let requests: Vec<Request> = chunked(4, 0, &utts[0], 3, 0.0, 1.0)
+            .into_iter()
+            .map(|r| r.with_deadline(deadline))
+            .collect();
+        let rt = SchedRuntime::new(
+            reg,
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0).with_admission(AdmissionPolicy::ShedPredictedLate),
+        );
+        let report = rt.run(requests);
+        let mut by_id: Vec<&Response> = report.responses.iter().collect();
+        by_id.sort_by_key(|r| r.id);
+        let first_shed = by_id.iter().position(|r| r.shed);
+        let first_shed = first_shed.expect("the 30-frame session must overrun a 120 µs deadline");
+        assert!(first_shed > 0, "the first chunk fits its deadline");
+        assert!(
+            by_id[first_shed..].iter().all(|r| r.shed),
+            "cancellation sheds every chunk after the first shed one"
+        );
     }
 
     #[test]

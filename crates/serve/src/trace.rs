@@ -165,6 +165,24 @@ pub enum TraceEvent {
         /// Number of models evicted to make room.
         evicted: usize,
     },
+    /// A session's recurrent-state image was streamed back onto a device
+    /// (state residency miss: the state had been evicted since the
+    /// session's previous chunk).
+    SessionStateLoad {
+        /// Virtual time the stall begins on the device (µs).
+        t_us: f64,
+        /// Stalled device.
+        device: usize,
+        /// The streaming session whose state is reloading.
+        session: u64,
+        /// Stall length (µs).
+        load_us: f64,
+        /// The same stall in device clock cycles
+        /// ([`Device::cycles_for_us`](ernn_fpga::Device::cycles_for_us)).
+        stall_cycles: u64,
+        /// Number of resident images evicted to make room.
+        evicted: usize,
+    },
     /// A formed batch started occupying a device.
     Dispatch {
         /// Virtual time of the placement decision (µs).
@@ -210,6 +228,7 @@ impl TraceEvent {
             | TraceEvent::Dequeue { t_us, .. }
             | TraceEvent::BatchFormed { t_us, .. }
             | TraceEvent::ResidencyLoad { t_us, .. }
+            | TraceEvent::SessionStateLoad { t_us, .. }
             | TraceEvent::Dispatch { t_us, .. }
             | TraceEvent::Complete { t_us, .. } => t_us,
         }
@@ -224,6 +243,7 @@ impl TraceEvent {
             TraceEvent::Dequeue { .. } => "dequeue",
             TraceEvent::BatchFormed { .. } => "batch_formed",
             TraceEvent::ResidencyLoad { .. } => "residency_load",
+            TraceEvent::SessionStateLoad { .. } => "session_state_load",
             TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::Complete { .. } => "complete",
         }
@@ -574,6 +594,10 @@ pub struct StageBreakdown {
     pub queue_us: f64,
     /// Weight-image streaming stalls charged to this cell (µs).
     pub load_us: f64,
+    /// Session-state reload stalls charged to this cell (µs) — the cost
+    /// of resuming a streaming session whose recurrent state was evicted
+    /// between chunks.
+    pub state_us: f64,
     /// Device compute occupancy, load stalls excluded (µs).
     pub compute_us: f64,
     /// Padding waste: the padded frames' worth of steady-state frame
@@ -583,9 +607,10 @@ pub struct StageBreakdown {
 }
 
 impl StageBreakdown {
-    /// Device occupancy attributed to this cell: load stalls + compute.
+    /// Device occupancy attributed to this cell: weight-load stalls +
+    /// state-load stalls + compute.
     pub fn busy_us(&self) -> f64 {
-        self.load_us + self.compute_us
+        self.load_us + self.state_us + self.compute_us
     }
 }
 
@@ -612,6 +637,7 @@ impl StageAttribution {
         cell.batches += delta.batches;
         cell.queue_us += delta.queue_us;
         cell.load_us += delta.load_us;
+        cell.state_us += delta.state_us;
         cell.compute_us += delta.compute_us;
         cell.padding_us += delta.padding_us;
     }
@@ -728,11 +754,33 @@ impl Observer {
         });
     }
 
+    /// A session's evicted recurrent state is streaming back onto
+    /// `device` starting at `start_us`.
+    #[inline]
+    pub(crate) fn session_state_load(
+        &mut self,
+        start_us: f64,
+        device: usize,
+        session: u64,
+        load_us: f64,
+        evicted: usize,
+    ) {
+        self.recorder.record(TraceEvent::SessionStateLoad {
+            t_us: start_us,
+            device,
+            session,
+            load_us,
+            stall_cycles: Device::cycles_for_us(load_us),
+            evicted,
+        });
+    }
+
     /// A formed batch landed on a device: records per-member dequeues,
     /// the batch-formation and dispatch events, and charges the
     /// (device, model) attribution cell — queue wait from arrivals,
-    /// load/compute split of the device occupancy, and padding waste at
-    /// the model's steady-state frame time (`ii_cycles` per frame).
+    /// weight-load/state-load/compute split of the device occupancy, and
+    /// padding waste at the model's steady-state frame time (`ii_cycles`
+    /// per frame).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn batch_dispatched(
         &mut self,
@@ -742,6 +790,7 @@ impl Observer {
         frame_counts: &[u64],
         exec: &BatchExecution,
         load_us: f64,
+        state_us: f64,
         ii_cycles: u64,
     ) {
         let size = batch.len();
@@ -781,19 +830,23 @@ impl Observer {
                 batches: 1,
                 queue_us,
                 load_us,
-                compute_us: exec.free_us - exec.start_us - load_us,
+                state_us,
+                compute_us: exec.free_us - exec.start_us - load_us - state_us,
                 padding_us: padded_frames as f64 * ii_cycles as f64 * Device::clock_period_us(),
             },
         );
     }
 
     /// A served response's frames finished streaming through its device.
+    /// Shed responses carry no device and never complete, so they record
+    /// nothing here (the [`TraceEvent::Shed`] event already covers them).
     #[inline]
     pub(crate) fn completed(&mut self, r: &Response) {
+        let Some(device) = r.device else { return };
         self.recorder.record(TraceEvent::Complete {
             t_us: r.complete_us,
             id: r.id,
-            device: r.device,
+            device,
             model: r.model,
             arrival_us: r.arrival_us,
             dispatch_us: r.dispatch_us,
@@ -849,6 +902,7 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 note(&mut models, model);
                 note(&mut devices, device);
             }
+            TraceEvent::SessionStateLoad { device, .. } => note(&mut devices, device),
         }
     }
     models.sort_unstable();
@@ -975,6 +1029,20 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 num(t_us),
                 num(load_us)
             ),
+            TraceEvent::SessionStateLoad {
+                t_us,
+                device,
+                session,
+                load_us,
+                stall_cycles,
+                evicted,
+            } => format!(
+                "{{\"name\":\"state session {session}\",\"cat\":\"residency\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{device},\
+                 \"args\":{{\"stall_cycles\":{stall_cycles},\"evicted\":{evicted}}}}}",
+                num(t_us),
+                num(load_us)
+            ),
             TraceEvent::Dispatch {
                 t_us: _,
                 device,
@@ -1084,6 +1152,7 @@ pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
         for (stage, v) in [
             ("queue", cell.queue_us),
             ("load", cell.load_us),
+            ("state", cell.state_us),
             ("compute", cell.compute_us),
             ("padding", cell.padding_us),
         ] {
@@ -1240,6 +1309,7 @@ mod tests {
             batches: 1,
             queue_us: 3.0,
             load_us: 1.0,
+            state_us: 0.5,
             compute_us: 5.0,
             padding_us: 0.5,
         };
@@ -1251,7 +1321,7 @@ mod tests {
         assert_eq!(cell.requests, 4);
         assert_eq!(cell.batches, 2);
         assert!((cell.queue_us - 6.0).abs() < 1e-12);
-        assert!((cell.busy_us() - 12.0).abs() < 1e-12);
+        assert!((cell.busy_us() - 13.0).abs() < 1e-12);
         assert_eq!(a.get(3, 3), StageBreakdown::default());
         let cells: Vec<(usize, usize)> = a.iter().map(|(d, m, _)| (d, m)).collect();
         assert_eq!(cells, vec![(0, 1), (1, 0)]);
@@ -1328,20 +1398,18 @@ mod tests {
 
     #[test]
     fn prometheus_export_has_counters_histograms_and_stages() {
-        use crate::request::Response;
-        let responses = vec![Response {
-            id: 0,
-            model: 0,
-            logits: vec![vec![0.0]; 2],
-            arrival_us: 0.0,
-            dispatch_us: 1.0,
-            complete_us: 5.0,
-            device: 0,
-            batch_size: 1,
-            deadline_tracked: false,
-            deadline_met: true,
-            shed: false,
-        }];
+        use crate::request::{Response, Workload};
+        let responses = vec![Response::served(
+            0,
+            0,
+            Workload::Utterance,
+            0.0,
+            1.0,
+            5.0,
+            0,
+            1,
+            None,
+        )];
         let metrics = ServeMetrics::compute(&responses, vec![4.0]);
         let mut trace = RunTrace::default();
         trace.attribution.charge(
@@ -1352,6 +1420,7 @@ mod tests {
                 batches: 1,
                 queue_us: 1.0,
                 load_us: 0.0,
+                state_us: 0.0,
                 compute_us: 4.0,
                 padding_us: 0.0,
             },

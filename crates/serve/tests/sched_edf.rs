@@ -47,6 +47,11 @@ fn key(r: &Request) -> f64 {
     r.deadline_us.unwrap_or(f64::INFINITY)
 }
 
+/// Affinity oracle for loads with no streaming sessions.
+fn unbound(_: u64) -> Option<usize> {
+    None
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
     #[test]
@@ -72,7 +77,9 @@ proptest! {
         }
         while let Some(head) = queue.head() {
             let model = head.model;
-            let batch = queue.take_batch(model, max_batch, &padding);
+            let batch = queue
+                .take_batch(model, max_batch, &padding, &unbound)
+                .batch;
             prop_assert!(!batch.is_empty(), "head model always yields a batch");
             prop_assert!(batch.iter().all(|r| r.model == model));
             // Within the batch, deadlines are non-decreasing…
@@ -89,7 +96,7 @@ proptest! {
             let mut remaining_min = f64::INFINITY;
             while let Some(h) = queue.head() {
                 let m = h.model;
-                for r in queue.take_batch(m, usize::MAX, &PaddingModel::none()) {
+                for r in queue.take_batch(m, usize::MAX, &PaddingModel::none(), &unbound).batch {
                     if r.model == model {
                         remaining_min = remaining_min.min(key(&r));
                     }
@@ -100,7 +107,7 @@ proptest! {
             // Put everything back for the next round.
             while let Some(h) = probe.head() {
                 let m = h.model;
-                for r in probe.take_batch(m, usize::MAX, &PaddingModel::none()) {
+                for r in probe.take_batch(m, usize::MAX, &PaddingModel::none(), &unbound).batch {
                     let seq = r.id;
                     queue.push(r, seq, 1.0);
                 }

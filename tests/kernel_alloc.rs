@@ -86,6 +86,7 @@ fn steady_state_batched_inference_performs_zero_allocations() {
                 batches: 1,
                 queue_us: 12.5,
                 load_us: 0.0,
+                state_us: 0.0,
                 compute_us: 90.0,
                 padding_us: 3.0,
             },
