@@ -282,6 +282,29 @@ impl StageCycles {
         self.fill_cycles() + (frame - 1) * self.ii()
     }
 
+    /// The same pipeline with every stage stretched by `factor` —
+    /// the timing of a device in brownout (thermal or voltage
+    /// degradation slows the whole fabric uniformly). Stage cycles are
+    /// rounded up and never drop below one cycle, so `scaled(1.0)` is
+    /// the identity and the result stays a valid pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite or is `< 1.0` — brownouts only
+    /// ever slow a device down.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "stage scale factor must be finite and >= 1.0, got {factor}"
+        );
+        let stretch = |c: u64| ((c as f64 * factor).ceil() as u64).max(1);
+        StageCycles {
+            stage1: stretch(self.stage1),
+            stage2: stretch(self.stage2),
+            stage3: stretch(self.stage3),
+        }
+    }
+
     /// Per-frame CGPipe timing of the paper's FFT8 LSTM-1024 design on
     /// the Kintex UltraScale KU060 (Table III's "E-RNN FFT8" column) —
     /// a named preset for building heterogeneous device pools.

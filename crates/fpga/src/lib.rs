@@ -27,6 +27,10 @@
 //! * [`baseline`] — hardware models of ESE (sparse, irregular) and C-LSTM
 //!   (circulant without E-RNN's PE optimizations) for the Table III
 //!   comparison.
+//! * [`fault`] — deterministic, seeded device-fault schedules
+//!   ([`FaultPlan`]) and their pre-compiled per-run query form
+//!   ([`FaultTimeline`]), the data model behind the serving tier's
+//!   chaos testing and failover.
 //!
 //! Absolute watts and microseconds are calibrated approximations (the
 //! authors measured real boards); the quantities the reproduction relies
@@ -38,6 +42,7 @@ pub mod artifact;
 pub mod baseline;
 mod device;
 pub mod exec;
+pub mod fault;
 mod pe;
 pub mod power;
 pub mod sim;
@@ -45,4 +50,5 @@ pub mod sim;
 pub use accelerator::{AccelReport, Accelerator, HwCell, RnnSpec, StageCycles, RESOURCE_BUDGET};
 pub use artifact::{ModelArtifact, PipelineError};
 pub use device::{Device, ADM_PCIE_7V3, KNOWN_DEVICES, XCKU060};
+pub use fault::{DeviceFault, FaultEvent, FaultHit, FaultPlan, FaultTimeline};
 pub use pe::PeDesign;

@@ -10,13 +10,52 @@
 
 use crate::executor::ExecutorKind;
 use crate::trace::TraceConfig;
+use ernn_fpga::fault::FaultPlan;
+
+/// Retry semantics for batches aborted by an injected fault: a capped
+/// exponential backoff on the *virtual* clock. An aborted batch's
+/// members re-enter the scheduler as fresh arrivals at
+/// `abort + backoff(attempt)`; a request that exhausts
+/// [`RetryPolicy::max_attempts`] is shed with
+/// [`ShedReason::CapacityLoss`](crate::ShedReason::CapacityLoss) so no
+/// request is ever silently lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry (µs).
+    pub base_backoff_us: f64,
+    /// Ceiling on the exponential backoff (µs).
+    pub max_backoff_us: f64,
+    /// Maximum retry attempts per request before it is shed.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 50 µs base, 5 ms cap, 5 attempts — a few frame-latencies of
+    /// pause that doubles toward the cap.
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_us: 50.0,
+            max_backoff_us: 5_000.0,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-indexed):
+    /// `min(base · 2^(attempt−1), max)`.
+    pub fn backoff_us(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(63);
+        (self.base_backoff_us * (1u64 << exp) as f64).min(self.max_backoff_us)
+    }
+}
 
 /// Builder-style options shared by both runtimes: executor choice,
-/// tracing, and streaming-session limits.
+/// tracing, streaming-session limits, and fault injection.
 ///
 /// `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and the
 /// builder methods so future options don't break callers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct RuntimeConfig {
     /// Where host-side inference executes.
@@ -28,11 +67,38 @@ pub struct RuntimeConfig {
     /// (cancelling the session); the single-model runtime rejects such
     /// loads at validation.
     pub max_live_sessions: Option<usize>,
+    /// Deterministic device-fault schedule replayed on the virtual
+    /// clock; empty (no faults) by default. Only the multi-model
+    /// [`SchedRuntime`](crate::sched::SchedRuntime) reacts to faults —
+    /// the single-model runtime rejects a non-empty plan at
+    /// construction.
+    pub fault_plan: FaultPlan,
+    /// Backoff schedule for batches aborted by a fault.
+    pub retry: RetryPolicy,
+    /// Whether streaming sessions pinned to a crashed device fail over
+    /// (re-pin, with state migration) to a surviving device. On by
+    /// default; turn off to measure the no-failover baseline — chunks
+    /// then wait for (or are shed against) the crashed device's
+    /// recovery.
+    pub failover: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            executor: ExecutorKind::default(),
+            trace: TraceConfig::default(),
+            max_live_sessions: None,
+            fault_plan: FaultPlan::empty(),
+            retry: RetryPolicy::default(),
+            failover: true,
+        }
+    }
 }
 
 impl RuntimeConfig {
     /// The default configuration: inline executor, tracing disabled, no
-    /// session limit.
+    /// session limit, no faults, failover enabled.
     pub fn new() -> Self {
         RuntimeConfig::default()
     }
@@ -55,29 +121,77 @@ impl RuntimeConfig {
         self.max_live_sessions = Some(limit);
         self
     }
+
+    /// Installs a deterministic fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the retry/backoff policy for fault-aborted batches.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables or disables crash failover for pinned sessions.
+    pub fn failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ernn_fpga::fault::{DeviceFault, FaultEvent};
 
     #[test]
     fn builder_accumulates_options() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            t_us: 10.0,
+            device: 0,
+            fault: DeviceFault::Transient,
+        }]);
         let cfg = RuntimeConfig::new()
             .executor(ExecutorKind::ThreadPool)
             .tracing(TraceConfig::enabled(64))
-            .max_live_sessions(8);
+            .max_live_sessions(8)
+            .fault_plan(plan.clone())
+            .retry(RetryPolicy {
+                base_backoff_us: 10.0,
+                max_backoff_us: 100.0,
+                max_attempts: 2,
+            })
+            .failover(false);
         assert_eq!(cfg.executor, ExecutorKind::ThreadPool);
         assert!(cfg.trace.is_enabled());
         assert_eq!(cfg.max_live_sessions, Some(8));
+        assert_eq!(cfg.fault_plan, plan);
+        assert_eq!(cfg.retry.max_attempts, 2);
+        assert!(!cfg.failover);
     }
 
     #[test]
-    fn defaults_are_inline_untraced_unbounded() {
+    fn defaults_are_inline_untraced_unbounded_faultless() {
         let cfg = RuntimeConfig::new();
         assert_eq!(cfg.executor, ExecutorKind::Inline);
         assert!(!cfg.trace.is_enabled());
         assert_eq!(cfg.max_live_sessions, None);
+        assert!(cfg.fault_plan.is_empty());
+        assert!(cfg.failover);
+        assert_eq!(cfg.retry, RetryPolicy::default());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff_us(1), 50.0);
+        assert_eq!(retry.backoff_us(2), 100.0);
+        assert_eq!(retry.backoff_us(3), 200.0);
+        // Doubling hits the 5 ms ceiling and stays there.
+        assert_eq!(retry.backoff_us(8), 5_000.0);
+        assert_eq!(retry.backoff_us(63), 5_000.0);
     }
 
     #[test]

@@ -220,6 +220,36 @@ impl DevicePool {
         self.devices[device].execute(device, dispatch_us, setup_us, stages, frame_counts)
     }
 
+    /// Charges device `device` as occupied-but-wasted over
+    /// `[from_us, to_us)` and pushes its free time to `to_us` — the
+    /// accounting for a batch aborted by an injected fault: the device
+    /// really burned those cycles, but no request completed and no
+    /// batch is counted. Throughput counters (`batches`, `requests`,
+    /// `frames`) are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or the interval is inverted.
+    pub fn stall(&mut self, device: usize, from_us: f64, to_us: f64) {
+        assert!(to_us >= from_us, "stall interval must not be inverted");
+        let dev = &mut self.devices[device];
+        dev.busy_us += to_us - from_us;
+        dev.free_at_us = dev.free_at_us.max(to_us);
+    }
+
+    /// Pushes a device's free time forward to `t_us` without charging
+    /// busy time — a crashed device is unavailable until it recovers,
+    /// but it is not doing work. `t_us` may be `f64::INFINITY` for a
+    /// permanent crash. No-op when the device is already free later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn push_free_at(&mut self, device: usize, t_us: f64) {
+        let dev = &mut self.devices[device];
+        dev.free_at_us = dev.free_at_us.max(t_us);
+    }
+
     /// When every device is idle again (µs): the pool-wide makespan.
     pub fn drained_at_us(&self) -> f64 {
         self.devices

@@ -117,6 +117,19 @@ pub trait Executor {
         }
     }
 
+    /// Moves a streaming session's host-side [`NetworkState`] from the
+    /// worker serving `from_device` to the worker serving `to_device` —
+    /// the host half of a failover: when the runtime re-pins a crashed
+    /// device's session, the chunk jobs start routing to a different
+    /// worker, and the state must already be there for logits to stay
+    /// bit-identical. Must be called *before* submitting the first job
+    /// of the migrated session on the new device. A no-op when both
+    /// devices map to the same worker (including the inline executor,
+    /// whose single table serves every device).
+    fn migrate_session(&mut self, session: u64, from_device: usize, to_device: usize) {
+        let _ = (session, from_device, to_device);
+    }
+
     /// Waits for every submitted job and returns the collected outputs.
     /// Must be called exactly once, after the last `submit`.
     fn finish(&mut self) -> ExecutorReport;
@@ -256,6 +269,29 @@ enum WorkerMessage {
     Done(usize, FftStats),
 }
 
+/// Command sent to one pool worker over its job channel. Keeping state
+/// migration on the same FIFO channel as batches is what makes failover
+/// deterministic: an `Extract` queued after a session's last pre-crash
+/// batch is guaranteed to observe that batch's output state.
+enum WorkerCmd {
+    /// One fusable run of inference jobs.
+    Batch(Vec<InferenceJob>),
+    /// Remove `session`'s state and send it back (None if absent).
+    Extract {
+        /// Session whose state to remove.
+        session: u64,
+        /// One-shot reply channel.
+        reply: mpsc::Sender<Option<NetworkState>>,
+    },
+    /// Install `session`'s state (it migrated from another worker).
+    Inject {
+        /// Session whose state arrives.
+        session: u64,
+        /// The migrated recurrent state.
+        state: Box<NetworkState>,
+    },
+}
+
 /// A fixed pool of `std::thread` workers consuming jobs over channels.
 ///
 /// Jobs are routed by `job.device % workers`, so all inference for one
@@ -269,8 +305,9 @@ enum WorkerMessage {
 /// can run any registered model on any device slot.
 #[derive(Debug)]
 pub struct ThreadPoolExecutor {
-    /// Per-worker batch senders; `None` once `finish` closed the queues.
-    job_txs: Vec<Option<mpsc::Sender<Vec<InferenceJob>>>>,
+    /// Per-worker command senders; `None` once `finish` closed the
+    /// queues.
+    job_txs: Vec<Option<mpsc::Sender<WorkerCmd>>>,
     result_rx: mpsc::Receiver<WorkerMessage>,
     handles: Vec<thread::JoinHandle<()>>,
     submitted: usize,
@@ -290,20 +327,33 @@ impl ThreadPoolExecutor {
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (job_tx, job_rx) = mpsc::channel::<Vec<InferenceJob>>();
+            let (job_tx, job_rx) = mpsc::channel::<WorkerCmd>();
             let models = Arc::clone(&models);
             let result_tx = result_tx.clone();
             handles.push(thread::spawn(move || {
                 let fft_start = stats::thread_snapshot();
                 let mut scratch = ExecScratch::new();
                 let mut sessions = HashMap::new();
-                while let Ok(jobs) = job_rx.recv() {
-                    let logits = infer_run(&models, &jobs, &mut scratch, &mut sessions);
-                    for (job, l) in jobs.iter().zip(logits) {
-                        if result_tx.send(WorkerMessage::Output(job.slot, l)).is_err() {
-                            // Receiver gone: the executor was dropped
-                            // without finish(); nothing left to report to.
-                            return;
+                while let Ok(cmd) = job_rx.recv() {
+                    match cmd {
+                        WorkerCmd::Batch(jobs) => {
+                            let logits = infer_run(&models, &jobs, &mut scratch, &mut sessions);
+                            for (job, l) in jobs.iter().zip(logits) {
+                                if result_tx.send(WorkerMessage::Output(job.slot, l)).is_err() {
+                                    // Receiver gone: the executor was
+                                    // dropped without finish(); nothing
+                                    // left to report to.
+                                    return;
+                                }
+                            }
+                        }
+                        WorkerCmd::Extract { session, reply } => {
+                            // Sent synchronously by migrate_session; a
+                            // dropped reply means the executor is gone.
+                            let _ = reply.send(sessions.remove(&session));
+                        }
+                        WorkerCmd::Inject { session, state } => {
+                            sessions.insert(session, *state);
                         }
                     }
                 }
@@ -338,7 +388,7 @@ impl ThreadPoolExecutor {
         let sent = self.job_txs[w]
             .as_ref()
             .expect("submit after finish")
-            .send(run);
+            .send(WorkerCmd::Batch(run));
         if sent.is_err() {
             self.propagate_worker_panic();
         }
@@ -377,6 +427,46 @@ impl Executor for ThreadPoolExecutor {
         for_each_fusable_run(jobs, |run| runs.push(run));
         for run in runs {
             self.send_run(run);
+        }
+    }
+
+    fn migrate_session(&mut self, session: u64, from_device: usize, to_device: usize) {
+        let workers = self.job_txs.len();
+        let (from_w, to_w) = (from_device % workers, to_device % workers);
+        if from_w == to_w {
+            return;
+        }
+        // Synchronous round-trip: Extract rides the old worker's FIFO
+        // queue (so it sees every pre-crash chunk's output state), and
+        // Inject is enqueued before any post-migration job can be.
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let sent = self.job_txs[from_w]
+            .as_ref()
+            .expect("migrate after finish")
+            .send(WorkerCmd::Extract {
+                session,
+                reply: reply_tx,
+            });
+        if sent.is_err() {
+            self.propagate_worker_panic();
+        }
+        let state = match reply_rx.recv() {
+            Ok(state) => state,
+            Err(_) => self.propagate_worker_panic(),
+        };
+        // Absent state is legal: the session never actually computed on
+        // the old worker (e.g. its first chunk was aborted pre-commit).
+        if let Some(state) = state {
+            let sent = self.job_txs[to_w]
+                .as_ref()
+                .expect("migrate after finish")
+                .send(WorkerCmd::Inject {
+                    session,
+                    state: Box::new(state),
+                });
+            if sent.is_err() {
+                self.propagate_worker_panic();
+            }
         }
     }
 
@@ -594,6 +684,38 @@ mod tests {
         for k in 0..3 {
             assert_eq!(inline[6 + k].1, whole, "stateless lane {k}");
         }
+    }
+
+    #[test]
+    fn migrated_sessions_keep_chaining_state_bit_identically() {
+        let m = model();
+        let utt: Vec<Vec<f32>> = (0..12).map(|t| vec![0.07 * t as f32; 8]).collect();
+        let whole = m.infer(&utt);
+        let chunk = |slot: usize, device: usize, k: usize| InferenceJob {
+            slot,
+            device,
+            model: 0,
+            frames: utt[k * 4..(k + 1) * 4].to_vec(),
+            session: Some(SessionSlot {
+                id: 5,
+                last: k == 2,
+            }),
+        };
+        // Chunks 0–1 on device 0, then the session migrates to device 1
+        // (different worker) for chunk 2.
+        let mut pool = ThreadPoolExecutor::single(Arc::clone(&m), 2);
+        pool.submit_batch(vec![chunk(0, 0, 0)]);
+        pool.submit_batch(vec![chunk(1, 0, 1)]);
+        pool.migrate_session(5, 0, 1);
+        pool.submit_batch(vec![chunk(2, 1, 2)]);
+        let out = sorted_outputs(pool.finish());
+        let stitched: Vec<Vec<f32>> = out.into_iter().flat_map(|(_, l)| l).collect();
+        assert_eq!(stitched, whole, "migrated session: stitched != whole");
+        // Migrating a session that never computed is a clean no-op.
+        let mut pool = ThreadPoolExecutor::single(Arc::clone(&m), 2);
+        pool.migrate_session(99, 0, 1);
+        let report = pool.finish();
+        assert!(report.outputs.is_empty());
     }
 
     #[test]

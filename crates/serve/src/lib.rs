@@ -15,7 +15,8 @@
 //!   `#[non_exhaustive]`; construct through the provided constructors.
 //! * **Streaming stateful sessions** — a session's chunks carry its
 //!   recurrent [`NetworkState`] between arrivals on the device the
-//!   session is pinned to (state never migrates), so stitched per-chunk
+//!   session is pinned to (state migrates only on device failover), so
+//!   stitched per-chunk
 //!   logits are bit-identical to whole-utterance inference. Session
 //!   state is a residency class next to weight images in the
 //!   scheduler's BRAM LRU; evictions charge traced state-load stalls on
@@ -63,7 +64,16 @@
 //!   the above: a [`sched::ModelRegistry`] with per-device BRAM
 //!   residency, heterogeneous pools placed by a per-(device, model) cost
 //!   model, EDF deadline-aware batching with a padding cost model, and
-//!   admission control that sheds predicted-late requests.
+//!   admission control that sheds predicted-late requests (each shed
+//!   [`Response`] carries a [`ShedReason`]).
+//! * **Fault injection and recovery** — a deterministic, seeded
+//!   [`FaultPlan`] of [`DeviceFault`]s (crashes, brownouts, transients)
+//!   installed via [`RuntimeConfig::fault_plan`]. The scheduler reacts
+//!   with pre-commit batch aborts, capped-exponential-backoff retries
+//!   ([`RetryPolicy`]), failover re-placement onto surviving devices,
+//!   and session-state migration — all on the virtual clock, observable
+//!   through [`TraceEvent`]s, and bit-identical across executors. See
+//!   `docs/fault_tolerance.md`.
 //!
 //! # Example
 //!
@@ -103,16 +113,17 @@ pub mod trace;
 
 pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher, TakenBatch};
 pub use cache::{CompiledModel, LoadStats};
-pub use config::RuntimeConfig;
+pub use config::{RetryPolicy, RuntimeConfig};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
 pub use ernn_fpga::artifact::{ModelArtifact, PipelineError};
 pub use ernn_fpga::exec::{ExecScratch, NetworkState};
+pub use ernn_fpga::fault::{DeviceFault, FaultEvent, FaultPlan};
 pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, SessionSlot,
     ThreadPoolExecutor,
 };
 pub use metrics::{LatencySummary, ModelMetrics, ServeMetrics};
-pub use request::{Request, Response, Workload};
+pub use request::{Request, Response, ShedReason, Workload};
 pub use runtime::{ServeReport, ServeRuntime};
 pub use trace::{
     chrome_trace_json, prometheus_snapshot, FlightRecorder, LatencyHistogram, RunTrace,

@@ -139,13 +139,38 @@ impl Request {
     }
 }
 
+/// Why the scheduler refused to serve a request. Attached to shed
+/// [`Response`]s so callers (and the chaos benches) can partition sheds
+/// by cause instead of guessing from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Generic admission rejection — the reason recorded by the legacy
+    /// [`Response::shed`] constructor, kept for callers that predate
+    /// reason tracking.
+    Admission,
+    /// The admission predictor saw no device that could meet the
+    /// request's deadline under current load.
+    DeadlineInfeasible,
+    /// An earlier chunk of the same streaming session was shed, so the
+    /// whole session is cancelled and later chunks are rejected whole.
+    SessionCancelled,
+    /// Device capacity was lost to a fault: the request's (or its
+    /// pinned session's) device is down, or retries after an aborted
+    /// batch were exhausted.
+    CapacityLoss,
+    /// Admitting the session's first chunk would exceed the configured
+    /// live-session limit.
+    SessionLimit,
+}
+
 /// The completed answer for one request.
 ///
 /// Every field is deterministic (virtual-clock timing plus bit-exact
 /// logits), so whole responses compare meaningfully with `==` — the
 /// cross-executor tests rely on this to assert bit-identity. Construct
-/// through [`Response::served`]/[`Response::shed`], which encode the
-/// served/shed invariants once instead of at every call site.
+/// through [`Response::served`]/[`Response::shed`]/
+/// [`Response::shed_with`], which encode the served/shed invariants
+/// once instead of at every call site.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct Response {
@@ -178,6 +203,8 @@ pub struct Response {
     /// serving it: the caller got an immediate deadline-miss return and
     /// no logits.
     pub shed: bool,
+    /// Why the request was shed; `None` for served responses.
+    pub shed_reason: Option<ShedReason>,
     /// The workload shape of the originating request, echoed back so
     /// streaming callers can reassemble sessions without a side table.
     pub workload: Workload,
@@ -211,18 +238,41 @@ impl Response {
             deadline_tracked: deadline_us.is_some(),
             deadline_met: deadline_us.is_none_or(|d| complete_us <= d),
             shed: false,
+            shed_reason: None,
             workload,
         }
     }
 
     /// A shed response: no logits, no device, timing collapsed to the
     /// arrival instant, and the deadline (if any) scored as missed.
+    /// Records the generic [`ShedReason::Admission`]; prefer
+    /// [`Response::shed_with`] when the cause is known.
     pub fn shed(
         id: u64,
         model: usize,
         workload: Workload,
         arrival_us: f64,
         deadline_us: Option<f64>,
+    ) -> Self {
+        Self::shed_with(
+            id,
+            model,
+            workload,
+            arrival_us,
+            deadline_us,
+            ShedReason::Admission,
+        )
+    }
+
+    /// A shed response carrying an explicit [`ShedReason`] — the
+    /// non-breaking extension of [`Response::shed`].
+    pub fn shed_with(
+        id: u64,
+        model: usize,
+        workload: Workload,
+        arrival_us: f64,
+        deadline_us: Option<f64>,
+        reason: ShedReason,
     ) -> Self {
         Response {
             id,
@@ -236,6 +286,7 @@ impl Response {
             deadline_tracked: deadline_us.is_some(),
             deadline_met: false,
             shed: true,
+            shed_reason: Some(reason),
             workload,
         }
     }

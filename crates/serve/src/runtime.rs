@@ -174,7 +174,10 @@ impl ServeRuntime {
     ///
     /// # Panics
     ///
-    /// Panics if `num_devices == 0`.
+    /// Panics if `num_devices == 0`, or if the config carries a
+    /// non-empty fault plan — fault injection (and the failover and
+    /// migration machinery it needs) lives in the scheduler runtime
+    /// only; see [`SchedRuntime`](crate::sched::SchedRuntime).
     pub fn with_config(
         model: impl Into<Arc<CompiledModel>>,
         num_devices: usize,
@@ -182,6 +185,10 @@ impl ServeRuntime {
         config: RuntimeConfig,
     ) -> Self {
         assert!(num_devices > 0, "need at least one device");
+        assert!(
+            config.fault_plan.is_empty(),
+            "fault injection is only supported by the scheduler runtime (SchedRuntime)"
+        );
         ServeRuntime {
             model: model.into(),
             num_devices,

@@ -38,20 +38,35 @@
 //!
 //! Streaming sessions ([`Workload::Chunk`](crate::Workload) requests)
 //! get session-affinity placement: the first dispatched chunk pins the
-//! session's device, every later chunk runs there (state never
-//! migrates), admission predicts on the pinned device only, shedding
+//! session's device, every later chunk runs there (state migrates only
+//! when the pinned device crashes and failover re-pins the session),
+//! admission predicts on the pinned device only, shedding
 //! any chunk cancels the whole session, and
 //! [`RuntimeConfig::max_live_sessions`](crate::RuntimeConfig) caps
 //! concurrency by shedding excess sessions whole. Batches close at
 //! chunk boundaries, so EDF preempts per chunk — see
 //! `docs/streaming.md`.
 //!
+//! Under an installed [`FaultPlan`](crate::FaultPlan) the runtime adds a
+//! fault-tolerance layer: batches abort before commit when a fault lands
+//! inside their occupancy window, aborted requests retry with capped
+//! exponential backoff ([`RetryPolicy`](crate::RetryPolicy)), crashes
+//! wipe residency and fail work over to surviving devices, and pinned
+//! sessions re-pin with their state recharged — stitched logits stay
+//! bit-identical to whole-utterance inference across a mid-session
+//! failover. Construction errors (including an out-of-range fault plan)
+//! surface as [`SchedConfigError`] through
+//! [`SchedRuntime::try_with_config`]. See `docs/fault_tolerance.md`.
+//!
 //! The `sched_sweep` bench bin compares [`SchedPolicy::edf_cost_model`]
 //! against [`SchedPolicy::fifo_earliest_free`] on a mixed two-model,
 //! two-platform workload and asserts the EDF + cost-model configuration
 //! misses fewer deadlines at the same offered load; `stream_sweep`
 //! asserts chunked streaming strictly cuts tight-SLO deadline misses vs
-//! utterance-level serving.
+//! utterance-level serving; `chaos_sweep` runs a seeded fault schedule
+//! and asserts zero requests are lost, migrated sessions stay
+//! bit-identical, and failover strictly beats no-failover on
+//! deadline-miss rate.
 //!
 //! [`RnnSpec::weight_bytes`]: ernn_fpga::RnnSpec::weight_bytes
 //! [`StageCycles`]: ernn_fpga::StageCycles
@@ -106,4 +121,6 @@ pub use cost::CostModel;
 pub use queue::{PaddingModel, QueueDiscipline, SchedQueue};
 pub use registry::{ModelId, ModelRegistry};
 pub use residency::{DeviceResidency, ImageKey, LoadEvent, WEIGHT_STREAM_BYTES_PER_US};
-pub use runtime::{Placement, SchedPolicy, SchedReport, SchedRuntime, SchedStats};
+pub use runtime::{
+    Placement, SchedConfigError, SchedPolicy, SchedReport, SchedRuntime, SchedStats,
+};

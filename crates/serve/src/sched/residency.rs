@@ -87,6 +87,9 @@ pub struct DeviceResidency {
     used_bytes: u64,
     /// `(image, bytes)`, least recently used first.
     resident: Vec<(ImageKey, u64)>,
+    /// Images the currently-forming batch depends on; eviction skips
+    /// them so a batch never evicts its own working set mid-formation.
+    pinned: Vec<ImageKey>,
 }
 
 impl DeviceResidency {
@@ -96,6 +99,7 @@ impl DeviceResidency {
             budget_bytes,
             used_bytes: 0,
             resident: Vec::new(),
+            pinned: Vec::new(),
         }
     }
 
@@ -184,6 +188,40 @@ impl DeviceResidency {
         }
     }
 
+    /// Pins an image for the duration of one batch formation: eviction
+    /// skips pinned images, so a batch's weight image and its member
+    /// sessions' state images can never be evicted by the batch's own
+    /// loads. Pins are cleared with [`Self::unpin_all`] once the batch
+    /// is committed (or abandoned). Pinning a key that is not (yet)
+    /// resident is allowed — the pin guards it from the moment it
+    /// loads.
+    pub fn pin(&mut self, key: ImageKey) {
+        if !self.pinned.contains(&key) {
+            self.pinned.push(key);
+        }
+    }
+
+    /// Clears all pins (the batch committed or was abandoned).
+    pub fn unpin_all(&mut self) {
+        self.pinned.clear();
+    }
+
+    /// Drops every resident image and pin — the device crashed and its
+    /// BRAM contents are gone. Returns `(weights, states)` counts of
+    /// the images lost, for fault accounting.
+    pub fn wipe(&mut self) -> (u64, u64) {
+        let weights = self
+            .resident
+            .iter()
+            .filter(|(k, _)| matches!(k, ImageKey::Weights(_)))
+            .count() as u64;
+        let states = self.resident.len() as u64 - weights;
+        self.resident.clear();
+        self.pinned.clear();
+        self.used_bytes = 0;
+        (weights, states)
+    }
+
     fn ensure_image(&mut self, key: ImageKey, bytes: u64, charge: bool) -> LoadEvent {
         assert!(
             self.fits(bytes),
@@ -197,10 +235,25 @@ impl DeviceResidency {
             return LoadEvent::hit();
         }
         let mut evicted = Vec::new();
+        let mut victim = 0;
         while self.used_bytes + bytes > self.budget_bytes {
-            let (victim, victim_bytes) = self.resident.remove(0);
+            assert!(
+                victim < self.resident.len(),
+                "batch working set exceeds the device budget: cannot fit \
+                 {key:?} ({bytes} B) without evicting a pinned image \
+                 (budget {} B, pinned {:?})",
+                self.budget_bytes,
+                self.pinned
+            );
+            if self.pinned.contains(&self.resident[victim].0) {
+                // Pinned: the currently-forming batch needs it; try the
+                // next-coldest image instead.
+                victim += 1;
+                continue;
+            }
+            let (victim_key, victim_bytes) = self.resident.remove(victim);
             self.used_bytes -= victim_bytes;
-            evicted.push(victim);
+            evicted.push(victim_key);
         }
         self.resident.push((key, bytes));
         self.used_bytes += bytes;
@@ -294,5 +347,47 @@ mod tests {
     fn oversized_models_are_rejected() {
         let mut r = DeviceResidency::new(100);
         let _ = r.ensure(0, 101);
+    }
+
+    #[test]
+    fn pinned_images_survive_eviction_pressure() {
+        let mut r = DeviceResidency::new(1000);
+        r.ensure_state(7, 300, false);
+        r.ensure(0, 400);
+        // State 7 is coldest, but the forming batch pins it: the load
+        // must evict the warmer weight image instead.
+        r.pin(ImageKey::State(7));
+        let load = r.ensure(1, 600);
+        assert_eq!(load.evicted, vec![ImageKey::Weights(0)]);
+        assert!(r.is_state_resident(7));
+        r.unpin_all();
+        // Unpinned, the same pressure evicts it normally.
+        let load = r.ensure(2, 400);
+        assert_eq!(load.evicted, vec![ImageKey::State(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch working set exceeds the device budget")]
+    fn an_overcommitted_pinned_working_set_panics() {
+        let mut r = DeviceResidency::new(1000);
+        r.ensure(0, 700);
+        r.pin(ImageKey::Weights(0));
+        let _ = r.ensure(1, 400);
+    }
+
+    #[test]
+    fn wipe_clears_images_pins_and_budget() {
+        let mut r = DeviceResidency::new(1000);
+        r.ensure(0, 400);
+        r.ensure_state(7, 200, false);
+        r.pin(ImageKey::Weights(0));
+        assert_eq!(r.wipe(), (1, 1));
+        assert_eq!(r.used_bytes(), 0);
+        assert!(!r.is_resident(0));
+        assert!(!r.is_state_resident(7));
+        // Post-wipe the cache behaves like new (no stale pins).
+        let load = r.ensure(1, 1000);
+        assert!(load.loaded);
+        assert!(load.evicted.is_empty());
     }
 }

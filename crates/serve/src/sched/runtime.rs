@@ -39,24 +39,57 @@
 //! runtime: all scheduling decisions live on the virtual clock, so
 //! responses, metrics, and [`SchedStats`] are bit-identical across
 //! [`ExecutorKind::Inline`] and [`ExecutorKind::ThreadPool`].
+//!
+//! # Fault injection and recovery
+//!
+//! A [`FaultPlan`](ernn_fpga::FaultPlan) in the [`RuntimeConfig`]
+//! injects deterministic, virtual-time device faults — crashes (BRAM
+//! wiped, device down for a window or forever), brownouts (stage
+//! cycles stretched by a multiplier), and transients (one batch lost)
+//! — and the scheduler reacts:
+//!
+//! * a batch whose prospective occupancy window contains a crash or
+//!   transient is **aborted before commit**: the device is charged the
+//!   wasted time as a stall, and every member re-enters admission
+//!   through the arrival queue after a capped exponential backoff
+//!   ([`RetryPolicy`](crate::RetryPolicy)); exhausted retries shed
+//!   with [`ShedReason::CapacityLoss`];
+//! * a crash wipes the device's residency (weight and state images
+//!   reload on recovery, charged as usual) and, when
+//!   [`RuntimeConfig::failover`] is on, unbinds every streaming
+//!   session pinned there — the next chunk re-pins on a surviving
+//!   device, re-charges its state image, and the executor migrates
+//!   the host-side recurrent state so stitched logits stay
+//!   bit-identical to whole-utterance inference
+//!   ([`TraceEvent::StateMigration`](crate::trace::TraceEvent));
+//! * placement and the admission predictor price faults in: a down
+//!   device's ready time is its recovery point (infinite for a
+//!   permanent crash) and a browned-out device predicts with
+//!   stretched stage cycles, so capacity loss tightens admission.
+//!
+//! Faults are part of the virtual-time contract: every reaction above
+//! is scheduled on the virtual clock, so a faulted run is exactly as
+//! deterministic — and as executor-independent — as a clean one. See
+//! `docs/fault_tolerance.md` and the `chaos_sweep` bench bin.
 
 use super::admission::{AdmissionPolicy, AdmissionRecord};
 use super::cost::CostModel;
 use super::queue::{PaddingModel, QueueDiscipline, SchedQueue};
 use super::registry::{ModelId, ModelRegistry};
-use super::residency::DeviceResidency;
+use super::residency::{DeviceResidency, ImageKey};
 use crate::config::RuntimeConfig;
 use crate::device::DevicePool;
 use crate::executor::{
     Executor, ExecutorKind, InferenceJob, InlineExecutor, SessionSlot, ThreadPoolExecutor,
 };
 use crate::metrics::ServeMetrics;
-use crate::request::{validate_sessions, Request, Response, Workload};
+use crate::request::{validate_sessions, Request, Response, ShedReason, Workload};
 use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
-use ernn_fpga::Device;
+use ernn_fpga::{Device, FaultTimeline};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,6 +104,61 @@ pub enum Placement {
     #[default]
     CostModel,
 }
+
+/// Why a [`SchedRuntime`] registration/configuration was rejected —
+/// the typed form of what used to be construction panics, returned by
+/// [`SchedRuntime::try_with_config`]. The panicking constructors
+/// ([`SchedRuntime::new`] and friends) format this error as their
+/// panic message, so the messages are stable either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedConfigError {
+    /// The model registry is empty.
+    EmptyRegistry,
+    /// The platform list is empty.
+    NoDevices,
+    /// `max_batch` is zero.
+    ZeroMaxBatch,
+    /// `max_wait_us` is negative.
+    NegativeMaxWait,
+    /// A registered model's weight image exceeds every device's BRAM
+    /// budget — no placement could ever dispatch it.
+    ModelFitsNoDevice {
+        /// The unplaceable model.
+        model: ModelId,
+        /// Its registered name.
+        name: String,
+    },
+    /// The fault plan injects a fault into a device index the pool
+    /// does not have.
+    FaultDeviceOutOfRange {
+        /// The out-of-range device index named by the plan.
+        device: usize,
+        /// The pool size.
+        devices: usize,
+    },
+}
+
+impl fmt::Display for SchedConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedConfigError::EmptyRegistry => write!(f, "registry needs at least one model"),
+            SchedConfigError::NoDevices => write!(f, "need at least one device"),
+            SchedConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            SchedConfigError::NegativeMaxWait => write!(f, "max_wait_us must be ≥ 0"),
+            SchedConfigError::ModelFitsNoDevice { model, name } => {
+                write!(f, "model {model} ({name}) fits no device's BRAM budget")
+            }
+            SchedConfigError::FaultDeviceOutOfRange { device, devices } => {
+                write!(
+                    f,
+                    "fault plan names device {device} but the pool has {devices} devices"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedConfigError {}
 
 /// The scheduler's complete policy knob set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,6 +277,25 @@ pub struct SchedStats {
     pub state_evictions: u64,
     /// Total virtual time devices spent re-streaming session state (µs).
     pub state_load_us_total: f64,
+    /// Injected crashes applied (devices taken down).
+    pub device_crashes: u64,
+    /// Injected brownout windows entered.
+    pub device_brownouts: u64,
+    /// Injected transient faults that struck a batch.
+    pub device_transients: u64,
+    /// Batches aborted before commit by a crash or transient in their
+    /// prospective occupancy window.
+    pub batches_aborted: u64,
+    /// Abort-path retries pushed back into the arrival queue.
+    pub retries_scheduled: u64,
+    /// Requests shed after exhausting
+    /// [`RetryPolicy::max_attempts`](crate::RetryPolicy::max_attempts).
+    pub retries_exhausted: u64,
+    /// Retried requests that committed on a different device than the
+    /// one that aborted them.
+    pub failovers: u64,
+    /// Streaming sessions re-pinned to a new device after a crash.
+    pub state_migrations: u64,
     /// Every admission decision, in arrival order.
     pub admission_log: Vec<AdmissionRecord>,
 }
@@ -295,17 +402,52 @@ impl SchedRuntime {
     ///
     /// # Panics
     ///
-    /// See [`Self::new`].
+    /// Panics with the [`SchedConfigError`] message when
+    /// [`Self::try_with_config`] would reject the configuration.
     pub fn with_config(
         registry: ModelRegistry,
         platforms: Vec<Device>,
         policy: SchedPolicy,
         config: RuntimeConfig,
     ) -> Self {
-        assert!(!registry.is_empty(), "registry needs at least one model");
-        assert!(!platforms.is_empty(), "need at least one device");
-        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
-        assert!(policy.max_wait_us >= 0.0, "max_wait_us must be ≥ 0");
+        match Self::try_with_config(registry, platforms, policy, config) {
+            Ok(rt) => rt,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`Self::with_config`]: every registration
+    /// or configuration problem the panicking constructors catch is
+    /// returned as a typed [`SchedConfigError`] instead — an empty
+    /// registry or pool, a degenerate policy, a registered model whose
+    /// weight image fits no device's budget, or a fault plan naming a
+    /// device the pool does not have.
+    pub fn try_with_config(
+        registry: ModelRegistry,
+        platforms: Vec<Device>,
+        policy: SchedPolicy,
+        config: RuntimeConfig,
+    ) -> Result<Self, SchedConfigError> {
+        if registry.is_empty() {
+            return Err(SchedConfigError::EmptyRegistry);
+        }
+        if platforms.is_empty() {
+            return Err(SchedConfigError::NoDevices);
+        }
+        if policy.max_batch < 1 {
+            return Err(SchedConfigError::ZeroMaxBatch);
+        }
+        if policy.max_wait_us.is_nan() || policy.max_wait_us < 0.0 {
+            return Err(SchedConfigError::NegativeMaxWait);
+        }
+        if let Some(device) = config.fault_plan.max_device() {
+            if device >= platforms.len() {
+                return Err(SchedConfigError::FaultDeviceOutOfRange {
+                    device,
+                    devices: platforms.len(),
+                });
+            }
+        }
         let rt = SchedRuntime {
             registry,
             platforms,
@@ -313,13 +455,14 @@ impl SchedRuntime {
             config,
         };
         for m in 0..rt.registry.len() {
-            assert!(
-                (0..rt.platforms.len()).any(|d| rt.eligible(d, m)),
-                "model {m} ({}) fits no device's BRAM budget",
-                rt.registry.name(m)
-            );
+            if !(0..rt.platforms.len()).any(|d| rt.eligible(d, m)) {
+                return Err(SchedConfigError::ModelFitsNoDevice {
+                    model: m,
+                    name: rt.registry.name(m).to_string(),
+                });
+            }
         }
-        rt
+        Ok(rt)
     }
 
     /// Enables (or disables) flight-recorder tracing for every run this
@@ -500,6 +643,8 @@ impl SchedRuntime {
             admit_seq: 0,
             sessions: HashMap::new(),
             live_sessions: 0,
+            faults: self.config.fault_plan.timeline(self.platforms.len()),
+            retries: HashMap::new(),
             obs: Observer::new(self.config.trace),
         };
 
@@ -508,6 +653,7 @@ impl SchedRuntime {
                 match state.arrivals.pop() {
                     Some(a) => {
                         state.now_us = state.now_us.max(a.t_us);
+                        self.apply_faults_up_to(&mut state);
                         self.admit(&mut state, a.request);
                         self.drain_due_arrivals(&mut state);
                     }
@@ -533,6 +679,7 @@ impl SchedRuntime {
                 self.dispatch(&mut state, executor.as_mut());
             } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
                 state.now_us = state.now_us.max(t);
+                self.apply_faults_up_to(&mut state);
                 let a = state.arrivals.pop().expect("peeked arrival exists");
                 self.admit(&mut state, a.request);
                 self.drain_due_arrivals(&mut state);
@@ -600,6 +747,12 @@ impl SchedRuntime {
     /// cold-load stall if the weight image is not resident, and the
     /// closed-form service estimate. Shared by the admission predictor
     /// and cost-model placement so the two can never de-calibrate.
+    ///
+    /// Faults are priced in: a crashed device's ready time already
+    /// sits at its recovery point (infinite for a permanent crash, so
+    /// the prediction is infinite too), and a brownout active at the
+    /// ready time stretches the service estimate by its cycle
+    /// multiplier.
     fn predicted_finish_us(
         &self,
         state: &RunState<'_>,
@@ -612,9 +765,56 @@ impl SchedRuntime {
         } else {
             DeviceResidency::load_us(self.registry.weight_bytes(model))
         };
-        state.now_us.max(state.pool.free_at_us(device))
-            + load_us
-            + state.cost.estimate_frames_us(device, model, total_frames)
+        let ready = state.now_us.max(state.pool.free_at_us(device));
+        let mult = state.faults.cycle_multiplier(device, ready);
+        let est = if mult > 1.0 {
+            let cycles = state
+                .cost
+                .stages(device, model)
+                .scaled(mult)
+                .stream_completion_cycles(total_frames);
+            cycles as f64 * Device::clock_period_us()
+        } else {
+            state.cost.estimate_frames_us(device, model, total_frames)
+        };
+        ready + load_us + est
+    }
+
+    /// Applies every fault whose effect time the virtual clock has
+    /// reached: crashes take their device down (residency wiped, free
+    /// time pushed to the recovery point, pinned sessions unbound when
+    /// failover is on), recoveries bring it back, and brownout onsets
+    /// are counted. Idempotent — each fault applies exactly once.
+    fn apply_faults_up_to(&self, state: &mut RunState<'_>) {
+        let t = state.now_us;
+        while let Some((device, start_us, end_us)) = state.faults.pop_crash_through(t) {
+            self.crash_effects(state, device, start_us, end_us);
+        }
+        while let Some((device, end_us)) = state.faults.pop_recovery_through(t) {
+            state.obs.device_up(end_us, device);
+        }
+        while state.faults.pop_brownout_through(t).is_some() {
+            state.stats.device_brownouts += 1;
+        }
+    }
+
+    /// One crash lands: wipe the device's images, journal the outage,
+    /// make the device unavailable until recovery, and (under
+    /// failover) unbind every streaming session pinned to it so their
+    /// next chunks re-place and migrate.
+    fn crash_effects(&self, state: &mut RunState<'_>, device: usize, start_us: f64, end_us: f64) {
+        state.stats.device_crashes += 1;
+        state.residency[device].wipe();
+        state.obs.device_down(start_us, device, end_us - start_us);
+        state.pool.push_free_at(device, end_us);
+        if self.config.failover {
+            for entry in state.sessions.values_mut() {
+                if entry.device == Some(device) && !entry.cancelled {
+                    entry.last_device = Some(device);
+                    entry.device = None;
+                }
+            }
+        }
     }
 
     /// The admission predictor (see module docs for the formula).
@@ -636,7 +836,11 @@ impl SchedRuntime {
             best_finish = best_finish.min(self.predicted_finish_us(state, d, m, frames));
             best_est = best_est.min(state.cost.estimate_frames_us(d, m, frames));
         }
-        let backlog = state.queue.backlog_us() / self.platforms.len() as f64;
+        // Backlog spreads over the devices that are actually up — a
+        // crash shrinks the divisor and tightens admission. Identical
+        // to the pool size when no fault is active.
+        let up = state.faults.devices_up(state.now_us).max(1);
+        let backlog = state.queue.backlog_us() / up as f64;
         (best_finish + backlog, best_est)
     }
 
@@ -647,6 +851,7 @@ impl SchedRuntime {
     fn cancel_session(&self, state: &mut RunState<'_>, session: u64) {
         let entry = state.sessions.entry(session).or_insert(SessionEntry {
             device: None,
+            last_device: None,
             materialized: false,
             cancelled: true,
             counted: false,
@@ -669,18 +874,23 @@ impl SchedRuntime {
     /// Shedding *any* chunk cancels its whole session.
     fn admit(&self, state: &mut RunState<'_>, request: Request) {
         let (predicted_us, best_est) = self.predict(state, &request);
-        let session_blocked = match request.workload {
+        let (cancelled, over_cap) = match request.workload {
             Workload::Chunk { session, index, .. } => {
                 let cancelled = state.sessions.get(&session).is_some_and(|e| e.cancelled);
+                // A retried first chunk already owns its live-session
+                // slot (the entry survives the abort), so only a truly
+                // new session can hit the cap.
                 let over_cap = index == 0
+                    && !state.sessions.contains_key(&session)
                     && self
                         .config
                         .max_live_sessions
                         .is_some_and(|cap| state.live_sessions >= cap);
-                cancelled || over_cap
+                (cancelled, over_cap)
             }
-            _ => false,
+            _ => (false, false),
         };
+        let session_blocked = cancelled || over_cap;
         let admitted = !session_blocked
             && (!self.policy.admission.sheds()
                 || request.deadline_us.is_none_or(|d| predicted_us <= d));
@@ -693,11 +903,12 @@ impl SchedRuntime {
         });
         if admitted {
             if let Workload::Chunk { session, index, .. } = request.workload {
-                if index == 0 {
+                if index == 0 && !state.sessions.contains_key(&session) {
                     state.sessions.insert(
                         session,
                         SessionEntry {
                             device: None,
+                            last_device: None,
                             materialized: false,
                             cancelled: false,
                             counted: true,
@@ -715,18 +926,45 @@ impl SchedRuntime {
             state.admit_seq += 1;
             state.queue.push(request, seq, best_est);
         } else {
+            // Classify the rejection. A predictor shed while a device
+            // this request depends on is down is capacity loss, not an
+            // infeasible deadline — the pool, not the request, is the
+            // problem.
+            let reason = if cancelled {
+                ShedReason::SessionCancelled
+            } else if over_cap {
+                ShedReason::SessionLimit
+            } else {
+                let bound = request
+                    .session()
+                    .and_then(|s| state.sessions.get(&s))
+                    .and_then(|e| e.device);
+                let down_dependency = match bound {
+                    Some(d) => state.faults.is_down(d, state.now_us),
+                    None => (0..self.platforms.len()).any(|d| {
+                        self.eligible(d, request.model) && state.faults.is_down(d, state.now_us)
+                    }),
+                };
+                if down_dependency {
+                    ShedReason::CapacityLoss
+                } else {
+                    ShedReason::DeadlineInfeasible
+                }
+            };
+            state.retries.remove(&request.id);
             if let Some(session) = request.session() {
                 self.cancel_session(state, session);
             }
             state.stats.shed += 1;
             state.obs.shed(state.now_us, &request, predicted_us);
             let arrival_us = request.arrival_us;
-            state.responses.push(Response::shed(
+            state.responses.push(Response::shed_with(
                 request.id,
                 request.model,
                 request.workload,
                 arrival_us,
                 request.deadline_us,
+                reason,
             ));
             // A shed completes instantly: its closed-loop client
             // resubmits right away — which is exactly how shedding keeps
@@ -754,7 +992,19 @@ impl SchedRuntime {
     }
 
     /// Forms and places the next batch (the queue must be non-empty).
+    ///
+    /// Fault handling happens here, **before commit**: the batch's
+    /// prospective occupancy window is computed exactly as the
+    /// residency layer and device sim will compute it, the fault
+    /// schedule is scanned over that window, and a crash or transient
+    /// hit aborts the batch — the device is charged the wasted time as
+    /// a stall and every member retries through the arrival queue (or
+    /// sheds once its retry budget is spent). Nothing is ever
+    /// committed across an abort. A batch whose chosen device can
+    /// never come back (a permanently crashed pinned device) sheds
+    /// whole as [`ShedReason::CapacityLoss`].
     fn dispatch(&self, state: &mut RunState<'_>, executor: &mut dyn Executor) {
+        self.apply_faults_up_to(state);
         let Some(head) = state.queue.head() else {
             debug_assert!(false, "dispatch on an empty queue");
             return;
@@ -776,11 +1026,14 @@ impl SchedRuntime {
         let batch = taken.batch;
         debug_assert!(!batch.is_empty(), "head model yields a non-empty batch");
         let frame_counts: Vec<u64> = batch.iter().map(|r| r.num_frames() as u64).collect();
+        let total_frames: u64 = frame_counts.iter().sum();
         let bytes = self.registry.weight_bytes(model);
 
         // Session affinity beats placement policy: a batch carrying a
-        // bound session must run where that session's state lives.
-        let device = taken.pinned.unwrap_or_else(|| match self.policy.placement {
+        // bound session must run where that session's state lives. A
+        // crashed device's free time sits at its recovery point, so
+        // placement steers around outages on its own.
+        let device = taken.pinned.or_else(|| match self.policy.placement {
             Placement::EarliestFree => (0..self.platforms.len())
                 .filter(|&d| self.eligible(d, model))
                 .min_by(|&a, &b| {
@@ -788,19 +1041,83 @@ impl SchedRuntime {
                         .pool
                         .free_at_us(a)
                         .total_cmp(&state.pool.free_at_us(b))
-                })
-                .expect("every model has an eligible device"),
-            Placement::CostModel => {
-                let total_frames: u64 = frame_counts.iter().sum();
-                (0..self.platforms.len())
-                    .filter(|&d| self.eligible(d, model))
-                    .min_by(|&a, &b| {
-                        self.predicted_finish_us(state, a, model, total_frames)
-                            .total_cmp(&self.predicted_finish_us(state, b, model, total_frames))
-                    })
-                    .expect("every model has an eligible device")
-            }
+                }),
+            Placement::CostModel => (0..self.platforms.len())
+                .filter(|&d| self.eligible(d, model))
+                .min_by(|&a, &b| {
+                    self.predicted_finish_us(state, a, model, total_frames)
+                        .total_cmp(&self.predicted_finish_us(state, b, model, total_frames))
+                }),
         });
+        let Some(device) = device else {
+            // Unreachable given construction eligibility checks, but a
+            // graceful shed beats the panic this used to be.
+            self.shed_batch(state, batch);
+            return;
+        };
+        let start_us = state.now_us.max(state.pool.free_at_us(device));
+        if !start_us.is_finite() {
+            // The batch is pinned (or placed) onto a device that never
+            // comes back: capacity loss.
+            self.shed_batch(state, batch);
+            return;
+        }
+
+        // Pin the working set: nothing this batch needs may be evicted
+        // by the batch's own loads — which also makes the prospective
+        // setup below exact against the ensures that follow.
+        state.residency[device].pin(ImageKey::Weights(model));
+        for r in &batch {
+            if let Some(session) = r.session() {
+                state.residency[device].pin(ImageKey::State(session));
+            }
+        }
+
+        // Prospective occupancy window [start, end): mirrors the
+        // residency charges and the device sim so a fault inside the
+        // window can abort before anything is committed.
+        let state_bytes = self.registry.model(model).state_bytes();
+        let w_load_us = if state.residency[device].is_resident(model) {
+            0.0
+        } else {
+            DeviceResidency::load_us(bytes)
+        };
+        let mut prospective_state_us = 0.0;
+        let mut seen_sessions: Vec<u64> = Vec::new();
+        for r in &batch {
+            let Some(session) = r.session() else { continue };
+            if seen_sessions.contains(&session) {
+                continue; // a later chunk of the same session hits
+            }
+            seen_sessions.push(session);
+            let materialized = state.sessions.get(&session).is_some_and(|e| e.materialized);
+            if materialized && !state.residency[device].is_state_resident(session) {
+                prospective_state_us += DeviceResidency::load_us(state_bytes);
+            }
+        }
+        let setup_us = w_load_us + prospective_state_us;
+        // A brownout active at occupancy start stretches the whole
+        // batch (the multiplier is sampled once — a batch is the unit
+        // of degradation).
+        let mult = state.faults.cycle_multiplier(device, start_us);
+        let base_stages = state.cost.stages(device, model);
+        let stages = if mult > 1.0 {
+            base_stages.scaled(mult)
+        } else {
+            base_stages
+        };
+        let est_us =
+            stages.stream_completion_cycles(total_frames) as f64 * Device::clock_period_us();
+        let end_us = start_us + setup_us + est_us;
+
+        // Scan [now, end) — a fault striking before the batch even
+        // starts (while the device runs earlier committed work) dooms
+        // it just the same.
+        if let Some(hit) = state.faults.abort_between(device, state.now_us, end_us) {
+            state.residency[device].unpin_all();
+            self.abort_batch(state, batch, device, model, start_us, hit);
+            return;
+        }
 
         let load = state.residency[device].ensure(model, bytes);
         if load.loaded {
@@ -814,8 +1131,11 @@ impl SchedRuntime {
         // session's state image resident. First materialization is free
         // (the zero state is fabricated on-device); re-materializing an
         // evicted state streams it back and stalls the device like a
-        // weight load. Stalls queue after the weight load.
-        let state_bytes = self.registry.model(model).state_bytes();
+        // weight load. Stalls queue after the weight load. A session
+        // unbound by a crash re-pins here: the executor migrates its
+        // host-side recurrent state before the chunk's job is
+        // submitted, and the reload charge above doubles as the
+        // migration's streaming cost.
         let mut state_us = 0.0;
         let mut state_loads: Vec<(u64, f64, usize)> = Vec::new();
         for r in &batch {
@@ -824,8 +1144,14 @@ impl SchedRuntime {
                 .sessions
                 .get_mut(&session)
                 .expect("admitted chunk has a session entry");
+            let mut migrated_from: Option<usize> = None;
             if entry.device.is_none() {
                 entry.device = Some(device);
+                if let Some(old) = entry.last_device.take() {
+                    if old != device {
+                        migrated_from = Some(old);
+                    }
+                }
             }
             let reload = entry.materialized;
             entry.materialized = true;
@@ -838,15 +1164,26 @@ impl SchedRuntime {
             }
             state.stats.model_evictions += ev.evicted_weights();
             state.stats.state_evictions += ev.evicted_states();
+            if let Some(old) = migrated_from {
+                state.stats.state_migrations += 1;
+                state
+                    .obs
+                    .state_migration(state.now_us, session, old, device, ev.load_us);
+                executor.migrate_session(session, old, device);
+            }
         }
+        state.residency[device].unpin_all();
 
-        let stages = state.cost.stages(device, model);
         let exec = state.pool.dispatch_to(
             device,
             state.now_us,
             load.load_us + state_us,
             stages,
             &frame_counts,
+        );
+        debug_assert!(
+            exec.start_us == start_us,
+            "prospective start diverged from the sim"
         );
         state.obs.batch_dispatched(
             state.now_us,
@@ -886,6 +1223,16 @@ impl SchedRuntime {
                 deadline_us,
                 workload,
             } = request;
+            // A retried request committing on a different device than
+            // the one whose fault aborted it completed a failover.
+            if let Some(info) = state.retries.remove(&id) {
+                if info.last_device != exec.device {
+                    state.stats.failovers += 1;
+                    state
+                        .obs
+                        .failover(state.now_us, id, info.last_device, exec.device);
+                }
+            }
             let session = match workload {
                 Workload::Chunk { session, last, .. } => {
                     if last {
@@ -931,12 +1278,110 @@ impl SchedRuntime {
         }
         executor.submit_batch(jobs);
     }
+
+    /// A fault struck the batch's prospective occupancy window: charge
+    /// the device for the time it really burned, apply the fault's
+    /// effects, and send every member back through the arrival queue
+    /// after its backoff — or shed it once its retry budget is spent.
+    fn abort_batch(
+        &self,
+        state: &mut RunState<'_>,
+        batch: Vec<Request>,
+        device: usize,
+        model: ModelId,
+        start_us: f64,
+        hit: ernn_fpga::FaultHit,
+    ) {
+        state.stats.batches_aborted += 1;
+        let f = hit.t_us;
+        if f > start_us {
+            // The device held the batch from its start to the fault —
+            // real occupancy, zero useful work.
+            state.pool.stall(device, start_us, f);
+            state.obs.batch_aborted(device, model, f - start_us);
+        }
+        if hit.is_crash {
+            // Apply the crash right now rather than waiting for the
+            // clock cursor: the abort IS the crash landing.
+            if let Some((start, end)) = state.faults.mark_crash_applied(device, f) {
+                self.crash_effects(state, device, start, end);
+            }
+        } else {
+            state.faults.consume_transient(device, f);
+            state.stats.device_transients += 1;
+        }
+        for request in batch {
+            let info = state.retries.entry(request.id).or_insert(RetryInfo {
+                attempts: 0,
+                last_device: device,
+            });
+            info.attempts += 1;
+            info.last_device = device;
+            let attempts = info.attempts;
+            if attempts > self.config.retry.max_attempts {
+                state.retries.remove(&request.id);
+                state.stats.retries_exhausted += 1;
+                self.shed_at(state, request, f, ShedReason::CapacityLoss);
+            } else {
+                let retry_at = f + self.config.retry.backoff_us(attempts);
+                state.stats.retries_scheduled += 1;
+                state
+                    .obs
+                    .retry_scheduled(f, request.id, device, attempts, retry_at);
+                let seq = state.admit_seq;
+                state.admit_seq += 1;
+                state.arrivals.push(Arrival {
+                    t_us: retry_at,
+                    seq,
+                    request,
+                });
+            }
+        }
+    }
+
+    /// Sheds a formed batch whole — its chosen device will never be
+    /// available again and no failover path exists. Members were
+    /// already admitted, so they respond as capacity-loss sheds (and
+    /// still cancel their sessions: the partition of served and shed
+    /// responses stays exact).
+    fn shed_batch(&self, state: &mut RunState<'_>, batch: Vec<Request>) {
+        for request in batch {
+            self.shed_at(state, request, state.now_us, ShedReason::CapacityLoss);
+        }
+    }
+
+    /// Sheds one already-admitted request at dispatch time.
+    fn shed_at(&self, state: &mut RunState<'_>, request: Request, t_us: f64, reason: ShedReason) {
+        state.retries.remove(&request.id);
+        if let Some(session) = request.session() {
+            self.cancel_session(state, session);
+        }
+        state.stats.shed += 1;
+        state.obs.shed(t_us, &request, f64::INFINITY);
+        let arrival_us = request.arrival_us;
+        state.responses.push(Response::shed_with(
+            request.id,
+            request.model,
+            request.workload,
+            arrival_us,
+            request.deadline_us,
+            reason,
+        ));
+        // Like an admission shed, a dispatch shed completes instantly
+        // for its closed-loop client.
+        self.feedback_arrival(state, t_us);
+    }
 }
 
 /// Scheduler-side view of one streaming session.
 struct SessionEntry {
     /// Device every chunk runs on, bound at first-chunk dispatch.
+    /// Cleared when that device crashes under failover — the next
+    /// chunk re-pins.
     device: Option<usize>,
+    /// The device a crash unbound this session from — consumed at
+    /// re-pin to detect (and journal) the state migration.
+    last_device: Option<usize>,
     /// Whether the session's state image has ever been materialized — a
     /// later residency miss is a charged reload, not a free zero-state
     /// fabrication.
@@ -992,7 +1437,20 @@ struct RunState<'p> {
     sessions: HashMap<u64, SessionEntry>,
     /// Sessions currently counting against the live cap.
     live_sessions: usize,
+    /// The run's fault schedule with per-fault applied/consumed flags.
+    faults: FaultTimeline,
+    /// Abort-retry bookkeeping per in-flight request id.
+    retries: HashMap<u64, RetryInfo>,
     obs: Observer,
+}
+
+/// Retry bookkeeping for one request whose batch was aborted.
+struct RetryInfo {
+    /// Aborts suffered so far (the next backoff doubles on each).
+    attempts: u32,
+    /// The device whose fault last aborted this request — a commit
+    /// elsewhere is a failover.
+    last_device: usize,
 }
 
 #[cfg(test)]
@@ -1459,15 +1917,17 @@ mod tests {
 
     #[test]
     fn evicted_session_state_is_reloaded_charged_and_traced() {
-        // One device whose budget holds both weight images only barely:
-        // alternating the session's model with the other model evicts the
-        // session's state image, forcing charged reloads.
+        // One device whose budget holds the bigger weight image but not
+        // the session's state alongside it: dispatching the other model
+        // evicts the session's state image, forcing charged reloads.
+        // (The session's own batches pin their state image, so only a
+        // foreign batch can evict it.)
         let reg = registry();
-        let w: u64 = (0..reg.len()).map(|m| reg.weight_bytes(m)).sum();
+        let budget = reg.weight_bytes(1) + reg.model(0).state_bytes() - 1;
         let rt = SchedRuntime::new(
             reg,
             vec![XCKU060],
-            SchedPolicy::edf_cost_model(1, 0.0).with_bram_budget_bytes(w - 1),
+            SchedPolicy::edf_cost_model(1, 0.0).with_bram_budget_bytes(budget),
         )
         .with_tracing(TraceConfig::enabled(4096));
         let utts = synthetic_utterances(2, (12, 12), DIM, 88);
@@ -1574,5 +2034,372 @@ mod tests {
             SchedPolicy::edf_cost_model(1, 0.0),
         );
         let _ = rt.run(vec![Request::new(0, vec![vec![0.0; 3]], 0.0)]);
+    }
+
+    // ----- fault injection, failover, and migration -----
+
+    use crate::config::RetryPolicy;
+    use crate::request::ShedReason;
+    use ernn_fpga::{DeviceFault, FaultEvent, FaultPlan};
+
+    #[test]
+    fn try_with_config_reports_typed_errors() {
+        let policy = || SchedPolicy::edf_cost_model(1, 0.0);
+        let err = SchedRuntime::try_with_config(
+            ModelRegistry::new(),
+            vec![XCKU060],
+            policy(),
+            RuntimeConfig::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SchedConfigError::EmptyRegistry);
+        assert_eq!(err.to_string(), "registry needs at least one model");
+
+        let err =
+            SchedRuntime::try_with_config(registry(), Vec::new(), policy(), RuntimeConfig::new())
+                .unwrap_err();
+        assert_eq!(err, SchedConfigError::NoDevices);
+
+        let err = SchedRuntime::try_with_config(
+            registry(),
+            vec![XCKU060],
+            policy().with_bram_budget_bytes(1),
+            RuntimeConfig::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedConfigError::ModelFitsNoDevice { model: 0, .. }
+        ));
+        assert!(err.to_string().contains("fits no device's BRAM budget"));
+
+        let plan = FaultPlan::new(vec![FaultEvent {
+            t_us: 10.0,
+            device: 3,
+            fault: DeviceFault::Transient,
+        }]);
+        let err = SchedRuntime::try_with_config(
+            registry(),
+            vec![XCKU060],
+            policy(),
+            RuntimeConfig::new().fault_plan(plan),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SchedConfigError::FaultDeviceOutOfRange {
+                device: 3,
+                devices: 1
+            }
+        );
+    }
+
+    #[test]
+    fn transient_fault_aborts_the_batch_and_retries_serve_everything() {
+        use crate::trace::TraceEvent;
+        let plan = FaultPlan::new(vec![FaultEvent {
+            t_us: 0.5,
+            device: 0,
+            fault: DeviceFault::Transient,
+        }]);
+        let rt = SchedRuntime::with_config(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+            RuntimeConfig::new().fault_plan(plan),
+        )
+        .with_tracing(TraceConfig::enabled(4096));
+        let utts = synthetic_utterances(2, (20, 20), DIM, 13);
+        let report = rt.run(vec![
+            Request::new(0, utts[0].clone(), 0.0),
+            Request::new(1, utts[1].clone(), 30.0),
+        ]);
+        assert_eq!(report.responses.len(), 2);
+        for r in &report.responses {
+            assert!(!r.shed, "request {}", r.id);
+            assert!(!r.logits.is_empty());
+        }
+        assert_eq!(report.sched.batches_aborted, 1);
+        assert_eq!(report.sched.device_transients, 1);
+        assert_eq!(report.sched.retries_scheduled, 1);
+        assert_eq!(report.sched.retries_exhausted, 0);
+        assert_eq!(report.sched.device_crashes, 0);
+        // The retried request re-enters admission, so the log grows.
+        assert_eq!(report.sched.admission_log.len(), 3);
+        let retries = report
+            .trace
+            .journal
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RetryScheduled { .. }))
+            .count();
+        assert_eq!(retries, 1);
+        // The wasted pre-fault occupancy lands in the aborted lane.
+        let aborted_us: f64 = report
+            .trace
+            .attribution
+            .iter()
+            .map(|(_, _, c)| c.aborted_us)
+            .sum();
+        assert!((aborted_us - 0.5).abs() < 1e-9, "{aborted_us}");
+    }
+
+    #[test]
+    fn crash_wipes_residency_and_recovery_reloads_weights() {
+        use crate::trace::TraceEvent;
+        let reg = registry();
+        let cost = CostModel::build(&[XCKU060], &reg);
+        let est = cost.estimate_frames_us(0, 0, 20);
+        let load = DeviceResidency::load_us(reg.weight_bytes(0));
+        assert!(est > 1.0, "test assumes a multi-µs service time");
+        // Request 0 loads the weights and completes; the crash strikes
+        // the middle of request 1's window, so its batch aborts and
+        // retries after the 300 µs outage — against wiped BRAM.
+        let t1 = load + est + 10.0;
+        let crash_at = t1 + est * 0.5;
+        let plan = FaultPlan::new(vec![FaultEvent {
+            t_us: crash_at,
+            device: 0,
+            fault: DeviceFault::Crash { down_us: 300.0 },
+        }]);
+        let utts = synthetic_utterances(3, (20, 20), DIM, 17);
+        let rt = SchedRuntime::with_config(
+            reg,
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+            RuntimeConfig::new().fault_plan(plan),
+        )
+        .with_tracing(TraceConfig::enabled(4096));
+        let report = rt.run(vec![
+            Request::new(0, utts[0].clone(), 0.0),
+            Request::new(1, utts[1].clone(), t1),
+            // A trailing arrival pulls the virtual clock past the
+            // recovery point so the DeviceUp event is journaled.
+            Request::new(2, utts[2].clone(), crash_at + 400.0),
+        ]);
+        assert!(report.responses.iter().all(|r| !r.shed));
+        assert_eq!(report.sched.device_crashes, 1);
+        assert_eq!(report.sched.batches_aborted, 1);
+        // Initial load + post-crash reload.
+        assert_eq!(report.sched.model_loads, 2);
+        let request1 = report.responses.iter().find(|r| r.id == 1).unwrap();
+        assert!(
+            request1.complete_us > crash_at + 300.0,
+            "request 1 completes only after the outage: {}",
+            request1.complete_us
+        );
+        let downs = report
+            .trace
+            .journal
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DeviceDown { .. }))
+            .count();
+        let ups = report
+            .trace
+            .journal
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::DeviceUp { .. }))
+            .count();
+        assert_eq!((downs, ups), (1, 1));
+    }
+
+    #[test]
+    fn permanent_crash_fails_over_sessions_and_migrates_state() {
+        use crate::trace::TraceEvent;
+        let reg = registry();
+        let models = reg.models();
+        let utts = synthetic_utterances(1, (12, 12), DIM, 19);
+        let requests = chunked(7, 0, &utts[0], 4, 0.0, 300.0);
+        let policy = || SchedPolicy::edf_cost_model(2, 50.0);
+        // Discovery run: find the device the session pins to.
+        let discovery =
+            SchedRuntime::new(registry(), vec![XCKU060, XCKU060], policy()).run(requests.clone());
+        let pinned = discovery.responses[0].device.expect("served");
+        let survivor = 1 - pinned;
+        // Crash the pinned device for good between chunk 1's dispatch
+        // (flushes by t = 350) and chunk 2's arrival at t = 600.
+        let plan = FaultPlan::new(vec![FaultEvent {
+            t_us: 450.0,
+            device: pinned,
+            fault: DeviceFault::Crash {
+                down_us: f64::INFINITY,
+            },
+        }]);
+        let run = |exec: ExecutorKind, failover: bool| {
+            SchedRuntime::with_config(
+                registry(),
+                vec![XCKU060, XCKU060],
+                policy(),
+                RuntimeConfig::new()
+                    .executor(exec)
+                    .fault_plan(plan.clone())
+                    .failover(failover),
+            )
+            .with_tracing(TraceConfig::enabled(4096))
+            .run(requests.clone())
+        };
+        let inline = run(ExecutorKind::Inline, true);
+        let pooled = run(ExecutorKind::ThreadPool, true);
+        // Migration is part of the virtual-time contract: bit-identical
+        // across executors, journal included.
+        assert_eq!(inline.responses, pooled.responses);
+        assert_eq!(inline.metrics, pooled.metrics);
+        assert_eq!(inline.sched, pooled.sched);
+        assert_eq!(inline.trace, pooled.trace);
+        assert!(inline.responses.iter().all(|r| !r.shed));
+        assert_eq!(inline.sched.state_migrations, 1);
+        let migration = inline
+            .trace
+            .journal
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::StateMigration {
+                    session,
+                    from_device,
+                    to_device,
+                    reload_us,
+                    ..
+                } => Some((*session, *from_device, *to_device, *reload_us)),
+                _ => None,
+            })
+            .expect("migration journaled");
+        assert_eq!(migration.0, 7);
+        assert_eq!(migration.1, pinned);
+        assert_eq!(migration.2, survivor);
+        assert!(migration.3 > 0.0, "re-pinning streams the state back");
+        // Chunks dispatched after the crash run on the survivor, and
+        // the stitched logits still match whole-utterance inference
+        // bit-exactly — the recurrent state crossed devices intact.
+        let mut on: Vec<&Response> = inline.responses.iter().collect();
+        on.sort_by_key(|r| r.id);
+        assert_eq!(on.last().unwrap().device, Some(survivor));
+        let stitched: Vec<Vec<f32>> = on.iter().flat_map(|r| r.logits.iter().cloned()).collect();
+        assert_eq!(stitched, models[0].infer(&utts[0]));
+
+        // Without failover the session stays pinned to the dead device
+        // and everything after the crash sheds as capacity loss.
+        let stranded = run(ExecutorKind::Inline, false);
+        assert_eq!(stranded.sched.state_migrations, 0);
+        let mut by_id: Vec<&Response> = stranded.responses.iter().collect();
+        by_id.sort_by_key(|r| r.id);
+        assert!(!by_id[0].shed && !by_id[1].shed);
+        for r in &by_id[2..] {
+            assert!(r.shed, "chunk {} strands on the dead device", r.id);
+            assert_eq!(r.shed_reason, Some(ShedReason::CapacityLoss));
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_sheds_with_capacity_loss() {
+        // Three transients, each timed inside the window of the batch's
+        // next attempt; max_attempts = 2 means the third abort sheds.
+        let retry = RetryPolicy {
+            base_backoff_us: 50.0,
+            max_backoff_us: 5_000.0,
+            max_attempts: 2,
+        };
+        let reg = registry();
+        let cost = CostModel::build(&[XCKU060], &reg);
+        let est = cost.estimate_frames_us(0, 0, 20);
+        assert!(est > 1.0, "test assumes a multi-µs service time");
+        let t1 = 0.5;
+        let r1 = t1 + retry.backoff_us(1);
+        let t2 = r1 + 0.25;
+        let r2 = t2 + retry.backoff_us(2);
+        let t3 = r2 + 0.25;
+        let transient = |t_us| FaultEvent {
+            t_us,
+            device: 0,
+            fault: DeviceFault::Transient,
+        };
+        let plan = FaultPlan::new(vec![transient(t1), transient(t2), transient(t3)]);
+        let utts = synthetic_utterances(1, (20, 20), DIM, 23);
+        let rt = SchedRuntime::with_config(
+            reg,
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(1, 0.0),
+            RuntimeConfig::new().fault_plan(plan).retry(retry),
+        );
+        let report = rt.run(vec![Request::new(0, utts[0].clone(), 0.0)]);
+        assert_eq!(report.responses.len(), 1);
+        let r = &report.responses[0];
+        assert!(r.shed);
+        assert_eq!(r.shed_reason, Some(ShedReason::CapacityLoss));
+        assert_eq!(report.sched.batches_aborted, 3);
+        assert_eq!(report.sched.device_transients, 3);
+        assert_eq!(report.sched.retries_scheduled, 2);
+        assert_eq!(report.sched.retries_exhausted, 1);
+    }
+
+    #[test]
+    fn shed_reasons_classify_admission_rejections() {
+        let utts = synthetic_utterances(2, (12, 12), DIM, 77);
+        let mut requests = chunked(0, 0, &utts[0], 4, 0.0, 500.0);
+        requests.extend(chunked(1, 100, &utts[1], 4, 10.0, 500.0));
+        let rt = SchedRuntime::with_config(
+            registry(),
+            vec![XCKU060],
+            SchedPolicy::edf_cost_model(2, 50.0),
+            RuntimeConfig::new().max_live_sessions(1),
+        );
+        let report = rt.run(requests);
+        let mut session1: Vec<&Response> = report
+            .responses
+            .iter()
+            .filter(|r| r.workload.session() == Some(1))
+            .collect();
+        session1.sort_by_key(|r| r.id);
+        // The first chunk hits the live cap; the rest are cancelled.
+        assert_eq!(session1[0].shed_reason, Some(ShedReason::SessionLimit));
+        for r in &session1[1..] {
+            assert_eq!(r.shed_reason, Some(ShedReason::SessionCancelled));
+        }
+        // Served responses carry no reason.
+        assert!(report
+            .responses
+            .iter()
+            .filter(|r| !r.shed)
+            .all(|r| r.shed_reason.is_none()));
+    }
+
+    #[test]
+    fn faulted_runs_are_bit_identical_across_executors() {
+        // A seeded plan with every fault kind, deadline-carrying mixed
+        // load, predictor shedding on: the full reaction surface must
+        // stay executor-independent.
+        let plan = FaultPlan::seeded(0xC0FFEE, 2, 20_000.0, 5);
+        let run = |exec: ExecutorKind| {
+            let requests: Vec<Request> = load(40, 200_000.0)
+                .into_iter()
+                .map(|r| {
+                    let arrival = r.arrival_us;
+                    r.with_deadline(arrival + 5_000.0)
+                })
+                .collect();
+            SchedRuntime::with_config(
+                registry(),
+                vec![XCKU060, ADM_PCIE_7V3],
+                SchedPolicy::edf_cost_model(4, 50.0)
+                    .with_admission(AdmissionPolicy::ShedPredictedLate),
+                RuntimeConfig::new().executor(exec).fault_plan(plan.clone()),
+            )
+            .with_tracing(TraceConfig::enabled(8192))
+            .run(requests)
+        };
+        let inline = run(ExecutorKind::Inline);
+        let pooled = run(ExecutorKind::ThreadPool);
+        assert_eq!(inline.responses, pooled.responses);
+        assert_eq!(inline.metrics, pooled.metrics);
+        assert_eq!(inline.sched, pooled.sched);
+        assert_eq!(inline.trace, pooled.trace);
+        // Every request resolves exactly once: served + shed partitions
+        // the id space.
+        let mut ids: Vec<u64> = inline.responses.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
     }
 }

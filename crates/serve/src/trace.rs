@@ -216,6 +216,64 @@ pub enum TraceEvent {
         /// Whether the deadline (if any) was met.
         deadline_met: bool,
     },
+    /// A device crashed: its BRAM contents are lost and it leaves the
+    /// pool until recovery.
+    DeviceDown {
+        /// Virtual time of the crash (µs).
+        t_us: f64,
+        /// The crashed device.
+        device: usize,
+        /// How long it stays down (µs); `INFINITY` = permanent.
+        down_us: f64,
+    },
+    /// A crashed device recovered and rejoined the pool (cold: its BRAM
+    /// is empty until images re-load).
+    DeviceUp {
+        /// Virtual time of the recovery (µs).
+        t_us: f64,
+        /// The recovered device.
+        device: usize,
+    },
+    /// A fault aborted a request's in-flight batch; the request re-enters
+    /// the scheduler after a capped exponential backoff.
+    RetryScheduled {
+        /// Virtual time of the abort (µs).
+        t_us: f64,
+        /// The aborted request.
+        id: u64,
+        /// Device the aborted batch was running on.
+        device: usize,
+        /// Retry attempt number (1-indexed).
+        attempt: u32,
+        /// When the request re-enters the scheduler (µs).
+        retry_at_us: f64,
+    },
+    /// A retried request landed on a different device than the one its
+    /// aborted batch ran on — a failover re-placement.
+    Failover {
+        /// Virtual time of the re-placement (µs).
+        t_us: f64,
+        /// The re-placed request.
+        id: u64,
+        /// Device the aborted batch ran on.
+        from_device: usize,
+        /// Surviving device that took the request.
+        to_device: usize,
+    },
+    /// A pinned streaming session re-pinned to a new device after a
+    /// crash, its recurrent-state image recharged on the virtual clock.
+    StateMigration {
+        /// Virtual time of the re-pin (µs).
+        t_us: f64,
+        /// The migrated session.
+        session: u64,
+        /// The crashed (or drained) device the session left.
+        from_device: usize,
+        /// The surviving device it re-pinned to.
+        to_device: usize,
+        /// Stall charged to re-materialize the state image (µs).
+        reload_us: f64,
+    },
 }
 
 impl TraceEvent {
@@ -230,7 +288,12 @@ impl TraceEvent {
             | TraceEvent::ResidencyLoad { t_us, .. }
             | TraceEvent::SessionStateLoad { t_us, .. }
             | TraceEvent::Dispatch { t_us, .. }
-            | TraceEvent::Complete { t_us, .. } => t_us,
+            | TraceEvent::Complete { t_us, .. }
+            | TraceEvent::DeviceDown { t_us, .. }
+            | TraceEvent::DeviceUp { t_us, .. }
+            | TraceEvent::RetryScheduled { t_us, .. }
+            | TraceEvent::Failover { t_us, .. }
+            | TraceEvent::StateMigration { t_us, .. } => t_us,
         }
     }
 
@@ -246,6 +309,11 @@ impl TraceEvent {
             TraceEvent::SessionStateLoad { .. } => "session_state_load",
             TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::Complete { .. } => "complete",
+            TraceEvent::DeviceDown { .. } => "device_down",
+            TraceEvent::DeviceUp { .. } => "device_up",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::StateMigration { .. } => "state_migration",
         }
     }
 }
@@ -604,6 +672,10 @@ pub struct StageBreakdown {
     /// time the batch shape implies — the cost
     /// [`PaddingModel`](crate::sched::PaddingModel) gates on (µs).
     pub padding_us: f64,
+    /// Occupancy wasted by fault-aborted batches: the device burned
+    /// these cycles but no request completed (µs). Not part of
+    /// [`Self::busy_us`], which attributes *productive* occupancy only.
+    pub aborted_us: f64,
 }
 
 impl StageBreakdown {
@@ -640,6 +712,7 @@ impl StageAttribution {
         cell.state_us += delta.state_us;
         cell.compute_us += delta.compute_us;
         cell.padding_us += delta.padding_us;
+        cell.aborted_us += delta.aborted_us;
     }
 
     /// The accumulated breakdown for a cell (zeroes if it never served).
@@ -833,8 +906,88 @@ impl Observer {
                 state_us,
                 compute_us: exec.free_us - exec.start_us - load_us - state_us,
                 padding_us: padded_frames as f64 * ii_cycles as f64 * Device::clock_period_us(),
+                aborted_us: 0.0,
             },
         );
+    }
+
+    /// A fault aborted a forming batch after it had occupied the device
+    /// for `aborted_us`: the waste is attributed to the cell, but no
+    /// requests, batches, or productive stage time are counted.
+    pub(crate) fn batch_aborted(&mut self, device: usize, model: usize, aborted_us: f64) {
+        self.attribution.charge(
+            device,
+            model,
+            StageBreakdown {
+                aborted_us,
+                ..StageBreakdown::default()
+            },
+        );
+    }
+
+    /// A device crashed at `t_us` and stays down for `down_us`.
+    #[inline]
+    pub(crate) fn device_down(&mut self, t_us: f64, device: usize, down_us: f64) {
+        self.recorder.record(TraceEvent::DeviceDown {
+            t_us,
+            device,
+            down_us,
+        });
+    }
+
+    /// A crashed device recovered at `t_us`.
+    #[inline]
+    pub(crate) fn device_up(&mut self, t_us: f64, device: usize) {
+        self.recorder.record(TraceEvent::DeviceUp { t_us, device });
+    }
+
+    /// A request's batch aborted at `t_us`; it retries at `retry_at_us`.
+    #[inline]
+    pub(crate) fn retry_scheduled(
+        &mut self,
+        t_us: f64,
+        id: u64,
+        device: usize,
+        attempt: u32,
+        retry_at_us: f64,
+    ) {
+        self.recorder.record(TraceEvent::RetryScheduled {
+            t_us,
+            id,
+            device,
+            attempt,
+            retry_at_us,
+        });
+    }
+
+    /// A retried request re-placed onto a surviving device.
+    #[inline]
+    pub(crate) fn failover(&mut self, t_us: f64, id: u64, from_device: usize, to_device: usize) {
+        self.recorder.record(TraceEvent::Failover {
+            t_us,
+            id,
+            from_device,
+            to_device,
+        });
+    }
+
+    /// A streaming session re-pinned from `from_device` to `to_device`.
+    #[inline]
+    pub(crate) fn state_migration(
+        &mut self,
+        t_us: f64,
+        session: u64,
+        from_device: usize,
+        to_device: usize,
+        reload_us: f64,
+    ) {
+        self.recorder.record(TraceEvent::StateMigration {
+            t_us,
+            session,
+            from_device,
+            to_device,
+            reload_us,
+        });
     }
 
     /// A served response's frames finished streaming through its device.
@@ -902,7 +1055,23 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 note(&mut models, model);
                 note(&mut devices, device);
             }
-            TraceEvent::SessionStateLoad { device, .. } => note(&mut devices, device),
+            TraceEvent::SessionStateLoad { device, .. }
+            | TraceEvent::DeviceDown { device, .. }
+            | TraceEvent::DeviceUp { device, .. }
+            | TraceEvent::RetryScheduled { device, .. } => note(&mut devices, device),
+            TraceEvent::Failover {
+                from_device,
+                to_device,
+                ..
+            }
+            | TraceEvent::StateMigration {
+                from_device,
+                to_device,
+                ..
+            } => {
+                note(&mut devices, from_device);
+                note(&mut devices, to_device);
+            }
         }
     }
     models.sort_unstable();
@@ -1072,6 +1241,63 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 num(arrival_us),
                 num(t_us - arrival_us)
             ),
+            TraceEvent::DeviceDown {
+                t_us,
+                device,
+                down_us,
+            } => format!(
+                // A permanent crash (infinite down_us) renders with
+                // dur 0 via num(); the instant marker still shows it.
+                "{{\"name\":\"down\",\"cat\":\"fault\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{device},\
+                 \"args\":{{\"down_us\":{}}}}}",
+                num(t_us),
+                num(down_us),
+                num(down_us)
+            ),
+            TraceEvent::DeviceUp { t_us, device } => format!(
+                "{{\"name\":\"up\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":1,\"tid\":{device},\"args\":{{}}}}",
+                num(t_us)
+            ),
+            TraceEvent::RetryScheduled {
+                t_us,
+                id,
+                device,
+                attempt,
+                retry_at_us,
+            } => format!(
+                "{{\"name\":\"retry {id}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":1,\"tid\":{device},\
+                 \"args\":{{\"id\":{id},\"attempt\":{attempt},\"retry_at_us\":{}}}}}",
+                num(t_us),
+                num(retry_at_us)
+            ),
+            TraceEvent::Failover {
+                t_us,
+                id,
+                from_device,
+                to_device,
+            } => format!(
+                "{{\"name\":\"failover {id}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":1,\"tid\":{to_device},\
+                 \"args\":{{\"id\":{id},\"from_device\":{from_device}}}}}",
+                num(t_us)
+            ),
+            TraceEvent::StateMigration {
+                t_us,
+                session,
+                from_device,
+                to_device,
+                reload_us,
+            } => format!(
+                "{{\"name\":\"migrate session {session}\",\"cat\":\"fault\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{to_device},\
+                 \"args\":{{\"session\":{session},\"from_device\":{from_device},\
+                 \"reload_us\":{}}}}}",
+                num(t_us),
+                num(reload_us)
+            ),
         };
         push(&mut out, ev);
     }
@@ -1155,6 +1381,7 @@ pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
             ("state", cell.state_us),
             ("compute", cell.compute_us),
             ("padding", cell.padding_us),
+            ("aborted", cell.aborted_us),
         ] {
             let _ = writeln!(
                 out,
@@ -1312,6 +1539,7 @@ mod tests {
             state_us: 0.5,
             compute_us: 5.0,
             padding_us: 0.5,
+            aborted_us: 0.25,
         };
         a.charge(0, 1, delta);
         a.charge(0, 1, delta);
@@ -1321,7 +1549,10 @@ mod tests {
         assert_eq!(cell.requests, 4);
         assert_eq!(cell.batches, 2);
         assert!((cell.queue_us - 6.0).abs() < 1e-12);
+        // busy_us counts productive occupancy only: aborted time is
+        // tracked separately.
         assert!((cell.busy_us() - 13.0).abs() < 1e-12);
+        assert!((cell.aborted_us - 0.5).abs() < 1e-12);
         assert_eq!(a.get(3, 3), StageBreakdown::default());
         let cells: Vec<(usize, usize)> = a.iter().map(|(d, m, _)| (d, m)).collect();
         assert_eq!(cells, vec![(0, 1), (1, 0)]);
@@ -1367,6 +1598,35 @@ mod tests {
             dispatch_us: 4.0,
             deadline_met: true,
         });
+        r.record(TraceEvent::DeviceDown {
+            t_us: 14.0,
+            device: 0,
+            down_us: f64::INFINITY,
+        });
+        r.record(TraceEvent::DeviceUp {
+            t_us: 20.0,
+            device: 2,
+        });
+        r.record(TraceEvent::RetryScheduled {
+            t_us: 14.0,
+            id: 8,
+            device: 0,
+            attempt: 1,
+            retry_at_us: 14.5,
+        });
+        r.record(TraceEvent::Failover {
+            t_us: 15.0,
+            id: 8,
+            from_device: 0,
+            to_device: 2,
+        });
+        r.record(TraceEvent::StateMigration {
+            t_us: 15.0,
+            session: 3,
+            from_device: 0,
+            to_device: 2,
+            reload_us: 0.75,
+        });
         let mut trace = RunTrace {
             journal: r.into_journal(),
             attribution: StageAttribution::new(),
@@ -1391,6 +1651,14 @@ mod tests {
             "\"request 7\"",
             "\"process_name\"",
             "\"dropped_events\":0",
+            "\"down\"",
+            "\"up\"",
+            "\"retry 8\"",
+            "\"failover 8\"",
+            "\"migrate session 3\"",
+            // The permanent crash's infinite down_us renders as 0, not
+            // as bare `inf` (invalid JSON).
+            "\"down_us\":0",
         ] {
             assert!(doc.contains(needle), "missing {needle} in {doc}");
         }
@@ -1423,6 +1691,7 @@ mod tests {
                 state_us: 0.0,
                 compute_us: 4.0,
                 padding_us: 0.0,
+                aborted_us: 0.0,
             },
         );
         let text = prometheus_snapshot(&metrics, &trace);

@@ -18,9 +18,15 @@
 //! capacity (wraparound overwrite), streams samples into a
 //! [`LatencyHistogram`], and charges warm [`StageAttribution`] cells —
 //! still at zero allocations, so tracing can stay on in production.
+//!
+//! ISSUE 8 extends it again to fault injection: the scheduler's
+//! per-dispatch fault-timeline queries (`is_down`, `cycle_multiplier`,
+//! `abort_between`) run inside the same measured window against a
+//! seeded, fully pre-materialized [`FaultTimeline`], so steady-state
+//! serving stays zero-alloc even with a fault plan installed.
 
 use ernn::fpga::exec::{DatapathConfig, ExecScratch};
-use ernn::fpga::XCKU060;
+use ernn::fpga::{FaultPlan, FaultTimeline, XCKU060};
 use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
 use ernn::serve::trace::{
     FlightRecorder, LatencyHistogram, StageAttribution, StageBreakdown, TraceConfig, TraceEvent,
@@ -64,6 +70,8 @@ fn steady_state_batched_inference_performs_zero_allocations() {
         let mut hist = LatencyHistogram::new();
         let mut attribution = StageAttribution::new();
         attribution.charge(0, 0, StageBreakdown::default());
+        // A seeded fault timeline, fully materialized at construction.
+        let faults = FaultTimeline::new(&FaultPlan::seeded(7, 2, 80_000.0, 6), 2);
 
         let before = allocation_count();
         model.infer_batch_into(&batch, &mut out, &mut scratch);
@@ -89,8 +97,18 @@ fn steady_state_batched_inference_performs_zero_allocations() {
                 state_us: 0.0,
                 compute_us: 90.0,
                 padding_us: 3.0,
+                aborted_us: 0.0,
             },
         );
+        // Fault-timeline queries are the scheduler's per-dispatch hot
+        // path under fault injection; they must stay allocation-free.
+        let mut up = 0usize;
+        for i in 0..8192u64 {
+            let t = i as f64 * 10.0;
+            up += usize::from(!faults.is_down(0, t));
+            let _ = faults.cycle_multiplier(1, t);
+            let _ = faults.abort_between(0, t, t + 10.0);
+        }
         let delta = allocation_count() - before;
         assert_eq!(
             delta, 0,
@@ -98,6 +116,7 @@ fn steady_state_batched_inference_performs_zero_allocations() {
         );
         assert_eq!(recorder.dropped(), 8192 - 4096);
         assert_eq!(hist.summary().count, 8192);
+        assert!(up > 0, "device 0 was never up across the query sweep");
 
         // And the in-place results are still bit-identical to the plain
         // allocating path, per utterance.
