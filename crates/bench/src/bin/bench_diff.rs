@@ -1,0 +1,122 @@
+//! Regression gate over two `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! bench_diff BASELINE.json CURRENT.json [--threshold 0.25] [--all]
+//! ```
+//!
+//! The sweeps run on a virtual clock, so artifacts from the same code
+//! are bit-identical outside wall-clock `host_us` fields: every delta
+//! this tool prints is a real behavior change. A worse-direction move
+//! beyond the relative threshold (default 25%) on any gated metric
+//! exits nonzero, which is what CI keys off. Artifacts with differing
+//! `schema_version`s are declared incomparable and pass vacuously —
+//! a schema bump is a deliberate act that comes with fresh baselines.
+//!
+//! `--all` prints every changed metric instead of the regressions plus
+//! the ten largest moves.
+
+use ernn_bench::diff::{compare, parse, Direction, MetricDelta};
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD: f64 = 0.25;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff BASELINE.json CURRENT.json [--threshold FRAC] [--all]");
+    std::process::exit(2);
+}
+
+fn read_doc(path: &str) -> ernn_bench::diff::JsonValue {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("failed to read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("failed to parse {path}: {e}"))
+}
+
+fn print_delta(d: &MetricDelta) {
+    let marker = if d.regressed { "REGRESSED" } else { "changed" };
+    let dir = match d.direction {
+        Direction::HigherWorse => "higher-worse",
+        Direction::LowerWorse => "lower-worse",
+        Direction::Neutral => "neutral",
+    };
+    println!(
+        "  {marker:9} {path}: {old} -> {new} ({rel:+.1}%, {dir})",
+        path = d.path,
+        old = d.old,
+        new = d.new,
+        rel = d.rel * 100.0,
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut show_all = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--all" => show_all = true,
+            "--help" | "-h" => usage(),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let baseline = read_doc(baseline_path);
+    let current = read_doc(current_path);
+    let report = compare(&baseline, &current, threshold);
+
+    if let Some(reason) = &report.incomparable {
+        println!("bench_diff: incomparable artifacts ({reason}); not gating");
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "bench_diff: {} vs {} — {} shared metrics, {} changed, threshold {:.0}%",
+        baseline_path,
+        current_path,
+        report.compared,
+        report.changed.len(),
+        threshold * 100.0
+    );
+    if !report.removed.is_empty() {
+        println!(
+            "  note: {} metric(s) only in baseline",
+            report.removed.len()
+        );
+    }
+    if !report.added.is_empty() {
+        println!("  note: {} metric(s) only in current", report.added.len());
+    }
+
+    let shown = if show_all {
+        report.changed.len()
+    } else {
+        // Regressions always print; cap the informational tail.
+        let regressions = report.changed.iter().filter(|d| d.regressed).count();
+        regressions.max(10).min(report.changed.len())
+    };
+    for d in &report.changed[..shown] {
+        print_delta(d);
+    }
+    if shown < report.changed.len() {
+        println!("  ... {} more (use --all)", report.changed.len() - shown);
+    }
+
+    if report.regressed() {
+        let n = report.changed.iter().filter(|d| d.regressed).count();
+        println!("bench_diff: FAIL — {n} metric(s) regressed past the threshold");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: OK");
+        ExitCode::SUCCESS
+    }
+}

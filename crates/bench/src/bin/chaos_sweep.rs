@@ -26,9 +26,12 @@
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin chaos_sweep`
 //! (`--quick` shrinks the trace for smoke runs, `--json PATH` writes a
-//! `BENCH_chaos.json` artifact).
+//! `BENCH_chaos.json` artifact, `--trace-out PATH` writes the failover
+//! run's flight-recorder journal — crash, retries, failovers, and
+//! migrations included — as Perfetto-loadable Chrome trace JSON plus a
+//! Prometheus snapshot at `PATH.prom`).
 
-use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, JsonObject};
 use ernn_core::pipeline::Pipeline;
 use ernn_fpga::{DeviceFault, FaultEvent, FaultPlan, XCKU060};
 use ernn_model::{CellType, ModelSpec};
@@ -38,8 +41,8 @@ use ernn_serve::sched::{
     SchedRuntime,
 };
 use ernn_serve::{
-    CompiledModel, ExecutorKind, Request, Response, RuntimeConfig, ShedReason, TraceConfig,
-    TraceEvent,
+    chrome_trace_json, prometheus_snapshot_full, CompiledModel, ExecutorKind, Request, Response,
+    RuntimeConfig, ShedReason, TraceConfig, TraceEvent,
 };
 use rand::{Rng, SeedableRng};
 
@@ -171,6 +174,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = json_path_arg(&args);
+    let trace_path = trace_path_arg(&args);
     let (sessions, utterances) = if quick { (3, 12) } else { (6, 30) };
 
     // Timebase and SLOs from the cost model: chunks arrive at real-time
@@ -287,6 +291,21 @@ fn main() {
         ),
         "no-failover run must be bit-identical across executors"
     );
+
+    if let Some(path) = &trace_path {
+        // The failover run's journal is the interesting one: the crash,
+        // the aborted batches, their retries, the failover re-placement,
+        // and the session-state migrations are all visible as events.
+        write_artifact(path, chrome_trace_json(&failover.trace));
+        let prom = prometheus_snapshot_full(
+            &failover.metrics,
+            &failover.trace,
+            Some(&failover.sched),
+            None,
+            None,
+        );
+        write_artifact(&format!("{path}.prom"), prom);
+    }
 
     // Zero requests lost, in every configuration.
     for (label, report) in [

@@ -12,17 +12,24 @@
 //! This sweep is also a correctness harness — it **asserts** that
 //!
 //! * EDF + cost-model misses strictly fewer deadlines than FIFO +
-//!   earliest-free at the same load, and
-//! * virtual-time results (responses, metrics, scheduler stats, and the
+//!   earliest-free at the same load,
+//! * virtual-time results (responses, metrics, scheduler stats, the
 //!   flight-recorder trace — including its Chrome trace-event rendering,
-//!   byte for byte) are bit-identical across the `Inline` and
-//!   `ThreadPool` executors.
+//!   byte for byte — the metrics timeline, and the health report) are
+//!   bit-identical across the `Inline` and `ThreadPool` executors,
+//! * every request's critical-path decomposition (queue + load + state +
+//!   compute from [`analyze`]) sums exactly to that request's observed
+//!   response latency, and
+//! * the overloaded tight-SLO configs fire the multi-window SLO
+//!   burn-rate alert while the shedding config's health stays clean of
+//!   device-stuck/thrash/retry pathologies.
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin sched_sweep`
 //! (`--quick` shrinks the load for smoke runs, `--json PATH` writes the
 //! rows as a bench artifact for CI trend tracking, `--trace-out PATH`
 //! writes the shed config's flight-recorder journal as Perfetto-loadable
-//! Chrome trace JSON plus a Prometheus text snapshot at `PATH.prom`).
+//! Chrome trace JSON, a Prometheus text snapshot at `PATH.prom`, and the
+//! timeline/health exports as sibling `TIMELINE_*`/`HEALTH_*` files).
 
 use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, JsonObject};
 use ernn_core::pipeline::Pipeline;
@@ -33,7 +40,9 @@ use ernn_serve::sched::{
     AdmissionPolicy, ModelRegistry, PaddingModel, SchedPolicy, SchedReport, SchedRuntime,
 };
 use ernn_serve::{
-    chrome_trace_json, prometheus_snapshot, CompiledModel, ExecutorKind, Request, TraceConfig,
+    analyze, chrome_trace_json, health_json, prometheus_snapshot_full, timeline_json,
+    CompiledModel, ExecutorKind, HealthConfig, HealthRuleKind, Request, RuntimeConfig,
+    TimelineConfig, TraceConfig,
 };
 use rand::SeedableRng;
 
@@ -101,6 +110,26 @@ struct Config {
 /// full 600-request run, so the exported journal is complete
 /// (`dropped_events: 0`).
 const TRACE_CAPACITY: usize = 1 << 16;
+/// Timeline sampling interval (µs): fine enough that even the quick
+/// run's ~2 ms of virtual time yields a few dozen samples for the
+/// health rules' windows.
+const TIMELINE_INTERVAL_US: f64 = 50.0;
+/// Timeline ring capacity: holds every sample of the full run
+/// (`dropped: 0` is asserted).
+const TIMELINE_CAPACITY: usize = 1 << 14;
+
+/// Renames an artifact path's `PREFIX_` (e.g. `TRACE_sched.json` →
+/// `TIMELINE_sched.json`) so the timeline/health exports land next to
+/// the trace with the naming CI's upload globs expect.
+fn sibling_artifact(path: &str, prefix: &str) -> String {
+    let p = std::path::Path::new(path);
+    let file = p.file_name().and_then(|f| f.to_str()).unwrap_or(path);
+    let renamed = match file.split_once('_') {
+        Some((_, rest)) => format!("{prefix}_{rest}"),
+        None => format!("{prefix}_{file}"),
+    };
+    p.with_file_name(renamed).to_string_lossy().into_owned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -157,9 +186,20 @@ fn main() {
     let mut miss_by_label: Vec<(&str, f64)> = Vec::new();
     for config in &configs {
         let run = |kind| {
-            SchedRuntime::with_executor(registry(), platforms.clone(), config.policy, kind)
-                .with_tracing(TraceConfig::enabled(TRACE_CAPACITY))
-                .run(load(num_requests))
+            SchedRuntime::with_config(
+                registry(),
+                platforms.clone(),
+                config.policy,
+                RuntimeConfig::new()
+                    .executor(kind)
+                    .tracing(TraceConfig::enabled(TRACE_CAPACITY))
+                    .timeline(TimelineConfig::enabled(
+                        TIMELINE_INTERVAL_US,
+                        TIMELINE_CAPACITY,
+                    ))
+                    .health(HealthConfig::enabled()),
+            )
+            .run(load(num_requests))
         };
         let report = run(ExecutorKind::Inline);
 
@@ -198,11 +238,101 @@ fn main() {
             "{}: trace overflow",
             config.label
         );
+        assert_eq!(
+            report.timeline, pool_report.timeline,
+            "{}: executor changed the metrics timeline",
+            config.label
+        );
+        assert_eq!(
+            report.health, pool_report.health,
+            "{}: executor changed the health report",
+            config.label
+        );
+        assert_eq!(
+            report.timeline.dropped, 0,
+            "{}: timeline ring overflow",
+            config.label
+        );
+
+        // Critical-path analysis: every served request's queue + load +
+        // state + compute decomposition must sum exactly to the latency
+        // its Response reports.
+        let analysis = analyze(&report.trace.journal);
+        assert_eq!(
+            analysis.spans.len(),
+            report.metrics.completed,
+            "{}: analysis lost spans",
+            config.label
+        );
+        for span in &analysis.spans {
+            assert_eq!(
+                span.total_us(),
+                span.latency_us(),
+                "{}: request {} decomposition does not sum",
+                config.label,
+                span.id
+            );
+            let response = report
+                .responses
+                .iter()
+                .find(|r| r.id == span.id && !r.shed)
+                .expect("span has a served response");
+            assert_eq!(
+                span.latency_us(),
+                response.latency_us(),
+                "{}: request {} span disagrees with its response",
+                config.label,
+                span.id
+            );
+        }
+
+        // Health: the FIFO baseline overdrives the interactive SLO by
+        // design (~19% miss rate against a 1% budget), so its run must
+        // fire the multi-window burn-rate alert — and at full load its
+        // residency-oblivious placement also trips the thrash detector.
+        // The deadline-aware configs are the healthy contrast: low
+        // enough burn to stay quiet on every pathology rule.
+        let h = &report.health;
+        if config.label == "fifo+earliest_free" {
+            assert!(
+                h.count(HealthRuleKind::SloBurnRate) >= 1,
+                "{}: overloaded run did not fire the SLO burn-rate alert",
+                config.label
+            );
+        } else {
+            for rule in [
+                HealthRuleKind::DeviceStuck,
+                HealthRuleKind::ResidencyThrash,
+                HealthRuleKind::RetryStorm,
+            ] {
+                assert_eq!(
+                    h.count(rule),
+                    0,
+                    "{}: unexpected {rule:?} health event",
+                    config.label
+                );
+            }
+        }
+
         if config.label == "edf+cost+shed" {
             if let Some(path) = &trace_path {
                 write_artifact(path, chrome);
-                let prom = prometheus_snapshot(&report.metrics, &report.trace);
+                let prom = prometheus_snapshot_full(
+                    &report.metrics,
+                    &report.trace,
+                    Some(&report.sched),
+                    Some(&report.timeline),
+                    Some(&report.health),
+                );
                 write_artifact(&format!("{path}.prom"), prom);
+                write_artifact(
+                    &sibling_artifact(path, "TIMELINE"),
+                    timeline_json(&report.timeline),
+                );
+                write_artifact(
+                    &sibling_artifact(path, "HEALTH"),
+                    health_json(&report.health),
+                );
             }
         }
 
@@ -275,6 +405,13 @@ fn main() {
                 .raw("admission_shed", admission_shed)
                 .raw("attribution", attribution)
                 .int("trace_events", report.trace.journal.events.len() as i64)
+                .int("timeline_samples", report.timeline.samples.len() as i64)
+                .num("ewma_queue_us", report.timeline.ewma_queue_us)
+                .int("health_events", report.health.events.len() as i64)
+                .num("critical_path_queue_us", analysis.totals.queue_us)
+                .num("critical_path_load_us", analysis.totals.load_us)
+                .num("critical_path_state_us", analysis.totals.state_us)
+                .num("critical_path_compute_us", analysis.totals.compute_us)
                 .raw("per_model", per_model)
                 .render(),
         );

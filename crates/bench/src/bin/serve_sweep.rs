@@ -13,7 +13,10 @@ use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, Jso
 use ernn_core::pipeline::Pipeline;
 use ernn_model::{CellType, ModelSpec};
 use ernn_serve::loadgen::{open_loop_poisson, synthetic_utterances};
-use ernn_serve::{chrome_trace_json, prometheus_snapshot, BatchPolicy, ServeRuntime, TraceConfig};
+use ernn_serve::{
+    chrome_trace_json, prometheus_snapshot_full, BatchPolicy, HealthConfig, RuntimeConfig,
+    ServeRuntime, TimelineConfig, TraceConfig,
+};
 use rand::SeedableRng;
 
 fn main() {
@@ -62,15 +65,33 @@ fn main() {
             // Trace the middle-of-the-frontier config (4 devices,
             // b8/w200) when an export path was given.
             let traced = devices == 4 && label == "b8/w200" && trace_path.is_some();
-            let mut runtime = ServeRuntime::new(model.clone(), devices, policy);
-            if traced {
-                runtime = runtime.with_tracing(TraceConfig::enabled(1 << 14));
-            }
+            let runtime = if traced {
+                // The exported snapshot carries the full observability
+                // surface: trace counters plus the sampled timeline and
+                // the health verdict.
+                ServeRuntime::with_config(
+                    model.clone(),
+                    devices,
+                    policy,
+                    RuntimeConfig::new()
+                        .tracing(TraceConfig::enabled(1 << 14))
+                        .timeline(TimelineConfig::enabled(100.0, 1 << 13))
+                        .health(HealthConfig::enabled()),
+                )
+            } else {
+                ServeRuntime::new(model.clone(), devices, policy)
+            };
             let report = runtime.run(requests.clone());
             if traced {
                 let path = trace_path.as_deref().expect("checked above");
                 write_artifact(path, chrome_trace_json(&report.trace));
-                let prom = prometheus_snapshot(&report.metrics, &report.trace);
+                let prom = prometheus_snapshot_full(
+                    &report.metrics,
+                    &report.trace,
+                    None,
+                    Some(&report.timeline),
+                    Some(&report.health),
+                );
                 write_artifact(&format!("{path}.prom"), prom);
             }
             let m = &report.metrics;

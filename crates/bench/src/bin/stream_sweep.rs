@@ -20,9 +20,11 @@
 //!
 //! Run with: `cargo run --release -p ernn-bench --bin stream_sweep`
 //! (`--quick` shrinks the trace for smoke runs, `--json PATH` writes a
-//! `BENCH_stream.json` artifact).
+//! `BENCH_stream.json` artifact, `--trace-out PATH` writes the streaming
+//! run's flight-recorder journal as Perfetto-loadable Chrome trace JSON
+//! plus a Prometheus snapshot at `PATH.prom`).
 
-use ernn_bench::json::{array, json_path_arg, write_artifact, JsonObject};
+use ernn_bench::json::{array, json_path_arg, trace_path_arg, write_artifact, JsonObject};
 use ernn_core::pipeline::Pipeline;
 use ernn_fpga::XCKU060;
 use ernn_model::{CellType, ModelSpec};
@@ -30,7 +32,10 @@ use ernn_serve::loadgen::synthetic_utterances;
 use ernn_serve::sched::{
     CostModel, DeviceResidency, ModelRegistry, SchedPolicy, SchedReport, SchedRuntime,
 };
-use ernn_serve::{ExecutorKind, Request, Response, Workload};
+use ernn_serve::{
+    chrome_trace_json, prometheus_snapshot_full, ExecutorKind, Request, Response, RuntimeConfig,
+    TraceConfig, Workload,
+};
 use rand::{Rng, SeedableRng};
 
 const DIM: usize = 52;
@@ -138,11 +143,13 @@ fn miss_rate(responses: &[Response], pick: impl Fn(&Response) -> bool) -> f64 {
 }
 
 fn run(requests: Vec<Request>, exec: ExecutorKind) -> SchedReport {
-    SchedRuntime::with_executor(
+    SchedRuntime::with_config(
         registry(),
         vec![XCKU060],
         SchedPolicy::edf_cost_model(1, 0.0),
-        exec,
+        RuntimeConfig::new()
+            .executor(exec)
+            .tracing(TraceConfig::enabled(1 << 15)),
     )
     .run(requests)
 }
@@ -151,6 +158,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = json_path_arg(&args);
+    let trace_path = trace_path_arg(&args);
     let (sessions, probes) = if quick { (4, 20) } else { (8, 40) };
 
     // Timebase from the cost model: speech is delivered 20% slower than
@@ -198,6 +206,24 @@ fn main() {
         (&stream_mt.responses, &stream_mt.metrics, &stream_mt.sched),
         "streaming run must be bit-identical across executors"
     );
+    assert_eq!(
+        stream.trace, stream_mt.trace,
+        "streaming trace must be bit-identical across executors"
+    );
+    if let Some(path) = &trace_path {
+        // The streaming run's journal shows the chunk-boundary
+        // preemption this sweep is about: probe dispatches interleave
+        // between session chunks in the Perfetto timeline.
+        write_artifact(path, chrome_trace_json(&stream.trace));
+        let prom = prometheus_snapshot_full(
+            &stream.metrics,
+            &stream.trace,
+            Some(&stream.sched),
+            None,
+            None,
+        );
+        write_artifact(&format!("{path}.prom"), prom);
+    }
     let baseline = run(trace.utterance.clone(), ExecutorKind::Inline);
 
     let probe_pick = is_probe(&trace.probe_ids);

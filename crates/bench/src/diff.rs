@@ -1,0 +1,599 @@
+//! Bench-artifact regression diffing.
+//!
+//! `BENCH_*.json` artifacts are deterministic snapshots of virtual-time
+//! serving behavior (only wall-clock `host_us` fields vary run to run),
+//! so comparing a fresh artifact against a committed baseline is a real
+//! regression gate, not a statistical one: any delta is a behavior
+//! change. This module gives the `bench_diff` binary its pieces — a
+//! minimal recursive-descent JSON parser (the build is offline, no
+//! serde), a flattener from nested documents to dotted-path numeric
+//! leaves, per-metric direction heuristics (is higher worse?), and the
+//! threshold comparison itself.
+//!
+//! Keys named `host_us` (wall clock) and per-request audit arrays
+//! (`admission_shed`) are excluded from gating; everything else numeric
+//! is compared. Documents whose `schema_version` fields disagree are
+//! declared incomparable rather than diffed field by field.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value — just enough structure for bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers the artifacts'
+    /// counters and micro-second timings exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a top-level object field.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let slice = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number slice");
+    slice
+        .parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number '{slice}' at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Artifacts never emit surrogate pairs; map
+                        // unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Multi-byte UTF-8 passes through untouched.
+                let len = utf8_len(b);
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| format!("truncated UTF-8 at byte {pos}"))?;
+                out.push_str(
+                    std::str::from_utf8(chunk)
+                        .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?,
+                );
+                *pos += len;
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+/// Keys whose subtrees are never gated: wall clock and per-request
+/// audit slices (useful for inspection, too granular for a pass/fail
+/// gate).
+const SKIP_KEYS: [&str; 2] = ["host_us", "admission_shed"];
+
+/// Identity fields tried, in order, to label array elements by content
+/// instead of position — so inserting a row doesn't shift every
+/// later row's path.
+const IDENTITY_KEYS: [&str; 5] = ["config", "label", "name", "bench", "model"];
+
+/// Flattens a document to its numeric leaves keyed by dotted path
+/// (array elements labeled by an identity field when they carry one,
+/// by index otherwise). Skips the audit subtrees (`host_us`,
+/// `admission_shed`) excluded from gating.
+pub fn flatten(value: &JsonValue) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &JsonValue, path: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        JsonValue::Num(n) => {
+            out.insert(path, *n);
+        }
+        JsonValue::Obj(fields) => {
+            for (key, v) in fields {
+                if SKIP_KEYS.contains(&key.as_str()) {
+                    continue;
+                }
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(v, child, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = element_label(item).unwrap_or_else(|| i.to_string());
+                walk(item, format!("{path}[{label}]"), out);
+            }
+        }
+        JsonValue::Null | JsonValue::Bool(_) | JsonValue::Str(_) => {}
+    }
+}
+
+/// A content-derived label for an array element, when it has one.
+fn element_label(item: &JsonValue) -> Option<String> {
+    // Attribution rows are identified by the (device, model) pair —
+    // checked before the single-field keys so `model` alone doesn't
+    // claim them first.
+    if let (Some(d), Some(m)) = (
+        item.get("device").and_then(JsonValue::as_num),
+        item.get("model").and_then(JsonValue::as_num),
+    ) {
+        return Some(format!("device={d},model={m}"));
+    }
+    for key in IDENTITY_KEYS {
+        match item.get(key) {
+            Some(JsonValue::Str(s)) => return Some(s.clone()),
+            Some(JsonValue::Num(n)) => return Some(format!("{key}={n}")),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Which direction of change regresses a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// An increase is a regression (latency, misses, sheds, stalls…).
+    HigherWorse,
+    /// A decrease is a regression (throughput, completions…).
+    LowerWorse,
+    /// Reported, never gated (ids, versions, configuration echoes).
+    Neutral,
+}
+
+/// Infers the regression direction of a metric from the last segment of
+/// its dotted path.
+pub fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    const NEUTRAL: [&str; 9] = [
+        "schema_version",
+        "requests",
+        "devices",
+        "device",
+        "model",
+        "id",
+        "batches",
+        "weight_budget_bytes",
+        "interval_us",
+    ];
+    if NEUTRAL.contains(&leaf) || leaf.ends_with("_slo_us") {
+        return Direction::Neutral;
+    }
+    const LOWER_WORSE: [&str; 7] = [
+        "throughput",
+        "rps",
+        "fps",
+        "speedup",
+        "completed",
+        "admitted",
+        "util",
+    ];
+    if LOWER_WORSE.iter().any(|t| leaf.contains(t)) {
+        return Direction::LowerWorse;
+    }
+    const HIGHER_WORSE: [&str; 11] = [
+        "miss", "shed", "dropped", "evict", "load", "stall", "abort", "exhaust", "retry", "_us",
+        "queue",
+    ];
+    if HIGHER_WORSE.iter().any(|t| leaf.contains(t)) {
+        return Direction::HigherWorse;
+    }
+    Direction::Neutral
+}
+
+/// One metric's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path of the metric.
+    pub path: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// Relative change `(new - old) / max(|old|, ε)`.
+    pub rel: f64,
+    /// The inferred gating direction.
+    pub direction: Direction,
+    /// Whether this delta regresses past the threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison of two artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Shared metrics whose values changed, worst regression first.
+    pub changed: Vec<MetricDelta>,
+    /// Metrics only in the baseline.
+    pub removed: Vec<String>,
+    /// Metrics only in the current artifact.
+    pub added: Vec<String>,
+    /// Shared metrics compared in total.
+    pub compared: usize,
+    /// Set when the documents' `schema_version`s disagree — the diff is
+    /// then vacuous and must not gate.
+    pub incomparable: Option<String>,
+}
+
+impl DiffReport {
+    /// Whether any gated metric regressed past its threshold.
+    pub fn regressed(&self) -> bool {
+        self.changed.iter().any(|d| d.regressed)
+    }
+}
+
+/// Compares two parsed artifacts under a relative regression
+/// `threshold` (e.g. `0.25` = a worse-direction move beyond 25% fails).
+///
+/// Baseline-vs-current runs of the same code produce bit-identical
+/// artifacts (virtual clock), so every reported delta is a real
+/// behavior change; the threshold only decides which are big enough to
+/// fail CI.
+pub fn compare(baseline: &JsonValue, current: &JsonValue, threshold: f64) -> DiffReport {
+    let schema = |v: &JsonValue| v.get("schema_version").and_then(JsonValue::as_num);
+    let (sb, sc) = (schema(baseline), schema(current));
+    if sb != sc {
+        return DiffReport {
+            incomparable: Some(format!(
+                "schema_version {:?} (baseline) vs {:?} (current)",
+                sb, sc
+            )),
+            ..DiffReport::default()
+        };
+    }
+    let old = flatten(baseline);
+    let new = flatten(current);
+    let mut report = DiffReport::default();
+    for (path, &old_v) in &old {
+        let Some(&new_v) = new.get(path) else {
+            report.removed.push(path.clone());
+            continue;
+        };
+        report.compared += 1;
+        if old_v == new_v {
+            continue;
+        }
+        let dir = direction(path);
+        let rel = (new_v - old_v) / old_v.abs().max(1e-12);
+        let regressed = match dir {
+            Direction::HigherWorse => rel > threshold,
+            Direction::LowerWorse => rel < -threshold,
+            Direction::Neutral => false,
+        };
+        report.changed.push(MetricDelta {
+            path: path.clone(),
+            old: old_v,
+            new: new_v,
+            rel,
+            direction: dir,
+            regressed,
+        });
+    }
+    for path in new.keys() {
+        if !old.contains_key(path) {
+            report.added.push(path.clone());
+        }
+    }
+    // Worst first: regressions, then by relative magnitude.
+    report.changed.sort_by(|a, b| {
+        b.regressed
+            .cmp(&a.regressed)
+            .then(b.rel.abs().total_cmp(&a.rel.abs()))
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonObject;
+
+    #[test]
+    fn parser_round_trips_bench_artifacts() {
+        let doc = JsonObject::new()
+            .bench_header("sched_sweep")
+            .num("miss_rate", 0.125)
+            .str("label", "a\"b\\c\nd")
+            .raw(
+                "rows",
+                crate::json::array([JsonObject::new()
+                    .str("config", "edf")
+                    .int("shed", 3)
+                    .render()]),
+            )
+            .render();
+        let parsed = parse(&doc).expect("parses");
+        assert_eq!(
+            parsed.get("schema_version").and_then(JsonValue::as_num),
+            Some(crate::json::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            parsed.get("label").and_then(JsonValue::as_str),
+            Some("a\"b\\c\nd")
+        );
+        let rows = parsed.get("rows").expect("rows");
+        assert_eq!(
+            rows,
+            &JsonValue::Arr(vec![JsonValue::Obj(vec![
+                ("config".into(), JsonValue::Str("edf".into())),
+                ("shed".into(), JsonValue::Num(3.0)),
+            ])])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+        assert_eq!(parse(" null ").unwrap(), JsonValue::Null);
+        assert_eq!(parse("-1.5e3").unwrap(), JsonValue::Num(-1500.0));
+    }
+
+    #[test]
+    fn flatten_labels_rows_by_identity_and_skips_audit_keys() {
+        let doc = parse(
+            r#"{"schema_version":2,"host_us":9.0,
+                "rows":[
+                  {"config":"fifo","p99_us":10.0,"admission_shed":[{"id":1,"predicted_us":5.0}]},
+                  {"config":"edf","p99_us":7.0}
+                ],
+                "attribution":[{"device":0,"model":1,"queue_us":3.0}]}"#,
+        )
+        .unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(flat.get("rows[fifo].p99_us"), Some(&10.0));
+        assert_eq!(flat.get("rows[edf].p99_us"), Some(&7.0));
+        assert_eq!(
+            flat.get("attribution[device=0,model=1].queue_us"),
+            Some(&3.0)
+        );
+        assert!(flat.keys().all(|k| !k.contains("host_us")));
+        assert!(flat.keys().all(|k| !k.contains("admission_shed")));
+    }
+
+    #[test]
+    fn directions_follow_the_metric_vocabulary() {
+        assert_eq!(direction("rows[edf].miss_rate"), Direction::HigherWorse);
+        assert_eq!(direction("rows[edf].p99_us"), Direction::HigherWorse);
+        assert_eq!(direction("rows[edf].model_loads"), Direction::HigherWorse);
+        assert_eq!(direction("rows[edf].throughput_rps"), Direction::LowerWorse);
+        assert_eq!(direction("rows[edf].completed"), Direction::LowerWorse);
+        assert_eq!(direction("schema_version"), Direction::Neutral);
+        assert_eq!(direction("interactive_slo_us"), Direction::Neutral);
+        assert_eq!(direction("requests"), Direction::Neutral);
+    }
+
+    #[test]
+    fn compare_flags_only_worse_direction_moves_past_threshold() {
+        let base = parse(
+            r#"{"schema_version":2,"rows":[{"config":"edf","p99_us":100.0,
+                "throughput_rps":50.0,"completed":40,"miss_rate":0.0}]}"#,
+        )
+        .unwrap();
+        let better = parse(
+            r#"{"schema_version":2,"rows":[{"config":"edf","p99_us":60.0,
+                "throughput_rps":80.0,"completed":40,"miss_rate":0.0}]}"#,
+        )
+        .unwrap();
+        let report = compare(&base, &better, 0.25);
+        assert!(!report.regressed(), "{:?}", report.changed);
+        assert_eq!(report.changed.len(), 2);
+
+        let worse = parse(
+            r#"{"schema_version":2,"rows":[{"config":"edf","p99_us":140.0,
+                "throughput_rps":50.0,"completed":40,"miss_rate":0.05}]}"#,
+        )
+        .unwrap();
+        let report = compare(&base, &worse, 0.25);
+        assert!(report.regressed());
+        // Worst first: the zero-to-nonzero miss rate dominates.
+        assert_eq!(report.changed[0].path, "rows[edf].miss_rate");
+        assert!(report.changed.iter().all(|d| !d.regressed
+            || matches!(d.direction, Direction::HigherWorse | Direction::LowerWorse)));
+        // Within threshold passes: +10% p99 under a 25% gate.
+        let mild = parse(
+            r#"{"schema_version":2,"rows":[{"config":"edf","p99_us":110.0,
+                "throughput_rps":50.0,"completed":40,"miss_rate":0.0}]}"#,
+        )
+        .unwrap();
+        assert!(!compare(&base, &mild, 0.25).regressed());
+    }
+
+    #[test]
+    fn schema_mismatch_is_incomparable_and_added_removed_never_gate() {
+        let v2 = parse(r#"{"schema_version":2,"x_us":1.0}"#).unwrap();
+        let v3 = parse(r#"{"schema_version":3,"x_us":9.0}"#).unwrap();
+        let report = compare(&v2, &v3, 0.25);
+        assert!(report.incomparable.is_some());
+        assert!(!report.regressed());
+
+        let grown = parse(r#"{"schema_version":2,"x_us":1.0,"brand_new_miss_rate":1.0}"#).unwrap();
+        let report = compare(&v2, &grown, 0.25);
+        assert_eq!(report.added, vec!["brand_new_miss_rate".to_string()]);
+        assert!(!report.regressed());
+    }
+}

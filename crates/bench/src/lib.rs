@@ -14,6 +14,7 @@
 //! | `phase1_trials` | Sec. VI   (Phase-I trial-count claim)    |
 
 pub mod alloc;
+pub mod diff;
 pub mod json;
 
 use ernn_admm::{AdmmConfig, AdmmTrainer};

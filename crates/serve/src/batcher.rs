@@ -109,6 +109,14 @@ impl DynamicBatcher {
         self.queue.push_back(request);
     }
 
+    /// Arrival time (µs) of the oldest queued request, or `None` when
+    /// the queue is empty. FIFO order makes the front the oldest, so
+    /// this is O(1) — the timeline sampler reads it on every clock
+    /// advance.
+    pub fn oldest_arrival_us(&self) -> Option<f64> {
+        self.queue.front().map(|r| r.arrival_us)
+    }
+
     /// The absolute time (µs) at which the forming batch must dispatch
     /// even if still under-full, or `None` when the queue is empty.
     pub fn flush_deadline_us(&self) -> Option<f64> {

@@ -9,6 +9,8 @@
 //! constructors now delegate here).
 
 use crate::executor::ExecutorKind;
+use crate::health::HealthConfig;
+use crate::timeline::TimelineConfig;
 use crate::trace::TraceConfig;
 use ernn_fpga::fault::FaultPlan;
 
@@ -81,6 +83,16 @@ pub struct RuntimeConfig {
     /// then wait for (or are shed against) the crashed device's
     /// recovery.
     pub failover: bool,
+    /// Fixed-interval metrics-timeline capture
+    /// ([`MetricsTimeline`](crate::timeline::MetricsTimeline));
+    /// disabled by default. The queue-delay EWMA it carries updates
+    /// either way.
+    pub timeline: TimelineConfig,
+    /// Declarative health rules evaluated over the timeline
+    /// ([`HealthMonitor`](crate::health::HealthMonitor)); disabled by
+    /// default. Rules only see samples, so enabling health without an
+    /// enabled timeline never fires.
+    pub health: HealthConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +104,8 @@ impl Default for RuntimeConfig {
             fault_plan: FaultPlan::empty(),
             retry: RetryPolicy::default(),
             failover: true,
+            timeline: TimelineConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -139,6 +153,18 @@ impl RuntimeConfig {
         self.failover = failover;
         self
     }
+
+    /// Enables (or reconfigures) metrics-timeline capture.
+    pub fn timeline(mut self, timeline: TimelineConfig) -> Self {
+        self.timeline = timeline;
+        self
+    }
+
+    /// Enables (or reconfigures) the health rules.
+    pub fn health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -163,13 +189,18 @@ mod tests {
                 max_backoff_us: 100.0,
                 max_attempts: 2,
             })
-            .failover(false);
+            .failover(false)
+            .timeline(TimelineConfig::enabled(100.0, 256))
+            .health(HealthConfig::enabled());
         assert_eq!(cfg.executor, ExecutorKind::ThreadPool);
         assert!(cfg.trace.is_enabled());
         assert_eq!(cfg.max_live_sessions, Some(8));
         assert_eq!(cfg.fault_plan, plan);
         assert_eq!(cfg.retry.max_attempts, 2);
         assert!(!cfg.failover);
+        assert!(cfg.timeline.is_enabled());
+        assert_eq!(cfg.timeline.capacity, 256);
+        assert!(cfg.health.enabled);
     }
 
     #[test]
@@ -181,6 +212,8 @@ mod tests {
         assert!(cfg.fault_plan.is_empty());
         assert!(cfg.failover);
         assert_eq!(cfg.retry, RetryPolicy::default());
+        assert!(!cfg.timeline.is_enabled());
+        assert!(!cfg.health.enabled);
     }
 
     #[test]

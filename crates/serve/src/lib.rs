@@ -55,10 +55,24 @@
 //!   flight recorder ([`FlightRecorder`]) capturing the full request
 //!   lifecycle ([`TraceEvent`]) on the virtual clock, streaming
 //!   log-linear latency histograms ([`LatencyHistogram`]), per-(device,
-//!   model) stage-time attribution ([`StageAttribution`]), and exporters
+//!   model) stage-time attribution ([`StageAttribution`]), per-request
+//!   critical-path analysis ([`trace::analyze`]), and exporters
 //!   to Chrome trace-event JSON ([`chrome_trace_json`], loadable in
-//!   Perfetto) and Prometheus text ([`prometheus_snapshot`]). Journals
-//!   are bit-identical across executors.
+//!   Perfetto) and Prometheus text ([`prometheus_snapshot`] /
+//!   [`prometheus_snapshot_full`]). Journals are bit-identical across
+//!   executors.
+//! * [`timeline`] + [`health`] — the operational-judgment layer on top
+//!   of tracing: a pre-sized, zero-steady-state-allocation
+//!   [`MetricsTimeline`] ring of fixed-interval virtual-clock samples
+//!   (per-device utilization, queue depth and oldest wait, residency
+//!   bytes by class, live sessions, cumulative miss/shed/load/retry
+//!   counters, EWMA queue delay — the calibrated admission/autoscaling
+//!   load signal), and a [`HealthMonitor`] evaluating declarative rules
+//!   over it (multi-window SLO burn rate, device-stuck,
+//!   residency-thrash, retry-storm), journaling each firing as a
+//!   [`TraceEvent`] and summarizing into a per-run [`HealthReport`].
+//!   Both are enabled per run via [`RuntimeConfig`] and bit-identical
+//!   across executors.
 //! * [`loadgen`] — open-loop Poisson and closed-loop traffic shapes.
 //! * [`sched`] — the SLO-aware multi-model scheduler on top of all of
 //!   the above: a [`sched::ModelRegistry`] with per-device BRAM
@@ -104,11 +118,13 @@ mod cache;
 mod config;
 mod device;
 mod executor;
+pub mod health;
 pub mod loadgen;
 mod metrics;
 mod request;
 mod runtime;
 pub mod sched;
+pub mod timeline;
 pub mod trace;
 
 pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher, TakenBatch};
@@ -122,10 +138,18 @@ pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, SessionSlot,
     ThreadPoolExecutor,
 };
+pub use health::{
+    health_json, HealthConfig, HealthEvent, HealthMonitor, HealthReport, HealthRuleKind,
+};
 pub use metrics::{LatencySummary, ModelMetrics, ServeMetrics};
 pub use request::{Request, Response, ShedReason, Workload};
 pub use runtime::{ServeReport, ServeRuntime};
+pub use timeline::{
+    timeline_json, MetricsTimeline, Timeline, TimelineConfig, TimelineProbe, TimelineSample,
+};
+pub use trace::analyze::{analyze, PathTotals, RequestSpan, SlowRequest, TraceAnalysis};
 pub use trace::{
-    chrome_trace_json, prometheus_snapshot, FlightRecorder, LatencyHistogram, RunTrace,
-    StageAttribution, StageBreakdown, TraceConfig, TraceEvent, TraceJournal,
+    chrome_trace_json, prometheus_snapshot, prometheus_snapshot_full, FlightRecorder,
+    LatencyHistogram, RunTrace, StageAttribution, StageBreakdown, TraceConfig, TraceEvent,
+    TraceJournal,
 };

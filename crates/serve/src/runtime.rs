@@ -40,8 +40,10 @@ use crate::device::DevicePool;
 use crate::executor::{
     Executor, ExecutorKind, InferenceJob, InlineExecutor, SessionSlot, ThreadPoolExecutor,
 };
+use crate::health::{HealthMonitor, HealthReport};
 use crate::metrics::ServeMetrics;
 use crate::request::{peak_live_sessions, validate_sessions, Request, Response, Workload};
+use crate::timeline::{MetricsTimeline, Timeline, TimelineProbe};
 use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use std::cmp::Ordering;
@@ -99,6 +101,15 @@ pub struct ServeReport {
     /// always-on per-(device, model) stage-time attribution. Entirely
     /// virtual-time-derived, so bit-identical across executors.
     pub trace: RunTrace,
+    /// Fixed-interval metrics-timeline samples (empty unless
+    /// [`RuntimeConfig::timeline`] enables capture) plus the always-on
+    /// queue-delay EWMA. Virtual-time-derived, so bit-identical across
+    /// executors.
+    pub timeline: Timeline,
+    /// Health-rule firings observed over the timeline (empty unless
+    /// [`RuntimeConfig::health`] enables the monitor). Bit-identical
+    /// across executors.
+    pub health: HealthReport,
 }
 
 impl ServeReport {
@@ -336,6 +347,7 @@ impl ServeRuntime {
         let mut batcher = DynamicBatcher::new(self.policy);
         let mut responses: Vec<Response> = Vec::new();
         let mut obs = Observer::new(self.config.trace);
+        let mut telemetry = Telemetry::new(&self.config, self.num_devices);
         let mut now_us = 0.0f64;
 
         loop {
@@ -347,9 +359,17 @@ impl ServeRuntime {
                 BatchReadiness::Empty => match arrivals.pop() {
                     Some(a) => {
                         now_us = now_us.max(a.t_us);
+                        telemetry.capture(now_us, &batcher, &pool, &mut obs, false);
                         obs.enqueued(now_us, &a.request, batcher.len() + 1);
+                        telemetry.enqueued(&a.request);
                         batcher.push(a.request);
-                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher, &mut obs);
+                        self.drain_due_arrivals(
+                            &mut arrivals,
+                            now_us,
+                            &mut batcher,
+                            &mut obs,
+                            &mut telemetry,
+                        );
                     }
                     None => break,
                 },
@@ -364,6 +384,7 @@ impl ServeRuntime {
                         &mut arrivals,
                         &mut feedback,
                         &mut obs,
+                        &mut telemetry,
                     );
                 }
                 BatchReadiness::Forming { flush_at_us } => {
@@ -372,14 +393,23 @@ impl ServeRuntime {
                         // The next arrival lands before the wait budget
                         // runs out: let it join the forming batch.
                         now_us = now_us.max(t);
+                        telemetry.capture(now_us, &batcher, &pool, &mut obs, false);
                         let a = arrivals.pop().expect("peeked arrival exists");
                         obs.enqueued(now_us, &a.request, batcher.len() + 1);
+                        telemetry.enqueued(&a.request);
                         batcher.push(a.request);
-                        self.drain_due_arrivals(&mut arrivals, now_us, &mut batcher, &mut obs);
+                        self.drain_due_arrivals(
+                            &mut arrivals,
+                            now_us,
+                            &mut batcher,
+                            &mut obs,
+                            &mut telemetry,
+                        );
                     } else {
                         // Wait budget exhausted before anything else can
                         // join.
                         now_us = now_us.max(flush_at_us);
+                        telemetry.capture(now_us, &batcher, &pool, &mut obs, false);
                         debug_assert!(batcher.ready(now_us));
                         self.dispatch(
                             now_us,
@@ -390,6 +420,7 @@ impl ServeRuntime {
                             &mut arrivals,
                             &mut feedback,
                             &mut obs,
+                            &mut telemetry,
                         );
                     }
                 }
@@ -405,6 +436,11 @@ impl ServeRuntime {
             responses[slot].logits = logits;
         }
 
+        // Stamp the final timeline sample at the instant the last device
+        // drains, so the closing sample reflects the finished run.
+        let drained_us = now_us.max(pool.drained_at_us());
+        let (timeline, health) = telemetry.finish(drained_us, &batcher, &pool, &mut obs);
+
         let busy_us: Vec<f64> = pool.devices().iter().map(|d| d.busy_us()).collect();
         let metrics = ServeMetrics::compute(&responses, busy_us);
         ServeReport {
@@ -413,6 +449,8 @@ impl ServeRuntime {
             host_us: host_start.elapsed().as_secs_f64() * 1e6,
             worker_fft: exec_report.worker_fft,
             trace: obs.into_trace(),
+            timeline,
+            health,
         }
     }
 
@@ -424,12 +462,14 @@ impl ServeRuntime {
         now_us: f64,
         batcher: &mut DynamicBatcher,
         obs: &mut Observer,
+        telemetry: &mut Telemetry,
     ) {
         while arrivals.peek().is_some_and(|a| a.t_us <= now_us)
             && batcher.len() < batcher.policy().max_batch
         {
             let a = arrivals.pop().expect("peeked arrival exists");
             obs.enqueued(now_us, &a.request, batcher.len() + 1);
+            telemetry.enqueued(&a.request);
             batcher.push(a.request);
         }
     }
@@ -445,6 +485,7 @@ impl ServeRuntime {
         arrivals: &mut BinaryHeap<Arrival>,
         feedback: &mut Option<ClosedLoop<'_>>,
         obs: &mut Observer,
+        telemetry: &mut Telemetry,
     ) {
         // Sessions stay pinned to one device (`session % num_devices`), so
         // their recurrent state never migrates; the batcher closes a batch
@@ -514,7 +555,9 @@ impl ServeRuntime {
                 batch_size,
                 deadline_us,
             ));
-            obs.completed(responses.last().expect("just pushed"));
+            let response = responses.last().expect("just pushed");
+            obs.completed(response);
+            telemetry.served(response);
 
             if let Some(fb) = feedback.as_mut() {
                 if let Some(next) = fb.next(complete_us) {
@@ -527,6 +570,114 @@ impl ServeRuntime {
             }
         }
         executor.submit_batch(jobs);
+    }
+}
+
+/// Per-run timeline/health capture for the single-model event loop:
+/// the sampler, the health monitor, a pre-sized busy-time scratch, and
+/// the cumulative counters the probe reports. All state advances on the
+/// virtual clock, so the resulting [`Timeline`] and [`HealthReport`]
+/// are bit-identical across executors.
+struct Telemetry {
+    timeline: MetricsTimeline,
+    health: HealthMonitor,
+    /// Per-device busy-time scratch refilled on every sample
+    /// (pre-sized: the steady-state hot path never allocates).
+    busy: Vec<f64>,
+    completed: u64,
+    deadline_misses: u64,
+    live_sessions: usize,
+}
+
+impl Telemetry {
+    fn new(config: &RuntimeConfig, num_devices: usize) -> Self {
+        Telemetry {
+            timeline: MetricsTimeline::new(config.timeline, num_devices),
+            health: HealthMonitor::new(config.health, num_devices),
+            busy: vec![0.0; num_devices],
+            completed: 0,
+            deadline_misses: 0,
+            live_sessions: 0,
+        }
+    }
+
+    /// Live-session accounting: a session goes live when its first chunk
+    /// enters the queue.
+    fn enqueued(&mut self, request: &Request) {
+        if let Workload::Chunk { index: 0, .. } = request.workload {
+            self.live_sessions += 1;
+        }
+    }
+
+    /// Folds one served response into the EWMA and the cumulative
+    /// completion / deadline-miss / live-session counters.
+    fn served(&mut self, response: &Response) {
+        self.timeline.observe_queue_delay(response.queue_us());
+        self.completed += 1;
+        if response.deadline_tracked && !response.deadline_met {
+            self.deadline_misses += 1;
+        }
+        if let Workload::Chunk { last: true, .. } = response.workload {
+            self.live_sessions = self.live_sessions.saturating_sub(1);
+        }
+    }
+
+    /// Emits any grid samples due at `now_us` (plus the final off-grid
+    /// sample when `final_flush` is set), runs the health rules over
+    /// them, and journals each firing.
+    fn capture(
+        &mut self,
+        now_us: f64,
+        batcher: &DynamicBatcher,
+        pool: &DevicePool,
+        obs: &mut Observer,
+        final_flush: bool,
+    ) {
+        if !self.timeline.is_enabled() {
+            return;
+        }
+        for (slot, d) in self.busy.iter_mut().zip(pool.devices()) {
+            *slot = d.busy_us();
+        }
+        let probe = TimelineProbe {
+            queue_depth: batcher.len(),
+            oldest_wait_us: batcher
+                .oldest_arrival_us()
+                .map_or(0.0, |a| (now_us - a).max(0.0)),
+            live_sessions: self.live_sessions,
+            weights_bytes: 0,
+            state_bytes: 0,
+            completed: self.completed,
+            shed: 0,
+            deadline_misses: self.deadline_misses,
+            weight_loads: 0,
+            state_loads: 0,
+            retries: 0,
+            device_busy_us: &self.busy,
+        };
+        let emitted = if final_flush {
+            self.timeline.finish_sample(now_us, &probe)
+        } else {
+            self.timeline.advance(now_us, &probe)
+        };
+        let (start, end) = self.health.on_samples(&self.timeline, emitted);
+        for event in &self.health.events()[start..end] {
+            obs.health(event);
+        }
+    }
+
+    /// Flushes the final sample and consumes the capture into its
+    /// report forms.
+    fn finish(
+        mut self,
+        now_us: f64,
+        batcher: &DynamicBatcher,
+        pool: &DevicePool,
+        obs: &mut Observer,
+    ) -> (Timeline, HealthReport) {
+        self.capture(now_us, batcher, pool, obs, true);
+        let ewma = self.timeline.ewma_queue_us();
+        (self.timeline.into_timeline(), self.health.into_report(ewma))
     }
 }
 
@@ -835,6 +986,53 @@ mod tests {
             RuntimeConfig::new().max_live_sessions(1),
         );
         let _ = rt.run(reqs);
+    }
+
+    #[test]
+    fn timeline_and_health_are_captured_and_executor_invariant() {
+        use crate::health::HealthConfig;
+        use crate::timeline::TimelineConfig;
+        let m = Arc::new(model());
+        let run = |kind| {
+            ServeRuntime::with_config(
+                Arc::clone(&m),
+                2,
+                BatchPolicy::new(4, 100.0),
+                RuntimeConfig::new()
+                    .executor(kind)
+                    .timeline(TimelineConfig::enabled(200.0, 512))
+                    .health(HealthConfig::enabled()),
+            )
+            .run(load(48, 200_000.0))
+        };
+        let inline = run(ExecutorKind::Inline);
+        let pool = run(ExecutorKind::ThreadPool);
+        assert_eq!(inline.timeline, pool.timeline);
+        assert_eq!(inline.health, pool.health);
+        assert!(!inline.timeline.samples.is_empty());
+        assert_eq!(inline.timeline.dropped, 0);
+        // Cumulative counters are monotone and the final (drain-time)
+        // sample accounts for every served request with an empty queue.
+        for w in inline.timeline.samples.windows(2) {
+            assert!(w[1].t_us > w[0].t_us);
+            assert!(w[1].completed >= w[0].completed);
+        }
+        let last = inline.timeline.samples.last().unwrap();
+        assert_eq!(last.completed, 48);
+        assert_eq!(last.queue_depth, 0);
+        assert!(inline.timeline.ewma_queue_us >= 0.0);
+        // A deadline-free, fault-free run is healthy.
+        assert!(inline.health.healthy());
+        assert_eq!(
+            inline.health.samples_evaluated,
+            inline.timeline.samples.len() as u64
+        );
+        // Disabled capture leaves both report fields empty.
+        let off = ServeRuntime::new(Arc::clone(&m), 2, BatchPolicy::new(4, 100.0))
+            .run(load(48, 200_000.0));
+        assert!(off.timeline.samples.is_empty());
+        assert!(off.health.healthy());
+        assert_eq!(off.health.samples_evaluated, 0);
     }
 
     #[test]

@@ -113,6 +113,21 @@ impl DeviceResidency {
         self.used_bytes
     }
 
+    /// Bytes currently occupied, split `(weights, states)` by image
+    /// class — the residency-occupancy split the metrics timeline
+    /// samples. Allocation-free (one pass over the resident list).
+    pub fn used_bytes_by_class(&self) -> (u64, u64) {
+        let mut weights = 0u64;
+        let mut states = 0u64;
+        for &(key, bytes) in &self.resident {
+            match key {
+                ImageKey::Weights(_) => weights += bytes,
+                ImageKey::State(_) => states += bytes,
+            }
+        }
+        (weights, states)
+    }
+
     /// Whether an image of this size can ever be resident here.
     pub fn fits(&self, bytes: u64) -> bool {
         bytes <= self.budget_bytes
@@ -326,6 +341,21 @@ mod tests {
         assert!(reload.loaded);
         assert!((reload.load_us - 200.0 / WEIGHT_STREAM_BYTES_PER_US).abs() < 1e-12);
         assert_eq!(reload.evicted, vec![ImageKey::Weights(0)]);
+    }
+
+    #[test]
+    fn used_bytes_split_by_class_tracks_loads_and_evictions() {
+        let mut r = DeviceResidency::new(1000);
+        assert_eq!(r.used_bytes_by_class(), (0, 0));
+        r.ensure(0, 400);
+        r.ensure_state(7, 200, false);
+        assert_eq!(r.used_bytes_by_class(), (400, 200));
+        // Evicting the weight image leaves only state bytes.
+        r.pin(ImageKey::State(7));
+        r.ensure(1, 700);
+        assert_eq!(r.used_bytes_by_class(), (700, 200));
+        let (w, s) = r.used_bytes_by_class();
+        assert_eq!(w + s, r.used_bytes());
     }
 
     #[test]

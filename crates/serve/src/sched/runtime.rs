@@ -82,8 +82,10 @@ use crate::device::DevicePool;
 use crate::executor::{
     Executor, ExecutorKind, InferenceJob, InlineExecutor, SessionSlot, ThreadPoolExecutor,
 };
+use crate::health::{HealthMonitor, HealthReport};
 use crate::metrics::ServeMetrics;
 use crate::request::{validate_sessions, Request, Response, ShedReason, Workload};
+use crate::timeline::{MetricsTimeline, Timeline, TimelineProbe};
 use crate::trace::{Observer, RunTrace, TraceConfig};
 use ernn_fft::stats::FftStats;
 use ernn_fpga::{Device, FaultTimeline};
@@ -320,6 +322,15 @@ pub struct SchedReport {
     /// always-on per-(device, model) stage-time attribution. Entirely
     /// virtual-time-derived, so bit-identical across executors.
     pub trace: RunTrace,
+    /// Fixed-interval metrics-timeline samples (empty unless
+    /// [`RuntimeConfig::timeline`] enables capture) plus the always-on
+    /// queue-delay EWMA. Virtual-time-derived, so bit-identical across
+    /// executors.
+    pub timeline: Timeline,
+    /// Health-rule firings observed over the timeline (empty unless
+    /// [`RuntimeConfig::health`] enables the monitor). Bit-identical
+    /// across executors.
+    pub health: HealthReport,
 }
 
 /// A timed arrival in the event queue (min-heap by time, then sequence).
@@ -646,6 +657,11 @@ impl SchedRuntime {
             faults: self.config.fault_plan.timeline(self.platforms.len()),
             retries: HashMap::new(),
             obs: Observer::new(self.config.trace),
+            timeline: MetricsTimeline::new(self.config.timeline, self.platforms.len()),
+            health: HealthMonitor::new(self.config.health, self.platforms.len()),
+            busy_scratch: vec![0.0; self.platforms.len()],
+            completed: 0,
+            deadline_misses: 0,
         };
 
         loop {
@@ -653,6 +669,7 @@ impl SchedRuntime {
                 match state.arrivals.pop() {
                     Some(a) => {
                         state.now_us = state.now_us.max(a.t_us);
+                        state.capture_timeline(false);
                         self.apply_faults_up_to(&mut state);
                         self.admit(&mut state, a.request);
                         self.drain_due_arrivals(&mut state);
@@ -679,12 +696,14 @@ impl SchedRuntime {
                 self.dispatch(&mut state, executor.as_mut());
             } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
                 state.now_us = state.now_us.max(t);
+                state.capture_timeline(false);
                 self.apply_faults_up_to(&mut state);
                 let a = state.arrivals.pop().expect("peeked arrival exists");
                 self.admit(&mut state, a.request);
                 self.drain_due_arrivals(&mut state);
             } else {
                 state.now_us = state.now_us.max(flush_at);
+                state.capture_timeline(false);
                 self.dispatch(&mut state, executor.as_mut());
             }
         }
@@ -698,6 +717,19 @@ impl SchedRuntime {
             state.responses[slot].logits = logits;
         }
 
+        // Stamp the final timeline sample at the instant the last device
+        // drains, so the closing sample reflects the finished run. A
+        // crashed device can stay "free at infinity"; keep the stamp
+        // finite by falling back to the event-loop clock.
+        let drained_us = state.pool.drained_at_us();
+        if drained_us.is_finite() {
+            state.now_us = state.now_us.max(drained_us);
+        }
+        state.capture_timeline(true);
+        let ewma = state.timeline.ewma_queue_us();
+        let timeline = state.timeline.into_timeline();
+        let health = state.health.into_report(ewma);
+
         let busy_us: Vec<f64> = state.pool.devices().iter().map(|d| d.busy_us()).collect();
         let metrics = ServeMetrics::compute(&state.responses, busy_us);
         SchedReport {
@@ -707,6 +739,8 @@ impl SchedRuntime {
             host_us: host_start.elapsed().as_secs_f64() * 1e6,
             worker_fft: exec_report.worker_fft,
             trace: state.obs.into_trace(),
+            timeline,
+            health,
         }
     }
 
@@ -956,6 +990,9 @@ impl SchedRuntime {
                 self.cancel_session(state, session);
             }
             state.stats.shed += 1;
+            if request.deadline_us.is_some() {
+                state.deadline_misses += 1;
+            }
             state.obs.shed(state.now_us, &request, predicted_us);
             let arrival_us = request.arrival_us;
             state.responses.push(Response::shed_with(
@@ -1271,9 +1308,13 @@ impl SchedRuntime {
                 batch_size,
                 deadline_us,
             ));
-            state
-                .obs
-                .completed(state.responses.last().expect("just pushed"));
+            let response = state.responses.last().expect("just pushed");
+            state.obs.completed(response);
+            state.timeline.observe_queue_delay(response.queue_us());
+            state.completed += 1;
+            if response.deadline_tracked && !response.deadline_met {
+                state.deadline_misses += 1;
+            }
             self.feedback_arrival(state, complete_us);
         }
         executor.submit_batch(jobs);
@@ -1442,6 +1483,64 @@ struct RunState<'p> {
     /// Abort-retry bookkeeping per in-flight request id.
     retries: HashMap<u64, RetryInfo>,
     obs: Observer,
+    /// Fixed-interval metrics sampler (plus the always-on queue-delay
+    /// EWMA).
+    timeline: MetricsTimeline,
+    /// Declarative health rules evaluated over the timeline.
+    health: HealthMonitor,
+    /// Per-device busy-time scratch refilled on every sample
+    /// (pre-sized: the steady-state hot path never allocates).
+    busy_scratch: Vec<f64>,
+    /// Requests served to completion so far (sheds excluded).
+    completed: u64,
+    /// Deadline-carrying requests that missed (sheds included).
+    deadline_misses: u64,
+}
+
+impl RunState<'_> {
+    /// Emits any timeline samples due at `now_us` (plus the final
+    /// off-grid sample when `final_flush` is set), runs the health
+    /// rules over them, and journals each firing.
+    fn capture_timeline(&mut self, final_flush: bool) {
+        if !self.timeline.is_enabled() {
+            return;
+        }
+        for (slot, d) in self.busy_scratch.iter_mut().zip(self.pool.devices()) {
+            *slot = d.busy_us();
+        }
+        let (mut weights_bytes, mut state_bytes) = (0u64, 0u64);
+        for residency in &self.residency {
+            let (w, s) = residency.used_bytes_by_class();
+            weights_bytes += w;
+            state_bytes += s;
+        }
+        let probe = TimelineProbe {
+            queue_depth: self.queue.len(),
+            oldest_wait_us: self
+                .queue
+                .oldest_arrival_us()
+                .map_or(0.0, |a| (self.now_us - a).max(0.0)),
+            live_sessions: self.live_sessions,
+            weights_bytes,
+            state_bytes,
+            completed: self.completed,
+            shed: self.stats.shed as u64,
+            deadline_misses: self.deadline_misses,
+            weight_loads: self.stats.model_loads,
+            state_loads: self.stats.state_loads,
+            retries: self.stats.retries_scheduled,
+            device_busy_us: &self.busy_scratch,
+        };
+        let emitted = if final_flush {
+            self.timeline.finish_sample(self.now_us, &probe)
+        } else {
+            self.timeline.advance(self.now_us, &probe)
+        };
+        let (start, end) = self.health.on_samples(&self.timeline, emitted);
+        for event in &self.health.events()[start..end] {
+            self.obs.health(event);
+        }
+    }
 }
 
 /// Retry bookkeeping for one request whose batch was aborted.
@@ -1642,6 +1741,89 @@ mod tests {
             .map(|(_, _, c)| c.load_us)
             .sum();
         assert!((attributed_load - report.sched.load_us_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_tracks_queue_residency_and_counters() {
+        use crate::health::HealthConfig;
+        use crate::timeline::TimelineConfig;
+        let rt = SchedRuntime::with_config(
+            registry(),
+            vec![XCKU060, ADM_PCIE_7V3],
+            SchedPolicy::edf_cost_model(4, 100.0),
+            RuntimeConfig::new()
+                .timeline(TimelineConfig::enabled(100.0, 4096))
+                .health(HealthConfig::enabled()),
+        );
+        let report = rt.run(load(48, 100_000.0));
+        let tl = &report.timeline;
+        assert!(!tl.samples.is_empty());
+        assert_eq!(tl.dropped, 0);
+        assert_eq!(tl.num_devices, 2);
+        for w in tl.samples.windows(2) {
+            assert!(w[1].t_us > w[0].t_us);
+            assert!(w[1].completed >= w[0].completed);
+            assert!(w[1].weight_loads >= w[0].weight_loads);
+        }
+        // The final (drain-time) sample closes the books: every request
+        // accounted for, queue empty, both model images resident.
+        let last = tl.samples.last().unwrap();
+        assert_eq!(last.completed + last.shed, 48);
+        assert_eq!(last.queue_depth, 0);
+        assert_eq!(last.weight_loads, report.sched.model_loads);
+        assert!(last.weights_bytes > 0, "weight images stay resident");
+        // Mid-run samples show real utilization on at least one device.
+        assert!(tl
+            .samples
+            .iter()
+            .enumerate()
+            .any(|(i, _)| tl.device_util_row(i).iter().any(|&u| u > 0.0)));
+        // No deadlines, no faults: a healthy run.
+        assert!(report.health.healthy(), "{:?}", report.health.events);
+        assert_eq!(report.health.samples_evaluated, tl.samples.len() as u64);
+    }
+
+    #[test]
+    fn overload_fires_the_burn_rate_alert_and_journals_it() {
+        use crate::health::{HealthConfig, HealthRuleKind};
+        use crate::loadgen::with_uniform_slo;
+        use crate::timeline::TimelineConfig;
+        use crate::trace::{TraceConfig, TraceEvent};
+        let make = || {
+            SchedRuntime::with_config(
+                registry(),
+                vec![XCKU060],
+                SchedPolicy::edf_cost_model(4, 100.0),
+                RuntimeConfig::new()
+                    .tracing(TraceConfig::enabled(1 << 14))
+                    .timeline(TimelineConfig::enabled(50.0, 8192))
+                    .health(HealthConfig::enabled()),
+            )
+        };
+        // 1 µs deadlines are unmeetable: every request burns the miss
+        // budget, so both burn-rate windows saturate.
+        let hot = make().run(with_uniform_slo(load(48, 200_000.0), 1.0));
+        assert!(hot.health.count(HealthRuleKind::SloBurnRate) >= 1);
+        let fired = hot
+            .health
+            .events
+            .iter()
+            .find(|e| e.rule == HealthRuleKind::SloBurnRate)
+            .expect("burn-rate alert");
+        assert!(fired.value >= fired.threshold);
+        // Every health firing is journaled as a trace event too.
+        let journaled = hot
+            .trace
+            .journal
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Health { .. }))
+            .count();
+        assert_eq!(hot.health.dropped, 0);
+        assert_eq!(journaled, hot.health.events.len());
+        // The same load without deadlines fires nothing.
+        let calm = make().run(load(48, 200_000.0));
+        assert!(calm.health.healthy(), "{:?}", calm.health.events);
     }
 
     #[test]

@@ -28,13 +28,23 @@
 //! Exporters turn a captured [`RunTrace`] into standard tooling formats:
 //! [`chrome_trace_json`] renders a Chrome trace-event document loadable
 //! in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`, and
-//! [`prometheus_snapshot`] renders a Prometheus text-exposition snapshot.
-//! See `docs/observability.md` for the event schema and a Perfetto
-//! walkthrough.
+//! [`prometheus_snapshot`] / [`prometheus_snapshot_full`] render a
+//! Prometheus text-exposition snapshot (the full form additionally
+//! merges [`SchedStats`], the newest
+//! [`Timeline`] sample, and the
+//! [`HealthReport`]). The [`analyze`]
+//! submodule reconstructs per-request critical paths from a captured
+//! journal. See `docs/observability.md` for the event schema and a
+//! Perfetto walkthrough.
+
+pub mod analyze;
 
 use crate::device::BatchExecution;
+use crate::health::{HealthEvent, HealthReport, HealthRuleKind};
 use crate::metrics::{LatencySummary, ServeMetrics};
 use crate::request::{Request, Response};
+use crate::sched::SchedStats;
+use crate::timeline::Timeline;
 use ernn_fpga::Device;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -86,7 +96,7 @@ impl TraceConfig {
 /// store, never an allocation — so list-shaped facts are carried as
 /// counts (e.g. [`TraceEvent::ResidencyLoad::evicted`] is how *many*
 /// models were evicted; the eviction set itself lives in
-/// [`SchedStats`](crate::sched::SchedStats)).
+/// [`SchedStats`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// An arrival passed admission control into the queue.
@@ -274,6 +284,21 @@ pub enum TraceEvent {
         /// Stall charged to re-materialize the state image (µs).
         reload_us: f64,
     },
+    /// A [`HealthMonitor`](crate::health::HealthMonitor) rule fired on a
+    /// timeline sample.
+    Health {
+        /// Virtual time of the timeline sample that fired (µs).
+        t_us: f64,
+        /// The rule that fired.
+        rule: HealthRuleKind,
+        /// Device index for per-device rules; `None` for run-wide rules.
+        device: Option<usize>,
+        /// Observed value (burn multiple, stuck samples, loads/retries
+        /// per window).
+        value: f64,
+        /// The configured threshold the value crossed.
+        threshold: f64,
+    },
 }
 
 impl TraceEvent {
@@ -293,7 +318,8 @@ impl TraceEvent {
             | TraceEvent::DeviceUp { t_us, .. }
             | TraceEvent::RetryScheduled { t_us, .. }
             | TraceEvent::Failover { t_us, .. }
-            | TraceEvent::StateMigration { t_us, .. } => t_us,
+            | TraceEvent::StateMigration { t_us, .. }
+            | TraceEvent::Health { t_us, .. } => t_us,
         }
     }
 
@@ -314,6 +340,7 @@ impl TraceEvent {
             TraceEvent::RetryScheduled { .. } => "retry_scheduled",
             TraceEvent::Failover { .. } => "failover",
             TraceEvent::StateMigration { .. } => "state_migration",
+            TraceEvent::Health { .. } => "health",
         }
     }
 }
@@ -990,6 +1017,19 @@ impl Observer {
         });
     }
 
+    /// A health rule fired; mirrors the [`HealthEvent`] into the journal
+    /// so alerts land inline with the lifecycle events that caused them.
+    #[inline]
+    pub(crate) fn health(&mut self, event: &HealthEvent) {
+        self.recorder.record(TraceEvent::Health {
+            t_us: event.t_us,
+            rule: event.rule,
+            device: event.device,
+            value: event.value,
+            threshold: event.threshold,
+        });
+    }
+
     /// A served response's frames finished streaming through its device.
     /// Shed responses carry no device and never complete, so they record
     /// nothing here (the [`TraceEvent::Shed`] event already covers them).
@@ -1071,6 +1111,11 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
             } => {
                 note(&mut devices, from_device);
                 note(&mut devices, to_device);
+            }
+            TraceEvent::Health { device, .. } => {
+                if let Some(d) = device {
+                    note(&mut devices, d);
+                }
             }
         }
     }
@@ -1298,6 +1343,29 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 num(t_us),
                 num(reload_us)
             ),
+            TraceEvent::Health {
+                t_us,
+                rule,
+                device,
+                value,
+                threshold,
+            } => {
+                // Per-device rules land on the device track; run-wide
+                // rules land on the scheduler process.
+                let (pid, tid) = match device {
+                    Some(d) => (1, d),
+                    None => (0, 0),
+                };
+                format!(
+                    "{{\"name\":\"health {}\",\"cat\":\"health\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"value\":{},\"threshold\":{}}}}}",
+                    rule.label(),
+                    num(t_us),
+                    num(value),
+                    num(threshold)
+                )
+            }
         };
         push(&mut out, ev);
     }
@@ -1311,7 +1379,27 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
 
 /// Renders run metrics plus attribution as a Prometheus text-exposition
 /// snapshot (counters, two histograms, per-cell stage gauges).
+///
+/// Equivalent to [`prometheus_snapshot_full`] with no scheduler stats,
+/// timeline, or health report.
 pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
+    prometheus_snapshot_full(metrics, trace, None, None, None)
+}
+
+/// The full Prometheus snapshot: everything [`prometheus_snapshot`]
+/// renders, plus (when given) the scheduler's
+/// [`SchedStats`] counters — residency,
+/// session-state, fault, retry, failover, and migration activity — the
+/// newest [`Timeline`] sample as point-in-time
+/// gauges with the queue-delay EWMA, and the
+/// [`HealthReport`] rule-firing counters.
+pub fn prometheus_snapshot_full(
+    metrics: &ServeMetrics,
+    trace: &RunTrace,
+    sched: Option<&SchedStats>,
+    timeline: Option<&Timeline>,
+    health: Option<&HealthReport>,
+) -> String {
     let mut out = String::new();
     let counter = |out: &mut String, name: &str, help: &str, v: String| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -1396,6 +1484,204 @@ pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
             "ernn_stage_requests_total{{device=\"{device}\",model=\"{model}\"}} {}",
             cell.requests
         );
+    }
+
+    if let Some(s) = sched {
+        for (name, help, v) in [
+            (
+                "ernn_sched_admitted_total",
+                "Arrivals admitted into the scheduler queue.",
+                s.admitted as u64,
+            ),
+            (
+                "ernn_sched_shed_total",
+                "Arrivals shed by admission control.",
+                s.shed as u64,
+            ),
+            (
+                "ernn_sched_model_loads_total",
+                "Cold weight-image loads (residency misses).",
+                s.model_loads,
+            ),
+            (
+                "ernn_sched_model_evictions_total",
+                "Weight images evicted from device BRAM.",
+                s.model_evictions,
+            ),
+            (
+                "ernn_sched_degraded_batches_total",
+                "Batches capped by overload degradation.",
+                s.degraded_batches,
+            ),
+            (
+                "ernn_sched_state_loads_total",
+                "Session-state reloads after eviction.",
+                s.state_loads,
+            ),
+            (
+                "ernn_sched_state_evictions_total",
+                "Session-state images evicted from device BRAM.",
+                s.state_evictions,
+            ),
+            (
+                "ernn_sched_device_crashes_total",
+                "Device crash faults applied.",
+                s.device_crashes,
+            ),
+            (
+                "ernn_sched_device_brownouts_total",
+                "Device brownout faults applied.",
+                s.device_brownouts,
+            ),
+            (
+                "ernn_sched_device_transients_total",
+                "Transient device faults applied.",
+                s.device_transients,
+            ),
+            (
+                "ernn_sched_batches_aborted_total",
+                "In-flight batches aborted by faults.",
+                s.batches_aborted,
+            ),
+            (
+                "ernn_sched_retries_scheduled_total",
+                "Aborted requests re-queued with backoff.",
+                s.retries_scheduled,
+            ),
+            (
+                "ernn_sched_retries_exhausted_total",
+                "Requests shed after exhausting their retry budget.",
+                s.retries_exhausted,
+            ),
+            (
+                "ernn_sched_failovers_total",
+                "Retried requests re-placed onto a different device.",
+                s.failovers,
+            ),
+            (
+                "ernn_sched_state_migrations_total",
+                "Pinned sessions re-pinned after a device crash.",
+                s.state_migrations,
+            ),
+        ] {
+            counter(&mut out, name, help, v.to_string());
+        }
+        for (name, help, v) in [
+            (
+                "ernn_sched_load_us_total",
+                "Virtual time spent streaming weight images (µs).",
+                s.load_us_total,
+            ),
+            (
+                "ernn_sched_state_load_us_total",
+                "Virtual time spent reloading session state (µs).",
+                s.state_load_us_total,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", num(v));
+        }
+    }
+
+    if let Some(t) = timeline {
+        let gauge = |out: &mut String, name: &str, help: &str, v: String| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "ernn_timeline_samples_total",
+            "Timeline samples emitted (retained + overwritten).",
+            (t.samples.len() as u64 + t.dropped).to_string(),
+        );
+        counter(
+            &mut out,
+            "ernn_timeline_dropped_total",
+            "Timeline samples lost to ring wraparound.",
+            t.dropped.to_string(),
+        );
+        gauge(
+            &mut out,
+            "ernn_ewma_queue_delay_us",
+            "EWMA of per-request queue delay (virtual µs) - the calibrated load signal.",
+            num(t.ewma_queue_us),
+        );
+        if let Some(i) = t.samples.len().checked_sub(1) {
+            let s = &t.samples[i];
+            gauge(
+                &mut out,
+                "ernn_queue_depth",
+                "Queued requests at the newest timeline sample.",
+                s.queue_depth.to_string(),
+            );
+            gauge(
+                &mut out,
+                "ernn_oldest_wait_us",
+                "Wait of the longest-queued request at the newest sample (virtual µs).",
+                num(s.oldest_wait_us),
+            );
+            gauge(
+                &mut out,
+                "ernn_live_sessions",
+                "Live streaming sessions at the newest sample.",
+                s.live_sessions.to_string(),
+            );
+            let _ = writeln!(
+                out,
+                "# HELP ernn_residency_bytes Resident image bytes by class at the newest sample."
+            );
+            let _ = writeln!(out, "# TYPE ernn_residency_bytes gauge");
+            let _ = writeln!(
+                out,
+                "ernn_residency_bytes{{class=\"weights\"}} {}",
+                s.weights_bytes
+            );
+            let _ = writeln!(
+                out,
+                "ernn_residency_bytes{{class=\"state\"}} {}",
+                s.state_bytes
+            );
+            let _ = writeln!(
+                out,
+                "# HELP ernn_device_utilization Per-device utilization over the newest interval."
+            );
+            let _ = writeln!(out, "# TYPE ernn_device_utilization gauge");
+            for (d, u) in t.device_util_row(i).iter().enumerate() {
+                let _ = writeln!(out, "ernn_device_utilization{{device=\"{d}\"}} {}", num(*u));
+            }
+        }
+    }
+
+    if let Some(h) = health {
+        counter(
+            &mut out,
+            "ernn_health_events_total",
+            "Health rule firings over the run.",
+            (h.events.len() as u64 + h.dropped).to_string(),
+        );
+        counter(
+            &mut out,
+            "ernn_health_events_dropped_total",
+            "Health rule firings lost past the event cap.",
+            h.dropped.to_string(),
+        );
+        let _ = writeln!(out, "# HELP ernn_health_rule_fired_total Firings per rule.");
+        let _ = writeln!(out, "# TYPE ernn_health_rule_fired_total counter");
+        for rule in [
+            HealthRuleKind::SloBurnRate,
+            HealthRuleKind::DeviceStuck,
+            HealthRuleKind::ResidencyThrash,
+            HealthRuleKind::RetryStorm,
+        ] {
+            let _ = writeln!(
+                out,
+                "ernn_health_rule_fired_total{{rule=\"{}\"}} {}",
+                rule.label(),
+                h.count(rule)
+            );
+        }
     }
     out
 }
@@ -1627,6 +1913,20 @@ mod tests {
             to_device: 2,
             reload_us: 0.75,
         });
+        r.record(TraceEvent::Health {
+            t_us: 16.0,
+            rule: HealthRuleKind::SloBurnRate,
+            device: None,
+            value: 7.5,
+            threshold: 5.0,
+        });
+        r.record(TraceEvent::Health {
+            t_us: 17.0,
+            rule: HealthRuleKind::DeviceStuck,
+            device: Some(2),
+            value: 8.0,
+            threshold: 8.0,
+        });
         let mut trace = RunTrace {
             journal: r.into_journal(),
             attribution: StageAttribution::new(),
@@ -1656,6 +1956,8 @@ mod tests {
             "\"retry 8\"",
             "\"failover 8\"",
             "\"migrate session 3\"",
+            "\"health slo_burn_rate\"",
+            "\"health device_stuck\"",
             // The permanent crash's infinite down_us renders as 0, not
             // as bare `inf` (invalid JSON).
             "\"down_us\":0",
@@ -1700,7 +2002,106 @@ mod tests {
         assert!(text.contains("ernn_latency_us_count 1"));
         assert!(text.contains("ernn_stage_us{device=\"0\",model=\"0\",stage=\"compute\"} 4"));
         assert!(text.contains("ernn_stage_requests_total{device=\"0\",model=\"0\"} 1"));
+        // The plain snapshot carries no scheduler/timeline/health series.
+        assert!(!text.contains("ernn_sched_"));
+        assert!(!text.contains("ernn_timeline_"));
+        assert!(!text.contains("ernn_health_"));
         // Every exposition line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_prometheus_export_merges_sched_timeline_and_health() {
+        use crate::request::{Response, Workload};
+        use crate::sched::SchedStats;
+        use crate::timeline::{Timeline, TimelineSample};
+
+        let responses = vec![Response::served(
+            0,
+            0,
+            Workload::Utterance,
+            0.0,
+            1.0,
+            5.0,
+            0,
+            1,
+            None,
+        )];
+        let metrics = ServeMetrics::compute(&responses, vec![4.0]);
+        let trace = RunTrace::default();
+        let sched = SchedStats {
+            admitted: 10,
+            shed: 2,
+            model_loads: 3,
+            state_loads: 1,
+            retries_scheduled: 4,
+            failovers: 1,
+            state_migrations: 1,
+            load_us_total: 123.5,
+            ..SchedStats::default()
+        };
+        let timeline = Timeline {
+            interval_us: 100.0,
+            num_devices: 2,
+            dropped: 1,
+            ewma_queue_us: 250.25,
+            samples: vec![TimelineSample {
+                t_us: 100.0,
+                queue_depth: 3,
+                oldest_wait_us: 40.0,
+                live_sessions: 2,
+                weights_bytes: 2048,
+                state_bytes: 128,
+                ..TimelineSample::default()
+            }],
+            device_util: vec![0.75, 0.25],
+        };
+        let health = HealthReport {
+            events: vec![HealthEvent {
+                t_us: 100.0,
+                rule: HealthRuleKind::RetryStorm,
+                device: None,
+                value: 9.0,
+                threshold: 8.0,
+            }],
+            dropped: 0,
+            ewma_queue_us: 250.25,
+            samples_evaluated: 1,
+        };
+        let text = prometheus_snapshot_full(
+            &metrics,
+            &trace,
+            Some(&sched),
+            Some(&timeline),
+            Some(&health),
+        );
+        for needle in [
+            "ernn_sched_admitted_total 10",
+            "ernn_sched_shed_total 2",
+            "ernn_sched_model_loads_total 3",
+            "ernn_sched_retries_scheduled_total 4",
+            "ernn_sched_failovers_total 1",
+            "ernn_sched_state_migrations_total 1",
+            "ernn_sched_load_us_total 123.5",
+            "ernn_timeline_samples_total 2",
+            "ernn_ewma_queue_delay_us 250.25",
+            "ernn_queue_depth 3",
+            "ernn_residency_bytes{class=\"weights\"} 2048",
+            "ernn_residency_bytes{class=\"state\"} 128",
+            "ernn_device_utilization{device=\"0\"} 0.75",
+            "ernn_device_utilization{device=\"1\"} 0.25",
+            "ernn_health_events_total 1",
+            "ernn_health_rule_fired_total{rule=\"retry_storm\"} 1",
+            "ernn_health_rule_fired_total{rule=\"slo_burn_rate\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+        // Line discipline holds for the merged series too.
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split(' ').count() == 2,

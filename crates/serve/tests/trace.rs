@@ -11,6 +11,10 @@
 //!   the exact nearest-rank value and overestimates it by at most
 //!   `RELATIVE_ERROR_BOUND` relative (plus 1 µs absolute for sub-µs
 //!   samples), and never exceeds the observed maximum.
+//! * **Merging histograms is lossless** — merging two independently
+//!   recorded `LatencyHistogram`s is exact on count/sum/max and
+//!   quantile-identical to recording the concatenated sample stream
+//!   into one histogram, regardless of how the stream is split.
 
 use ernn_fpga::exec::DatapathConfig;
 use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
@@ -127,5 +131,54 @@ proptest! {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         prop_assert!((summary.mean_us - mean).abs() <= mean.abs() * 1e-9 + 1e-9);
         prop_assert_eq!(summary.max_us, *sorted.last().expect("non-empty"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn histogram_merge_is_equivalent_to_one_stream(
+        samples_mus in proptest::collection::vec(1u64..10_000_000_000, 2..300),
+        split_ppm in 0u32..1_000_000,
+        q_pct in 1u32..100,
+    ) {
+        // Split the stream at an arbitrary point; the two shards are
+        // what per-worker recorders would hold before aggregation.
+        let samples: Vec<f64> =
+            samples_mus.iter().map(|&m| m as f64 / 1_000.0).collect();
+        let split = (samples.len() * split_ppm as usize / 1_000_000)
+            .clamp(0, samples.len());
+        let (left, right) = samples.split_at(split);
+
+        let mut merged = LatencyHistogram::new();
+        for &s in left {
+            merged.record(s);
+        }
+        let mut shard = LatencyHistogram::new();
+        for &s in right {
+            shard.record(s);
+        }
+        merged.merge(&shard);
+
+        let mut whole = LatencyHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+
+        // Count, sum (hence mean), and max are exact: merge adds the
+        // moments, it does not re-bucket them.
+        let (m, w) = (merged.summary(), whole.summary());
+        prop_assert_eq!(m.count, w.count);
+        prop_assert_eq!(m.max_us, w.max_us);
+        prop_assert!((m.mean_us - w.mean_us).abs() <= w.mean_us.abs() * 1e-9 + 1e-9);
+        // Bucket counts add exactly, so every quantile — not just the
+        // summary's fixed ones — is bit-identical to the single-stream
+        // histogram.
+        let q = q_pct as f64 / 100.0;
+        prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        prop_assert_eq!(m.p50_us, w.p50_us);
+        prop_assert_eq!(m.p95_us, w.p95_us);
+        prop_assert_eq!(m.p99_us, w.p99_us);
+        prop_assert_eq!(m.p999_us, w.p999_us);
     }
 }

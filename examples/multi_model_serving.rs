@@ -17,9 +17,12 @@
 //! them with `register_artifact`, i.e. without retraining, recompressing
 //! or refreshing weight spectra beyond the decode itself.
 //!
-//! Each run has the flight recorder on, and the per-config summary
-//! breaks down where each (device, model) cell's virtual time went —
-//! queue wait, weight-load stalls, compute, padding waste. Pass
+//! Each run has the full observability surface on: the flight recorder,
+//! the sampled metrics timeline, and the health monitor. The per-config
+//! summary breaks down where each (device, model) cell's virtual time
+//! went — queue wait, weight-load stalls, compute, padding waste — and
+//! prints the health verdict (the overloaded FIFO baseline burns its
+//! deadline budget; the deadline-aware configs stay clean). Pass
 //! `--trace-out PATH` to dump the last config's journal as Chrome trace
 //! JSON for `ui.perfetto.dev` (see `docs/observability.md`).
 //!
@@ -30,7 +33,10 @@ use ernn::model::{CellType, ModelSpec};
 use ernn::pipeline::Pipeline;
 use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn::serve::sched::{AdmissionPolicy, ModelRegistry, SchedPolicy, SchedRuntime};
-use ernn::serve::{chrome_trace_json, ModelArtifact, Request, TraceConfig};
+use ernn::serve::{
+    chrome_trace_json, HealthConfig, ModelArtifact, Request, RuntimeConfig, TimelineConfig,
+    TraceConfig,
+};
 use rand::SeedableRng;
 
 const DIM: usize = 52;
@@ -132,8 +138,15 @@ fn main() {
 
     let last = configs.len() - 1;
     for (c, (label, policy)) in configs.into_iter().enumerate() {
-        let runtime = SchedRuntime::new(registry(&tenants), platforms.clone(), policy)
-            .with_tracing(TraceConfig::enabled(1 << 14));
+        let runtime = SchedRuntime::with_config(
+            registry(&tenants),
+            platforms.clone(),
+            policy,
+            RuntimeConfig::new()
+                .tracing(TraceConfig::enabled(1 << 14))
+                .timeline(TimelineConfig::enabled(100.0, 1 << 13))
+                .health(HealthConfig::enabled()),
+        );
         let report = runtime.run(mixed_load(400));
         println!("\n=== {label} ===");
         println!("{}", report.metrics);
@@ -144,6 +157,23 @@ fn main() {
             report.sched.load_us_total,
             report.sched.shed
         );
+        let h = &report.health;
+        println!(
+            "health: {} over {} timeline samples, EWMA queue delay {:.1} µs",
+            if h.healthy() {
+                "HEALTHY".to_string()
+            } else {
+                format!("{} alert(s)", h.events.len())
+            },
+            report.timeline.samples.len(),
+            h.ewma_queue_us,
+        );
+        for event in h.events.iter().take(3) {
+            println!(
+                "  {:?} at {:.0} µs: {:.2} crossed {:.2}",
+                event.rule, event.t_us, event.value, event.threshold
+            );
+        }
         println!("stage attribution (virtual µs):");
         println!(
             "  {:<22} {:>5} {:>7} {:>9} {:>8} {:>9} {:>9}",

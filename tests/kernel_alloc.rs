@@ -24,6 +24,13 @@
 //! `abort_between`) run inside the same measured window against a
 //! seeded, fully pre-materialized [`FaultTimeline`], so steady-state
 //! serving stays zero-alloc even with a fault plan installed.
+//!
+//! ISSUE 9 extends it to the sampled-metrics layer: the same window
+//! drives a [`MetricsTimeline`] past its ring capacity (grid sampling,
+//! EWMA updates, wraparound overwrite) with the [`HealthMonitor`]
+//! evaluating every emitted sample — so a runtime can leave timeline
+//! capture and health rules on in production without perturbing the
+//! hot path.
 
 use ernn::fpga::exec::{DatapathConfig, ExecScratch};
 use ernn::fpga::{FaultPlan, FaultTimeline, XCKU060};
@@ -31,7 +38,9 @@ use ernn::model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
 use ernn::serve::trace::{
     FlightRecorder, LatencyHistogram, StageAttribution, StageBreakdown, TraceConfig, TraceEvent,
 };
-use ernn::serve::CompiledModel;
+use ernn::serve::{
+    CompiledModel, HealthConfig, HealthMonitor, MetricsTimeline, TimelineConfig, TimelineProbe,
+};
 use ernn_bench::alloc::{allocation_count, CountingAllocator};
 use rand::{Rng, SeedableRng};
 
@@ -72,6 +81,13 @@ fn steady_state_batched_inference_performs_zero_allocations() {
         attribution.charge(0, 0, StageBreakdown::default());
         // A seeded fault timeline, fully materialized at construction.
         let faults = FaultTimeline::new(&FaultPlan::seeded(7, 2, 80_000.0, 6), 2);
+        // The sampled-metrics layer, pre-sized at construction: a
+        // 256-sample timeline ring we will wrap several times over, the
+        // health monitor that evaluates each emitted sample, and the
+        // per-device busy scratch the runtimes refill per capture.
+        let mut timeline = MetricsTimeline::new(TimelineConfig::enabled(10.0, 256), 2);
+        let mut health = HealthMonitor::new(HealthConfig::enabled(), 2);
+        let busy = [0.0f64; 2];
 
         let before = allocation_count();
         model.infer_batch_into(&batch, &mut out, &mut scratch);
@@ -109,6 +125,30 @@ fn steady_state_batched_inference_performs_zero_allocations() {
             let _ = faults.cycle_multiplier(1, t);
             let _ = faults.abort_between(0, t, t + 10.0);
         }
+        // Timeline sampling with health evaluation: one grid sample per
+        // advance, 8192 samples through a 256-slot ring (32 full
+        // wraparounds), each evaluated by every health rule.
+        let mut fired = 0usize;
+        for i in 0..8192u64 {
+            timeline.observe_queue_delay(5.0 + (i % 7) as f64);
+            let probe = TimelineProbe {
+                queue_depth: 0,
+                oldest_wait_us: 0.0,
+                live_sessions: 2,
+                weights_bytes: 4096,
+                state_bytes: 512,
+                completed: i,
+                shed: 0,
+                deadline_misses: 0,
+                weight_loads: 1,
+                state_loads: 1,
+                retries: 0,
+                device_busy_us: &busy,
+            };
+            let emitted = timeline.advance((i + 1) as f64 * 10.0, &probe);
+            let (start, end) = health.on_samples(&timeline, emitted);
+            fired += end - start;
+        }
         let delta = allocation_count() - before;
         assert_eq!(
             delta, 0,
@@ -117,6 +157,17 @@ fn steady_state_batched_inference_performs_zero_allocations() {
         assert_eq!(recorder.dropped(), 8192 - 4096);
         assert_eq!(hist.summary().count, 8192);
         assert!(up > 0, "device 0 was never up across the query sweep");
+        // The ring wrapped: 8192 offered, newest 256 retained, and every
+        // sample passed through the (quiet, healthy-probe) rule set.
+        let ewma = timeline.ewma_queue_us();
+        let exported = timeline.into_timeline();
+        assert_eq!(exported.samples.len(), 256);
+        assert_eq!(exported.dropped, 8192 - 256);
+        assert!(ewma > 0.0, "EWMA queue delay never seeded");
+        let verdict = health.into_report(ewma);
+        assert_eq!(fired, 0, "healthy probes fired {fired} health events");
+        assert!(verdict.healthy());
+        assert_eq!(verdict.samples_evaluated, 8192);
 
         // And the in-place results are still bit-identical to the plain
         // allocating path, per utterance.
