@@ -303,6 +303,7 @@ fn main() {
             Some(&failover.sched),
             None,
             None,
+            None,
         );
         write_artifact(&format!("{path}.prom"), prom);
     }

@@ -323,6 +323,7 @@ fn main() {
                     Some(&report.sched),
                     Some(&report.timeline),
                     Some(&report.health),
+                    None,
                 );
                 write_artifact(&format!("{path}.prom"), prom);
                 write_artifact(

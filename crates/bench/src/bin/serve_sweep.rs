@@ -91,6 +91,7 @@ fn main() {
                     None,
                     Some(&report.timeline),
                     Some(&report.health),
+                    None,
                 );
                 write_artifact(&format!("{path}.prom"), prom);
             }

@@ -221,6 +221,7 @@ fn main() {
             Some(&stream.sched),
             None,
             None,
+            None,
         );
         write_artifact(&format!("{path}.prom"), prom);
     }

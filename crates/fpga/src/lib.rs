@@ -31,6 +31,10 @@
 //!   ([`FaultPlan`]) and their pre-compiled per-run query form
 //!   ([`FaultTimeline`]), the data model behind the serving tier's
 //!   chaos testing and failover.
+//! * [`transfer`] — the inter-node transfer-latency model
+//!   ([`TransferModel`]): the cluster tier's analogue of the BRAM
+//!   weight-streaming charge, pricing request forwarding and artifact
+//!   replication in virtual microseconds.
 //!
 //! Absolute watts and microseconds are calibrated approximations (the
 //! authors measured real boards); the quantities the reproduction relies
@@ -46,9 +50,11 @@ pub mod fault;
 mod pe;
 pub mod power;
 pub mod sim;
+pub mod transfer;
 
 pub use accelerator::{AccelReport, Accelerator, HwCell, RnnSpec, StageCycles, RESOURCE_BUDGET};
 pub use artifact::{ModelArtifact, PipelineError};
 pub use device::{Device, ADM_PCIE_7V3, KNOWN_DEVICES, XCKU060};
 pub use fault::{DeviceFault, FaultEvent, FaultHit, FaultPlan, FaultTimeline};
 pub use pe::PeDesign;
+pub use transfer::TransferModel;

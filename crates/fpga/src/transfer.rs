@@ -1,0 +1,110 @@
+//! Inter-node transfer-latency model for the cluster tier.
+//!
+//! One FPGA instance charges BRAM weight streaming as virtual stall
+//! time (`DeviceResidency::load_us` in the serving tier: bytes over a
+//! fixed streaming bandwidth). The cluster tier needs the same kind of
+//! deterministic charge one level up: moving bytes **between nodes** —
+//! forwarding a request's feature frames from the router to a shard, or
+//! replicating a serialized [`ModelArtifact`](crate::ModelArtifact) to
+//! a replica shard — takes wire time that the virtual clock must see,
+//! or the simulated cluster would enjoy free networking.
+//!
+//! [`TransferModel`] is that charge: a fixed per-message latency plus a
+//! bandwidth term, `base_us + bytes / bytes_per_us`. It is deliberately
+//! the same closed-form shape as the BRAM streaming charge so the two
+//! compose into one latency story, and like every other timing model in
+//! this crate it is pure arithmetic — deterministic, executor-independent
+//! and platform-agnostic.
+
+/// Deterministic inter-node transfer charge: `base_us + bytes /
+/// bytes_per_us` virtual microseconds per message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-message latency (µs): propagation, NIC and protocol
+    /// overhead — paid even for an empty payload.
+    pub base_us: f64,
+    /// Wire bandwidth (bytes per virtual µs).
+    pub bytes_per_us: f64,
+}
+
+impl TransferModel {
+    /// A model with the given fixed latency (µs) and bandwidth
+    /// (bytes/µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base_us` is finite and non-negative and
+    /// `bytes_per_us` is positive (`f64::INFINITY` is allowed — it
+    /// makes the bandwidth term vanish).
+    pub fn new(base_us: f64, bytes_per_us: f64) -> Self {
+        assert!(
+            base_us.is_finite() && base_us >= 0.0,
+            "base_us must be finite and non-negative, got {base_us}"
+        );
+        assert!(
+            bytes_per_us > 0.0,
+            "bytes_per_us must be positive, got {bytes_per_us}"
+        );
+        TransferModel {
+            base_us,
+            bytes_per_us,
+        }
+    }
+
+    /// Same-rack datacenter networking: ~5 µs fixed latency and
+    /// 3125 bytes/µs (a 25 Gb/s link) — the default the cluster router
+    /// charges for request forwarding and artifact replication.
+    pub fn intra_rack() -> Self {
+        TransferModel::new(5.0, 3125.0)
+    }
+
+    /// A free network: zero fixed latency, infinite bandwidth. Every
+    /// transfer costs exactly 0 µs — the control knob that makes a
+    /// one-shard cluster reduce to the bare scheduler for equivalence
+    /// tests.
+    pub fn zero() -> Self {
+        TransferModel::new(0.0, f64::INFINITY)
+    }
+
+    /// Virtual microseconds to move `bytes` over this link.
+    pub fn transfer_us(&self, bytes: u64) -> f64 {
+        self.base_us + bytes as f64 / self.bytes_per_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_is_base_plus_bandwidth_term() {
+        let m = TransferModel::new(5.0, 1000.0);
+        assert_eq!(m.transfer_us(0), 5.0);
+        assert_eq!(m.transfer_us(2000), 7.0);
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let m = TransferModel::zero();
+        assert_eq!(m.transfer_us(0), 0.0);
+        assert_eq!(m.transfer_us(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn intra_rack_is_monotone_in_bytes() {
+        let m = TransferModel::intra_rack();
+        assert!(m.transfer_us(1 << 20) > m.transfer_us(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes_per_us must be positive")]
+    fn rejects_zero_bandwidth() {
+        TransferModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base_us must be finite")]
+    fn rejects_negative_base() {
+        TransferModel::new(-1.0, 1.0);
+    }
+}

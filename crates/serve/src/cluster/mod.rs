@@ -1,0 +1,478 @@
+//! Cluster-tier serving: a deterministic virtual-time cluster of
+//! scheduler shards behind an affinity router.
+//!
+//! One [`SchedRuntime`](crate::sched::SchedRuntime) models a single
+//! node — a handful of FPGAs behind one scheduler. This module scales
+//! the same simulation out: N shards, each an ordinary scheduler over
+//! its own device platform, behind a front-end router that owns every
+//! cluster-scope decision:
+//!
+//! * **Placement** — models land on shards by consistent hashing over
+//!   their registered names ([`PlacementMap`]), with `replication`
+//!   replicas each. The replication unit is the serialized
+//!   [`ModelArtifact`] byte image —
+//!   the same bytes the deployment pipeline ships — and replicas become
+//!   servable in chain order, each one artifact-transfer later than the
+//!   previous ([`TransferModel`]).
+//! * **Affinity routing** — a request is forwarded only to shards
+//!   holding its model; forwarding charges the frames' wire time on the
+//!   virtual clock exactly like BRAM weight streaming charges load
+//!   stalls, so networking is never free.
+//! * **Steering** — among live replicas, [`Steering::LoadFeedback`]
+//!   picks the least-work-left shard: replica-readiness wait (an
+//!   unready replica costs a known transfer stall) plus the shard's
+//!   instantaneous backlog (earliest device free time + queued work
+//!   per live device) plus the estimated work of forwards still on
+//!   the wire to it — the router prices its own in-flight decisions so
+//!   same-window arrivals don't herd onto one shard — tie-broken by
+//!   queue depth, then the shard's EWMA queue delay (the calibrated
+//!   signal from the metrics timeline); [`Steering::Random`] is the
+//!   feedback-blind baseline the cluster bench beats.
+//! * **Session pinning** — a streaming session's chunks all follow its
+//!   first chunk's shard, so recurrent state never crosses the wire in
+//!   steady state. When a shard is killed ([`ClusterConfig::shard_faults`])
+//!   its backlog is reclaimed and re-steered to surviving replicas and
+//!   its sessions re-pin — restarted as fresh shard-local incarnations
+//!   (cross-shard state migration is an explicit follow-on) — or, with
+//!   failover disabled, shed with
+//!   [`ShedReason::NoShardCapacity`](crate::ShedReason::NoShardCapacity).
+//!
+//! Everything runs on one virtual clock. The router advances every
+//! shard engine to each event time before deciding, so steering sees
+//! exactly the load a real router would; and because shards execute the
+//! unmodified scheduler event loop, the whole cluster is bit-identical
+//! across host executors, journals cluster-scope
+//! [`TraceEvent`](crate::TraceEvent)s (`Forward`, `Replicate`,
+//! `ShardDown`, `SessionReroute`), and exports per-shard
+//! [`ShardGauges`] to the Prometheus snapshot. See `docs/cluster.md`.
+
+mod placement;
+mod router;
+mod shard;
+
+pub use placement::PlacementMap;
+
+use std::sync::Arc;
+
+use crate::cache::CompiledModel;
+use crate::config::RuntimeConfig;
+use crate::metrics::ServeMetrics;
+use crate::request::Response;
+use crate::sched::{SchedPolicy, SchedReport};
+use crate::trace::{RunTrace, ShardGauges, TraceConfig};
+use ernn_fpga::artifact::ModelArtifact;
+use ernn_fpga::fault::{DeviceFault, FaultPlan};
+use ernn_fpga::transfer::TransferModel;
+use ernn_fpga::Device;
+
+/// One registered tenant model.
+#[derive(Debug, Clone)]
+struct SpecEntry {
+    name: String,
+    model: Arc<CompiledModel>,
+    /// Bytes replicated when this model is placed on an extra shard —
+    /// the serialized artifact image when registered through
+    /// [`ClusterSpec::register_artifact`], the on-chip weight-image
+    /// size otherwise.
+    artifact_bytes: u64,
+}
+
+/// The cluster's tenant set: every model served anywhere in the
+/// cluster, registered once by name. Shards share the compiled models
+/// behind `Arc`s, so a cluster compiles (and FFTs) each model exactly
+/// once no matter how many replicas placement creates.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSpec {
+    entries: Vec<SpecEntry>,
+}
+
+impl ClusterSpec {
+    /// An empty spec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a compiled model under a unique name, refreshing its
+    /// weight spectra once (the load into the serving tier), and
+    /// returns its dense cluster-global id. The replication byte count
+    /// falls back to the on-chip weight-image size — register through
+    /// [`Self::register_artifact`] to replicate the real artifact
+    /// image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — placement hashes names,
+    /// so they must be distinct.
+    pub fn register(&mut self, name: impl Into<String>, mut model: CompiledModel) -> usize {
+        model.refresh_weight_spectra();
+        let bytes = model.weight_bytes();
+        self.push(name.into(), Arc::new(model), bytes)
+    }
+
+    /// Registers a model from its deployment artifact — the cluster
+    /// path: the artifact's serialized byte image is what replication
+    /// ships between shards, and decoding already computed every weight
+    /// spectrum, so no extra refreshes happen here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn register_artifact(
+        &mut self,
+        name: impl Into<String>,
+        artifact: &ModelArtifact,
+    ) -> usize {
+        let bytes = artifact.save_bytes().len() as u64;
+        self.push(
+            name.into(),
+            Arc::new(CompiledModel::from_artifact(artifact)),
+            bytes,
+        )
+    }
+
+    fn push(&mut self, name: String, model: Arc<CompiledModel>, artifact_bytes: u64) -> usize {
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "model name {name:?} registered twice"
+        );
+        self.entries.push(SpecEntry {
+            name,
+            model,
+            artifact_bytes,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered name behind a cluster-global model id.
+    pub fn name(&self, id: usize) -> &str {
+        &self.entries[id].name
+    }
+
+    /// The compiled model behind a cluster-global model id.
+    pub fn model(&self, id: usize) -> &Arc<CompiledModel> {
+        &self.entries[id].model
+    }
+
+    /// Bytes replication ships when placing `id` on an extra shard.
+    pub fn artifact_bytes(&self, id: usize) -> u64 {
+        self.entries[id].artifact_bytes
+    }
+
+    fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+}
+
+/// How the router picks among a model's live replica shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Steering {
+    /// Minimize `(readiness wait + shard backlog + in-flight wire
+    /// work, queue depth, EWMA queue delay, shard index)`
+    /// lexicographically — least work left. Readiness avoids known
+    /// transfer stalls; backlog is the shard's earliest device free
+    /// time plus queued work per live device; the in-flight term adds
+    /// the estimated cost of requests the router already forwarded
+    /// that are still on the wire (invisible to the shard's engine
+    /// until they land), so a burst inside one wire-time window
+    /// spreads instead of herding; depth and the timeline's EWMA
+    /// queue delay break ties. Steers traffic away from hot shards.
+    #[default]
+    LoadFeedback,
+    /// Seeded-hash uniform choice among live replicas — the
+    /// feedback-blind baseline.
+    Random,
+}
+
+/// Cluster-scope configuration: replication degree, steering policy,
+/// the inter-node transfer charge, shard-kill schedule, and the router
+/// journal's trace capture.
+///
+/// `#[non_exhaustive]`: construct with [`ClusterConfig::new`] and the
+/// builder methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ClusterConfig {
+    /// Replica shards per model (capped at the shard count); 2 by
+    /// default so every model survives one shard kill.
+    pub replication: usize,
+    /// Replica-choice policy.
+    pub steering: Steering,
+    /// The wire-time charge for request forwarding and artifact
+    /// replication; [`TransferModel::intra_rack`] by default.
+    pub transfer: TransferModel,
+    /// Deterministic shard-kill schedule: each event's `device` field
+    /// names a *shard index*, and only [`DeviceFault::Crash`] is
+    /// meaningful at this tier. Kills are permanent for the run
+    /// (elastic rejoin is a follow-on). Empty by default.
+    pub shard_faults: FaultPlan,
+    /// Whether a killed shard's backlog re-steers to surviving replicas
+    /// (on by default). Off, its backlog and future session chunks are
+    /// shed with [`ShedReason::NoShardCapacity`](crate::ShedReason::NoShardCapacity).
+    pub failover: bool,
+    /// Seed for [`Steering::Random`].
+    pub seed: u64,
+    /// Virtual ring nodes per shard in the placement hash; 16 by
+    /// default.
+    pub vnodes: usize,
+    /// Flight-recorder capture for the *router's* journal (`Forward`,
+    /// `Replicate`, `ShardDown`, `SessionReroute`, router-level
+    /// sheds); disabled by default. Shard-level journals are configured
+    /// through the shard [`RuntimeConfig`].
+    pub trace: TraceConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            replication: 2,
+            steering: Steering::default(),
+            transfer: TransferModel::intra_rack(),
+            shard_faults: FaultPlan::empty(),
+            failover: true,
+            seed: 0,
+            vnodes: 16,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The defaults: replication 2, load-feedback steering, intra-rack
+    /// transfer, no kills, failover on, tracing off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the replica count per model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn replication(mut self, replication: usize) -> Self {
+        assert!(replication > 0, "replication must be at least 1");
+        self.replication = replication;
+        self
+    }
+
+    /// Selects the steering policy.
+    pub fn steering(mut self, steering: Steering) -> Self {
+        self.steering = steering;
+        self
+    }
+
+    /// Sets the inter-node transfer model.
+    pub fn transfer(mut self, transfer: TransferModel) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// Installs a shard-kill schedule (shard indices in the `device`
+    /// field, [`DeviceFault::Crash`] events only).
+    pub fn shard_faults(mut self, plan: FaultPlan) -> Self {
+        self.shard_faults = plan;
+        self
+    }
+
+    /// Enables or disables backlog failover on shard kills.
+    pub fn failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+
+    /// Seeds the random steering hash.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the virtual ring nodes per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn vnodes(mut self, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "vnodes must be at least 1");
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Enables (or reconfigures) router-journal tracing.
+    pub fn tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// Cluster-scope virtual-time accounting — what the router did, as
+/// opposed to what each shard's [`SchedStats`](crate::sched::SchedStats)
+/// records internally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct ClusterStats {
+    /// Requests forwarded to a shard on first arrival.
+    pub routed: u64,
+    /// Feature-frame bytes moved over the wire (first routes and
+    /// failover reroutes).
+    pub forwarded_bytes: u64,
+    /// Total virtual µs charged for request forwarding.
+    pub forward_us_total: f64,
+    /// Artifact replication transfers performed at cluster start.
+    pub replications: u64,
+    /// Total virtual µs of replication wire time (chain-serialized per
+    /// model).
+    pub replication_us_total: f64,
+    /// Shard kills processed from the fault schedule.
+    pub shard_kills: u64,
+    /// Queued/undelivered requests reclaimed from killed shards.
+    pub reclaimed: u64,
+    /// Reclaimed requests successfully re-steered to a surviving
+    /// replica.
+    pub rerouted: u64,
+    /// Streaming sessions re-pinned to a new shard after a kill.
+    pub sessions_rerouted: u64,
+    /// Requests shed by the router with
+    /// [`ShedReason::NoShardCapacity`](crate::ShedReason::NoShardCapacity).
+    pub shed_no_capacity: u64,
+}
+
+/// One shard's slice of the cluster outcome.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Cluster-global ids of the models placed here, ascending.
+    pub placed: Vec<usize>,
+    /// False when the fault schedule killed this shard.
+    pub alive: bool,
+    /// Load gauges at end of run (frozen at kill time for dead shards)
+    /// — the per-shard Prometheus export.
+    pub gauges: ShardGauges,
+    /// The shard scheduler's own report; `None` for shards placement
+    /// left empty.
+    pub report: Option<SchedReport>,
+}
+
+/// Outcome of one cluster run. Everything except `host_us` is
+/// virtual-time-derived and bit-identical across host executors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ClusterReport {
+    /// Every request's response — served or shed, cluster-global
+    /// metadata (model id, workload, arrival time) restored and device
+    /// indices flattened into the cluster-wide space — sorted by
+    /// request id, each id exactly once.
+    pub responses: Vec<Response>,
+    /// Cluster-wide metrics over the merged responses and the
+    /// cluster-flat device busy vector.
+    pub metrics: ServeMetrics,
+    /// Router-level accounting.
+    pub stats: ClusterStats,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// The router's journal (enabled via [`ClusterConfig::tracing`]).
+    pub trace: RunTrace,
+    /// Wall-clock host time for the whole run (µs) — the only
+    /// nondeterministic number here.
+    pub host_us: f64,
+}
+
+impl ClusterReport {
+    /// The per-shard gauges in shard order — ready for
+    /// [`prometheus_snapshot_full`](crate::prometheus_snapshot_full).
+    pub fn shard_gauges(&self) -> Vec<ShardGauges> {
+        self.shards.iter().map(|s| s.gauges).collect()
+    }
+}
+
+/// The sharded virtual-time cluster: N scheduler shards, a consistent-
+/// hash placement, and the affinity router that drives them on one
+/// clock. See the [module docs](self) for the full model.
+#[derive(Debug)]
+pub struct ClusterRuntime {
+    pub(crate) spec: ClusterSpec,
+    pub(crate) shard_platforms: Vec<Vec<Device>>,
+    pub(crate) policy: SchedPolicy,
+    pub(crate) shard_config: RuntimeConfig,
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) placement: PlacementMap,
+}
+
+impl ClusterRuntime {
+    /// A cluster of `shard_platforms.len()` shards (each a device list
+    /// handed to its shard scheduler), serving `spec`'s models under a
+    /// shared scheduling policy and per-shard runtime configuration.
+    /// Placement is computed here, once, from the registered names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is empty, there are no shards, any shard
+    /// has no devices, or the shard-fault schedule names a shard out of
+    /// range or a fault other than [`DeviceFault::Crash`].
+    pub fn new(
+        spec: ClusterSpec,
+        shard_platforms: Vec<Vec<Device>>,
+        policy: SchedPolicy,
+        shard_config: RuntimeConfig,
+        cluster: ClusterConfig,
+    ) -> Self {
+        assert!(!spec.is_empty(), "cluster spec has no models");
+        assert!(!shard_platforms.is_empty(), "cluster has no shards");
+        for (s, platform) in shard_platforms.iter().enumerate() {
+            assert!(!platform.is_empty(), "shard {s} has no devices");
+        }
+        for ev in cluster.shard_faults.events() {
+            assert!(
+                ev.device < shard_platforms.len(),
+                "shard fault names shard {} but the cluster has {}",
+                ev.device,
+                shard_platforms.len()
+            );
+            assert!(
+                matches!(ev.fault, DeviceFault::Crash { .. }),
+                "cluster-tier faults must be crashes, got {:?}",
+                ev.fault
+            );
+        }
+        let placement = PlacementMap::consistent_hash(
+            &spec.names(),
+            shard_platforms.len(),
+            cluster.replication,
+            cluster.vnodes,
+        );
+        ClusterRuntime {
+            spec,
+            shard_platforms,
+            policy,
+            shard_config,
+            cluster,
+            placement,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_platforms.len()
+    }
+
+    /// The model → replica-shard placement the router routes by.
+    pub fn placement(&self) -> &PlacementMap {
+        &self.placement
+    }
+
+    /// The registered tenant set.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+}

@@ -115,6 +115,7 @@
 
 mod batcher;
 mod cache;
+pub mod cluster;
 mod config;
 mod device;
 mod executor;
@@ -129,11 +130,15 @@ pub mod trace;
 
 pub use batcher::{BatchPolicy, BatchReadiness, DynamicBatcher, TakenBatch};
 pub use cache::{CompiledModel, LoadStats};
+pub use cluster::{
+    ClusterConfig, ClusterReport, ClusterRuntime, ClusterSpec, ClusterStats, ShardReport, Steering,
+};
 pub use config::{RetryPolicy, RuntimeConfig};
 pub use device::{BatchExecution, DevicePool, VirtualDevice};
 pub use ernn_fpga::artifact::{ModelArtifact, PipelineError};
 pub use ernn_fpga::exec::{ExecScratch, NetworkState};
 pub use ernn_fpga::fault::{DeviceFault, FaultEvent, FaultPlan};
+pub use ernn_fpga::transfer::TransferModel;
 pub use executor::{
     Executor, ExecutorKind, ExecutorReport, InferenceJob, InlineExecutor, SessionSlot,
     ThreadPoolExecutor,
@@ -150,6 +155,6 @@ pub use timeline::{
 pub use trace::analyze::{analyze, PathTotals, RequestSpan, SlowRequest, TraceAnalysis};
 pub use trace::{
     chrome_trace_json, prometheus_snapshot, prometheus_snapshot_full, FlightRecorder,
-    LatencyHistogram, RunTrace, StageAttribution, StageBreakdown, TraceConfig, TraceEvent,
-    TraceJournal,
+    LatencyHistogram, RunTrace, ShardGauges, StageAttribution, StageBreakdown, TraceConfig,
+    TraceEvent, TraceJournal,
 };

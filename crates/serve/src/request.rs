@@ -161,6 +161,14 @@ pub enum ShedReason {
     /// Admitting the session's first chunk would exceed the configured
     /// live-session limit.
     SessionLimit,
+    /// Cluster-scope rejection: the front-end router found no live
+    /// shard holding a replica of the request's model — every holder is
+    /// down, or a shard died with failover disabled and its backlog had
+    /// nowhere to go. Distinct from [`ShedReason::DeadlineInfeasible`]
+    /// (a capacity *prediction* on a live shard) and from
+    /// [`ShedReason::CapacityLoss`] (a device-level fault inside one
+    /// shard): the request never reached a scheduler at all.
+    NoShardCapacity,
 }
 
 /// The completed answer for one request.

@@ -121,6 +121,7 @@ pub use cost::CostModel;
 pub use queue::{PaddingModel, QueueDiscipline, SchedQueue};
 pub use registry::{ModelId, ModelRegistry};
 pub use residency::{DeviceResidency, ImageKey, LoadEvent, WEIGHT_STREAM_BYTES_PER_US};
+pub(crate) use runtime::SchedEngine;
 pub use runtime::{
     Placement, SchedConfigError, SchedPolicy, SchedReport, SchedRuntime, SchedStats,
 };

@@ -234,6 +234,18 @@ impl SchedQueue {
         self.backlog_us -= q.est_solo_us;
     }
 
+    /// Removes and returns every queued request in key order, resetting
+    /// all bookkeeping — the shard-failover path: a killed shard hands
+    /// its undispatched backlog back to the cluster router for
+    /// rerouting (or shedding) on the survivors.
+    pub fn drain(&mut self) -> Vec<Request> {
+        let items = std::mem::take(&mut self.items);
+        self.model_counts.iter_mut().for_each(|c| *c = 0);
+        self.arrivals.clear();
+        self.backlog_us = 0.0;
+        items.into_values().map(|q| q.request).collect()
+    }
+
     /// Forms the next batch for `model`: up to `max_batch` requests in
     /// key order, closing early when the padding model rejects the next
     /// candidate or at a streaming-session conflict (a second chunk of a

@@ -626,122 +626,9 @@ impl SchedRuntime {
         arrivals: BinaryHeap<Arrival>,
         feedback: Option<Feedback<'_>>,
     ) -> SchedReport {
-        let host_start = Instant::now();
-        let mut executor = self.make_executor();
-        let cost = CostModel::build(&self.platforms, &self.registry);
-        // Per-device default timing: the first registered model's stages
-        // (only `dispatch_to` is ever used, so this is cosmetic
-        // bookkeeping).
-        let pool = DevicePool::heterogeneous(
-            (0..self.platforms.len())
-                .map(|d| cost.stages(d, 0))
-                .collect(),
-        );
-        let mut state = RunState {
-            cost,
-            pool,
-            residency: self
-                .platforms
-                .iter()
-                .map(|p| DeviceResidency::new(self.policy.device_budget_bytes(p)))
-                .collect(),
-            queue: SchedQueue::new(self.policy.discipline),
-            responses: Vec::new(),
-            stats: SchedStats::default(),
-            arrivals,
-            feedback,
-            now_us: 0.0,
-            admit_seq: 0,
-            sessions: HashMap::new(),
-            live_sessions: 0,
-            faults: self.config.fault_plan.timeline(self.platforms.len()),
-            retries: HashMap::new(),
-            obs: Observer::new(self.config.trace),
-            timeline: MetricsTimeline::new(self.config.timeline, self.platforms.len()),
-            health: HealthMonitor::new(self.config.health, self.platforms.len()),
-            busy_scratch: vec![0.0; self.platforms.len()],
-            completed: 0,
-            deadline_misses: 0,
-        };
-
-        loop {
-            if state.queue.is_empty() {
-                match state.arrivals.pop() {
-                    Some(a) => {
-                        state.now_us = state.now_us.max(a.t_us);
-                        state.capture_timeline(false);
-                        self.apply_faults_up_to(&mut state);
-                        self.admit(&mut state, a.request);
-                        self.drain_due_arrivals(&mut state);
-                    }
-                    None => break,
-                }
-                continue;
-            }
-
-            let head_model = state.queue.head().map(|r| r.model).unwrap_or_default();
-            let max_batch = self.effective_max_batch(&state);
-            let full = state.queue.count_model(head_model) >= max_batch;
-            // The flush clock anchors to the longest-waiting request, so
-            // no request outwaits the budget regardless of its deadline
-            // position.
-            let flush_at = state
-                .queue
-                .oldest_arrival_us()
-                .map(|t| t + self.policy.max_wait_us)
-                .unwrap_or(state.now_us);
-            let next_arrival = state.arrivals.peek().map(|a| a.t_us);
-
-            if full {
-                self.dispatch(&mut state, executor.as_mut());
-            } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
-                state.now_us = state.now_us.max(t);
-                state.capture_timeline(false);
-                self.apply_faults_up_to(&mut state);
-                let a = state.arrivals.pop().expect("peeked arrival exists");
-                self.admit(&mut state, a.request);
-                self.drain_due_arrivals(&mut state);
-            } else {
-                state.now_us = state.now_us.max(flush_at);
-                state.capture_timeline(false);
-                self.dispatch(&mut state, executor.as_mut());
-            }
-        }
-
-        // Stitch host-side logits into the served responses (shed
-        // responses own no job slots) before metrics, exactly like the
-        // single-model runtime.
-        let exec_report = executor.finish();
-        for (slot, logits) in exec_report.outputs {
-            debug_assert!(state.responses[slot].logits.is_empty(), "slot filled twice");
-            state.responses[slot].logits = logits;
-        }
-
-        // Stamp the final timeline sample at the instant the last device
-        // drains, so the closing sample reflects the finished run. A
-        // crashed device can stay "free at infinity"; keep the stamp
-        // finite by falling back to the event-loop clock.
-        let drained_us = state.pool.drained_at_us();
-        if drained_us.is_finite() {
-            state.now_us = state.now_us.max(drained_us);
-        }
-        state.capture_timeline(true);
-        let ewma = state.timeline.ewma_queue_us();
-        let timeline = state.timeline.into_timeline();
-        let health = state.health.into_report(ewma);
-
-        let busy_us: Vec<f64> = state.pool.devices().iter().map(|d| d.busy_us()).collect();
-        let metrics = ServeMetrics::compute(&state.responses, busy_us);
-        SchedReport {
-            responses: state.responses,
-            metrics,
-            sched: state.stats,
-            host_us: host_start.elapsed().as_secs_f64() * 1e6,
-            worker_fft: exec_report.worker_fft,
-            trace: state.obs.into_trace(),
-            timeline,
-            health,
-        }
+        let mut engine = SchedEngine::start(self, arrivals, feedback);
+        engine.run_until(f64::INFINITY);
+        engine.finish()
     }
 
     /// Moves every arrival with `t ≤ now` through admission (the
@@ -1550,6 +1437,300 @@ struct RetryInfo {
     /// The device whose fault last aborted this request — a commit
     /// elsewhere is a failover.
     last_device: usize,
+}
+
+/// A stepped scheduler instance: the [`SchedRuntime`] event loop
+/// factored out so a caller can advance virtual time in bounded
+/// increments instead of running to completion in one call.
+///
+/// `run_events` is exactly `start` + `run_until(∞)` + `finish` — there
+/// is **one** event loop, parameterized by its horizon, so the batch
+/// entry points ([`SchedRuntime::run`],
+/// [`SchedRuntime::run_closed_loop`]) and any stepped driver can never
+/// drift behaviorally. The cluster router is the stepped consumer: it
+/// advances every shard to each routing instant, injects forwarded
+/// requests with [`offer`](Self::offer), reads the live queue-delay
+/// EWMA for load-feedback steering, and on a shard kill reclaims the
+/// undispatched backlog with [`take_pending`](Self::take_pending).
+pub(crate) struct SchedEngine<'rt, 'p> {
+    rt: &'rt SchedRuntime,
+    executor: Box<dyn Executor>,
+    state: RunState<'p>,
+    host_start: Instant,
+    /// Sequence counter for offered arrivals, so equal-timestamp offers
+    /// pop in offer order.
+    offer_seq: u64,
+}
+
+impl<'rt, 'p> SchedEngine<'rt, 'p> {
+    /// An engine with an empty arrival stream and no closed-loop
+    /// feedback — the cluster-shard shape, where every request arrives
+    /// later via [`offer`](Self::offer).
+    pub(crate) fn new(rt: &'rt SchedRuntime) -> Self {
+        Self::start(rt, BinaryHeap::new(), None)
+    }
+
+    /// Builds the run state and executor for one run. Virtual time
+    /// starts at zero; nothing executes until [`run_until`](Self::run_until).
+    fn start(
+        rt: &'rt SchedRuntime,
+        arrivals: BinaryHeap<Arrival>,
+        feedback: Option<Feedback<'p>>,
+    ) -> Self {
+        let host_start = Instant::now();
+        let executor = rt.make_executor();
+        let cost = CostModel::build(&rt.platforms, &rt.registry);
+        // Per-device default timing: the first registered model's stages
+        // (only `dispatch_to` is ever used, so this is cosmetic
+        // bookkeeping).
+        let pool =
+            DevicePool::heterogeneous((0..rt.platforms.len()).map(|d| cost.stages(d, 0)).collect());
+        let offer_seq = arrivals.len() as u64;
+        let state = RunState {
+            cost,
+            pool,
+            residency: rt
+                .platforms
+                .iter()
+                .map(|p| DeviceResidency::new(rt.policy.device_budget_bytes(p)))
+                .collect(),
+            queue: SchedQueue::new(rt.policy.discipline),
+            responses: Vec::new(),
+            stats: SchedStats::default(),
+            arrivals,
+            feedback,
+            now_us: 0.0,
+            admit_seq: 0,
+            sessions: HashMap::new(),
+            live_sessions: 0,
+            faults: rt.config.fault_plan.timeline(rt.platforms.len()),
+            retries: HashMap::new(),
+            obs: Observer::new(rt.config.trace),
+            timeline: MetricsTimeline::new(rt.config.timeline, rt.platforms.len()),
+            health: HealthMonitor::new(rt.config.health, rt.platforms.len()),
+            busy_scratch: vec![0.0; rt.platforms.len()],
+            completed: 0,
+            deadline_misses: 0,
+        };
+        SchedEngine {
+            rt,
+            executor,
+            state,
+            host_start,
+            offer_seq,
+        }
+    }
+
+    /// Injects one request into the arrival stream. A timestamp at or
+    /// before the current virtual clock is fine — the event loop admits
+    /// at `max(now, arrival)` like any arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request fails [`SchedRuntime`] validation
+    /// (unregistered model, empty frames, dimension mismatch).
+    pub(crate) fn offer(&mut self, request: Request) {
+        self.rt.validate(&request);
+        self.state.arrivals.push(Arrival {
+            t_us: request.arrival_us,
+            seq: self.offer_seq,
+            request,
+        });
+        self.offer_seq += 1;
+    }
+
+    /// Runs the event loop forward, executing every event whose time is
+    /// at or before `horizon_us`, and stops with the virtual clock at
+    /// the last executed event. At `horizon_us = ∞` this is the
+    /// complete run-to-drain loop of [`SchedRuntime::run`]. A full
+    /// batch dispatches regardless of the horizon — forming it does not
+    /// advance the clock.
+    pub(crate) fn run_until(&mut self, horizon_us: f64) {
+        let rt = self.rt;
+        loop {
+            if self.state.queue.is_empty() {
+                if !self
+                    .state
+                    .arrivals
+                    .peek()
+                    .is_some_and(|a| a.t_us <= horizon_us)
+                {
+                    break;
+                }
+                let a = self.state.arrivals.pop().expect("peeked arrival exists");
+                self.state.now_us = self.state.now_us.max(a.t_us);
+                self.state.capture_timeline(false);
+                rt.apply_faults_up_to(&mut self.state);
+                rt.admit(&mut self.state, a.request);
+                rt.drain_due_arrivals(&mut self.state);
+                continue;
+            }
+
+            let head_model = self.state.queue.head().map(|r| r.model).unwrap_or_default();
+            let max_batch = rt.effective_max_batch(&self.state);
+            let full = self.state.queue.count_model(head_model) >= max_batch;
+            // The flush clock anchors to the longest-waiting request, so
+            // no request outwaits the budget regardless of its deadline
+            // position.
+            let flush_at = self
+                .state
+                .queue
+                .oldest_arrival_us()
+                .map(|t| t + rt.policy.max_wait_us)
+                .unwrap_or(self.state.now_us);
+            let next_arrival = self.state.arrivals.peek().map(|a| a.t_us);
+
+            if full {
+                rt.dispatch(&mut self.state, self.executor.as_mut());
+            } else if let Some(t) = next_arrival.filter(|&t| t <= flush_at) {
+                if t > horizon_us {
+                    break;
+                }
+                self.state.now_us = self.state.now_us.max(t);
+                self.state.capture_timeline(false);
+                rt.apply_faults_up_to(&mut self.state);
+                let a = self.state.arrivals.pop().expect("peeked arrival exists");
+                rt.admit(&mut self.state, a.request);
+                rt.drain_due_arrivals(&mut self.state);
+            } else {
+                if flush_at > horizon_us {
+                    break;
+                }
+                self.state.now_us = self.state.now_us.max(flush_at);
+                self.state.capture_timeline(false);
+                rt.dispatch(&mut self.state, self.executor.as_mut());
+            }
+        }
+    }
+
+    /// Hands back everything admitted or in flight toward admission but
+    /// not yet dispatched: the scheduler queue (in key order) followed
+    /// by the undrained arrival heap (in time order). The shard-kill
+    /// path — in-flight batches are unaffected (their virtual-time
+    /// completion was committed at dispatch, the cluster-level analogue
+    /// of connection draining).
+    pub(crate) fn take_pending(&mut self) -> Vec<Request> {
+        let mut pending = self.state.queue.drain();
+        while let Some(a) = self.state.arrivals.pop() {
+            pending.push(a.request);
+        }
+        pending
+    }
+
+    /// The live queue-delay EWMA (µs) — the load-feedback signal the
+    /// cluster router steers on. Updates at every dispatch whether or
+    /// not timeline sampling is enabled.
+    pub(crate) fn ewma_queue_us(&self) -> f64 {
+        self.state.timeline.ewma_queue_us()
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.state.queue.len()
+    }
+
+    /// How long a new arrival would wait to start: the earliest
+    /// `free_at` across the pool as a delay from now, plus the queued
+    /// requests' estimated service spread over the devices that are up
+    /// — the admission predictor's backlog term. Unlike the queue-delay
+    /// EWMA this is instantaneous, it sees work already dispatched to a
+    /// slow device, and it rises the moment a request is admitted (so
+    /// same-instant bursts spread instead of herding) — the primary
+    /// least-work-left term in cluster load-feedback steering.
+    pub(crate) fn backlog_us(&self) -> f64 {
+        let now = self.state.now_us;
+        let device_wait = self
+            .state
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.free_at_us() - now)
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0);
+        let up = self.state.faults.devices_up(now).max(1);
+        device_wait + self.state.queue.backlog_us() / up as f64
+    }
+
+    /// Closed-form best-device service estimate for `frames` frames of
+    /// `model` on this scheduler's own platform — the router prices
+    /// work it has forwarded but that is still on the wire (invisible
+    /// to [`SchedEngine::backlog_us`] until it lands).
+    pub(crate) fn estimate_frames_us(&self, model: ModelId, frames: u64) -> f64 {
+        (0..self.state.pool.devices().len())
+            .map(|d| self.state.cost.estimate_frames_us(d, model, frames))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Streaming sessions currently live on this scheduler.
+    pub(crate) fn live_sessions(&self) -> usize {
+        self.state.live_sessions
+    }
+
+    /// Bytes resident across the pool's devices (weight + session-state
+    /// images) — the per-shard residency gauge.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.state.residency.iter().map(|r| r.used_bytes()).sum()
+    }
+
+    /// Per-device busy time so far (virtual µs) — the cluster report
+    /// flattens these into one pool-wide utilization vector.
+    pub(crate) fn device_busy_us(&self) -> Vec<f64> {
+        self.state
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.busy_us())
+            .collect()
+    }
+
+    /// Drains the executor, stamps the final timeline sample, and
+    /// closes the run into a [`SchedReport`] — the tail of
+    /// [`SchedRuntime::run`], verbatim.
+    pub(crate) fn finish(mut self) -> SchedReport {
+        // Stitch host-side logits into the served responses (shed
+        // responses own no job slots) before metrics, exactly like the
+        // single-model runtime.
+        let exec_report = self.executor.finish();
+        for (slot, logits) in exec_report.outputs {
+            debug_assert!(
+                self.state.responses[slot].logits.is_empty(),
+                "slot filled twice"
+            );
+            self.state.responses[slot].logits = logits;
+        }
+
+        // Stamp the final timeline sample at the instant the last device
+        // drains, so the closing sample reflects the finished run. A
+        // crashed device can stay "free at infinity"; keep the stamp
+        // finite by falling back to the event-loop clock.
+        let drained_us = self.state.pool.drained_at_us();
+        if drained_us.is_finite() {
+            self.state.now_us = self.state.now_us.max(drained_us);
+        }
+        self.state.capture_timeline(true);
+        let ewma = self.state.timeline.ewma_queue_us();
+        let timeline = self.state.timeline.into_timeline();
+        let health = self.state.health.into_report(ewma);
+
+        let busy_us: Vec<f64> = self
+            .state
+            .pool
+            .devices()
+            .iter()
+            .map(|d| d.busy_us())
+            .collect();
+        let metrics = ServeMetrics::compute(&self.state.responses, busy_us);
+        SchedReport {
+            responses: self.state.responses,
+            metrics,
+            sched: self.state.stats,
+            host_us: self.host_start.elapsed().as_secs_f64() * 1e6,
+            worker_fft: exec_report.worker_fft,
+            trace: self.state.obs.into_trace(),
+            timeline,
+            health,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -299,6 +299,61 @@ pub enum TraceEvent {
         /// The configured threshold the value crossed.
         threshold: f64,
     },
+    /// The cluster router forwarded a request to a shard, charging the
+    /// inter-node transfer of its feature frames.
+    Forward {
+        /// Virtual time of the routing decision (µs).
+        t_us: f64,
+        /// Request id (cluster-global).
+        id: u64,
+        /// Target model (cluster-global id).
+        model: usize,
+        /// The shard the request was forwarded to.
+        shard: usize,
+        /// Wire time charged for the frames (µs); the request reaches
+        /// the shard's scheduler at `t_us + transfer_us` at the
+        /// earliest.
+        transfer_us: f64,
+    },
+    /// A model artifact finished replicating onto a shard (chain
+    /// replication: each replica streams from the previous holder).
+    Replicate {
+        /// Virtual time the replica becomes servable (µs).
+        t_us: f64,
+        /// The replicated model (cluster-global id).
+        model: usize,
+        /// The shard the artifact bytes streamed from.
+        from_shard: usize,
+        /// The shard that now holds a servable replica.
+        to_shard: usize,
+        /// Serialized artifact size (bytes) — the replication unit.
+        bytes: u64,
+        /// Wire time charged for the artifact bytes (µs).
+        transfer_us: f64,
+    },
+    /// A shard was killed by the cluster fault plan: it leaves the
+    /// routing table and its undispatched backlog is reclaimed.
+    ShardDown {
+        /// Virtual time of the kill (µs).
+        t_us: f64,
+        /// The killed shard.
+        shard: usize,
+        /// Backlog requests reclaimed from it (rerouted to survivors
+        /// when failover is on, shed otherwise).
+        reclaimed: usize,
+    },
+    /// A streaming session re-pinned from a dead shard to a survivor —
+    /// the cluster-level analogue of [`TraceEvent::StateMigration`].
+    SessionReroute {
+        /// Virtual time of the re-pin (µs).
+        t_us: f64,
+        /// The rerouted session (cluster-global id).
+        session: u64,
+        /// The dead shard the session left.
+        from_shard: usize,
+        /// The surviving shard it re-pinned to.
+        to_shard: usize,
+    },
 }
 
 impl TraceEvent {
@@ -319,7 +374,11 @@ impl TraceEvent {
             | TraceEvent::RetryScheduled { t_us, .. }
             | TraceEvent::Failover { t_us, .. }
             | TraceEvent::StateMigration { t_us, .. }
-            | TraceEvent::Health { t_us, .. } => t_us,
+            | TraceEvent::Health { t_us, .. }
+            | TraceEvent::Forward { t_us, .. }
+            | TraceEvent::Replicate { t_us, .. }
+            | TraceEvent::ShardDown { t_us, .. }
+            | TraceEvent::SessionReroute { t_us, .. } => t_us,
         }
     }
 
@@ -341,6 +400,10 @@ impl TraceEvent {
             TraceEvent::Failover { .. } => "failover",
             TraceEvent::StateMigration { .. } => "state_migration",
             TraceEvent::Health { .. } => "health",
+            TraceEvent::Forward { .. } => "forward",
+            TraceEvent::Replicate { .. } => "replicate",
+            TraceEvent::ShardDown { .. } => "shard_down",
+            TraceEvent::SessionReroute { .. } => "session_reroute",
         }
     }
 }
@@ -1047,6 +1110,73 @@ impl Observer {
         });
     }
 
+    /// The cluster router forwarded a request to a shard.
+    #[inline]
+    pub(crate) fn forwarded(
+        &mut self,
+        t_us: f64,
+        id: u64,
+        model: usize,
+        shard: usize,
+        transfer_us: f64,
+    ) {
+        self.recorder.record(TraceEvent::Forward {
+            t_us,
+            id,
+            model,
+            shard,
+            transfer_us,
+        });
+    }
+
+    /// A model artifact finished replicating onto `to_shard` at `t_us`.
+    #[inline]
+    pub(crate) fn replicated(
+        &mut self,
+        t_us: f64,
+        model: usize,
+        from_shard: usize,
+        to_shard: usize,
+        bytes: u64,
+        transfer_us: f64,
+    ) {
+        self.recorder.record(TraceEvent::Replicate {
+            t_us,
+            model,
+            from_shard,
+            to_shard,
+            bytes,
+            transfer_us,
+        });
+    }
+
+    /// A shard was killed, reclaiming `reclaimed` backlog requests.
+    #[inline]
+    pub(crate) fn shard_down(&mut self, t_us: f64, shard: usize, reclaimed: usize) {
+        self.recorder.record(TraceEvent::ShardDown {
+            t_us,
+            shard,
+            reclaimed,
+        });
+    }
+
+    /// A streaming session re-pinned from a dead shard to a survivor.
+    #[inline]
+    pub(crate) fn session_reroute(
+        &mut self,
+        t_us: f64,
+        session: u64,
+        from_shard: usize,
+        to_shard: usize,
+    ) {
+        self.recorder.record(TraceEvent::SessionReroute {
+            t_us,
+            session,
+            from_shard,
+            to_shard,
+        });
+    }
+
     /// Finalizes the capture into the report-carried [`RunTrace`].
     pub(crate) fn into_trace(self) -> RunTrace {
         RunTrace {
@@ -1077,6 +1207,7 @@ fn num(v: f64) -> String {
 pub fn chrome_trace_json(trace: &RunTrace) -> String {
     let mut models: Vec<usize> = Vec::new();
     let mut devices: Vec<usize> = Vec::new();
+    let mut shards: Vec<usize> = Vec::new();
     let note = |list: &mut Vec<usize>, v: usize| {
         if !list.contains(&v) {
             list.push(v);
@@ -1117,10 +1248,27 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                     note(&mut devices, d);
                 }
             }
+            TraceEvent::Forward { shard, .. } | TraceEvent::ShardDown { shard, .. } => {
+                note(&mut shards, shard)
+            }
+            TraceEvent::Replicate {
+                from_shard,
+                to_shard,
+                ..
+            }
+            | TraceEvent::SessionReroute {
+                from_shard,
+                to_shard,
+                ..
+            } => {
+                note(&mut shards, from_shard);
+                note(&mut shards, to_shard);
+            }
         }
     }
     models.sort_unstable();
     devices.sort_unstable();
+    shards.sort_unstable();
 
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -1161,6 +1309,25 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                  \"args\":{{\"name\":\"device {d}\"}}}}"
             ),
         );
+    }
+    // Process 2 appears only in cluster-router journals: one track per
+    // shard for forwards, replication, kills and session reroutes.
+    if !shards.is_empty() {
+        push(
+            &mut out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+             \"args\":{\"name\":\"cluster\"}}"
+                .to_string(),
+        );
+        for &s in &shards {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{s},\
+                     \"args\":{{\"name\":\"shard {s}\"}}}}"
+                ),
+            );
+        }
     }
 
     for e in &trace.journal.events {
@@ -1366,6 +1533,56 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                     num(threshold)
                 )
             }
+            TraceEvent::Forward {
+                t_us,
+                id,
+                model,
+                shard,
+                transfer_us,
+            } => format!(
+                "{{\"name\":\"forward {id}\",\"cat\":\"cluster\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":2,\"tid\":{shard},\
+                 \"args\":{{\"id\":{id},\"model\":{model},\"transfer_us\":{}}}}}",
+                num(t_us),
+                num(transfer_us)
+            ),
+            TraceEvent::Replicate {
+                t_us,
+                model,
+                from_shard,
+                to_shard,
+                bytes,
+                transfer_us,
+            } => format!(
+                // The wire time rendered as a span ending when the
+                // replica becomes servable.
+                "{{\"name\":\"replicate model {model}\",\"cat\":\"cluster\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":2,\"tid\":{to_shard},\
+                 \"args\":{{\"model\":{model},\"from_shard\":{from_shard},\"bytes\":{bytes}}}}}",
+                num(t_us - transfer_us),
+                num(transfer_us)
+            ),
+            TraceEvent::ShardDown {
+                t_us,
+                shard,
+                reclaimed,
+            } => format!(
+                "{{\"name\":\"shard down\",\"cat\":\"cluster\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":2,\"tid\":{shard},\
+                 \"args\":{{\"reclaimed\":{reclaimed}}}}}",
+                num(t_us)
+            ),
+            TraceEvent::SessionReroute {
+                t_us,
+                session,
+                from_shard,
+                to_shard,
+            } => format!(
+                "{{\"name\":\"reroute session {session}\",\"cat\":\"cluster\",\"ph\":\"i\",\
+                 \"s\":\"t\",\"ts\":{},\"pid\":2,\"tid\":{to_shard},\
+                 \"args\":{{\"session\":{session},\"from_shard\":{from_shard}}}}}",
+                num(t_us)
+            ),
         };
         push(&mut out, ev);
     }
@@ -1381,9 +1598,28 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
 /// snapshot (counters, two histograms, per-cell stage gauges).
 ///
 /// Equivalent to [`prometheus_snapshot_full`] with no scheduler stats,
-/// timeline, or health report.
+/// timeline, health report, or shard gauges.
 pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
-    prometheus_snapshot_full(metrics, trace, None, None, None)
+    prometheus_snapshot_full(metrics, trace, None, None, None, None)
+}
+
+/// Per-shard point-in-time gauges for the cluster-scope Prometheus
+/// export: one row per shard in a
+/// [`ClusterReport`](crate::cluster::ClusterReport), rendered by
+/// [`prometheus_snapshot_full`] as `ernn_shard_*` gauge families with a
+/// `shard` label.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardGauges {
+    /// Shard index.
+    pub shard: usize,
+    /// End-of-run queue-delay EWMA (µs) — the load-feedback signal the
+    /// router steered on.
+    pub ewma_queue_us: f64,
+    /// Bytes resident across the shard's devices (weight +
+    /// session-state images).
+    pub resident_bytes: u64,
+    /// Streaming sessions live on the shard at end of run.
+    pub live_sessions: usize,
 }
 
 /// The full Prometheus snapshot: everything [`prometheus_snapshot`]
@@ -1391,14 +1627,16 @@ pub fn prometheus_snapshot(metrics: &ServeMetrics, trace: &RunTrace) -> String {
 /// [`SchedStats`] counters — residency,
 /// session-state, fault, retry, failover, and migration activity — the
 /// newest [`Timeline`] sample as point-in-time
-/// gauges with the queue-delay EWMA, and the
-/// [`HealthReport`] rule-firing counters.
+/// gauges with the queue-delay EWMA, the
+/// [`HealthReport`] rule-firing counters, and the cluster tier's
+/// per-shard [`ShardGauges`].
 pub fn prometheus_snapshot_full(
     metrics: &ServeMetrics,
     trace: &RunTrace,
     sched: Option<&SchedStats>,
     timeline: Option<&Timeline>,
     health: Option<&HealthReport>,
+    shards: Option<&[ShardGauges]>,
 ) -> String {
     let mut out = String::new();
     let counter = |out: &mut String, name: &str, help: &str, v: String| {
@@ -1680,6 +1918,48 @@ pub fn prometheus_snapshot_full(
                 "ernn_health_rule_fired_total{{rule=\"{}\"}} {}",
                 rule.label(),
                 h.count(rule)
+            );
+        }
+    }
+
+    if let Some(shards) = shards {
+        let _ = writeln!(
+            out,
+            "# HELP ernn_shard_ewma_queue_delay_us Per-shard queue-delay EWMA, \
+             the router's load-feedback signal."
+        );
+        let _ = writeln!(out, "# TYPE ernn_shard_ewma_queue_delay_us gauge");
+        for g in shards {
+            let _ = writeln!(
+                out,
+                "ernn_shard_ewma_queue_delay_us{{shard=\"{}\"}} {}",
+                g.shard,
+                num(g.ewma_queue_us)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ernn_shard_resident_bytes Bytes resident across the shard's \
+             devices (weight + session-state images)."
+        );
+        let _ = writeln!(out, "# TYPE ernn_shard_resident_bytes gauge");
+        for g in shards {
+            let _ = writeln!(
+                out,
+                "ernn_shard_resident_bytes{{shard=\"{}\"}} {}",
+                g.shard, g.resident_bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ernn_shard_live_sessions Streaming sessions live on the shard."
+        );
+        let _ = writeln!(out, "# TYPE ernn_shard_live_sessions gauge");
+        for g in shards {
+            let _ = writeln!(
+                out,
+                "ernn_shard_live_sessions{{shard=\"{}\"}} {}",
+                g.shard, g.live_sessions
             );
         }
     }
@@ -2079,6 +2359,7 @@ mod tests {
             Some(&sched),
             Some(&timeline),
             Some(&health),
+            None,
         );
         for needle in [
             "ernn_sched_admitted_total 10",

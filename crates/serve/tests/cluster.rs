@@ -1,0 +1,288 @@
+//! Cluster-tier properties:
+//!
+//! * **Degenerate cluster ≡ bare scheduler** — one shard, replication
+//!   1, a zero-cost network: the cluster's merged responses and metrics
+//!   are exactly the single scheduler's, so the router provably adds no
+//!   timing of its own.
+//! * **Shard-kill failover loses nothing** — killing the shard a
+//!   streaming session is pinned to mid-run reclaims its backlog,
+//!   re-pins its sessions onto survivors, and still answers every
+//!   request exactly once with an accurate [`ShedReason`].
+//! * **Bit-identity across executors** — responses, metrics, router
+//!   stats, per-shard gauges and the rendered router journal are equal
+//!   under `Inline` and `ThreadPool` execution, kill included.
+//! * **Routing is deterministic (property)** — over random shard
+//!   counts, replication degrees, steering policies, seeds and kill
+//!   times, two identical runs produce byte-identical journals and
+//!   equal responses, and a shard kill never loses a request.
+
+use ernn_fpga::exec::DatapathConfig;
+use ernn_fpga::{ADM_PCIE_7V3, XCKU060};
+use ernn_model::{compress_network, BlockPolicy, CellType, NetworkBuilder};
+use ernn_serve::loadgen::synthetic_utterances;
+use ernn_serve::sched::{ModelRegistry, SchedPolicy, SchedRuntime};
+use ernn_serve::{
+    chrome_trace_json, ClusterConfig, ClusterRuntime, ClusterSpec, CompiledModel, DeviceFault,
+    ExecutorKind, FaultEvent, FaultPlan, Request, RuntimeConfig, ShedReason, Steering, TraceConfig,
+    TransferModel,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+const DIM: usize = 8;
+
+fn compiled(seed: u64, hidden: usize) -> CompiledModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let dense = NetworkBuilder::new(CellType::Gru, DIM, 5)
+        .layer_dims(&[hidden])
+        .build(&mut rng);
+    let net = compress_network(&dense, BlockPolicy::uniform(4));
+    CompiledModel::compile(&net, &DatapathConfig::paper_12bit(), XCKU060)
+}
+
+fn spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::new();
+    spec.register("gru-16", compiled(41, 16));
+    spec.register("gru-32", compiled(42, 32));
+    spec
+}
+
+fn policy() -> SchedPolicy {
+    SchedPolicy::edf_cost_model(4, 200.0)
+}
+
+/// Splits `utt` into up to `pieces` chunks of one session arriving
+/// every `gap_us` from `t0`, assigning ids from `next_id`.
+fn session_chunks(
+    next_id: &mut u64,
+    session: u64,
+    model: usize,
+    utt: &[Vec<f32>],
+    pieces: usize,
+    t0: f64,
+    gap_us: f64,
+) -> Vec<Request> {
+    let per = utt.len().div_ceil(pieces).max(1);
+    let n = utt.len().div_ceil(per);
+    (0..n)
+        .map(|i| {
+            let frames = utt[i * per..((i + 1) * per).min(utt.len())].to_vec();
+            let id = *next_id;
+            *next_id += 1;
+            let t = t0 + i as f64 * gap_us;
+            Request::chunk(id, session, i as u32, i == n - 1, frames, t)
+                .with_model(model)
+                .with_deadline(t + 30_000.0)
+        })
+        .collect()
+}
+
+/// A mixed load: `n_utts` utterances round-robined over `models`
+/// models plus `n_sessions` streaming sessions on model 0. Ids are
+/// dense from 0; session chunk ids come first.
+fn mixed_load(n_utts: usize, n_sessions: usize, models: usize) -> Vec<Request> {
+    let utts = synthetic_utterances(n_utts + n_sessions, (4, 8), DIM, 99);
+    let mut next_id = 0u64;
+    let mut reqs = Vec::new();
+    for (s, utt) in utts.iter().enumerate().take(n_sessions) {
+        reqs.extend(session_chunks(
+            &mut next_id,
+            s as u64,
+            0,
+            utt,
+            4,
+            10.0 + s as f64 * 35.0,
+            250.0,
+        ));
+    }
+    for (i, utt) in utts[n_sessions..].iter().enumerate() {
+        let t = 40.0 + i as f64 * 130.0;
+        let id = next_id;
+        next_id += 1;
+        reqs.push(
+            Request::new(id, utt.clone(), t)
+                .with_model(i % models)
+                .with_deadline(t + 20_000.0),
+        );
+    }
+    reqs
+}
+
+#[test]
+fn single_shard_cluster_matches_bare_scheduler() {
+    let requests = mixed_load(10, 2, 2);
+
+    let mut registry = ModelRegistry::new();
+    registry.register("gru-16", compiled(41, 16));
+    registry.register("gru-32", compiled(42, 32));
+    let direct = SchedRuntime::with_config(registry, vec![XCKU060], policy(), RuntimeConfig::new())
+        .run(requests.clone());
+
+    let cluster = ClusterRuntime::new(
+        spec(),
+        vec![vec![XCKU060]],
+        policy(),
+        RuntimeConfig::new(),
+        ClusterConfig::new()
+            .replication(1)
+            .transfer(TransferModel::zero()),
+    );
+    let report = cluster.run(requests);
+
+    let mut direct_sorted = direct.responses.clone();
+    direct_sorted.sort_by_key(|r| r.id);
+    assert_eq!(report.responses, direct_sorted);
+    assert_eq!(report.metrics, direct.metrics);
+    assert_eq!(report.stats.shed_no_capacity, 0);
+    assert_eq!(report.stats.replications, 0);
+}
+
+/// Four single-device shards: the shard index *is* the device index,
+/// so a response's device tells us which shard served it.
+fn four_shard_cluster(shard_faults: FaultPlan, executor: ExecutorKind) -> ClusterRuntime {
+    ClusterRuntime::new(
+        spec(),
+        vec![
+            vec![XCKU060],
+            vec![ADM_PCIE_7V3],
+            vec![XCKU060],
+            vec![ADM_PCIE_7V3],
+        ],
+        policy(),
+        RuntimeConfig::new().executor(executor),
+        ClusterConfig::new()
+            .replication(2)
+            .shard_faults(shard_faults)
+            .tracing(TraceConfig::enabled(4096)),
+    )
+}
+
+fn kill_at(t_us: f64, shard: usize) -> FaultPlan {
+    FaultPlan::new(vec![FaultEvent {
+        t_us,
+        device: shard,
+        fault: DeviceFault::Crash {
+            down_us: f64::INFINITY,
+        },
+    }])
+}
+
+#[test]
+fn shard_kill_failover_loses_nothing() {
+    let requests = mixed_load(12, 3, 2);
+    let total = requests.len();
+
+    // Find the shard session 0 is pinned to (its chunks' ids are 0..4
+    // by construction of `mixed_load`).
+    let calm = four_shard_cluster(FaultPlan::empty(), ExecutorKind::Inline).run(requests.clone());
+    let pinned = calm.responses[0]
+        .device
+        .expect("session 0's first chunk was not served");
+
+    // Kill it mid-session: chunk arrivals run to ~760 µs, so chunks
+    // remain to reroute after the kill.
+    let report =
+        four_shard_cluster(kill_at(600.0, pinned), ExecutorKind::Inline).run(requests.clone());
+
+    assert_eq!(report.responses.len(), total, "a request went missing");
+    for (i, r) in report.responses.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "ids must be dense and answered once");
+        if r.shed {
+            assert!(r.shed_reason.is_some(), "shed response without a reason");
+        } else {
+            assert_eq!(r.shed_reason, None);
+        }
+    }
+    assert_eq!(report.stats.shard_kills, 1);
+    assert!(!report.shards[pinned].alive);
+    // Replication 2 and one dead shard: every model still has a live
+    // replica, so nothing sheds for lack of shard capacity...
+    assert_eq!(report.stats.shed_no_capacity, 0);
+    // ...every reclaimed request found a new home...
+    assert_eq!(report.stats.rerouted, report.stats.reclaimed);
+    // ...and the pinned session kept streaming on a survivor.
+    assert!(report.stats.sessions_rerouted >= 1);
+    let session0_served = report.responses[..4].iter().filter(|r| !r.shed).count();
+    assert_eq!(session0_served, 4, "session 0 must survive the kill whole");
+}
+
+#[test]
+fn cluster_is_bit_identical_across_executors() {
+    let requests = mixed_load(12, 3, 2);
+    let a = four_shard_cluster(kill_at(600.0, 0), ExecutorKind::Inline).run(requests.clone());
+    let b = four_shard_cluster(kill_at(600.0, 0), ExecutorKind::ThreadPool).run(requests);
+
+    assert_eq!(a.responses, b.responses);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(chrome_trace_json(&a.trace), chrome_trace_json(&b.trace));
+    for (sa, sb) in a.shards.iter().zip(&b.shards) {
+        assert_eq!(sa.alive, sb.alive);
+        assert_eq!(sa.placed, sb.placed);
+        assert_eq!(sa.gauges, sb.gauges);
+        match (&sa.report, &sb.report) {
+            (Some(ra), Some(rb)) => {
+                assert_eq!(ra.responses, rb.responses);
+                assert_eq!(ra.metrics, rb.metrics);
+                assert_eq!(ra.sched, rb.sched);
+            }
+            (None, None) => {}
+            _ => panic!("shard {} placement differs across executors", sa.shard),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Routing is a pure function of (placement inputs, seed, load):
+    /// identical runs are byte-identical, and a shard kill with
+    /// failover never loses a request — every id is answered exactly
+    /// once, shed only with the cluster-scope reason.
+    #[test]
+    fn routing_is_deterministic_and_kills_lose_nothing(
+        shards in 1usize..5,
+        replication in 1usize..3,
+        seed in any::<u64>(),
+        random in any::<bool>(),
+        kill_t in 0.0f64..2_000.0,
+    ) {
+        let requests = mixed_load(8, 2, 2);
+        let total = requests.len();
+        let platforms: Vec<Vec<_>> = (0..shards)
+            .map(|s| vec![if s % 2 == 0 { XCKU060 } else { ADM_PCIE_7V3 }])
+            .collect();
+        let steering = if random { Steering::Random } else { Steering::LoadFeedback };
+        let build = || ClusterRuntime::new(
+            spec(),
+            platforms.clone(),
+            policy(),
+            RuntimeConfig::new(),
+            ClusterConfig::new()
+                .replication(replication)
+                .steering(steering)
+                .seed(seed)
+                .shard_faults(kill_at(kill_t, 0))
+                .tracing(TraceConfig::enabled(4096)),
+        );
+        let a = build().run(requests.clone());
+        let b = build().run(requests);
+
+        prop_assert_eq!(&a.responses, &b.responses);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(chrome_trace_json(&a.trace), chrome_trace_json(&b.trace));
+
+        prop_assert_eq!(a.responses.len(), total);
+        for (i, r) in a.responses.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+        }
+        // With one dead shard, the only cluster-scope shed reason is
+        // NoShardCapacity, and it appears iff the router shed it.
+        let router_sheds = a
+            .responses
+            .iter()
+            .filter(|r| r.shed_reason == Some(ShedReason::NoShardCapacity))
+            .count() as u64;
+        prop_assert_eq!(router_sheds, a.stats.shed_no_capacity);
+    }
+}

@@ -26,7 +26,15 @@
 //! `--trace-out PATH` to dump the last config's journal as Chrome trace
 //! JSON for `ui.perfetto.dev` (see `docs/observability.md`).
 //!
+//! Pass `--shards N` to additionally serve the same tenants through the
+//! cluster tier (`ernn::serve::cluster`): N single-device shards behind
+//! the load-feedback affinity router, artifact replication charged on
+//! the wire, and a per-shard health verdict for every shard — the same
+//! monitors as the single-node runs, one scheduler per shard (see
+//! `docs/cluster.md`).
+//!
 //! Run with: `cargo run --release --example multi_model_serving`
+//! (optionally `-- --shards 4`)
 
 use ernn::fpga::{ADM_PCIE_7V3, XCKU060};
 use ernn::model::{CellType, ModelSpec};
@@ -34,8 +42,8 @@ use ernn::pipeline::Pipeline;
 use ernn::serve::loadgen::{open_loop_poisson, synthetic_utterances};
 use ernn::serve::sched::{AdmissionPolicy, ModelRegistry, SchedPolicy, SchedRuntime};
 use ernn::serve::{
-    chrome_trace_json, HealthConfig, ModelArtifact, Request, RuntimeConfig, TimelineConfig,
-    TraceConfig,
+    chrome_trace_json, ClusterConfig, ClusterRuntime, ClusterSpec, HealthConfig, ModelArtifact,
+    Request, RuntimeConfig, Steering, TimelineConfig, TraceConfig,
 };
 use rand::SeedableRng;
 
@@ -135,6 +143,11 @@ fn main() {
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse::<usize>().expect("--shards takes a count"));
 
     let last = configs.len() - 1;
     for (c, (label, policy)) in configs.into_iter().enumerate() {
@@ -201,5 +214,77 @@ fn main() {
                 );
             }
         }
+    }
+
+    if let Some(shards) = shards {
+        serve_cluster(&tenants, shards, budget);
+    }
+}
+
+/// Serves the same tenants and load through the cluster tier: `shards`
+/// single-device shards (alternating platforms, so steering also has a
+/// speed gradient to exploit) behind the load-feedback affinity
+/// router, with the metrics timeline and health monitor on every
+/// shard's scheduler.
+fn serve_cluster(tenants: &[(&str, &[u8])], shards: usize, budget: u64) {
+    let mut spec = ClusterSpec::new();
+    for (name, bytes) in tenants {
+        let artifact = ModelArtifact::load_bytes(bytes).expect("artifact decodes");
+        spec.register_artifact(*name, &artifact);
+    }
+    let platforms: Vec<_> = (0..shards)
+        .map(|s| vec![if s % 2 == 0 { XCKU060 } else { ADM_PCIE_7V3 }])
+        .collect();
+    // Half the ring per model: enough replicas that placement covers
+    // the cluster, and any shard can lose a neighbor.
+    let replication = (shards / 2).max(2).min(shards);
+    let runtime = ClusterRuntime::new(
+        spec,
+        platforms,
+        SchedPolicy::edf_cost_model(8, 200.0)
+            .with_bram_budget_bytes(budget)
+            .with_admission(AdmissionPolicy::ShedPredictedLate),
+        RuntimeConfig::new()
+            .timeline(TimelineConfig::enabled(100.0, 1 << 13))
+            .health(HealthConfig::enabled()),
+        ClusterConfig::new()
+            .replication(replication)
+            .steering(Steering::LoadFeedback),
+    );
+    let report = runtime.run(mixed_load(400));
+    println!(
+        "\n=== cluster: {shards} shards × 1 device, replication {replication}, load-feedback ==="
+    );
+    println!("{}", report.metrics);
+    println!(
+        "router: {} routed ({:.1} µs on the wire), {} artifact replications ({:.1} µs), {} shed",
+        report.stats.routed,
+        report.stats.forward_us_total,
+        report.stats.replications,
+        report.stats.replication_us_total,
+        report.stats.shed_no_capacity,
+    );
+    println!("per-shard health:");
+    for shard in &report.shards {
+        let placed: Vec<&str> = shard
+            .placed
+            .iter()
+            .map(|&m| runtime.spec().name(m))
+            .collect();
+        let verdict = match &shard.report {
+            Some(sr) if sr.health.healthy() => "HEALTHY".to_string(),
+            Some(sr) => format!("{} alert(s)", sr.health.events.len()),
+            None => "idle (no models placed)".to_string(),
+        };
+        println!(
+            "  shard {:>2} [{}]: {} — {} request(s), EWMA queue delay {:.1} µs, {} live session(s), serving [{}]",
+            shard.shard,
+            if shard.alive { "up" } else { "down" },
+            verdict,
+            shard.report.as_ref().map_or(0, |sr| sr.responses.len()),
+            shard.gauges.ewma_queue_us,
+            shard.gauges.live_sessions,
+            placed.join(", "),
+        );
     }
 }
